@@ -1,0 +1,83 @@
+//! The **§5.3 classification cost** experiment.
+//!
+//! The paper takes 8000 snapshots of a SPECseis96 (medium) run, then
+//! measures: 72 s for the performance filter to extract the target VM's
+//! data, 50 s to train the classifier + run PCA + classify — a unit cost
+//! of ~15 ms per sample on a Pentium III 750, concluding online
+//! classification is feasible. This bench reproduces the same three
+//! stages on a pool of the same size and reports per-sample costs.
+
+use appclass_bench::fixtures::{trained_pipeline, training_runs};
+use appclass_core::pipeline::{ClassifierPipeline, PipelineConfig};
+use appclass_metrics::filter::PerformanceFilter;
+use appclass_metrics::{DataPool, MetricFrame, NodeId, Snapshot};
+use appclass_sim::runner::run_spec;
+use appclass_sim::workload::registry::test_specs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The paper's pool size: 8000 snapshots of the target VM.
+const POOL_SAMPLES: usize = 8_000;
+
+/// Builds a subnet pool with 8000 snapshots of the target VM (cycling a
+/// real SPECseis96 run) plus an equal volume of other-node chatter the
+/// filter must discard, like Ganglia's multicast delivers.
+fn build_pool() -> DataPool {
+    let specs = test_specs();
+    let spec = specs.iter().find(|s| s.name == "SPECseis96_A").unwrap();
+    let rec = run_spec(spec, NodeId(1), 42);
+    let base = rec.pool.sample_matrix(NodeId(1)).unwrap();
+    let mut pool = DataPool::new();
+    for i in 0..POOL_SAMPLES {
+        let row = base.row(i % base.rows());
+        let frame = MetricFrame::from_values(row).unwrap();
+        pool.push(Snapshot::new(NodeId(1), i as u64 * 5, frame.clone()));
+        // Another node in the subnet announces too.
+        pool.push(Snapshot::new(NodeId(2), i as u64 * 5, frame));
+    }
+    pool
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let pool = build_pool();
+    let pipeline = trained_pipeline(42);
+    let runs = training_runs(42);
+    let config = PipelineConfig::paper();
+    let target = pool.sample_matrix(NodeId(1)).unwrap();
+
+    // One-shot wall-clock report in the paper's terms.
+    let t0 = std::time::Instant::now();
+    let (extracted, report) = PerformanceFilter.extract(&pool, NodeId(1)).unwrap();
+    let t_filter = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let p = ClassifierPipeline::train(&runs, &config).unwrap();
+    let _ = p.classify(&extracted).unwrap();
+    let t_classify = t1.elapsed();
+    let per_sample =
+        (t_filter + t_classify).as_secs_f64() * 1_000.0 / report.extracted as f64;
+    println!("\nClassification cost (§5.3), {} target samples:", report.extracted);
+    println!("  filter extraction: {:.3} s  (paper: 72 s)", t_filter.as_secs_f64());
+    println!("  train + PCA + classify: {:.3} s  (paper: 50 s)", t_classify.as_secs_f64());
+    println!("  unit cost: {:.4} ms/sample  (paper: 15 ms/sample)", per_sample);
+    println!("  sampling period is 5000 ms: online classification feasible = {}", per_sample < 5_000.0);
+
+    let mut group = c.benchmark_group("classification_cost");
+    group.sample_size(10);
+    group.bench_function("filter_extract_8000", |b| {
+        b.iter(|| PerformanceFilter.extract(black_box(&pool), NodeId(1)).unwrap())
+    });
+    group.bench_function("train_pipeline", |b| {
+        b.iter(|| ClassifierPipeline::train(black_box(&runs), &config).unwrap())
+    });
+    group.bench_function("classify_8000", |b| {
+        b.iter(|| pipeline.classify(black_box(&target)).unwrap())
+    });
+    group.bench_function("classify_one_frame", |b| {
+        let frame = MetricFrame::from_values(target.row(0)).unwrap();
+        b.iter(|| pipeline.classify_frame(black_box(&frame)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench + regeneration of **Figure 4**: system throughput of the ten
+//! schedules, and the +22.11% class-aware headline.
+
+use appclass_sched::experiments::{figure4, run_schedule};
+use appclass_sched::schedule::enumerate_schedules;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    // Regenerate the figure once.
+    let fig4 = figure4(20_060_101);
+    println!("\nFigure 4: system throughput of the ten schedules (regenerated)");
+    for row in &fig4.rows {
+        println!(
+            "  {:>2}  {:<24} {:>7.0} jobs/day",
+            row.id, row.label, row.throughput_jobs_per_day
+        );
+    }
+    println!(
+        "  class-aware {:.0} vs average {:.0}: {:+.2}% (paper: +22.11%)",
+        fig4.class_aware, fig4.average, fig4.improvement_pct
+    );
+
+    // Benchmark the simulation of the two extreme schedules.
+    let schedules = enumerate_schedules();
+    let same_class = schedules[0];
+    let diverse = *schedules.last().unwrap();
+    let mut group = c.benchmark_group("fig4_run_schedule");
+    group.sample_size(10);
+    group.bench_function("schedule1_same_class", |b| {
+        b.iter(|| run_schedule(black_box(&same_class), 7))
+    });
+    group.bench_function("schedule10_class_aware", |b| {
+        b.iter(|| run_schedule(black_box(&diverse), 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the numerical kernels the classifier is built on.
+//!
+//! Not a paper artifact — these measure the substrate (matmul, Jacobi
+//! eigen, one-sided Jacobi SVD, k-NN search, standardization) so
+//! regressions in the hot kernels show up even when the end-to-end §5.3
+//! numbers stay within noise.
+
+use appclass_core::class::AppClass;
+use appclass_core::knn::KnnClassifier;
+use appclass_linalg::eigen::symmetric_eigen;
+use appclass_linalg::stats::Standardizer;
+use appclass_linalg::svd::thin_svd;
+use appclass_linalg::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect())
+        .expect("sized")
+}
+
+fn symmetric(n: usize, seed: u64) -> Matrix {
+    let a = random_matrix(n, n, seed);
+    a.matmul(&a.transpose()).expect("square product")
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numerics_matmul");
+    group.sample_size(20);
+    for n in [32usize, 128] {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        group.bench_function(format!("{n}x{n}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numerics_decomposition");
+    group.sample_size(20);
+    // The pipeline's actual size: an 8x8 correlation matrix.
+    let corr8 = symmetric(8, 3);
+    group.bench_function("jacobi_eigen_8x8", |b| {
+        b.iter(|| symmetric_eigen(black_box(&corr8)).unwrap())
+    });
+    let corr32 = symmetric(32, 4);
+    group.bench_function("jacobi_eigen_32x32", |b| {
+        b.iter(|| symmetric_eigen(black_box(&corr32)).unwrap())
+    });
+    let tall = random_matrix(512, 8, 5);
+    group.bench_function("svd_512x8", |b| b.iter(|| thin_svd(black_box(&tall)).unwrap()));
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numerics_knn");
+    group.sample_size(20);
+    // The pipeline's scale: ~700 training points in 2-D.
+    let points = random_matrix(700, 2, 6);
+    let labels: Vec<AppClass> =
+        (0..700).map(|i| AppClass::ALL[i % 5]).collect();
+    let knn = KnnClassifier::paper(points, labels).unwrap();
+    group.bench_function("classify_one_of_700", |b| {
+        b.iter(|| knn.classify(black_box(&[0.3, -1.2])).unwrap())
+    });
+    let batch = random_matrix(1_000, 2, 7);
+    group.bench_function("classify_batch_1000", |b| {
+        b.iter(|| knn.classify_batch(black_box(&batch)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_standardize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numerics_standardize");
+    group.sample_size(20);
+    let pool = random_matrix(8_000, 8, 8);
+    group.bench_function("fit_8000x8", |b| {
+        b.iter(|| Standardizer::fit(black_box(&pool)).unwrap())
+    });
+    let s = Standardizer::fit(&pool).unwrap();
+    group.bench_function("apply_8000x8", |b| b.iter(|| s.apply(black_box(&pool)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_eigen_svd, bench_knn, bench_standardize);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Trained-pipeline and run-record fixtures shared by the benches.
+
+use appclass::expected_class;
+use appclass_core::class::AppClass;
+use appclass_core::pipeline::{ClassifierPipeline, PipelineConfig};
+use appclass_linalg::Matrix;
+use appclass_sim::runner::{run_batch, RunRecord};
+use appclass_sim::workload::registry::training_specs;
+
+/// Runs the five training applications and returns their labelled raw
+/// sample matrices.
+pub fn training_runs(seed: u64) -> Vec<(Matrix, AppClass)> {
+    let specs = training_specs();
+    let records: Vec<RunRecord> = run_batch(&specs, seed);
+    records
+        .iter()
+        .zip(&specs)
+        .map(|(rec, spec)| {
+            let m = rec.pool.sample_matrix(rec.node).expect("training run produced samples");
+            (m, expected_class(spec.expected))
+        })
+        .collect()
+}
+
+/// Trains the paper-configured pipeline on the standard training runs.
+pub fn trained_pipeline(seed: u64) -> ClassifierPipeline {
+    ClassifierPipeline::train(&training_runs(seed), &PipelineConfig::paper())
+        .expect("training succeeds on the standard runs")
+}

@@ -1,0 +1,9 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The benches regenerate every table and figure of the paper's evaluation;
+//! this library holds the setup they share (trained pipelines, standard
+//! run records) so each bench file stays focused on its own experiment.
+
+#![warn(missing_docs)]
+
+pub mod fixtures;

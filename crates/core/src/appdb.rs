@@ -1,0 +1,258 @@
+//! The application database of Figure 1.
+//!
+//! "The post-processed classification results together with the
+//! corresponding execution time (t1 − t0) are stored in the application
+//! database and can be used to assist future resource scheduling" (§4.3).
+//! Each record holds a run's class composition, majority class, and wall
+//! time; per-application statistics (mean composition over historical
+//! runs, mean/min/max execution time) are what the scheduler consumes.
+//! The store persists as JSON.
+
+use crate::class::{AppClass, ClassComposition};
+use crate::cost::CostModel;
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One historical run of an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Application name.
+    pub app: String,
+    /// Majority class of the run.
+    pub class: AppClass,
+    /// Full class composition.
+    pub composition: ClassComposition,
+    /// Execution time `t1 - t0`, seconds.
+    pub exec_secs: u64,
+    /// Number of snapshots the classification was based on.
+    pub samples: usize,
+}
+
+/// Aggregate statistics over an application's historical runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppStats {
+    /// Application name.
+    pub app: String,
+    /// Number of recorded runs.
+    pub runs: usize,
+    /// Majority class across runs (mode of the per-run majority classes).
+    pub class: AppClass,
+    /// Mean composition over runs.
+    pub mean_composition: ClassComposition,
+    /// Mean execution time, seconds.
+    pub mean_exec_secs: f64,
+    /// Standard deviation of the execution time over runs — the
+    /// "stochastic information of application behavior" the paper's §7
+    /// wants schedulers to exploit (cf. Conservative Scheduling's use of
+    /// predicted variance).
+    pub std_exec_secs: f64,
+    /// Shortest recorded run.
+    pub min_exec_secs: u64,
+    /// Longest recorded run.
+    pub max_exec_secs: u64,
+}
+
+/// The application database: append-only run records with derived
+/// statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationDb {
+    records: Vec<RunRecord>,
+}
+
+impl ApplicationDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        ApplicationDb::default()
+    }
+
+    /// Appends a run record.
+    pub fn record(&mut self, rec: RunRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Records for one application.
+    pub fn runs_of(&self, app: &str) -> Vec<&RunRecord> {
+        self.records.iter().filter(|r| r.app == app).collect()
+    }
+
+    /// Names of all applications with at least one record, sorted.
+    pub fn applications(&self) -> Vec<String> {
+        let mut set: BTreeMap<&str, ()> = BTreeMap::new();
+        for r in &self.records {
+            set.insert(&r.app, ());
+        }
+        set.into_keys().map(String::from).collect()
+    }
+
+    /// Aggregate statistics for one application; `None` if never recorded.
+    pub fn stats(&self, app: &str) -> Option<AppStats> {
+        let runs = self.runs_of(app);
+        if runs.is_empty() {
+            return None;
+        }
+        let compositions: Vec<ClassComposition> = runs.iter().map(|r| r.composition).collect();
+        let mean_composition = ClassComposition::mean(&compositions);
+        // Mode of the majority classes, ties toward AppClass::ALL order
+        // (strictly-greater keeps the earliest maximum, matching
+        // ClassComposition::majority's tie rule).
+        let mut counts = [0usize; 5];
+        for r in &runs {
+            counts[r.class.index()] += 1;
+        }
+        let mut class = AppClass::ALL[0];
+        for &c in &AppClass::ALL[1..] {
+            if counts[c.index()] > counts[class.index()] {
+                class = c;
+            }
+        }
+        let mut times = appclass_linalg::stats::RunningStats::new();
+        for r in &runs {
+            times.push(r.exec_secs as f64);
+        }
+        Some(AppStats {
+            app: app.to_string(),
+            runs: runs.len(),
+            class,
+            mean_composition,
+            mean_exec_secs: times.mean(),
+            std_exec_secs: times.std_dev(),
+            min_exec_secs: times.min().expect("non-empty") as u64,
+            max_exec_secs: times.max().expect("non-empty") as u64,
+        })
+    }
+
+    /// Statistics for every known application.
+    pub fn all_stats(&self) -> Vec<AppStats> {
+        self.applications().iter().filter_map(|a| self.stats(a)).collect()
+    }
+
+    /// Prices an application's historical mean run under a cost model:
+    /// `unit_cost(mean composition) × mean exec time`.
+    pub fn expected_cost(&self, app: &str, model: &CostModel) -> Option<f64> {
+        let stats = self.stats(app)?;
+        Some(model.run_cost(&stats.mean_composition, stats.mean_exec_secs))
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| Error::Storage(e.to_string()))
+    }
+
+    /// Deserializes from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| Error::Storage(e.to_string()))
+    }
+
+    /// Writes the database to a file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_json()?).map_err(|e| Error::Storage(e.to_string()))
+    }
+
+    /// Loads a database from a file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path).map_err(|e| Error::Storage(e.to_string()))?;
+        ApplicationDb::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ResourceRates;
+
+    fn rec(app: &str, class: AppClass, secs: u64) -> RunRecord {
+        let mut fr = [0.0; 5];
+        fr[class.index()] = 1.0;
+        RunRecord {
+            app: app.to_string(),
+            class,
+            composition: ClassComposition::from_fractions(fr[0], fr[1], fr[2], fr[3], fr[4])
+                .unwrap(),
+            exec_secs: secs,
+            samples: (secs / 5) as usize,
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut db = ApplicationDb::new();
+        db.record(rec("ch3d", AppClass::Cpu, 225));
+        db.record(rec("postmark", AppClass::Io, 260));
+        db.record(rec("ch3d", AppClass::Cpu, 235));
+        assert_eq!(db.records().len(), 3);
+        assert_eq!(db.runs_of("ch3d").len(), 2);
+        assert_eq!(db.applications(), vec!["ch3d".to_string(), "postmark".to_string()]);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut db = ApplicationDb::new();
+        db.record(rec("ch3d", AppClass::Cpu, 200));
+        db.record(rec("ch3d", AppClass::Cpu, 300));
+        let s = db.stats("ch3d").unwrap();
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.class, AppClass::Cpu);
+        assert_eq!(s.mean_exec_secs, 250.0);
+        assert!((s.std_exec_secs - (50.0f64 * 50.0 * 2.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.min_exec_secs, 200);
+        assert_eq!(s.max_exec_secs, 300);
+        assert_eq!(s.mean_composition.fraction(AppClass::Cpu), 1.0);
+    }
+
+    #[test]
+    fn stats_missing_app() {
+        assert!(ApplicationDb::new().stats("nope").is_none());
+    }
+
+    #[test]
+    fn class_mode_across_runs() {
+        let mut db = ApplicationDb::new();
+        db.record(rec("multi", AppClass::Io, 100));
+        db.record(rec("multi", AppClass::Io, 100));
+        db.record(rec("multi", AppClass::Cpu, 100));
+        assert_eq!(db.stats("multi").unwrap().class, AppClass::Io);
+    }
+
+    #[test]
+    fn expected_cost_uses_mean() {
+        let mut db = ApplicationDb::new();
+        db.record(rec("job", AppClass::Cpu, 100));
+        let model = CostModel::new(ResourceRates { cpu: 2.0, mem: 0.0, io: 0.0, net: 0.0, idle: 0.0 });
+        assert_eq!(db.expected_cost("job", &model), Some(200.0));
+        assert_eq!(db.expected_cost("ghost", &model), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = ApplicationDb::new();
+        db.record(rec("a", AppClass::Net, 50));
+        let json = db.to_json().unwrap();
+        assert_eq!(ApplicationDb::from_json(&json).unwrap(), db);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut db = ApplicationDb::new();
+        db.record(rec("a", AppClass::Mem, 75));
+        let dir = std::env::temp_dir().join("appclass_db_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let back = ApplicationDb::load(&path).unwrap();
+        assert_eq!(back, db);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_storage_error() {
+        let err = ApplicationDb::load(Path::new("/nonexistent/definitely/not.json"));
+        assert!(matches!(err, Err(Error::Storage(_))));
+    }
+}

@@ -1,0 +1,241 @@
+//! Application classes and class compositions.
+//!
+//! The paper classifies every snapshot into one of five classes —
+//! CPU-intensive, I/O-intensive, network-intensive, memory(paging)-
+//! intensive, and idle — then summarizes a run both as a single majority
+//! class and as a *composition* (the fraction of snapshots per class),
+//! which feeds the §4.4 cost model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the five application classes of §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppClass {
+    /// CPU-intensive.
+    Cpu,
+    /// I/O-intensive.
+    Io,
+    /// Network-intensive.
+    Net,
+    /// Memory/paging-intensive.
+    Mem,
+    /// Idle (background daemons only).
+    Idle,
+}
+
+impl AppClass {
+    /// All classes, in the display order the paper's Table 3 uses
+    /// (Idle, I/O, CPU, Network, Paging).
+    pub const ALL: [AppClass; 5] =
+        [AppClass::Idle, AppClass::Io, AppClass::Cpu, AppClass::Net, AppClass::Mem];
+
+    /// Index into composition arrays.
+    pub fn index(self) -> usize {
+        match self {
+            AppClass::Idle => 0,
+            AppClass::Io => 1,
+            AppClass::Cpu => 2,
+            AppClass::Net => 3,
+            AppClass::Mem => 4,
+        }
+    }
+
+    /// Short label used in tables and cluster diagrams.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppClass::Cpu => "CPU",
+            AppClass::Io => "IO",
+            AppClass::Net => "NET",
+            AppClass::Mem => "MEM",
+            AppClass::Idle => "Idle",
+        }
+    }
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fraction of snapshots per class for one application run — the paper's
+/// "class composition" output (Table 3 rows), which doubles as the input
+/// to the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassComposition {
+    fractions: [f64; 5],
+}
+
+impl ClassComposition {
+    /// Builds a composition by counting a class vector.
+    pub fn from_labels(labels: &[AppClass]) -> Self {
+        let mut counts = [0usize; 5];
+        for &l in labels {
+            counts[l.index()] += 1;
+        }
+        let n = labels.len().max(1) as f64;
+        let mut fractions = [0.0; 5];
+        for (f, c) in fractions.iter_mut().zip(counts) {
+            *f = c as f64 / n;
+        }
+        ClassComposition { fractions }
+    }
+
+    /// Builds a composition from explicit fractions (must be non-negative;
+    /// typically summing to 1).
+    pub fn from_fractions(
+        idle: f64,
+        io: f64,
+        cpu: f64,
+        net: f64,
+        mem: f64,
+    ) -> Option<ClassComposition> {
+        let fractions = [idle, io, cpu, net, mem];
+        if fractions.iter().any(|f| !(0.0..=1.0 + 1e-9).contains(f)) {
+            return None;
+        }
+        Some(ClassComposition { fractions })
+    }
+
+    /// Fraction of snapshots in `class`.
+    pub fn fraction(&self, class: AppClass) -> f64 {
+        self.fractions[class.index()]
+    }
+
+    /// The majority class — the paper's single-value application `Class`.
+    /// Ties resolve in [`AppClass::ALL`] order, deterministically.
+    pub fn majority(&self) -> AppClass {
+        let mut best = AppClass::ALL[0];
+        let mut best_f = self.fraction(best);
+        for &c in &AppClass::ALL[1..] {
+            if self.fraction(c) > best_f {
+                best = c;
+                best_f = self.fraction(c);
+            }
+        }
+        best
+    }
+
+    /// Sum of the fractions (≈1 for a composition built from labels).
+    pub fn total(&self) -> f64 {
+        self.fractions.iter().sum()
+    }
+
+    /// Iterates `(class, fraction)` pairs in Table 3 column order.
+    pub fn iter(&self) -> impl Iterator<Item = (AppClass, f64)> + '_ {
+        AppClass::ALL.iter().map(move |&c| (c, self.fraction(c)))
+    }
+
+    /// Element-wise average of several compositions (used by the app DB to
+    /// summarize historical runs).
+    pub fn mean(comps: &[ClassComposition]) -> ClassComposition {
+        if comps.is_empty() {
+            return ClassComposition::default();
+        }
+        let mut fractions = [0.0; 5];
+        for c in comps {
+            for (acc, f) in fractions.iter_mut().zip(c.fractions) {
+                *acc += f;
+            }
+        }
+        for f in fractions.iter_mut() {
+            *f /= comps.len() as f64;
+        }
+        ClassComposition { fractions }
+    }
+}
+
+impl fmt::Display for ClassComposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (c, frac) in self.iter() {
+            if frac > 0.0005 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}: {:.2}%", c, frac * 100.0)?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_dense() {
+        for (i, c) in AppClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_labels_counts() {
+        let labels = [AppClass::Cpu, AppClass::Cpu, AppClass::Io, AppClass::Idle];
+        let comp = ClassComposition::from_labels(&labels);
+        assert_eq!(comp.fraction(AppClass::Cpu), 0.5);
+        assert_eq!(comp.fraction(AppClass::Io), 0.25);
+        assert_eq!(comp.fraction(AppClass::Idle), 0.25);
+        assert_eq!(comp.fraction(AppClass::Net), 0.0);
+        assert!((comp.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_vote() {
+        let labels = [AppClass::Net, AppClass::Net, AppClass::Cpu];
+        assert_eq!(ClassComposition::from_labels(&labels).majority(), AppClass::Net);
+    }
+
+    #[test]
+    fn majority_tie_is_deterministic() {
+        let labels = [AppClass::Cpu, AppClass::Io];
+        // Io precedes Cpu in ALL order.
+        assert_eq!(ClassComposition::from_labels(&labels).majority(), AppClass::Io);
+    }
+
+    #[test]
+    fn empty_labels_safe() {
+        let comp = ClassComposition::from_labels(&[]);
+        assert_eq!(comp.total(), 0.0);
+    }
+
+    #[test]
+    fn from_fractions_validates() {
+        assert!(ClassComposition::from_fractions(0.2, 0.2, 0.2, 0.2, 0.2).is_some());
+        assert!(ClassComposition::from_fractions(-0.1, 0.0, 0.0, 0.0, 0.0).is_none());
+        assert!(ClassComposition::from_fractions(1.5, 0.0, 0.0, 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn mean_of_compositions() {
+        let a = ClassComposition::from_fractions(1.0, 0.0, 0.0, 0.0, 0.0).unwrap();
+        let b = ClassComposition::from_fractions(0.0, 1.0, 0.0, 0.0, 0.0).unwrap();
+        let m = ClassComposition::mean(&[a, b]);
+        assert_eq!(m.fraction(AppClass::Idle), 0.5);
+        assert_eq!(m.fraction(AppClass::Io), 0.5);
+        assert_eq!(ClassComposition::mean(&[]).total(), 0.0);
+    }
+
+    #[test]
+    fn display_skips_zero_classes() {
+        let comp = ClassComposition::from_labels(&[AppClass::Cpu]);
+        let s = comp.to_string();
+        assert!(s.contains("CPU: 100.00%"));
+        assert!(!s.contains("NET"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let comp = ClassComposition::from_labels(&[AppClass::Mem, AppClass::Idle]);
+        let json = serde_json::to_string(&comp).unwrap();
+        let back: ClassComposition = serde_json::from_str(&json).unwrap();
+        assert_eq!(comp, back);
+    }
+}

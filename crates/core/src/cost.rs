@@ -1,0 +1,146 @@
+//! Cost-based scheduling support (§4.4).
+//!
+//! "A cost model may be conceived where the unit application execution time
+//! cost is calculated as the weighted average of the unit costs of
+//! different resources: UnitApplicationCost = α·cpu% + β·mem% + γ·io% +
+//! δ·net% + ε·idle%" — where the Greek letters are provider-defined unit
+//! prices and the percentages are the classifier's composition output. The
+//! model lets each provider publish its own pricing scheme over the same
+//! class compositions.
+
+use crate::class::{AppClass, ClassComposition};
+use serde::{Deserialize, Serialize};
+
+/// Provider-defined unit prices per resource class (the paper's α…ε).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRates {
+    /// α — unit cost of CPU capacity.
+    pub cpu: f64,
+    /// β — unit cost of memory capacity.
+    pub mem: f64,
+    /// γ — unit cost of I/O capacity.
+    pub io: f64,
+    /// δ — unit cost of network capacity.
+    pub net: f64,
+    /// ε — unit cost of an idle slot (typically the smallest).
+    pub idle: f64,
+}
+
+impl ResourceRates {
+    /// A flat pricing scheme: every class costs the same, so the unit cost
+    /// equals the total composition (≈1). Useful as a sanity baseline.
+    pub fn flat(rate: f64) -> Self {
+        ResourceRates { cpu: rate, mem: rate, io: rate, net: rate, idle: rate }
+    }
+
+    /// The rate for one class.
+    pub fn rate(&self, class: AppClass) -> f64 {
+        match class {
+            AppClass::Cpu => self.cpu,
+            AppClass::Mem => self.mem,
+            AppClass::Io => self.io,
+            AppClass::Net => self.net,
+            AppClass::Idle => self.idle,
+        }
+    }
+}
+
+/// The §4.4 cost model: prices a run from its class composition.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_core::class::ClassComposition;
+/// use appclass_core::cost::{CostModel, ResourceRates};
+///
+/// let model = CostModel::new(ResourceRates { cpu: 10.0, mem: 8.0, io: 6.0, net: 4.0, idle: 1.0 });
+/// // Half CPU, half I/O → (10 + 6) / 2.
+/// let mix = ClassComposition::from_fractions(0.0, 0.5, 0.5, 0.0, 0.0).unwrap();
+/// assert!((model.unit_cost(&mix) - 8.0).abs() < 1e-12);
+/// assert_eq!(model.run_cost(&mix, 100.0), 800.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    rates: ResourceRates,
+}
+
+impl CostModel {
+    /// Builds a cost model from provider rates.
+    pub fn new(rates: ResourceRates) -> Self {
+        CostModel { rates }
+    }
+
+    /// The provider's rates.
+    pub fn rates(&self) -> &ResourceRates {
+        &self.rates
+    }
+
+    /// UnitApplicationCost = Σ rate(class) · fraction(class).
+    pub fn unit_cost(&self, composition: &ClassComposition) -> f64 {
+        AppClass::ALL
+            .iter()
+            .map(|&c| self.rates.rate(c) * composition.fraction(c))
+            .sum()
+    }
+
+    /// Total cost of a run: unit cost × execution seconds.
+    pub fn run_cost(&self, composition: &ClassComposition, exec_secs: f64) -> f64 {
+        self.unit_cost(composition) * exec_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> ResourceRates {
+        ResourceRates { cpu: 10.0, mem: 8.0, io: 6.0, net: 4.0, idle: 1.0 }
+    }
+
+    #[test]
+    fn pure_class_costs_its_rate() {
+        let m = CostModel::new(rates());
+        let cpu_only = ClassComposition::from_fractions(0.0, 0.0, 1.0, 0.0, 0.0).unwrap();
+        assert_eq!(m.unit_cost(&cpu_only), 10.0);
+        let idle_only = ClassComposition::from_fractions(1.0, 0.0, 0.0, 0.0, 0.0).unwrap();
+        assert_eq!(m.unit_cost(&idle_only), 1.0);
+    }
+
+    #[test]
+    fn mixed_composition_weighted_average() {
+        let m = CostModel::new(rates());
+        // 50% CPU + 50% IO → (10 + 6)/2 = 8.
+        let mix = ClassComposition::from_fractions(0.0, 0.5, 0.5, 0.0, 0.0).unwrap();
+        assert!((m.unit_cost(&mix) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_rates_price_by_total() {
+        let m = CostModel::new(ResourceRates::flat(3.0));
+        let mix = ClassComposition::from_fractions(0.2, 0.2, 0.2, 0.2, 0.2).unwrap();
+        assert!((m.unit_cost(&mix) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_cost_scales_with_time() {
+        let m = CostModel::new(rates());
+        let cpu_only = ClassComposition::from_fractions(0.0, 0.0, 1.0, 0.0, 0.0).unwrap();
+        assert_eq!(m.run_cost(&cpu_only, 100.0), 1000.0);
+    }
+
+    #[test]
+    fn idle_heavy_runs_are_cheap() {
+        let m = CostModel::new(rates());
+        let interactive = ClassComposition::from_fractions(0.6, 0.2, 0.0, 0.2, 0.0).unwrap();
+        let batch = ClassComposition::from_fractions(0.0, 0.0, 1.0, 0.0, 0.0).unwrap();
+        assert!(m.unit_cost(&interactive) < m.unit_cost(&batch));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = CostModel::new(rates());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

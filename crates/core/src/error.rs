@@ -1,0 +1,118 @@
+//! Error type for the classification pipeline.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by training or classification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A numerical operation failed (dimension mismatch, non-convergence…).
+    Linalg(appclass_linalg::Error),
+    /// The monitoring layer failed to deliver usable samples.
+    Metrics(appclass_metrics::Error),
+    /// Training requires at least one labelled run per configuration.
+    NoTrainingData,
+    /// `k` must be a positive odd number (the paper uses 3).
+    BadK {
+        /// The rejected value.
+        k: usize,
+    },
+    /// The requested number of principal components is impossible.
+    BadComponentCount {
+        /// Components requested.
+        requested: usize,
+        /// Feature dimensionality available.
+        available: usize,
+    },
+    /// A variance-fraction threshold outside (0, 1].
+    BadVarianceFraction {
+        /// The rejected threshold.
+        fraction: f64,
+    },
+    /// Classification was attempted before training.
+    NotTrained,
+    /// A run with zero snapshots was submitted for classification.
+    EmptyRun,
+    /// An input matrix had the wrong number of feature columns.
+    FeatureMismatch {
+        /// Columns expected by the trained model.
+        expected: usize,
+        /// Columns supplied.
+        got: usize,
+    },
+    /// The application database file could not be read or written.
+    Storage(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            Error::Metrics(e) => write!(f, "monitoring failure: {e}"),
+            Error::NoTrainingData => write!(f, "no training data supplied"),
+            Error::BadK { k } => write!(f, "k must be positive and odd, got {k}"),
+            Error::BadComponentCount { requested, available } => {
+                write!(f, "cannot extract {requested} components from {available} features")
+            }
+            Error::BadVarianceFraction { fraction } => {
+                write!(f, "variance fraction must be in (0, 1], got {fraction}")
+            }
+            Error::NotTrained => write!(f, "classifier has not been trained"),
+            Error::EmptyRun => write!(f, "the run contains no snapshots to classify"),
+            Error::FeatureMismatch { expected, got } => {
+                write!(f, "expected {expected} feature columns, got {got}")
+            }
+            Error::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            Error::Metrics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<appclass_linalg::Error> for Error {
+    fn from(e: appclass_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl From<appclass_metrics::Error> for Error {
+    fn from(e: appclass_metrics::Error) -> Self {
+        Error::Metrics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Error::BadK { k: 4 }.to_string().contains('4'));
+        assert!(Error::NotTrained.to_string().contains("trained"));
+        assert!(Error::FeatureMismatch { expected: 8, got: 3 }.to_string().contains('8'));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let e: Error = appclass_linalg::Error::Empty { op: "x" }.into();
+        assert!(matches!(e, Error::Linalg(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn from_metrics() {
+        let e: Error = appclass_metrics::Error::BusClosed.into();
+        assert!(matches!(e, Error::Metrics(_)));
+    }
+}

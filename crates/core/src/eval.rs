@@ -1,0 +1,336 @@
+//! Classifier evaluation: confusion matrices and per-class metrics.
+//!
+//! The paper evaluates qualitatively ("these classification results match
+//! the class expectations gained from empirical experience"); a
+//! production classifier needs numbers. This module scores per-snapshot
+//! predictions against ground truth: confusion matrix, accuracy, and
+//! per-class precision/recall/F1 — used by the ablation study and the
+//! feature-selection comparison.
+
+use crate::class::AppClass;
+use crate::error::{Error, Result};
+use crate::pipeline::{ClassifierPipeline, PipelineConfig};
+use appclass_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 5×5 confusion matrix over the application classes.
+///
+/// Rows are ground truth, columns are predictions, both in
+/// [`AppClass::ALL`] order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: [[usize; 5]; 5],
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Builds a matrix from parallel truth/prediction slices.
+    pub fn from_pairs(truth: &[AppClass], predicted: &[AppClass]) -> Result<Self> {
+        if truth.len() != predicted.len() {
+            return Err(Error::FeatureMismatch { expected: truth.len(), got: predicted.len() });
+        }
+        let mut m = ConfusionMatrix::new();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            m.record(t, p);
+        }
+        Ok(m)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: AppClass, predicted: AppClass) {
+        self.counts[truth.index()][predicted.index()] += 1;
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for i in 0..5 {
+            for j in 0..5 {
+                self.counts[i][j] += other.counts[i][j];
+            }
+        }
+    }
+
+    /// Count of `truth` classified as `predicted`.
+    pub fn count(&self, truth: AppClass, predicted: AppClass) -> usize {
+        self.counts[truth.index()][predicted.index()]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy; `None` when empty.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let correct: usize = (0..5).map(|i| self.counts[i][i]).sum();
+        Some(correct as f64 / total as f64)
+    }
+
+    /// Precision of one class: correct predictions of the class over all
+    /// predictions of it; `None` when the class was never predicted.
+    pub fn precision(&self, class: AppClass) -> Option<f64> {
+        let j = class.index();
+        let predicted: usize = (0..5).map(|i| self.counts[i][j]).sum();
+        if predicted == 0 {
+            return None;
+        }
+        Some(self.counts[j][j] as f64 / predicted as f64)
+    }
+
+    /// Recall of one class: correct predictions over all truths of the
+    /// class; `None` when the class never occurred.
+    pub fn recall(&self, class: AppClass) -> Option<f64> {
+        let i = class.index();
+        let actual: usize = self.counts[i].iter().sum();
+        if actual == 0 {
+            return None;
+        }
+        Some(self.counts[i][i] as f64 / actual as f64)
+    }
+
+    /// F1 score of one class; `None` when precision or recall is
+    /// undefined or both are zero.
+    pub fn f1(&self, class: AppClass) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            return None;
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Macro-averaged F1 over the classes that occur in the data.
+    pub fn macro_f1(&self) -> Option<f64> {
+        let scores: Vec<f64> = AppClass::ALL
+            .iter()
+            .filter(|&&c| self.counts[c.index()].iter().sum::<usize>() > 0)
+            .map(|&c| self.f1(c).unwrap_or(0.0))
+            .collect();
+        if scores.is_empty() {
+            return None;
+        }
+        Some(scores.iter().sum::<f64>() / scores.len() as f64)
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>8}", "truth\\pred")?;
+        for c in AppClass::ALL {
+            write!(f, "{:>7}", c.label())?;
+        }
+        writeln!(f)?;
+        for t in AppClass::ALL {
+            write!(f, "{:>10}", t.label())?;
+            for p in AppClass::ALL {
+                write!(f, "{:>7}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// K-fold cross-validation of a pipeline configuration over labelled runs.
+///
+/// Every run's snapshots are split into `folds` **contiguous blocks**; for
+/// each fold, a pipeline is trained on the other blocks (normalization,
+/// PCA and k-NN all refit) and the held-out block is classified. Blocked
+/// folds matter because snapshots are a time series: round-robin splitting
+/// would put each test snapshot's temporally adjacent — and therefore
+/// near-identical — neighbours in the training fold, inflating the score.
+///
+/// This is the honest accuracy estimate the paper's "results match the
+/// class expectations" claim lacks a number for.
+pub fn cross_validate(
+    runs: &[(Matrix, AppClass)],
+    config: &PipelineConfig,
+    folds: usize,
+) -> Result<ConfusionMatrix> {
+    if runs.is_empty() {
+        return Err(Error::NoTrainingData);
+    }
+    if folds < 2 {
+        return Err(Error::BadK { k: folds });
+    }
+    let mut confusion = ConfusionMatrix::new();
+    for fold in 0..folds {
+        // Split each run's rows.
+        let mut train: Vec<(Matrix, AppClass)> = Vec::new();
+        let mut test: Vec<(Matrix, AppClass)> = Vec::new();
+        for (m, class) in runs {
+            // Contiguous block [lo, hi) is held out for this fold.
+            let block = m.rows().div_ceil(folds);
+            let lo = (fold * block).min(m.rows());
+            let hi = ((fold + 1) * block).min(m.rows());
+            let train_rows: Vec<usize> = (0..m.rows()).filter(|&i| i < lo || i >= hi).collect();
+            let test_rows: Vec<usize> = (lo..hi).collect();
+            if !train_rows.is_empty() {
+                train.push((m.select_rows(&train_rows)?, *class));
+            }
+            if !test_rows.is_empty() {
+                test.push((m.select_rows(&test_rows)?, *class));
+            }
+        }
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let pipeline = ClassifierPipeline::train(&train, config)?;
+        for (m, truth) in &test {
+            let result = pipeline.classify(m)?;
+            for predicted in result.class_vector {
+                confusion.record(*truth, predicted);
+            }
+        }
+    }
+    Ok(confusion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AppClass::{Cpu, Idle, Io, Mem, Net};
+
+    #[test]
+    fn empty_matrix() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), None);
+        assert_eq!(m.precision(Cpu), None);
+        assert_eq!(m.recall(Cpu), None);
+        assert_eq!(m.macro_f1(), None);
+    }
+
+    #[test]
+    fn perfect_classification() {
+        let truth = [Cpu, Io, Net, Mem, Idle, Cpu];
+        let m = ConfusionMatrix::from_pairs(&truth, &truth).unwrap();
+        assert_eq!(m.accuracy(), Some(1.0));
+        for c in [Cpu, Io, Net, Mem, Idle] {
+            assert_eq!(m.precision(c), Some(1.0));
+            assert_eq!(m.recall(c), Some(1.0));
+            assert_eq!(m.f1(c), Some(1.0));
+        }
+        assert_eq!(m.macro_f1(), Some(1.0));
+    }
+
+    #[test]
+    fn known_confusion() {
+        // 3 CPU truths: 2 right, 1 called Io. 1 Io truth: called Cpu.
+        let truth = [Cpu, Cpu, Cpu, Io];
+        let pred = [Cpu, Cpu, Io, Cpu];
+        let m = ConfusionMatrix::from_pairs(&truth, &pred).unwrap();
+        assert_eq!(m.count(Cpu, Cpu), 2);
+        assert_eq!(m.count(Cpu, Io), 1);
+        assert_eq!(m.count(Io, Cpu), 1);
+        assert_eq!(m.accuracy(), Some(0.5));
+        assert_eq!(m.recall(Cpu), Some(2.0 / 3.0));
+        assert_eq!(m.precision(Cpu), Some(2.0 / 3.0));
+        assert_eq!(m.recall(Io), Some(0.0));
+        assert_eq!(m.precision(Io), Some(0.0));
+        assert_eq!(m.f1(Io), None, "0/0 F1 undefined");
+    }
+
+    #[test]
+    fn never_predicted_class() {
+        let m = ConfusionMatrix::from_pairs(&[Cpu, Cpu], &[Cpu, Cpu]).unwrap();
+        assert_eq!(m.precision(Net), None);
+        assert_eq!(m.recall(Net), None);
+        // macro_f1 only averages classes that occur.
+        assert_eq!(m.macro_f1(), Some(1.0));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(ConfusionMatrix::from_pairs(&[Cpu], &[Cpu, Io]).is_err());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = ConfusionMatrix::from_pairs(&[Cpu], &[Cpu]).unwrap();
+        let b = ConfusionMatrix::from_pairs(&[Io], &[Cpu]).unwrap();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.total(), 2);
+        assert_eq!(m.count(Io, Cpu), 1);
+        assert_eq!(m.accuracy(), Some(0.5));
+    }
+
+    #[test]
+    fn display_contains_all_labels() {
+        let m = ConfusionMatrix::from_pairs(&[Cpu, Net], &[Cpu, Io]).unwrap();
+        let s = m.to_string();
+        for c in AppClass::ALL {
+            assert!(s.contains(c.label()));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = ConfusionMatrix::from_pairs(&[Cpu, Io, Net], &[Cpu, Io, Cpu]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    // --- cross_validate -----------------------------------------------------
+
+    use appclass_metrics::{MetricId, METRIC_COUNT};
+
+    fn raw_run(rows: usize, settings: &[(MetricId, f64)]) -> Matrix {
+        let mut m = Matrix::zeros(rows, METRIC_COUNT);
+        for i in 0..rows {
+            let w = 1.0 + 0.05 * ((i % 7) as f64 - 3.0);
+            for &(id, v) in settings {
+                m[(i, id.index())] = v * w;
+            }
+        }
+        m
+    }
+
+    fn labelled_runs() -> Vec<(Matrix, AppClass)> {
+        vec![
+            (raw_run(24, &[(MetricId::CpuUser, 85.0), (MetricId::CpuSystem, 6.0)]), Cpu),
+            (raw_run(24, &[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 3000.0)]), Io),
+            (raw_run(24, &[(MetricId::BytesOut, 2.5e7)]), Net),
+            (raw_run(24, &[(MetricId::CpuUser, 0.4)]), Idle),
+        ]
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_accurate() {
+        let cm = cross_validate(&labelled_runs(), &PipelineConfig::paper(), 4).unwrap();
+        assert_eq!(cm.total(), 4 * 24, "every snapshot tested exactly once");
+        assert!(cm.accuracy().unwrap() > 0.95, "separable clusters: {cm}");
+    }
+
+    #[test]
+    fn cross_validation_input_checks() {
+        assert!(cross_validate(&[], &PipelineConfig::paper(), 4).is_err());
+        assert!(cross_validate(&labelled_runs(), &PipelineConfig::paper(), 1).is_err());
+    }
+
+    #[test]
+    fn cross_validation_detects_overlapping_classes() {
+        // Two classes with identical signatures: accuracy must collapse
+        // toward chance between them.
+        let runs = vec![
+            (raw_run(20, &[(MetricId::CpuUser, 50.0)]), Cpu),
+            (raw_run(20, &[(MetricId::CpuUser, 50.0)]), Mem),
+        ];
+        let cm = cross_validate(&runs, &PipelineConfig::paper(), 4).unwrap();
+        assert!(
+            cm.accuracy().unwrap() < 0.9,
+            "identical classes cannot cross-validate cleanly: {cm}"
+        );
+    }
+}

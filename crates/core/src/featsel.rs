@@ -1,0 +1,318 @@
+//! Automated feature selection — the paper's §7 future work, built.
+//!
+//! "In this work, the input performance metrics are selected manually
+//! based on expert knowledge. We plan to automate this feature selection
+//! process to support online classification." This module automates it
+//! with the criterion the paper already cites (§3, Yu & Liu 2004):
+//! **maximal relevance, minimal redundancy**.
+//!
+//! * *Relevance* of a metric is its Fisher score across the labelled
+//!   training runs: between-class variance of the metric's class means
+//!   over its pooled within-class variance. A metric whose value separates
+//!   the classes scores high.
+//! * *Redundancy* is the mean absolute Pearson correlation with the
+//!   already-selected metrics; a metric that merely repeats an earlier
+//!   pick scores low even if relevant (e.g. `pkts_in` once `bytes_in` is
+//!   chosen).
+//!
+//! Greedy mRMR selection over the 33-metric catalogue recovers a subset
+//! that matches the expert Table 1 choice in spirit — the
+//! `feature_selection` example compares both against ground truth.
+
+use crate::class::AppClass;
+use crate::error::{Error, Result};
+use appclass_linalg::stats::{column_means, column_variances};
+use appclass_linalg::Matrix;
+use appclass_metrics::{MetricId, METRIC_COUNT};
+
+/// Relevance/redundancy diagnostics for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureScore {
+    /// The metric.
+    pub metric: MetricId,
+    /// Fisher score (between-class / within-class variance); higher is
+    /// more class-discriminative.
+    pub relevance: f64,
+}
+
+/// Computes the Fisher relevance score of every metric over labelled runs.
+///
+/// Each run is a raw `m_i × 33` sample matrix with a class label; the
+/// score treats every snapshot as a labelled point.
+pub fn relevance_scores(runs: &[(Matrix, AppClass)]) -> Result<Vec<FeatureScore>> {
+    if runs.is_empty() {
+        return Err(Error::NoTrainingData);
+    }
+    for (m, _) in runs {
+        if m.cols() != METRIC_COUNT {
+            return Err(Error::FeatureMismatch { expected: METRIC_COUNT, got: m.cols() });
+        }
+        if m.rows() == 0 {
+            return Err(Error::NoTrainingData);
+        }
+    }
+
+    // Pool the runs per class: several runs labelled with the same class
+    // form ONE group, so the score really is between-*class* variance
+    // rather than between-run variance.
+    let mut class_matrices: Vec<(AppClass, Matrix)> = Vec::new();
+    for class in AppClass::ALL {
+        let mut pooled: Option<Matrix> = None;
+        for (m, c) in runs {
+            if *c == class {
+                pooled = Some(match pooled {
+                    None => m.clone(),
+                    Some(p) => p.vstack(m)?,
+                });
+            }
+        }
+        if let Some(m) = pooled {
+            class_matrices.push((class, m));
+        }
+    }
+
+    // Global mean per metric.
+    let total_rows: usize = class_matrices.iter().map(|(_, m)| m.rows()).sum();
+    let mut global_mean = vec![0.0; METRIC_COUNT];
+    for (_, m) in &class_matrices {
+        let means = column_means(m)?;
+        for (g, mu) in global_mean.iter_mut().zip(&means) {
+            *g += mu * m.rows() as f64;
+        }
+    }
+    for g in global_mean.iter_mut() {
+        *g /= total_rows as f64;
+    }
+
+    // Between-class and within-class variance per metric, classes weighted
+    // by their sample counts.
+    let mut between = vec![0.0; METRIC_COUNT];
+    let mut within = vec![0.0; METRIC_COUNT];
+    for (_, m) in &class_matrices {
+        let means = column_means(m)?;
+        let vars = column_variances(m)?;
+        let w = m.rows() as f64 / total_rows as f64;
+        for j in 0..METRIC_COUNT {
+            let d = means[j] - global_mean[j];
+            between[j] += w * d * d;
+            within[j] += w * vars[j];
+        }
+    }
+
+    Ok(MetricId::ALL
+        .iter()
+        .enumerate()
+        .map(|(j, &metric)| FeatureScore {
+            metric,
+            // Guard: a constant metric (within ≈ 0, between ≈ 0) scores 0.
+            relevance: if between[j] <= 0.0 { 0.0 } else { between[j] / (within[j] + 1e-12) },
+        })
+        .collect())
+}
+
+/// All pairwise Pearson correlations between metric columns over the
+/// pooled runs, computed in one pass so greedy selection never rescans the
+/// raw data.
+fn correlation_matrix(runs: &[(Matrix, AppClass)]) -> Vec<[f64; METRIC_COUNT]> {
+    let mut n = 0.0f64;
+    let mut sum = [0.0f64; METRIC_COUNT];
+    let mut cross = vec![[0.0f64; METRIC_COUNT]; METRIC_COUNT];
+    for (m, _) in runs {
+        for row in m.iter_rows() {
+            n += 1.0;
+            for i in 0..METRIC_COUNT {
+                sum[i] += row[i];
+                let cross_row = &mut cross[i];
+                for (j, &xj) in row.iter().enumerate().skip(i) {
+                    cross_row[j] += row[i] * xj;
+                }
+            }
+        }
+    }
+    let mut corr = vec![[0.0f64; METRIC_COUNT]; METRIC_COUNT];
+    for i in 0..METRIC_COUNT {
+        for j in i..METRIC_COUNT {
+            let cov = cross[i][j] / n - (sum[i] / n) * (sum[j] / n);
+            let vi = cross[i][i] / n - (sum[i] / n) * (sum[i] / n);
+            let vj = cross[j][j] / n - (sum[j] / n) * (sum[j] / n);
+            let c = if vi <= 0.0 || vj <= 0.0 {
+                0.0
+            } else {
+                (cov / (vi * vj).sqrt()).clamp(-1.0, 1.0)
+            };
+            corr[i][j] = c;
+            corr[j][i] = c;
+        }
+    }
+    corr
+}
+
+/// Greedy mRMR selection: picks `count` metrics maximizing
+/// `relevance − mean |correlation with already-selected|` at each step.
+pub fn select_features(
+    runs: &[(Matrix, AppClass)],
+    count: usize,
+) -> Result<Vec<MetricId>> {
+    if count == 0 || count > METRIC_COUNT {
+        return Err(Error::BadComponentCount { requested: count, available: METRIC_COUNT });
+    }
+    let mut scores = relevance_scores(runs)?;
+    // Normalize relevance to [0, 1] so it trades off against correlation
+    // on a common scale.
+    let max_rel = scores.iter().map(|s| s.relevance).fold(0.0f64, f64::max);
+    if max_rel > 0.0 {
+        for s in scores.iter_mut() {
+            s.relevance /= max_rel;
+        }
+    }
+
+    let corr = correlation_matrix(runs);
+    let mut selected: Vec<MetricId> = Vec::with_capacity(count);
+    let mut remaining: Vec<FeatureScore> = scores;
+    while selected.len() < count && !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let redundancy = if selected.is_empty() {
+                    0.0
+                } else {
+                    selected
+                        .iter()
+                        .map(|&m| corr[s.metric.index()][m.index()].abs())
+                        .sum::<f64>()
+                        / selected.len() as f64
+                };
+                // Quotient-form mRMR: redundancy *discounts* relevance
+                // rather than competing with it, so an irrelevant metric
+                // can never win merely by being uncorrelated with the
+                // picks so far.
+                (i, s.relevance / (0.05 + redundancy))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .expect("non-empty remaining");
+        selected.push(remaining.remove(best_idx).metric);
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic labelled runs where exactly the Table 1 metric families
+    /// separate the classes.
+    fn runs() -> Vec<(Matrix, AppClass)> {
+        let mk = |settings: &[(MetricId, f64)]| {
+            let mut m = Matrix::zeros(24, METRIC_COUNT);
+            for i in 0..24 {
+                let w = 1.0 + 0.08 * ((i % 5) as f64 - 2.0);
+                for &(id, v) in settings {
+                    m[(i, id.index())] = v * w;
+                }
+                // a constant nuisance metric present everywhere
+                m[(i, MetricId::MemTotal.index())] = 262_144.0;
+                // a correlated shadow of bytes_in
+                m[(i, MetricId::PktsIn.index())] = m[(i, MetricId::BytesIn.index())] / 1_200.0;
+            }
+            m
+        };
+        vec![
+            (mk(&[(MetricId::CpuUser, 90.0), (MetricId::CpuSystem, 6.0)]), AppClass::Cpu),
+            (mk(&[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 3500.0)]), AppClass::Io),
+            (mk(&[(MetricId::BytesIn, 2.0e7), (MetricId::BytesOut, 2.5e6)]), AppClass::Net),
+            (mk(&[(MetricId::SwapIn, 5000.0), (MetricId::SwapOut, 4500.0)]), AppClass::Mem),
+            (mk(&[]), AppClass::Idle),
+        ]
+    }
+
+    #[test]
+    fn relevance_ranks_discriminative_metrics() {
+        let scores = relevance_scores(&runs()).unwrap();
+        let score_of = |id: MetricId| {
+            scores.iter().find(|s| s.metric == id).unwrap().relevance
+        };
+        // The class-driving metrics dominate a constant metric.
+        assert!(score_of(MetricId::CpuUser) > 10.0 * score_of(MetricId::MemTotal).max(1e-9));
+        assert!(score_of(MetricId::IoBi) > 0.0);
+        assert_eq!(score_of(MetricId::MemTotal), 0.0, "constant metric has zero relevance");
+    }
+
+    #[test]
+    fn selection_recovers_class_driving_families() {
+        let selected = select_features(&runs(), 8).unwrap();
+        // One metric from each family must be present.
+        let has = |id: MetricId| selected.contains(&id);
+        assert!(has(MetricId::CpuUser) || has(MetricId::CpuSystem), "{selected:?}");
+        assert!(has(MetricId::IoBi) || has(MetricId::IoBo), "{selected:?}");
+        assert!(has(MetricId::BytesIn) || has(MetricId::BytesOut) || has(MetricId::PktsIn), "{selected:?}");
+        assert!(has(MetricId::SwapIn) || has(MetricId::SwapOut), "{selected:?}");
+    }
+
+    #[test]
+    fn redundancy_defers_shadow_metrics() {
+        // pkts_in is a perfect copy of bytes_in: once one is selected, the
+        // other must not be the immediate next pick.
+        let selected = select_features(&runs(), 3).unwrap();
+        let both = selected.contains(&MetricId::BytesIn) && selected.contains(&MetricId::PktsIn);
+        assert!(!both, "mRMR must not select a metric and its copy early: {selected:?}");
+    }
+
+    #[test]
+    fn selected_features_train_a_working_pipeline() {
+        use crate::pipeline::{ClassifierPipeline, PipelineConfig};
+        let training = runs();
+        let metrics = select_features(&training, 8).unwrap();
+        let config = PipelineConfig { metrics, ..PipelineConfig::paper() };
+        let pipeline = ClassifierPipeline::train(&training, &config).unwrap();
+        for (raw, expected) in training {
+            assert_eq!(pipeline.classify(&raw).unwrap().class, expected);
+        }
+    }
+
+    #[test]
+    fn multiple_runs_of_one_class_pool_into_one_group() {
+        // Two CPU runs with different levels, given separately, must score
+        // identically to the same data stacked into one run: the grouping
+        // is by class, not by run.
+        let cpu_a = {
+            let mut m = Matrix::zeros(10, METRIC_COUNT);
+            for i in 0..10 {
+                m[(i, MetricId::CpuUser.index())] = 70.0 + i as f64;
+            }
+            m
+        };
+        let cpu_b = {
+            let mut m = Matrix::zeros(10, METRIC_COUNT);
+            for i in 0..10 {
+                m[(i, MetricId::CpuUser.index())] = 90.0 + i as f64;
+            }
+            m
+        };
+        let idle = Matrix::zeros(10, METRIC_COUNT);
+        let split = vec![
+            (cpu_a.clone(), AppClass::Cpu),
+            (cpu_b.clone(), AppClass::Cpu),
+            (idle.clone(), AppClass::Idle),
+        ];
+        let stacked = vec![
+            (cpu_a.vstack(&cpu_b).unwrap(), AppClass::Cpu),
+            (idle, AppClass::Idle),
+        ];
+        let s1 = relevance_scores(&split).unwrap();
+        let s2 = relevance_scores(&stacked).unwrap();
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((a.relevance - b.relevance).abs() < 1e-9, "{}: {} vs {}",
+                a.metric.name(), a.relevance, b.relevance);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(relevance_scores(&[]).is_err());
+        assert!(select_features(&runs(), 0).is_err());
+        assert!(select_features(&runs(), 99).is_err());
+        let bad = vec![(Matrix::zeros(3, 5), AppClass::Cpu)];
+        assert!(matches!(relevance_scores(&bad), Err(Error::FeatureMismatch { .. })));
+    }
+}

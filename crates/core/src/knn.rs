@@ -1,0 +1,341 @@
+//! The k-Nearest-Neighbour snapshot classifier — the `q → C` step.
+//!
+//! "The k-NN classifier decides the class by considering the votes of k (an
+//! odd number) nearest neighbors" (§3); the paper uses **3-NN** following
+//! Kapadia's finding that nearest-neighbour methods beat locally weighted
+//! regression for this kind of data. Each test snapshot's distance to every
+//! training snapshot is computed in the PCA feature space, the three
+//! nearest vote, and ties break toward the class of the single nearest
+//! neighbour — deterministic, like everything in this reproduction.
+
+use crate::class::AppClass;
+use crate::error::{Error, Result};
+use appclass_linalg::{vector, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Distance metric for neighbour search. The paper's geometric "closest"
+/// is Euclidean; the alternatives exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Distance {
+    /// Euclidean (L2) — the paper's metric.
+    #[default]
+    Euclidean,
+    /// Manhattan (L1).
+    Manhattan,
+    /// Chebyshev (L∞).
+    Chebyshev,
+}
+
+impl Distance {
+    #[inline]
+    fn eval(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            // Squared Euclidean preserves ordering and skips the sqrt.
+            Distance::Euclidean => vector::sq_euclidean(a, b),
+            Distance::Manhattan => vector::manhattan(a, b),
+            Distance::Chebyshev => vector::chebyshev(a, b),
+        }
+    }
+}
+
+/// A trained k-NN classifier over labelled points in feature space.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_core::class::AppClass;
+/// use appclass_core::knn::KnnClassifier;
+/// use appclass_linalg::Matrix;
+///
+/// // Two clusters in 2-D feature space.
+/// let points = Matrix::from_rows(&[
+///     vec![1.0, 0.0], vec![1.1, 0.1], vec![0.9, -0.1],   // CPU
+///     vec![-1.0, 0.0], vec![-1.1, 0.1], vec![-0.9, -0.1], // Idle
+/// ]).unwrap();
+/// let labels = vec![
+///     AppClass::Cpu, AppClass::Cpu, AppClass::Cpu,
+///     AppClass::Idle, AppClass::Idle, AppClass::Idle,
+/// ];
+/// let knn = KnnClassifier::paper(points, labels).unwrap(); // 3-NN, Euclidean
+/// assert_eq!(knn.classify(&[0.8, 0.0]).unwrap(), AppClass::Cpu);
+/// assert_eq!(knn.classify(&[-0.8, 0.0]).unwrap(), AppClass::Idle);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    k: usize,
+    points: Matrix,
+    labels: Vec<AppClass>,
+    distance: Distance,
+}
+
+impl KnnClassifier {
+    /// Builds a classifier from training points (rows) and their labels.
+    ///
+    /// `k` must be odd and positive (the paper uses 3). If fewer training
+    /// points than `k` exist, every vote uses all of them.
+    pub fn new(k: usize, points: Matrix, labels: Vec<AppClass>, distance: Distance) -> Result<Self> {
+        if k == 0 || k.is_multiple_of(2) {
+            return Err(Error::BadK { k });
+        }
+        if points.rows() == 0 || labels.is_empty() {
+            return Err(Error::NoTrainingData);
+        }
+        if points.rows() != labels.len() {
+            return Err(Error::FeatureMismatch { expected: points.rows(), got: labels.len() });
+        }
+        Ok(KnnClassifier { k, points, labels, distance })
+    }
+
+    /// The paper's configuration: 3-NN with Euclidean distance.
+    pub fn paper(points: Matrix, labels: Vec<AppClass>) -> Result<Self> {
+        KnnClassifier::new(3, points, labels, Distance::Euclidean)
+    }
+
+    /// Number of training points.
+    pub fn n_training(&self) -> usize {
+        self.points.rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.points.cols()
+    }
+
+    /// `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Classifies one point: the majority vote of its k nearest training
+    /// neighbours, ties broken by the nearest neighbour among the tied
+    /// classes.
+    ///
+    /// Non-finite coordinates are rejected: a NaN distance would silently
+    /// corrupt the nearest-neighbour selection.
+    pub fn classify(&self, point: &[f64]) -> Result<AppClass> {
+        if point.len() != self.dim() {
+            return Err(Error::FeatureMismatch { expected: self.dim(), got: point.len() });
+        }
+        if let Some(col) = point.iter().position(|v| !v.is_finite()) {
+            return Err(Error::Linalg(appclass_linalg::Error::NonFinite { row: 0, col }));
+        }
+        let k = self.k.min(self.points.rows());
+
+        // Partial selection of the k smallest distances. k is tiny (3), so
+        // a simple insertion pass over a fixed-size buffer beats sorting
+        // the whole distance vector.
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        for (i, row) in self.points.iter_rows().enumerate() {
+            let d = self.distance.eval(point, row);
+            // Insert in sorted order if it belongs in the top k. `<` keeps
+            // the earliest index on exact ties → determinism.
+            let pos = best.partition_point(|&(bd, _)| bd <= d);
+            if pos < k {
+                best.insert(pos, (d, i));
+                best.truncate(k);
+            }
+        }
+
+        // Vote.
+        let mut counts = [0usize; 5];
+        for &(_, i) in &best {
+            counts[self.labels[i].index()] += 1;
+        }
+        let max_count = *counts.iter().max().expect("five classes");
+        // Tie-break: the nearest neighbour whose class has max_count wins.
+        for &(_, i) in &best {
+            let c = self.labels[i];
+            if counts[c.index()] == max_count {
+                return Ok(c);
+            }
+        }
+        unreachable!("best is non-empty");
+    }
+
+    /// Classifies every row of a sample matrix — the paper's class vector
+    /// `C(1×m)`. Rows fan out over threads when the batch is large.
+    pub fn classify_batch(&self, samples: &Matrix) -> Result<Vec<AppClass>> {
+        if samples.cols() != self.dim() {
+            return Err(Error::FeatureMismatch { expected: self.dim(), got: samples.cols() });
+        }
+        // Validate up front so the parallel path below cannot encounter a
+        // per-row error it would have to swallow.
+        samples.check_finite().map_err(Error::Linalg)?;
+        let m = samples.rows();
+        const PAR_THRESHOLD: usize = 512;
+        if m < PAR_THRESHOLD {
+            return samples.iter_rows().map(|r| self.classify(r)).collect();
+        }
+        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let chunk = m.div_ceil(n_threads.max(1));
+        let mut out = vec![AppClass::Idle; m];
+        let rows: Vec<&[f64]> = samples.iter_rows().collect();
+        crossbeam::scope(|s| {
+            for (slot_chunk, row_chunk) in out.chunks_mut(chunk).zip(rows.chunks(chunk)) {
+                s.spawn(move |_| {
+                    for (slot, row) in slot_chunk.iter_mut().zip(row_chunk) {
+                        // Width and finiteness were validated above, so
+                        // per-row classification cannot fail.
+                        *slot = self.classify(row).expect("validated row");
+                    }
+                });
+            }
+        })
+        .expect("knn worker panicked");
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clusters on the x axis: class Cpu at x=+10, class Idle at x=-10.
+    fn two_clusters() -> KnnClassifier {
+        let points = Matrix::from_rows(&[
+            vec![10.0, 0.0],
+            vec![10.5, 0.2],
+            vec![9.5, -0.2],
+            vec![-10.0, 0.0],
+            vec![-10.5, 0.1],
+            vec![-9.5, -0.1],
+        ])
+        .unwrap();
+        let labels = vec![
+            AppClass::Cpu,
+            AppClass::Cpu,
+            AppClass::Cpu,
+            AppClass::Idle,
+            AppClass::Idle,
+            AppClass::Idle,
+        ];
+        KnnClassifier::paper(points, labels).unwrap()
+    }
+
+    #[test]
+    fn classifies_cluster_membership() {
+        let knn = two_clusters();
+        assert_eq!(knn.classify(&[9.0, 0.0]).unwrap(), AppClass::Cpu);
+        assert_eq!(knn.classify(&[-9.0, 0.5]).unwrap(), AppClass::Idle);
+    }
+
+    #[test]
+    fn one_nn_memorizes_training_set() {
+        let points = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let labels = vec![AppClass::Cpu, AppClass::Io, AppClass::Net];
+        let knn = KnnClassifier::new(1, points, labels, Distance::Euclidean).unwrap();
+        assert_eq!(knn.classify(&[1.0]).unwrap(), AppClass::Cpu);
+        assert_eq!(knn.classify(&[2.0]).unwrap(), AppClass::Io);
+        assert_eq!(knn.classify(&[3.0]).unwrap(), AppClass::Net);
+    }
+
+    #[test]
+    fn majority_beats_single_nearest() {
+        // Nearest point is Io, but two Cpu points are next: 3-NN → Cpu.
+        let points =
+            Matrix::from_rows(&[vec![0.0], vec![0.3], vec![0.4], vec![100.0]]).unwrap();
+        let labels = vec![AppClass::Io, AppClass::Cpu, AppClass::Cpu, AppClass::Net];
+        let knn = KnnClassifier::paper(points, labels).unwrap();
+        assert_eq!(knn.classify(&[0.05]).unwrap(), AppClass::Cpu);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest() {
+        // k=3 with three distinct classes → 1-1-1 tie → nearest wins.
+        let points = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let labels = vec![AppClass::Mem, AppClass::Io, AppClass::Net];
+        let knn = KnnClassifier::paper(points, labels).unwrap();
+        assert_eq!(knn.classify(&[1.1]).unwrap(), AppClass::Mem);
+        assert_eq!(knn.classify(&[2.9]).unwrap(), AppClass::Net);
+    }
+
+    #[test]
+    fn k_validation() {
+        let p = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        let l = vec![AppClass::Cpu];
+        assert!(matches!(
+            KnnClassifier::new(0, p.clone(), l.clone(), Distance::Euclidean),
+            Err(Error::BadK { k: 0 })
+        ));
+        assert!(matches!(
+            KnnClassifier::new(2, p.clone(), l.clone(), Distance::Euclidean),
+            Err(Error::BadK { k: 2 })
+        ));
+        assert!(KnnClassifier::new(5, p, l, Distance::Euclidean).is_ok());
+    }
+
+    #[test]
+    fn label_count_must_match() {
+        let p = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(KnnClassifier::paper(p, vec![AppClass::Cpu]).is_err());
+    }
+
+    #[test]
+    fn k_larger_than_training_set_uses_all() {
+        let p = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let knn =
+            KnnClassifier::new(5, p, vec![AppClass::Cpu, AppClass::Cpu], Distance::Euclidean)
+                .unwrap();
+        assert_eq!(knn.classify(&[10.0]).unwrap(), AppClass::Cpu);
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let knn = two_clusters();
+        let queries = Matrix::from_rows(&[
+            vec![8.0, 1.0],
+            vec![-8.0, 1.0],
+            vec![11.0, -1.0],
+        ])
+        .unwrap();
+        let batch = knn.classify_batch(&queries).unwrap();
+        for (i, row) in queries.iter_rows().enumerate() {
+            assert_eq!(batch[i], knn.classify(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn large_batch_parallel_path_consistent() {
+        let knn = two_clusters();
+        let rows: Vec<Vec<f64>> = (0..2000)
+            .map(|i| vec![if i % 2 == 0 { 9.0 } else { -9.0 }, (i % 7) as f64 * 0.1])
+            .collect();
+        let big = Matrix::from_rows(&rows).unwrap();
+        let batch = knn.classify_batch(&big).unwrap();
+        for (i, c) in batch.iter().enumerate() {
+            let expected = if i % 2 == 0 { AppClass::Cpu } else { AppClass::Idle };
+            assert_eq!(*c, expected, "row {i}");
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let knn = two_clusters();
+        assert!(knn.classify(&[1.0]).is_err());
+        assert!(knn.classify_batch(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn alternative_distances_work() {
+        for d in [Distance::Manhattan, Distance::Chebyshev] {
+            let points = Matrix::from_rows(&[vec![5.0, 5.0], vec![-5.0, -5.0]]).unwrap();
+            let knn = KnnClassifier::new(
+                1,
+                points,
+                vec![AppClass::Net, AppClass::Mem],
+                d,
+            )
+            .unwrap();
+            assert_eq!(knn.classify(&[4.0, 4.0]).unwrap(), AppClass::Net);
+            assert_eq!(knn.classify(&[-4.0, -6.0]).unwrap(), AppClass::Mem);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let knn = two_clusters();
+        let json = serde_json::to_string(&knn).unwrap();
+        let back: KnnClassifier = serde_json::from_str(&json).unwrap();
+        assert_eq!(knn, back);
+    }
+}

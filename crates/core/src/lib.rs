@@ -1,0 +1,53 @@
+//! The paper's contribution: application classification by PCA + k-NN over
+//! resource-consumption snapshots.
+//!
+//! The pipeline is the paper's Figure 2:
+//!
+//! ```text
+//! A(m×33) --preprocess--> A'(m×8) --PCA--> B(m×2) --3-NN--> C(m×1) --vote--> Class
+//! ```
+//!
+//! * [`preprocess`] — expert-knowledge metric selection (Table 1's eight
+//!   metrics out of the 33 collected) and zero-mean/unit-variance
+//!   normalization, with normalization parameters *fit on training data*.
+//! * [`pca`] — principal component analysis on the normalized training
+//!   pool; component count chosen by minimal variance fraction (set in the
+//!   paper to extract exactly two).
+//! * [`knn`] — the k-nearest-neighbour snapshot classifier (k = 3), with
+//!   deterministic distance-based tie-breaking.
+//! * [`pipeline`] — the end-to-end trained classifier: per-snapshot class
+//!   vector, majority-vote application class, and the class composition
+//!   used by the cost model.
+//! * [`class`] — the five application classes and composition arithmetic.
+//! * [`appdb`] — the application database: per-run records (composition +
+//!   execution time) persisted as JSON, with per-application statistics
+//!   for schedulers.
+//! * [`cost`] — §4.4's cost-based scheduling model: unit application cost
+//!   as a provider-priced weighted mix of the composition.
+//! * [`online`] — the paper's stated future work, implemented: streaming
+//!   per-snapshot classification with a running composition.
+//! * [`eval`] — confusion matrices and per-class precision/recall for
+//!   scoring the classifier against ground truth.
+//! * [`featsel`] — automated mRMR feature selection over the 33-metric
+//!   catalogue (§7's "automate this feature selection process").
+//! * [`stages`] — multi-stage segmentation of the class vector, enabling
+//!   the migration opportunities the introduction motivates.
+
+#![warn(missing_docs)]
+
+pub mod appdb;
+pub mod class;
+pub mod cost;
+pub mod error;
+pub mod eval;
+pub mod featsel;
+pub mod knn;
+pub mod online;
+pub mod pca;
+pub mod pipeline;
+pub mod preprocess;
+pub mod stages;
+
+pub use class::{AppClass, ClassComposition};
+pub use error::{Error, Result};
+pub use pipeline::{ClassificationResult, ClassifierPipeline, PipelineConfig};

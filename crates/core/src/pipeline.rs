@@ -1,0 +1,369 @@
+//! The end-to-end classification pipeline of Figure 2.
+//!
+//! [`ClassifierPipeline::train`] consumes labelled training runs (one raw
+//! 33-metric sample matrix per training application, labelled with its
+//! class) and fits, in order: the expert-metric preprocessor, the PCA
+//! projection, and the 3-NN classifier over the projected training
+//! snapshots. [`ClassifierPipeline::classify`] then executes the full
+//! `A(m×33) → A'(m×8) → B(m×2) → C(m×1) → vote` chain on a test run,
+//! returning the majority class, the class composition, the per-snapshot
+//! class vector, and the 2-D projection (the raw material of the Figure 3
+//! cluster diagrams).
+
+use crate::class::{AppClass, ClassComposition};
+use crate::error::{Error, Result};
+use crate::knn::{Distance, KnnClassifier};
+use crate::pca::{ComponentSelection, Pca};
+use crate::preprocess::{expert_metrics, Preprocessor};
+use appclass_linalg::Matrix;
+use appclass_metrics::{MetricFrame, MetricId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the pipeline's three stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Metric subset kept by the preprocessor (the paper: Table 1's eight).
+    pub metrics: Vec<MetricId>,
+    /// Principal-component selection (the paper: exactly two).
+    pub selection: ComponentSelection,
+    /// Number of nearest neighbours (the paper: 3).
+    pub k: usize,
+    /// Distance metric in feature space (the paper: Euclidean).
+    pub distance: Distance,
+}
+
+impl PipelineConfig {
+    /// The paper's exact configuration: expert eight metrics → 2 principal
+    /// components → 3-NN with Euclidean distance.
+    pub fn paper() -> Self {
+        PipelineConfig {
+            metrics: expert_metrics(),
+            selection: ComponentSelection::Count(2),
+            k: 3,
+            distance: Distance::Euclidean,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::paper()
+    }
+}
+
+/// Output of classifying one application run.
+#[derive(Debug, Clone)]
+pub struct ClassificationResult {
+    /// The majority-vote application class.
+    pub class: AppClass,
+    /// Fraction of snapshots per class (Table 3's row format).
+    pub composition: ClassComposition,
+    /// Per-snapshot classes — the paper's `C(1×m)` class vector.
+    pub class_vector: Vec<AppClass>,
+    /// The snapshots projected to principal-component space (`B`,
+    /// `m × q`) — plot this for the Figure 3 cluster diagrams.
+    pub projected: Matrix,
+}
+
+/// A fully trained classifier.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_core::class::AppClass;
+/// use appclass_core::pipeline::{ClassifierPipeline, PipelineConfig};
+/// use appclass_linalg::Matrix;
+/// use appclass_metrics::{MetricId, METRIC_COUNT};
+///
+/// // Two synthetic training runs: a CPU-bound one and an idle one.
+/// let mut cpu_run = Matrix::zeros(12, METRIC_COUNT);
+/// let mut idle_run = Matrix::zeros(12, METRIC_COUNT);
+/// for i in 0..12 {
+///     cpu_run[(i, MetricId::CpuUser.index())] = 85.0 + (i % 3) as f64;
+///     idle_run[(i, MetricId::CpuUser.index())] = 0.5;
+/// }
+/// let pipeline = ClassifierPipeline::train(
+///     &[(cpu_run.clone(), AppClass::Cpu), (idle_run, AppClass::Idle)],
+///     &PipelineConfig::paper(),
+/// ).unwrap();
+///
+/// let result = pipeline.classify(&cpu_run).unwrap();
+/// assert_eq!(result.class, AppClass::Cpu);
+/// assert_eq!(result.composition.fraction(AppClass::Cpu), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierPipeline {
+    preprocessor: Preprocessor,
+    pca: Pca,
+    knn: KnnClassifier,
+    /// Projected training points, kept for the Figure 3(a) diagram.
+    training_projection: Matrix,
+    training_labels: Vec<AppClass>,
+}
+
+impl ClassifierPipeline {
+    /// Trains the pipeline on labelled runs.
+    ///
+    /// Each element is one training application's raw sample matrix
+    /// (`m_i × 33`) and the class it represents; the paper uses five such
+    /// runs (SPECseis96, PostMark, PageBench, Ettcp, idle).
+    pub fn train(runs: &[(Matrix, AppClass)], config: &PipelineConfig) -> Result<Self> {
+        if runs.is_empty() {
+            return Err(Error::NoTrainingData);
+        }
+        // Stack all runs into one pool with per-row labels.
+        let mut pool: Option<Matrix> = None;
+        let mut labels: Vec<AppClass> = Vec::new();
+        for (m, class) in runs {
+            labels.extend(std::iter::repeat_n(*class, m.rows()));
+            pool = Some(match pool {
+                None => m.clone(),
+                Some(p) => p.vstack(m)?,
+            });
+        }
+        let pool = pool.expect("non-empty runs");
+
+        let preprocessor = Preprocessor::fit(&pool, &config.metrics)?;
+        let normalized = preprocessor.apply(&pool)?;
+        let pca = Pca::fit(&normalized, config.selection)?;
+        let projected = pca.transform(&normalized)?;
+        let knn =
+            KnnClassifier::new(config.k, projected.clone(), labels.clone(), config.distance)?;
+        Ok(ClassifierPipeline {
+            preprocessor,
+            pca,
+            knn,
+            training_projection: projected,
+            training_labels: labels,
+        })
+    }
+
+    /// Number of principal components in use (the paper's `q`).
+    pub fn n_components(&self) -> usize {
+        self.pca.n_components()
+    }
+
+    /// The fitted PCA stage.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// The fitted preprocessor.
+    pub fn preprocessor(&self) -> &Preprocessor {
+        &self.preprocessor
+    }
+
+    /// The trained k-NN stage.
+    pub fn knn(&self) -> &KnnClassifier {
+        &self.knn
+    }
+
+    /// The projected training snapshots and their labels — Figure 3(a).
+    pub fn training_projection(&self) -> (&Matrix, &[AppClass]) {
+        (&self.training_projection, &self.training_labels)
+    }
+
+    /// Projects a raw run into principal-component space without
+    /// classifying (`A → B`).
+    pub fn project(&self, raw: &Matrix) -> Result<Matrix> {
+        let normalized = self.preprocessor.apply(raw)?;
+        self.pca.transform(&normalized)
+    }
+
+    /// Runs the full chain on a raw (`m × 33`) sample matrix.
+    ///
+    /// An empty run (zero snapshots) is an error: a majority vote over
+    /// nothing has no meaningful class.
+    pub fn classify(&self, raw: &Matrix) -> Result<ClassificationResult> {
+        if raw.rows() == 0 {
+            return Err(Error::EmptyRun);
+        }
+        let projected = self.project(raw)?;
+        let class_vector = self.knn.classify_batch(&projected)?;
+        let composition = ClassComposition::from_labels(&class_vector);
+        Ok(ClassificationResult {
+            class: composition.majority(),
+            composition,
+            class_vector,
+            projected,
+        })
+    }
+
+    /// Classifies a single snapshot frame (the online path).
+    pub fn classify_frame(&self, frame: &MetricFrame) -> Result<AppClass> {
+        let row = self.preprocessor.apply_frame(frame.as_slice())?;
+        let projected = self.pca.transform_row(&row)?;
+        self.knn.classify(&projected)
+    }
+
+    /// Serializes the trained pipeline to JSON (the form the application
+    /// database stores).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::Storage(e.to_string()))
+    }
+
+    /// Restores a pipeline serialized with [`ClassifierPipeline::to_json`].
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| Error::Storage(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appclass_metrics::METRIC_COUNT;
+
+    /// Builds a synthetic raw training run: `rows` snapshots with the given
+    /// expert metrics set (plus small deterministic wiggle).
+    fn raw_run(rows: usize, settings: &[(MetricId, f64)]) -> Matrix {
+        let mut m = Matrix::zeros(rows, METRIC_COUNT);
+        for i in 0..rows {
+            let wiggle = 1.0 + 0.03 * ((i % 7) as f64 - 3.0);
+            for &(id, v) in settings {
+                m[(i, id.index())] = v * wiggle;
+            }
+        }
+        m
+    }
+
+    fn training_runs() -> Vec<(Matrix, AppClass)> {
+        vec![
+            (
+                raw_run(30, &[(MetricId::CpuUser, 90.0), (MetricId::CpuSystem, 5.0)]),
+                AppClass::Cpu,
+            ),
+            (
+                raw_run(30, &[(MetricId::IoBi, 2000.0), (MetricId::IoBo, 3000.0)]),
+                AppClass::Io,
+            ),
+            (
+                raw_run(30, &[(MetricId::BytesIn, 1.0e6), (MetricId::BytesOut, 3.0e7)]),
+                AppClass::Net,
+            ),
+            (
+                raw_run(
+                    30,
+                    &[
+                        (MetricId::SwapIn, 5000.0),
+                        (MetricId::SwapOut, 4500.0),
+                        (MetricId::IoBi, 5000.0),
+                        (MetricId::IoBo, 5000.0),
+                    ],
+                ),
+                AppClass::Mem,
+            ),
+            (raw_run(30, &[(MetricId::CpuUser, 0.5)]), AppClass::Idle),
+        ]
+    }
+
+    fn trained() -> ClassifierPipeline {
+        ClassifierPipeline::train(&training_runs(), &PipelineConfig::paper()).unwrap()
+    }
+
+    #[test]
+    fn figure2_dimension_chain() {
+        let p = trained();
+        assert_eq!(p.preprocessor().dim(), 8, "n=33 → p=8");
+        assert_eq!(p.n_components(), 2, "p=8 → q=2");
+        let raw = raw_run(12, &[(MetricId::CpuUser, 88.0)]);
+        let result = p.classify(&raw).unwrap();
+        assert_eq!(result.projected.shape(), (12, 2), "B is m×q");
+        assert_eq!(result.class_vector.len(), 12, "C is 1×m");
+    }
+
+    #[test]
+    fn recovers_training_classes() {
+        let p = trained();
+        for (raw, expected) in training_runs() {
+            let r = p.classify(&raw).unwrap();
+            assert_eq!(r.class, expected, "training run must classify as itself");
+            assert!(r.composition.fraction(expected) > 0.9);
+        }
+    }
+
+    #[test]
+    fn classifies_held_out_variants() {
+        let p = trained();
+        // Slightly different magnitudes than training.
+        let cpu_like = raw_run(10, &[(MetricId::CpuUser, 75.0), (MetricId::CpuSystem, 8.0)]);
+        assert_eq!(p.classify(&cpu_like).unwrap().class, AppClass::Cpu);
+        let net_like = raw_run(10, &[(MetricId::BytesOut, 2.0e7), (MetricId::BytesIn, 5.0e5)]);
+        assert_eq!(p.classify(&net_like).unwrap().class, AppClass::Net);
+    }
+
+    #[test]
+    fn mixed_run_has_mixed_composition() {
+        let p = trained();
+        let cpu_part = raw_run(20, &[(MetricId::CpuUser, 90.0)]);
+        let io_part = raw_run(10, &[(MetricId::IoBi, 2200.0), (MetricId::IoBo, 2800.0)]);
+        let mixed = cpu_part.vstack(&io_part).unwrap();
+        let r = p.classify(&mixed).unwrap();
+        assert_eq!(r.class, AppClass::Cpu, "majority is CPU");
+        assert!(r.composition.fraction(AppClass::Io) > 0.2, "{}", r.composition);
+        assert!((r.composition.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classify_frame_matches_batch() {
+        let p = trained();
+        let raw = raw_run(5, &[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)]);
+        let batch = p.classify(&raw).unwrap();
+        for i in 0..5 {
+            let frame = MetricFrame::from_values(raw.row(i)).unwrap();
+            assert_eq!(p.classify_frame(&frame).unwrap(), batch.class_vector[i]);
+        }
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        assert!(matches!(
+            ClassifierPipeline::train(&[], &PipelineConfig::paper()),
+            Err(Error::NoTrainingData)
+        ));
+    }
+
+    #[test]
+    fn training_projection_matches_labels() {
+        let p = trained();
+        let (proj, labels) = p.training_projection();
+        assert_eq!(proj.rows(), labels.len());
+        assert_eq!(proj.cols(), 2);
+        assert_eq!(labels.len(), 150);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let p = trained();
+        let json = p.to_json().unwrap();
+        let q = ClassifierPipeline::from_json(&json).unwrap();
+        assert_eq!(p, q);
+        let raw = raw_run(4, &[(MetricId::SwapIn, 4800.0), (MetricId::SwapOut, 4400.0),
+            (MetricId::IoBi, 4800.0), (MetricId::IoBo, 4800.0)]);
+        assert_eq!(p.classify(&raw).unwrap().class, q.classify(&raw).unwrap().class);
+    }
+
+    #[test]
+    fn custom_config_three_components() {
+        let cfg = PipelineConfig {
+            selection: ComponentSelection::Count(3),
+            ..PipelineConfig::paper()
+        };
+        let p = ClassifierPipeline::train(&training_runs(), &cfg).unwrap();
+        assert_eq!(p.n_components(), 3);
+        // Still classifies training classes correctly.
+        for (raw, expected) in training_runs() {
+            assert_eq!(p.classify(&raw).unwrap().class, expected);
+        }
+    }
+
+    #[test]
+    fn variance_fraction_config() {
+        let cfg = PipelineConfig {
+            selection: ComponentSelection::VarianceFraction(0.99),
+            ..PipelineConfig::paper()
+        };
+        let p = ClassifierPipeline::train(&training_runs(), &cfg).unwrap();
+        assert!(p.n_components() >= 2);
+        assert!(p.n_components() <= 8);
+    }
+}

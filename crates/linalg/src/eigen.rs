@@ -1,0 +1,441 @@
+//! Eigendecomposition of real symmetric matrices.
+//!
+//! PCA diagonalizes the scatter (covariance) matrix of the performance
+//! samples, which is symmetric positive semi-definite. The cyclic **Jacobi
+//! rotation** method is exact for this class of matrix, unconditionally
+//! stable, and simple enough to verify by hand — the right tool for a
+//! from-scratch reproduction. A power-iteration routine is included as an
+//! independent numerical cross-check used by the test-suite.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Tolerance on `|a_ij - a_ji|` above which a matrix is rejected as
+/// asymmetric.
+pub const SYMMETRY_TOL: f64 = 1e-8;
+
+/// Convergence threshold for the Jacobi sweep: iteration stops when the
+/// largest strictly-off-diagonal element falls below this value times the
+/// largest element magnitude of the input.
+pub const JACOBI_TOL: f64 = 1e-12;
+
+/// Maximum number of full Jacobi sweeps before reporting non-convergence.
+/// Jacobi converges quadratically; symmetric matrices essentially always
+/// finish in well under 30 sweeps.
+pub const MAX_SWEEPS: usize = 64;
+
+/// The result of a symmetric eigendecomposition.
+///
+/// Eigenpairs are sorted by **descending eigenvalue** — the order PCA wants,
+/// since the leading principal components are the dominant eigenvectors.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Matrix whose **columns** are the unit-norm eigenvectors, in the same
+    /// order as `values`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// The eigenvector for `values[k]`, as an owned column.
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        self.vectors.column(k)
+    }
+
+    /// Reconstructs the original matrix as `V diag(λ) Vᵀ`; used by tests to
+    /// verify the decomposition.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let n = self.values.len();
+        let mut lambda = Matrix::zeros(n, n);
+        for (i, &v) in self.values.iter().enumerate() {
+            lambda[(i, i)] = v;
+        }
+        self.vectors.matmul(&lambda)?.matmul(&self.vectors.transpose())
+    }
+
+    /// Fraction of total (absolute) variance carried by each eigenvalue.
+    ///
+    /// For a covariance matrix all eigenvalues are non-negative, and this is
+    /// exactly the "fraction of variance" the paper's PCA processor uses to
+    /// pick how many principal components to keep.
+    pub fn variance_fractions(&self) -> Vec<f64> {
+        let total: f64 = self.values.iter().map(|v| v.abs()).sum();
+        if total == 0.0 {
+            return vec![0.0; self.values.len()];
+        }
+        self.values.iter().map(|v| v.abs() / total).collect()
+    }
+}
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix using
+/// the cyclic Jacobi method.
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] / [`Error::NotSymmetric`] on malformed input,
+/// * [`Error::NonFinite`] if the matrix contains NaN/inf,
+/// * [`Error::NoConvergence`] if [`MAX_SWEEPS`] is exceeded (pathological).
+///
+/// # Examples
+///
+/// ```
+/// use appclass_linalg::{Matrix, eigen};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+/// let ed = eigen::symmetric_eigen(&a).unwrap();
+/// assert!((ed.values[0] - 3.0).abs() < 1e-10);
+/// assert!((ed.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition> {
+    if a.rows() != a.cols() {
+        return Err(Error::NotSquare { shape: a.shape() });
+    }
+    a.check_finite()?;
+    let asym = a.max_asymmetry()?;
+    if asym > SYMMETRY_TOL {
+        return Err(Error::NotSymmetric { max_asymmetry: asym });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(Error::Empty { op: "symmetric_eigen" });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    // Scale the convergence test by the largest element magnitude, not the
+    // Frobenius norm: squaring entries near f64::MAX overflows the norm to
+    // infinity, which would make the test trivially true and return an
+    // un-diagonalized matrix.
+    let scale = a.max_abs().max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = max_off_diagonal(&m);
+        if off <= JACOBI_TOL * scale {
+            return Ok(sorted_decomposition(m, v));
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Stable computation of the rotation (Golub & Van Loan 8.4).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                apply_rotation(&mut m, p, q, c, s);
+                accumulate_rotation(&mut v, p, q, c, s);
+            }
+        }
+    }
+
+    Err(Error::NoConvergence {
+        algorithm: "jacobi",
+        iterations: MAX_SWEEPS,
+        residual: max_off_diagonal(&m),
+    })
+}
+
+/// Largest absolute strictly-off-diagonal element (overflow-free, unlike a
+/// Frobenius norm of huge entries).
+fn max_off_diagonal(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                worst = worst.max(m[(i, j)].abs());
+            }
+        }
+    }
+    worst
+}
+
+/// Applies the two-sided Jacobi rotation J(p,q,θ)ᵀ · M · J(p,q,θ) in place.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    for i in 0..n {
+        if i != p && i != q {
+            let aip = m[(i, p)];
+            let aiq = m[(i, q)];
+            m[(i, p)] = c * aip - s * aiq;
+            m[(p, i)] = m[(i, p)];
+            m[(i, q)] = s * aip + c * aiq;
+            m[(q, i)] = m[(i, q)];
+        }
+    }
+}
+
+/// Accumulates the rotation into the eigenvector matrix: `V ← V · J(p,q,θ)`.
+fn accumulate_rotation(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = c * vip - s * viq;
+        v[(i, q)] = s * vip + c * viq;
+    }
+}
+
+/// Extracts the diagonal as eigenvalues, sorts descending, reorders the
+/// eigenvector columns to match, and fixes each eigenvector's sign so its
+/// largest-magnitude entry is positive (a deterministic canonical form —
+/// eigenvectors are only defined up to sign).
+fn sorted_decomposition(m: Matrix, v: Matrix) -> EigenDecomposition {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        let mut col = v.column(old_col);
+        canonicalize_sign(&mut col);
+        for (i, &x) in col.iter().enumerate() {
+            vectors[(i, new_col)] = x;
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+/// Flips the vector's sign so that its largest-magnitude component is
+/// positive, making eigenvector output deterministic across runs.
+fn canonicalize_sign(v: &mut [f64]) {
+    let mut max_abs = 0.0f64;
+    let mut sign = 1.0f64;
+    for &x in v.iter() {
+        if x.abs() > max_abs {
+            max_abs = x.abs();
+            sign = if x < 0.0 { -1.0 } else { 1.0 };
+        }
+    }
+    if sign < 0.0 {
+        for x in v.iter_mut() {
+            *x = -*x;
+        }
+    }
+}
+
+/// Estimates the dominant eigenpair of a symmetric matrix by power
+/// iteration. Used as an independent cross-check of the Jacobi solver.
+///
+/// Returns `(eigenvalue, eigenvector)`; the eigenvector has unit norm and
+/// canonical sign. Fails with [`Error::NoConvergence`] if `max_iter` is
+/// reached before the iterate stabilizes to within `tol`.
+pub fn power_iteration(a: &Matrix, max_iter: usize, tol: f64) -> Result<(f64, Vec<f64>)> {
+    if a.rows() != a.cols() {
+        return Err(Error::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(Error::Empty { op: "power_iteration" });
+    }
+    // Deterministic start vector with components in every direction.
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.01).collect();
+    vector::normalize_in_place(&mut x);
+
+    let mut lambda = 0.0;
+    for it in 0..max_iter {
+        let mut y = a.matvec(&x)?;
+        let norm = vector::norm2(&y);
+        if norm == 0.0 {
+            // x is in the null space; the dominant eigenvalue is 0.
+            return Ok((0.0, x));
+        }
+        for v in y.iter_mut() {
+            *v /= norm;
+        }
+        let new_lambda = vector::dot(&y, &a.matvec(&y)?);
+        let delta = (new_lambda - lambda).abs();
+        lambda = new_lambda;
+        // Compare directions modulo sign.
+        let diff = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b).abs().min((a + b).abs()))
+            .fold(0.0f64, f64::max);
+        x = y;
+        if it > 0 && diff < tol && delta < tol * lambda.abs().max(1.0) {
+            canonicalize_sign(&mut x);
+            return Ok((lambda, x));
+        }
+    }
+    Err(Error::NoConvergence { algorithm: "power_iteration", iterations: max_iter, residual: 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = sym(&[vec![3.0, 0.0], vec![0.0, 1.0]]);
+        let ed = symmetric_eigen(&a).unwrap();
+        assert!((ed.values[0] - 3.0).abs() < 1e-12);
+        assert!((ed.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1 with eigenvectors
+        // [1,1]/√2 and [1,-1]/√2.
+        let a = sym(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let ed = symmetric_eigen(&a).unwrap();
+        assert!((ed.values[0] - 3.0).abs() < 1e-10);
+        assert!((ed.values[1] - 1.0).abs() < 1e-10);
+        let v0 = ed.eigenvector(0);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+        assert!((vector::norm2(&v0) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_3x3() {
+        // A classic test matrix with integer eigenvalues {6, 3, 1}... use
+        // instead the rank-checkable [[4,1,1],[1,4,1],[1,1,4]] whose
+        // eigenvalues are 6, 3, 3.
+        let a = sym(&[vec![4.0, 1.0, 1.0], vec![1.0, 4.0, 1.0], vec![1.0, 1.0, 4.0]]);
+        let ed = symmetric_eigen(&a).unwrap();
+        assert!((ed.values[0] - 6.0).abs() < 1e-10);
+        assert!((ed.values[1] - 3.0).abs() < 1e-10);
+        assert!((ed.values[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = sym(&[
+            vec![5.0, 2.0, 0.5, -1.0],
+            vec![2.0, 3.0, 1.0, 0.0],
+            vec![0.5, 1.0, 2.0, 0.2],
+            vec![-1.0, 0.0, 0.2, 4.0],
+        ]);
+        let ed = symmetric_eigen(&a).unwrap();
+        let r = ed.reconstruct().unwrap();
+        assert!(r.approx_eq(&a, 1e-9), "reconstruction drifted: {r}");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = sym(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let ed = symmetric_eigen(&a).unwrap();
+        let vtv = ed.vectors.transpose().matmul(&ed.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = sym(&[vec![1.0, 2.0], vec![3.0, 1.0]]);
+        assert!(matches!(symmetric_eigen(&a), Err(Error::NotSymmetric { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square_and_nan() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(symmetric_eigen(&a), Err(Error::NonFinite { .. })));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = sym(&[vec![7.5]]);
+        let ed = symmetric_eigen(&a).unwrap();
+        assert_eq!(ed.values, vec![7.5]);
+        assert!((ed.vectors[(0, 0)].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let ed = symmetric_eigen(&Matrix::zeros(3, 3)).unwrap();
+        assert!(ed.values.iter().all(|&v| v.abs() < 1e-12));
+        assert_eq!(ed.variance_fractions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn variance_fractions_sum_to_one() {
+        let a = sym(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+        let ed = symmetric_eigen(&a).unwrap();
+        let f = ed.variance_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(f[0] >= f[1]);
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_jacobi() {
+        let a = sym(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.25],
+            vec![0.5, 0.25, 1.0],
+        ]);
+        let ed = symmetric_eigen(&a).unwrap();
+        let (lambda, v) = power_iteration(&a, 10_000, 1e-12).unwrap();
+        assert!((lambda - ed.values[0]).abs() < 1e-8);
+        let v_jacobi = ed.eigenvector(0);
+        for (a, b) in v.iter().zip(&v_jacobi) {
+            assert!((a - b).abs() < 1e-6, "power-iteration vector diverged");
+        }
+    }
+
+    #[test]
+    fn negative_eigenvalues_sorted_descending() {
+        let a = sym(&[vec![-1.0, 0.0], vec![0.0, -5.0]]);
+        let ed = symmetric_eigen(&a).unwrap();
+        assert!((ed.values[0] - (-1.0)).abs() < 1e-12);
+        assert!((ed.values[1] - (-5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_entries_do_not_overflow_convergence_test() {
+        // Entries near 1e300: a Frobenius norm would overflow to infinity
+        // and trivially satisfy any norm-scaled convergence test. The
+        // max-abs scaling must keep diagonalizing correctly.
+        let a = sym(&[vec![2.0e300, 1.0e300], vec![1.0e300, 2.0e300]]);
+        let ed = symmetric_eigen(&a).unwrap();
+        assert!((ed.values[0] - 3.0e300).abs() < 1e290, "{:?}", ed.values);
+        assert!((ed.values[1] - 1.0e300).abs() < 1e290, "{:?}", ed.values);
+        // Off-diagonal really was annihilated.
+        let r = ed.reconstruct().unwrap();
+        assert!((r[(0, 1)] - 1.0e300).abs() < 1e290);
+    }
+
+    #[test]
+    fn canonical_sign_deterministic() {
+        let a = sym(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e1 = symmetric_eigen(&a).unwrap();
+        let e2 = symmetric_eigen(&a).unwrap();
+        assert_eq!(e1.vectors, e2.vectors);
+        // largest-magnitude entry of each eigenvector is positive
+        for k in 0..2 {
+            let v = e1.eigenvector(k);
+            let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(max.abs() >= min.abs());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types for the linear-algebra substrate.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by linear-algebra operations.
+///
+/// All failure modes are typed so callers (the PCA processor, the k-NN
+/// classifier) can distinguish programming errors (dimension mismatches)
+/// from data problems (non-finite values, degenerate inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix that had to be square was not.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// A matrix that had to be symmetric was not (beyond tolerance).
+    NotSymmetric {
+        /// Worst absolute asymmetry `|a_ij - a_ji|` observed.
+        max_asymmetry: f64,
+    },
+    /// An operation required a non-empty matrix or vector.
+    Empty {
+        /// Operation that required non-empty input.
+        op: &'static str,
+    },
+    /// The input contained NaN or infinite entries.
+    NonFinite {
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual off-diagonal mass (or equivalent) at the last iteration.
+        residual: f64,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The requested index `(row, col)`.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            Error::NotSymmetric { max_asymmetry } => {
+                write!(f, "matrix must be symmetric (max |a_ij - a_ji| = {max_asymmetry:e})")
+            }
+            Error::Empty { op } => write!(f, "{op} requires a non-empty input"),
+            Error::NonFinite { row, col } => {
+                write!(f, "non-finite entry at ({row}, {col})")
+            }
+            Error::NoConvergence { algorithm, iterations, residual } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            Error::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = Error::DimensionMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = Error::NotSquare { shape: (3, 4) };
+        assert!(e.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_no_convergence_mentions_algorithm() {
+        let e = Error::NoConvergence { algorithm: "jacobi", iterations: 100, residual: 1e-3 };
+        assert!(e.to_string().contains("jacobi"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Empty { op: "mean" }, Error::Empty { op: "mean" });
+        assert_ne!(Error::Empty { op: "mean" }, Error::Empty { op: "var" });
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Empty { op: "x" });
+    }
+}

@@ -1,0 +1,496 @@
+//! Column statistics and normalization.
+//!
+//! Samples are stored **one snapshot per row, one metric per column** — the
+//! transpose of the paper's `A(n×m)` notation, but the conventional layout
+//! for sample matrices. The paper's preprocessor normalizes each selected
+//! metric to zero mean and unit variance before PCA; crucially, the
+//! normalization parameters must be *fit* on training data and *applied*
+//! unchanged to test data, which is why [`Standardizer`] separates the two.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-column mean of a sample matrix (rows = samples).
+pub fn column_means(samples: &Matrix) -> Result<Vec<f64>> {
+    if samples.rows() == 0 {
+        return Err(Error::Empty { op: "column_means" });
+    }
+    let mut means = vec![0.0; samples.cols()];
+    for row in samples.iter_rows() {
+        for (m, &x) in means.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    let n = samples.rows() as f64;
+    for m in means.iter_mut() {
+        *m /= n;
+    }
+    Ok(means)
+}
+
+/// Per-column unbiased sample variance (rows = samples).
+pub fn column_variances(samples: &Matrix) -> Result<Vec<f64>> {
+    let means = column_means(samples)?;
+    if samples.rows() < 2 {
+        return Ok(vec![0.0; samples.cols()]);
+    }
+    let mut vars = vec![0.0; samples.cols()];
+    for row in samples.iter_rows() {
+        for ((v, &m), &x) in vars.iter_mut().zip(&means).zip(row) {
+            let d = x - m;
+            *v += d * d;
+        }
+    }
+    let denom = (samples.rows() - 1) as f64;
+    for v in vars.iter_mut() {
+        *v /= denom;
+    }
+    Ok(vars)
+}
+
+/// Unbiased covariance matrix of a sample matrix (rows = samples,
+/// columns = variables). The result is `cols x cols`, symmetric PSD.
+pub fn covariance_matrix(samples: &Matrix) -> Result<Matrix> {
+    if samples.rows() < 2 {
+        return Err(Error::Empty { op: "covariance_matrix (needs >= 2 samples)" });
+    }
+    let means = column_means(samples)?;
+    let p = samples.cols();
+    let mut cov = Matrix::zeros(p, p);
+    for row in samples.iter_rows() {
+        // Outer-product accumulation of the centered sample.
+        let centered: Vec<f64> = row.iter().zip(&means).map(|(x, m)| x - m).collect();
+        for i in 0..p {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let cov_row = cov.row_mut(i);
+            for (j, &cj) in centered.iter().enumerate() {
+                cov_row[j] += ci * cj;
+            }
+        }
+    }
+    let denom = (samples.rows() - 1) as f64;
+    Ok(cov.scale(1.0 / denom))
+}
+
+/// Scatter matrix: the covariance matrix scaled by `n - 1` (i.e. the
+/// un-normalized centered Gram matrix the paper's PCA description uses).
+/// Its eigenvectors are identical to the covariance matrix's.
+pub fn scatter_matrix(samples: &Matrix) -> Result<Matrix> {
+    let cov = covariance_matrix(samples)?;
+    Ok(cov.scale((samples.rows() - 1) as f64))
+}
+
+/// Z-score normalization fitted on training data.
+///
+/// Columns with (near-)zero variance are mapped to zero rather than dividing
+/// by ~0 — a constant metric carries no class information, and this is the
+/// documented behaviour for e.g. a network metric that never moves during a
+/// CPU-bound training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    /// Per-column standard deviation; exactly 0.0 marks a degenerate column.
+    stds: Vec<f64>,
+}
+
+/// Variance below this is treated as zero when fitting a [`Standardizer`].
+pub const DEGENERATE_VARIANCE: f64 = 1e-24;
+
+impl Standardizer {
+    /// Learns per-column mean and standard deviation from `samples`
+    /// (rows = samples).
+    pub fn fit(samples: &Matrix) -> Result<Self> {
+        samples.check_finite()?;
+        let means = column_means(samples)?;
+        let vars = column_variances(samples)?;
+        let stds = vars
+            .iter()
+            .map(|&v| if v <= DEGENERATE_VARIANCE { 0.0 } else { v.sqrt() })
+            .collect();
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Number of columns this standardizer was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (0.0 for degenerate columns).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Applies the fitted transform to a sample matrix.
+    pub fn apply(&self, samples: &Matrix) -> Result<Matrix> {
+        if samples.cols() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                op: "standardize",
+                lhs: samples.shape(),
+                rhs: (1, self.dim()),
+            });
+        }
+        let mut out = samples.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *x = if s == 0.0 { 0.0 } else { (*x - m) / s };
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the fitted transform to a single sample in place.
+    pub fn apply_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                op: "standardize_row",
+                lhs: (1, row.len()),
+                rhs: (1, self.dim()),
+            });
+        }
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = if s == 0.0 { 0.0 } else { (*x - m) / s };
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: fit-and-apply in one step, returning both the normalized
+/// matrix and the fitted parameters.
+pub fn standardize(samples: &Matrix) -> Result<(Matrix, Standardizer)> {
+    let s = Standardizer::fit(samples)?;
+    let out = s.apply(samples)?;
+    Ok((out, s))
+}
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+///
+/// Lets the online-training path and the application database keep
+/// statistics over unbounded sample streams in O(1) space without the
+/// catastrophic cancellation of the naive sum-of-squares formula.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_linalg::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Absorbs one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0.0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (0.0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merges another accumulator (Chan's parallel variant) — lets
+    /// per-thread statistics combine exactly.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean += delta * other.n as f64 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn means_and_variances() {
+        let m = samples();
+        assert_eq!(column_means(&m).unwrap(), vec![2.0, 20.0]);
+        assert_eq!(column_variances(&m).unwrap(), vec![1.0, 100.0]);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        let empty = Matrix::zeros(0, 3);
+        assert!(column_means(&empty).is_err());
+        assert!(covariance_matrix(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn covariance_known() {
+        // Perfectly correlated columns: cov = [[1, 10], [10, 100]].
+        let m = samples();
+        let c = covariance_matrix(&m).unwrap();
+        assert!(c.approx_eq(
+            &Matrix::from_rows(&[vec![1.0, 10.0], vec![10.0, 100.0]]).unwrap(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, -2.0, 0.5],
+            vec![0.0, 1.5, 2.0],
+            vec![-1.0, 0.5, 1.0],
+            vec![2.0, 0.0, -0.5],
+        ])
+        .unwrap();
+        let c = covariance_matrix(&m).unwrap();
+        assert!(c.max_asymmetry().unwrap() < 1e-12);
+        let ed = crate::eigen::symmetric_eigen(&c).unwrap();
+        assert!(ed.values.iter().all(|&v| v > -1e-10), "covariance must be PSD");
+    }
+
+    #[test]
+    fn scatter_is_scaled_covariance() {
+        let m = samples();
+        let s = scatter_matrix(&m).unwrap();
+        let c = covariance_matrix(&m).unwrap();
+        assert!(s.approx_eq(&c.scale(2.0), 1e-12));
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_variance() {
+        let (z, _) = standardize(&samples()).unwrap();
+        let means = column_means(&z).unwrap();
+        let vars = column_variances(&z).unwrap();
+        for m in means {
+            assert!(m.abs() < 1e-12);
+        }
+        for v in vars {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_column_maps_to_zero() {
+        let m = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]).unwrap();
+        let (z, s) = standardize(&m).unwrap();
+        assert_eq!(s.stds()[0], 0.0);
+        for i in 0..3 {
+            assert_eq!(z[(i, 0)], 0.0);
+        }
+    }
+
+    #[test]
+    fn fit_apply_separation() {
+        let train = samples();
+        let s = Standardizer::fit(&train).unwrap();
+        // Test data normalized with *training* parameters, not its own.
+        let test = Matrix::from_rows(&[vec![2.0, 20.0]]).unwrap();
+        let z = s.apply(&test).unwrap();
+        assert!(z[(0, 0)].abs() < 1e-12);
+        assert!(z[(0, 1)].abs() < 1e-12);
+        let test2 = Matrix::from_rows(&[vec![4.0, 0.0]]).unwrap();
+        let z2 = s.apply(&test2).unwrap();
+        assert!((z2[(0, 0)] - 2.0).abs() < 1e-12); // (4-2)/1
+        assert!((z2[(0, 1)] + 2.0).abs() < 1e-12); // (0-20)/10
+    }
+
+    #[test]
+    fn apply_rejects_wrong_width() {
+        let s = Standardizer::fit(&samples()).unwrap();
+        assert!(s.apply(&Matrix::zeros(1, 3)).is_err());
+        let mut row = [0.0; 3];
+        assert!(s.apply_row(&mut row).is_err());
+    }
+
+    #[test]
+    fn apply_row_matches_apply() {
+        let s = Standardizer::fit(&samples()).unwrap();
+        let mut row = [3.0, 10.0];
+        s.apply_row(&mut row).unwrap();
+        let m = s.apply(&Matrix::from_rows(&[vec![3.0, 10.0]]).unwrap()).unwrap();
+        assert_eq!(row[0], m[(0, 0)]);
+        assert_eq!(row[1], m[(0, 1)]);
+    }
+
+    #[test]
+    fn fit_rejects_nan() {
+        let mut m = samples();
+        m[(0, 0)] = f64::NAN;
+        assert!(matches!(Standardizer::fit(&m), Err(Error::NonFinite { .. })));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Standardizer::fit(&samples()).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Standardizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    // --- RunningStats ------------------------------------------------------
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn running_stats_matches_batch_formulas() {
+        let data = [1.5, -2.0, 3.25, 0.0, 7.5, -1.25, 4.0];
+        let mut s = RunningStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), Some(-2.0));
+        assert_eq!(s.max(), Some(7.5));
+    }
+
+    #[test]
+    fn running_stats_numerically_stable() {
+        // Large offset breaks naive sum-of-squares; Welford survives.
+        let mut s = RunningStats::new();
+        for i in 0..1000 {
+            s.push(1e9 + (i % 10) as f64);
+        }
+        let expected_var = {
+            let vals: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+            let m = vals.iter().sum::<f64>() / 1000.0;
+            vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / 999.0
+        };
+        assert!((s.sample_variance() - expected_var).abs() < 1e-6, "{}", s.sample_variance());
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..20] {
+            left.push(x);
+        }
+        for &x in &data[20..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        // Merging an empty accumulator is a no-op in both directions.
+        let mut e = RunningStats::new();
+        e.merge(&whole);
+        assert_eq!(e.count(), whole.count());
+        whole.merge(&RunningStats::new());
+        assert_eq!(left.count(), whole.count());
+    }
+}

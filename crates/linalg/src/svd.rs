@@ -1,0 +1,273 @@
+//! Thin singular value decomposition by one-sided Jacobi rotations.
+//!
+//! PCA can be computed two ways: eigendecomposition of the covariance
+//! matrix (the paper's description, [`crate::eigen`]) or SVD of the
+//! centered data matrix. The SVD route avoids squaring the condition
+//! number and is the standard numerically-stable choice; this crate
+//! provides both so the classifier can cross-check them (they must agree
+//! to machine precision, which the test-suites assert).
+//!
+//! One-sided Jacobi works directly on the data: it repeatedly rotates
+//! pairs of columns of `A` until all columns are mutually orthogonal;
+//! the column norms are then the singular values, the normalized columns
+//! form `U`, and the accumulated rotations form `V`.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Convergence threshold: a column pair counts as orthogonal when
+/// `|aᵢ·aⱼ| ≤ tol · ‖aᵢ‖‖aⱼ‖`.
+pub const SVD_TOL: f64 = 1e-12;
+
+/// Maximum sweeps before reporting non-convergence.
+pub const MAX_SWEEPS: usize = 64;
+
+/// A thin SVD: `A = U · diag(σ) · Vᵀ` with `A` being `m × n` (`m ≥ n`),
+/// `U` `m × n` with orthonormal columns, and `V` `n × n` orthogonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m × n`.
+    pub u: Matrix,
+    /// Singular values, descending, length `n`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (columns), `n × n`.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs `U · diag(σ) · Vᵀ` (for verification).
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let n = self.singular_values.len();
+        let mut s = Matrix::zeros(n, n);
+        for (i, &x) in self.singular_values.iter().enumerate() {
+            s[(i, i)] = x;
+        }
+        self.u.matmul(&s)?.matmul(&self.v.transpose())
+    }
+
+    /// Rank within tolerance `tol` relative to the largest singular value.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values.iter().filter(|&&s| s > tol * max.max(f64::MIN_POSITIVE)).count()
+    }
+}
+
+/// Computes the thin SVD of an `m × n` matrix with `m ≥ n`.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] when `m < n` (transpose first),
+/// * [`Error::NonFinite`] on NaN/inf input,
+/// * [`Error::NoConvergence`] if the sweeps do not settle (pathological).
+pub fn thin_svd(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(Error::DimensionMismatch { op: "thin_svd (needs m >= n)", lhs: (m, n), rhs: (n, n) });
+    }
+    if n == 0 {
+        return Err(Error::Empty { op: "thin_svd" });
+    }
+    a.check_finite()?;
+
+    // Work on columns: store A column-major for cache-friendly column ops.
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.column(j)).collect();
+    let mut v = Matrix::identity(n);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let (alpha, beta, gamma) = {
+                    let cp = &cols[p];
+                    let cq = &cols[q];
+                    (vector::dot(cp, cp), vector::dot(cq, cq), vector::dot(cp, cq))
+                };
+                if gamma.abs() <= SVD_TOL * (alpha * beta).sqrt().max(f64::MIN_POSITIVE) {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation zeroing the (p,q) inner product.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Rotate the column pair.
+                let (left, right) = cols.split_at_mut(q);
+                let cp = &mut left[p];
+                let cq = &mut right[0];
+                for (x, y) in cp.iter_mut().zip(cq.iter_mut()) {
+                    let xp = c * *x - s * *y;
+                    let yq = s * *x + c * *y;
+                    *x = xp;
+                    *y = yq;
+                }
+                // Accumulate into V.
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = c * vip - s * viq;
+                    v[(i, q)] = s * vip + c * viq;
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(Error::NoConvergence {
+            algorithm: "one-sided jacobi svd",
+            iterations: MAX_SWEEPS,
+            residual: 0.0,
+        });
+    }
+
+    // Singular values = column norms; sort descending with V in lockstep.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = cols.iter().map(|c| vector::norm2(c)).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut singular_values = Vec::with_capacity(n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let sigma = norms[old_j];
+        singular_values.push(sigma);
+        for i in 0..m {
+            // Zero singular value → leave the U column zero (deficient
+            // direction); callers use `rank()` to know.
+            u[(i, new_j)] = if sigma > 0.0 { cols[old_j][i] / sigma } else { 0.0 };
+        }
+        for i in 0..n {
+            v_sorted[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    Ok(Svd { u, singular_values, v: v_sorted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = mat(&[vec![3.0, 0.0], vec![0.0, 4.0], vec![0.0, 0.0]]);
+        let svd = thin_svd(&a).unwrap();
+        assert!((svd.singular_values[0] - 4.0).abs() < 1e-12);
+        assert!((svd.singular_values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = mat(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 0.5, 2.0],
+            vec![3.0, -1.0, 1.0],
+            vec![0.5, 1.5, -2.0],
+        ]);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.reconstruct().unwrap().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = mat(&[
+            vec![2.0, 1.0],
+            vec![1.0, 3.0],
+            vec![0.0, 1.0],
+            vec![4.0, -1.0],
+        ]);
+        let svd = thin_svd(&a).unwrap();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(2), 1e-9), "UᵀU = I");
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(2), 1e-9), "VᵀV = I");
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = mat(&[
+            vec![1.0, 7.0, 2.0],
+            vec![8.0, 0.1, 3.0],
+            vec![2.0, 2.0, 9.0],
+            vec![0.3, 4.0, 1.0],
+        ]);
+        let svd = thin_svd(&a).unwrap();
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn agrees_with_eigendecomposition_of_gram_matrix() {
+        // σᵢ² must equal the eigenvalues of AᵀA.
+        let a = mat(&[
+            vec![1.5, -0.5, 2.0],
+            vec![0.0, 1.0, -1.0],
+            vec![2.0, 0.5, 0.5],
+            vec![-1.0, 2.0, 1.0],
+            vec![0.5, 0.5, 3.0],
+        ]);
+        let svd = thin_svd(&a).unwrap();
+        let gram = a.transpose().matmul(&a).unwrap();
+        let eig = crate::eigen::symmetric_eigen(&gram).unwrap();
+        for (s, lambda) in svd.singular_values.iter().zip(&eig.values) {
+            assert!((s * s - lambda).abs() < 1e-8, "{} vs {}", s * s, lambda);
+        }
+        // Right singular vectors match the Gram eigenvectors up to sign.
+        for j in 0..3 {
+            let sv: Vec<f64> = svd.v.column(j);
+            let ev: Vec<f64> = eig.vectors.column(j);
+            let dot = crate::vector::dot(&sv, &ev).abs();
+            assert!((dot - 1.0).abs() < 1e-6, "column {j}: |dot| = {dot}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Third column = first + second.
+        let a = mat(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 2.0],
+            vec![2.0, 0.0, 2.0],
+        ]);
+        let svd = thin_svd(&a).unwrap();
+        assert_eq!(svd.rank(1e-9), 2);
+        assert!(svd.singular_values[2].abs() < 1e-9);
+        assert!(svd.reconstruct().unwrap().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(thin_svd(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut a = Matrix::zeros(3, 2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(thin_svd(&a), Err(Error::NonFinite { .. })));
+    }
+
+    #[test]
+    fn tall_thin_vector() {
+        let a = mat(&[vec![3.0], vec![4.0]]);
+        let svd = thin_svd(&a).unwrap();
+        assert!((svd.singular_values[0] - 5.0).abs() < 1e-12);
+        assert!((svd.u[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((svd.u[(1, 0)] - 0.8).abs() < 1e-12);
+    }
+}

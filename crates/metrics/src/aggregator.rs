@@ -1,0 +1,97 @@
+//! Subnet-wide metric aggregation (the gmetad analogue).
+//!
+//! In the paper's deployment, Ganglia's listen/announce protocol means any
+//! listener accumulates the performance data of *all* nodes in the subnet.
+//! [`Aggregator`] is that listener: it subscribes to a [`MetricBus`] and
+//! drains announcements into a [`DataPool`].
+
+use crate::gmond::MetricBus;
+use crate::snapshot::{DataPool, NodeId, Snapshot};
+use crossbeam::channel::Receiver;
+
+/// A bus listener that accumulates every node's snapshots.
+pub struct Aggregator {
+    rx: Receiver<Snapshot>,
+    pool: DataPool,
+}
+
+impl Aggregator {
+    /// Subscribes a new aggregator to the bus.
+    pub fn subscribe(bus: &MetricBus) -> Self {
+        Aggregator { rx: bus.subscribe(), pool: DataPool::new() }
+    }
+
+    /// Moves every announcement received so far into the pool; returns how
+    /// many were drained.
+    pub fn drain(&mut self) -> usize {
+        let mut n = 0;
+        for snap in self.rx.try_iter() {
+            self.pool.push(snap);
+            n += 1;
+        }
+        n
+    }
+
+    /// Read access to the accumulated pool.
+    pub fn pool(&self) -> &DataPool {
+        &self.pool
+    }
+
+    /// Consumes the aggregator, yielding the accumulated pool.
+    pub fn into_pool(mut self) -> DataPool {
+        self.drain();
+        self.pool
+    }
+
+    /// Number of snapshots accumulated for a given node.
+    pub fn count_for(&self, node: NodeId) -> usize {
+        self.pool.count_for(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmond::{ConstantSource, Gmond};
+    use crate::metric::MetricFrame;
+
+    #[test]
+    fn aggregator_sees_all_nodes() {
+        let bus = MetricBus::new();
+        let mut agg = Aggregator::subscribe(&bus);
+        let mut g1 = Gmond::new(ConstantSource::new(NodeId(1), MetricFrame::zeroed()));
+        let mut g2 = Gmond::new(ConstantSource::new(NodeId(2), MetricFrame::zeroed()));
+        for t in [0u64, 5, 10] {
+            g1.announce_tick(t, &bus).unwrap();
+            g2.announce_tick(t, &bus).unwrap();
+        }
+        assert_eq!(agg.drain(), 6);
+        assert_eq!(agg.count_for(NodeId(1)), 3);
+        assert_eq!(agg.count_for(NodeId(2)), 3);
+        assert_eq!(agg.pool().nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn drain_is_incremental() {
+        let bus = MetricBus::new();
+        let mut agg = Aggregator::subscribe(&bus);
+        let mut g = Gmond::new(ConstantSource::new(NodeId(1), MetricFrame::zeroed()));
+        g.announce_tick(0, &bus).unwrap();
+        assert_eq!(agg.drain(), 1);
+        assert_eq!(agg.drain(), 0);
+        g.announce_tick(5, &bus).unwrap();
+        assert_eq!(agg.drain(), 1);
+        assert_eq!(agg.pool().len(), 2);
+    }
+
+    #[test]
+    fn into_pool_drains_pending() {
+        let bus = MetricBus::new();
+        let agg = Aggregator::subscribe(&bus);
+        let mut g = Gmond::new(ConstantSource::new(NodeId(1), MetricFrame::zeroed()));
+        g.announce_tick(0, &bus).unwrap();
+        // not drained yet — into_pool must pick it up
+        let pool = agg.into_pool();
+        assert_eq!(pool.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the monitoring substrate.
+
+use crate::snapshot::NodeId;
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the monitoring stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The requested node produced no snapshots in the profiled window.
+    NoSamples {
+        /// Node that was empty.
+        node: NodeId,
+    },
+    /// A profiling window was malformed (`t1 <= t0` or zero interval).
+    BadWindow {
+        /// Start time (seconds).
+        t0: u64,
+        /// End time (seconds).
+        t1: u64,
+        /// Sampling interval (seconds).
+        interval: u64,
+    },
+    /// A snapshot carried a non-finite metric value.
+    NonFiniteMetric {
+        /// Offending node.
+        node: NodeId,
+        /// Metric index within the frame.
+        metric: usize,
+    },
+    /// The announce/listen bus was shut down while an operation was pending.
+    BusClosed,
+    /// A wire-format announcement failed to decode.
+    MalformedWire {
+        /// What was wrong.
+        reason: &'static str,
+        /// Byte offset of the problem (or buffer length when truncated).
+        offset: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSamples { node } => write!(f, "no samples collected for node {node}"),
+            Error::BadWindow { t0, t1, interval } => {
+                write!(f, "bad profiling window: t0={t0}, t1={t1}, interval={interval}")
+            }
+            Error::NonFiniteMetric { node, metric } => {
+                write!(f, "non-finite metric #{metric} from node {node}")
+            }
+            Error::BusClosed => write!(f, "metric bus is closed"),
+            Error::MalformedWire { reason, offset } => {
+                write!(f, "malformed wire announcement at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::NoSamples { node: NodeId(3) }.to_string().contains("node 3"));
+        assert!(Error::BadWindow { t0: 5, t1: 5, interval: 1 }.to_string().contains("t0=5"));
+        assert!(Error::BusClosed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Hierarchical metric federation (the gmetad tree).
+//!
+//! Ganglia deployments are hierarchical: per-subnet gmond multicast
+//! groups, polled by gmetad daemons that roll clusters up into a grid
+//! view — the architecture the paper's In-VIGO/grid context runs on.
+//! A [`Cluster`] wraps one announce/listen bus with its member nodes; a
+//! [`Gmetad`] polls any number of clusters and serves both the federated
+//! data pool and per-cluster summaries (the "how busy is site X" question
+//! a grid scheduler asks before drilling down to per-VM data).
+
+use crate::aggregator::Aggregator;
+use crate::gmond::{Gmond, MetricBus, MetricSource};
+use crate::metric::MetricId;
+use crate::snapshot::{DataPool, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One monitored subnet: a bus plus its gmond daemons.
+pub struct Cluster<S: MetricSource> {
+    name: String,
+    bus: MetricBus,
+    gmonds: Vec<Gmond<S>>,
+    aggregator: Aggregator,
+}
+
+impl<S: MetricSource> Cluster<S> {
+    /// Creates a cluster over the given metric sources.
+    pub fn new(name: impl Into<String>, sources: Vec<S>) -> Self {
+        let bus = MetricBus::new();
+        let aggregator = Aggregator::subscribe(&bus);
+        Cluster {
+            name: name.into(),
+            gmonds: sources.into_iter().map(Gmond::new).collect(),
+            bus,
+            aggregator,
+        }
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of monitored nodes.
+    pub fn node_count(&self) -> usize {
+        self.gmonds.len()
+    }
+
+    /// One announce round at simulation time `time`.
+    pub fn tick(&mut self, time: u64) -> crate::error::Result<()> {
+        for g in self.gmonds.iter_mut() {
+            g.announce_tick(time, &self.bus)?;
+        }
+        self.aggregator.drain();
+        Ok(())
+    }
+
+    /// The cluster's accumulated pool.
+    pub fn pool(&self) -> &DataPool {
+        self.aggregator.pool()
+    }
+}
+
+/// Summary of one cluster at poll time — what gmetad exposes upward
+/// instead of every node's full frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Cluster name.
+    pub cluster: String,
+    /// Nodes that have reported.
+    pub nodes: usize,
+    /// Snapshots accumulated.
+    pub snapshots: usize,
+    /// Mean of selected metrics over the cluster's latest snapshot per
+    /// node, keyed by metric name.
+    pub means: BTreeMap<String, f64>,
+}
+
+/// The federation root: polls clusters and builds the grid view.
+#[derive(Default)]
+pub struct Gmetad {
+    federated: DataPool,
+    summaries: Vec<ClusterSummary>,
+    /// Snapshots already merged per cluster, so repeated polls of the same
+    /// (append-only) cluster pool federate only the new tail instead of
+    /// duplicating history.
+    merged: BTreeMap<String, usize>,
+}
+
+/// Metrics summarized per cluster (the scheduler-facing digest).
+pub const SUMMARY_METRICS: [MetricId; 4] =
+    [MetricId::CpuUser, MetricId::BytesOut, MetricId::IoBo, MetricId::SwapIn];
+
+impl Gmetad {
+    /// Empty federation root.
+    pub fn new() -> Self {
+        Gmetad::default()
+    }
+
+    /// Polls one cluster: merges its pool into the federated view and
+    /// records a summary.
+    pub fn poll<S: MetricSource>(&mut self, cluster: &Cluster<S>) {
+        let pool = cluster.pool();
+        // Latest snapshot per node for the summary.
+        let mut latest: BTreeMap<NodeId, &crate::snapshot::Snapshot> = BTreeMap::new();
+        for snap in pool.snapshots() {
+            let e = latest.entry(snap.node).or_insert(snap);
+            if snap.time >= e.time {
+                *e = snap;
+            }
+        }
+        let mut means = BTreeMap::new();
+        if !latest.is_empty() {
+            for id in SUMMARY_METRICS {
+                let sum: f64 = latest.values().map(|s| s.frame.get(id)).sum();
+                means.insert(id.name().to_string(), sum / latest.len() as f64);
+            }
+        }
+        self.summaries.push(ClusterSummary {
+            cluster: cluster.name().to_string(),
+            nodes: latest.len(),
+            snapshots: pool.len(),
+            means,
+        });
+        // Merge only the snapshots that arrived since the previous poll.
+        let seen = self.merged.entry(cluster.name().to_string()).or_insert(0);
+        for snap in pool.snapshots().iter().skip(*seen) {
+            self.federated.push(snap.clone());
+        }
+        *seen = pool.len();
+    }
+
+    /// The merged cross-cluster pool.
+    pub fn federated_pool(&self) -> &DataPool {
+        &self.federated
+    }
+
+    /// Per-cluster summaries, in poll order.
+    pub fn summaries(&self) -> &[ClusterSummary] {
+        &self.summaries
+    }
+
+    /// The least-CPU-loaded cluster by latest summary — the site a grid
+    /// scheduler would route a CPU-hungry job to.
+    pub fn least_cpu_loaded(&self) -> Option<&ClusterSummary> {
+        self.summaries
+            .iter()
+            .filter(|s| s.nodes > 0)
+            .min_by(|a, b| {
+                let ka = a.means.get("cpu_user").copied().unwrap_or(f64::INFINITY);
+                let kb = b.means.get("cpu_user").copied().unwrap_or(f64::INFINITY);
+                ka.partial_cmp(&kb).expect("finite means")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmond::ConstantSource;
+    use crate::metric::MetricFrame;
+
+    fn source(node: u32, cpu: f64) -> ConstantSource {
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, cpu);
+        ConstantSource::new(NodeId(node), f)
+    }
+
+    #[test]
+    fn cluster_tick_accumulates() {
+        let mut c = Cluster::new("siteA", vec![source(1, 10.0), source(2, 20.0)]);
+        assert_eq!(c.node_count(), 2);
+        for t in [5, 10, 15] {
+            c.tick(t).unwrap();
+        }
+        assert_eq!(c.pool().len(), 6);
+        assert_eq!(c.name(), "siteA");
+    }
+
+    #[test]
+    fn gmetad_federates_and_summarizes() {
+        let mut a = Cluster::new("siteA", vec![source(1, 90.0), source(2, 70.0)]);
+        let mut b = Cluster::new("siteB", vec![source(10, 5.0), source(11, 15.0), source(12, 10.0)]);
+        for t in [5, 10] {
+            a.tick(t).unwrap();
+            b.tick(t).unwrap();
+        }
+        let mut root = Gmetad::new();
+        root.poll(&a);
+        root.poll(&b);
+
+        assert_eq!(root.federated_pool().len(), 4 + 6);
+        assert_eq!(root.summaries().len(), 2);
+        let sa = &root.summaries()[0];
+        assert_eq!(sa.cluster, "siteA");
+        assert_eq!(sa.nodes, 2);
+        assert!((sa.means["cpu_user"] - 80.0).abs() < 1e-9);
+        let sb = &root.summaries()[1];
+        assert!((sb.means["cpu_user"] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_loaded_cluster_for_routing() {
+        let mut busy = Cluster::new("busy", vec![source(1, 95.0)]);
+        let mut idle = Cluster::new("idle", vec![source(2, 2.0)]);
+        busy.tick(5).unwrap();
+        idle.tick(5).unwrap();
+        let mut root = Gmetad::new();
+        root.poll(&busy);
+        root.poll(&idle);
+        assert_eq!(root.least_cpu_loaded().unwrap().cluster, "idle");
+    }
+
+    #[test]
+    fn repeated_polls_do_not_duplicate() {
+        let mut c = Cluster::new("site", vec![source(1, 10.0)]);
+        c.tick(5).unwrap();
+        let mut root = Gmetad::new();
+        root.poll(&c);
+        assert_eq!(root.federated_pool().len(), 1);
+        // Poll again with no new data: nothing added.
+        root.poll(&c);
+        assert_eq!(root.federated_pool().len(), 1);
+        // New tick, new poll: only the new snapshot arrives.
+        c.tick(10).unwrap();
+        root.poll(&c);
+        assert_eq!(root.federated_pool().len(), 2);
+    }
+
+    #[test]
+    fn empty_federation() {
+        let root = Gmetad::new();
+        assert!(root.federated_pool().is_empty());
+        assert!(root.least_cpu_loaded().is_none());
+    }
+
+    #[test]
+    fn summary_uses_latest_snapshot_per_node() {
+        // A node whose CPU changes over time: the summary must reflect the
+        // newest sample, not the history mean.
+        struct Ramp(NodeId);
+        impl MetricSource for Ramp {
+            fn node(&self) -> NodeId {
+                self.0
+            }
+            fn sample(&mut self, time: u64) -> MetricFrame {
+                let mut f = MetricFrame::zeroed();
+                f.set(MetricId::CpuUser, time as f64);
+                f
+            }
+        }
+        let mut c = Cluster::new("ramp", vec![Ramp(NodeId(1))]);
+        for t in [5, 10, 50] {
+            c.tick(t).unwrap();
+        }
+        let mut root = Gmetad::new();
+        root.poll(&c);
+        assert!((root.summaries()[0].means["cpu_user"] - 50.0).abs() < 1e-9);
+    }
+}

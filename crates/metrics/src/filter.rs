@@ -1,0 +1,111 @@
+//! The performance filter of the paper's Figure 1.
+//!
+//! Ganglia's multicast means the collected samples contain the performance
+//! data of *all* nodes in the subnet; the filter extracts the snapshots of
+//! the target application node for further processing, and reports what it
+//! discarded (the paper's §5.3 measures this extraction as a separate cost).
+
+use crate::error::Result;
+use crate::metric::MetricId;
+use crate::snapshot::{DataPool, NodeId};
+use appclass_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one extraction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtractionReport {
+    /// Node that was extracted.
+    pub target: NodeId,
+    /// Snapshots in the input pool (all nodes).
+    pub total_snapshots: usize,
+    /// Snapshots belonging to the target node.
+    pub extracted: usize,
+    /// Snapshots belonging to other nodes (discarded).
+    pub discarded: usize,
+}
+
+/// The performance filter: target-node extraction from the subnet pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerformanceFilter;
+
+impl PerformanceFilter {
+    /// Extracts the target node's full 33-metric sample matrix from the
+    /// pool, plus an extraction report.
+    pub fn extract(&self, pool: &DataPool, target: NodeId) -> Result<(Matrix, ExtractionReport)> {
+        let matrix = pool.sample_matrix(target)?;
+        let extracted = matrix.rows();
+        let total = pool.len();
+        Ok((
+            matrix,
+            ExtractionReport {
+                target,
+                total_snapshots: total,
+                extracted,
+                discarded: total - extracted,
+            },
+        ))
+    }
+
+    /// Extracts only the given metric columns for the target node.
+    pub fn extract_selected(
+        &self,
+        pool: &DataPool,
+        target: NodeId,
+        metrics: &[MetricId],
+    ) -> Result<(Matrix, ExtractionReport)> {
+        let matrix = pool.sample_matrix_selected(target, metrics)?;
+        let extracted = matrix.rows();
+        let total = pool.len();
+        Ok((
+            matrix,
+            ExtractionReport {
+                target,
+                total_snapshots: total,
+                extracted,
+                discarded: total - extracted,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{MetricFrame, METRIC_COUNT};
+    use crate::snapshot::Snapshot;
+
+    fn pool_with(nodes: &[u32]) -> DataPool {
+        let mut pool = DataPool::new();
+        for (t, &n) in nodes.iter().enumerate() {
+            pool.push(Snapshot::new(NodeId(n), t as u64, MetricFrame::zeroed()));
+        }
+        pool
+    }
+
+    #[test]
+    fn extraction_report_counts() {
+        let pool = pool_with(&[1, 2, 1, 3, 1]);
+        let (m, report) = PerformanceFilter.extract(&pool, NodeId(1)).unwrap();
+        assert_eq!(m.shape(), (3, METRIC_COUNT));
+        assert_eq!(report.extracted, 3);
+        assert_eq!(report.discarded, 2);
+        assert_eq!(report.total_snapshots, 5);
+    }
+
+    #[test]
+    fn missing_target_is_error() {
+        let pool = pool_with(&[2, 3]);
+        assert!(PerformanceFilter.extract(&pool, NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn selected_extraction_width() {
+        let pool = pool_with(&[4, 4]);
+        let (m, report) = PerformanceFilter
+            .extract_selected(&pool, NodeId(4), &MetricId::EXPERT_EIGHT)
+            .unwrap();
+        assert_eq!(m.shape(), (2, 8));
+        assert_eq!(report.extracted, 2);
+        assert_eq!(report.discarded, 0);
+    }
+}

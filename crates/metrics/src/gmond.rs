@@ -1,0 +1,279 @@
+//! The per-node monitoring daemon and the announce/listen metric bus.
+//!
+//! Ganglia's gmond multicasts each node's metrics on a subnet; every
+//! listener receives every node's announcements. [`MetricBus`] reproduces
+//! that topology over crossbeam channels: any number of [`Gmond`] daemons
+//! announce, any number of subscribers listen, and each subscriber observes
+//! the full subnet traffic (which is why the paper needs a *performance
+//! filter* downstream to pick out the target node).
+
+use crate::error::{Error, Result};
+use crate::metric::MetricFrame;
+use crate::snapshot::{NodeId, Snapshot};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Anything that can produce a metric frame on demand: the simulated VM's
+/// `/proc`-like surface implements this in `appclass-sim`.
+pub trait MetricSource {
+    /// The node this source describes.
+    fn node(&self) -> NodeId;
+    /// Samples the current metric values at simulation time `time` (s).
+    fn sample(&mut self, time: u64) -> MetricFrame;
+}
+
+/// A trivially constructible source for tests: replays a fixed frame.
+#[derive(Debug, Clone)]
+pub struct ConstantSource {
+    node: NodeId,
+    frame: MetricFrame,
+}
+
+impl ConstantSource {
+    /// Creates a source that always reports `frame` for `node`.
+    pub fn new(node: NodeId, frame: MetricFrame) -> Self {
+        ConstantSource { node, frame }
+    }
+}
+
+impl MetricSource for ConstantSource {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn sample(&mut self, _time: u64) -> MetricFrame {
+        self.frame.clone()
+    }
+}
+
+/// The announce/listen bus emulating Ganglia's multicast group.
+///
+/// Announcements are fanned out to every live subscriber. Subscribers that
+/// have been dropped are pruned lazily on the next announce.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_metrics::gmond::{ConstantSource, Gmond, MetricBus};
+/// use appclass_metrics::{MetricFrame, NodeId};
+///
+/// let bus = MetricBus::new();
+/// let listener = bus.subscribe();
+/// let mut daemon = Gmond::new(ConstantSource::new(NodeId(1), MetricFrame::zeroed()));
+/// daemon.announce_tick(5, &bus).unwrap();
+/// let snapshot = listener.try_recv().unwrap();
+/// assert_eq!(snapshot.node, NodeId(1));
+/// assert_eq!(snapshot.time, 5);
+/// ```
+#[derive(Default)]
+pub struct MetricBus {
+    subscribers: Mutex<Vec<Sender<Snapshot>>>,
+}
+
+impl MetricBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        MetricBus { subscribers: Mutex::new(Vec::new()) }
+    }
+
+    /// Registers a listener; the returned receiver sees every subsequent
+    /// announcement from every node.
+    pub fn subscribe(&self) -> Receiver<Snapshot> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Number of currently registered listeners (including dead ones not
+    /// yet pruned).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+
+    /// Multicasts a snapshot to all listeners.
+    ///
+    /// Returns [`Error::BusClosed`] if no listener is left to hear it —
+    /// announcing into the void usually indicates a wiring bug in the
+    /// monitoring setup.
+    pub fn announce(&self, snapshot: Snapshot) -> Result<()> {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(snapshot.clone()).is_ok());
+        if subs.is_empty() {
+            return Err(Error::BusClosed);
+        }
+        Ok(())
+    }
+}
+
+/// A per-node monitoring daemon: samples its [`MetricSource`] and announces
+/// the snapshot on the bus, like gmond's periodic metric broadcast.
+pub struct Gmond<S: MetricSource> {
+    source: S,
+}
+
+impl<S: MetricSource> Gmond<S> {
+    /// Wraps a metric source in a daemon.
+    pub fn new(source: S) -> Self {
+        Gmond { source }
+    }
+
+    /// The node this daemon monitors.
+    pub fn node(&self) -> NodeId {
+        self.source.node()
+    }
+
+    /// Samples once at `time` and announces the snapshot.
+    pub fn announce_tick(&mut self, time: u64, bus: &MetricBus) -> Result<Snapshot> {
+        let frame = self.source.sample(time);
+        let snap = Snapshot::new(self.source.node(), time, frame);
+        bus.announce(snap.clone())?;
+        Ok(snap)
+    }
+
+    /// Announces once per time in `times` (the deterministic synchronous
+    /// drive mode used by the reproduction experiments).
+    pub fn run_ticks(
+        &mut self,
+        bus: &MetricBus,
+        times: impl IntoIterator<Item = u64>,
+    ) -> Result<usize> {
+        let mut n = 0;
+        for t in times {
+            self.announce_tick(t, bus)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Read access to the wrapped source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Consumes the daemon, returning the wrapped source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+}
+
+/// Runs one gmond per source concurrently, each on its own thread,
+/// announcing at every time in `times`. Demonstrates that the bus is safe
+/// under real concurrency; experiment code uses the synchronous mode for
+/// determinism.
+pub fn run_threaded<S>(sources: Vec<S>, bus: &MetricBus, times: &[u64]) -> Result<usize>
+where
+    S: MetricSource + Send,
+{
+    let total = Mutex::new(0usize);
+    crossbeam::scope(|scope| {
+        for source in sources {
+            let total = &total;
+            scope.spawn(move |_| {
+                let mut gmond = Gmond::new(source);
+                let n = gmond.run_ticks(bus, times.iter().copied()).unwrap_or(0);
+                *total.lock() += n;
+            });
+        }
+    })
+    .expect("gmond worker panicked");
+    let n = total.into_inner();
+    if n == 0 && !times.is_empty() {
+        return Err(Error::BusClosed);
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::MetricId;
+
+    fn frame(v: f64) -> MetricFrame {
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, v);
+        f
+    }
+
+    #[test]
+    fn announce_reaches_all_subscribers() {
+        let bus = MetricBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        bus.announce(Snapshot::new(NodeId(1), 0, frame(1.0))).unwrap();
+        assert_eq!(rx1.try_recv().unwrap().node, NodeId(1));
+        assert_eq!(rx2.try_recv().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn announce_without_subscribers_errors() {
+        let bus = MetricBus::new();
+        assert_eq!(
+            bus.announce(Snapshot::new(NodeId(1), 0, frame(0.0))),
+            Err(Error::BusClosed)
+        );
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned() {
+        let bus = MetricBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        assert_eq!(bus.subscriber_count(), 2);
+        drop(rx2);
+        bus.announce(Snapshot::new(NodeId(1), 0, frame(0.0))).unwrap();
+        assert_eq!(bus.subscriber_count(), 1);
+        assert!(rx1.try_recv().is_ok());
+    }
+
+    #[test]
+    fn gmond_tick_announces_sampled_frame() {
+        let bus = MetricBus::new();
+        let rx = bus.subscribe();
+        let mut g = Gmond::new(ConstantSource::new(NodeId(5), frame(33.0)));
+        assert_eq!(g.node(), NodeId(5));
+        let snap = g.announce_tick(42, &bus).unwrap();
+        assert_eq!(snap.time, 42);
+        let got = rx.try_recv().unwrap();
+        assert_eq!(got.frame.get(MetricId::CpuUser), 33.0);
+    }
+
+    #[test]
+    fn run_ticks_counts() {
+        let bus = MetricBus::new();
+        let _rx = bus.subscribe();
+        let mut g = Gmond::new(ConstantSource::new(NodeId(1), frame(1.0)));
+        let n = g.run_ticks(&bus, (0..50).step_by(5)).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(_rx.len(), 10);
+    }
+
+    #[test]
+    fn multicast_semantics_every_listener_sees_every_node() {
+        let bus = MetricBus::new();
+        let rx = bus.subscribe();
+        let mut g1 = Gmond::new(ConstantSource::new(NodeId(1), frame(1.0)));
+        let mut g2 = Gmond::new(ConstantSource::new(NodeId(2), frame(2.0)));
+        g1.announce_tick(0, &bus).unwrap();
+        g2.announce_tick(0, &bus).unwrap();
+        let nodes: Vec<NodeId> = rx.try_iter().map(|s| s.node).collect();
+        assert_eq!(nodes, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn threaded_gmonds_deliver_everything() {
+        let bus = MetricBus::new();
+        let rx = bus.subscribe();
+        let sources: Vec<_> =
+            (0..4).map(|i| ConstantSource::new(NodeId(i), frame(i as f64))).collect();
+        let times: Vec<u64> = (0..100).collect();
+        let n = run_threaded(sources, &bus, &times).unwrap();
+        assert_eq!(n, 400);
+        assert_eq!(rx.len(), 400);
+        // every node contributed exactly 100 snapshots
+        let mut counts = [0usize; 4];
+        for s in rx.try_iter() {
+            counts[s.node.0 as usize] += 1;
+        }
+        assert_eq!(counts, [100; 4]);
+    }
+}

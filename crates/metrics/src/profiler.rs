@@ -1,0 +1,221 @@
+//! The performance profiler of the paper's Figure 1.
+//!
+//! The profiler interfaces with the resource manager to learn *which* node
+//! to profile and *when* (the application's start time `t0` and end time
+//! `t1`), then samples the monitoring system every `d` seconds. One run
+//! yields `m = (t1 - t0) / d` snapshots. Because the bus is multicast, the
+//! profiler records all nodes; the filter stage extracts the target.
+
+use crate::aggregator::Aggregator;
+use crate::error::{Error, Result};
+use crate::gmond::{Gmond, MetricBus, MetricSource};
+use crate::snapshot::{DataPool, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Default sampling interval, the paper's `d` = 5 seconds.
+pub const DEFAULT_SAMPLING_INTERVAL: u64 = 5;
+
+/// A data-collection instruction from the resource manager: profile the
+/// given node from `t0` to `t1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileRequest {
+    /// Node (VM) hosting the application of interest.
+    pub target: NodeId,
+    /// Application start time, seconds.
+    pub t0: u64,
+    /// Application end time, seconds.
+    pub t1: u64,
+}
+
+impl ProfileRequest {
+    /// Creates a request, validating the window.
+    pub fn new(target: NodeId, t0: u64, t1: u64) -> Result<Self> {
+        if t1 <= t0 {
+            return Err(Error::BadWindow { t0, t1, interval: DEFAULT_SAMPLING_INTERVAL });
+        }
+        Ok(ProfileRequest { target, t0, t1 })
+    }
+
+    /// Execution time `t1 - t0` in seconds.
+    pub fn duration(&self) -> u64 {
+        self.t1 - self.t0
+    }
+}
+
+/// The performance profiler: drives gmond daemons at the sampling frequency
+/// and accumulates the subnet-wide data pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PerformanceProfiler {
+    /// Sampling interval `d` in seconds.
+    pub interval: u64,
+}
+
+impl Default for PerformanceProfiler {
+    fn default() -> Self {
+        PerformanceProfiler { interval: DEFAULT_SAMPLING_INTERVAL }
+    }
+}
+
+impl PerformanceProfiler {
+    /// Creates a profiler with a custom sampling interval.
+    pub fn with_interval(interval: u64) -> Result<Self> {
+        if interval == 0 {
+            return Err(Error::BadWindow { t0: 0, t1: 0, interval });
+        }
+        Ok(PerformanceProfiler { interval })
+    }
+
+    /// The sampling instants for a request: `t0, t0+d, …` up to (but not
+    /// including) `t1`, giving the paper's `m = (t1 - t0) / d` snapshots.
+    pub fn sample_times(&self, req: &ProfileRequest) -> Vec<u64> {
+        (req.t0..req.t1).step_by(self.interval as usize).collect()
+    }
+
+    /// Expected number of snapshots per node for a request.
+    pub fn expected_samples(&self, req: &ProfileRequest) -> usize {
+        (req.duration() as usize).div_ceil(self.interval as usize)
+    }
+
+    /// Profiles a set of monitored nodes over the request window,
+    /// synchronously and deterministically: at each sampling instant every
+    /// gmond announces, and the aggregator drains the bus.
+    ///
+    /// Returns the subnet-wide pool (all nodes — filtering is the next
+    /// stage, as in the paper).
+    pub fn profile<S: MetricSource>(
+        &self,
+        sources: Vec<S>,
+        req: &ProfileRequest,
+    ) -> Result<DataPool> {
+        if req.t1 <= req.t0 {
+            return Err(Error::BadWindow { t0: req.t0, t1: req.t1, interval: self.interval });
+        }
+        let bus = MetricBus::new();
+        let mut agg = Aggregator::subscribe(&bus);
+        let mut gmonds: Vec<Gmond<S>> = sources.into_iter().map(Gmond::new).collect();
+        for t in self.sample_times(req) {
+            for g in gmonds.iter_mut() {
+                g.announce_tick(t, &bus)?;
+            }
+            agg.drain();
+        }
+        Ok(agg.into_pool())
+    }
+
+    /// Like [`PerformanceProfiler::profile`] but with every gmond on its
+    /// own thread, announcing concurrently — the deployment shape of a
+    /// real Ganglia subnet. Snapshot content is identical to the
+    /// synchronous mode for sources that don't depend on sampling order;
+    /// arrival order in the pool may differ (the filter sorts by time).
+    pub fn profile_threaded<S>(&self, sources: Vec<S>, req: &ProfileRequest) -> Result<DataPool>
+    where
+        S: MetricSource + Send,
+    {
+        if req.t1 <= req.t0 {
+            return Err(Error::BadWindow { t0: req.t0, t1: req.t1, interval: self.interval });
+        }
+        let bus = MetricBus::new();
+        let agg = Aggregator::subscribe(&bus);
+        let times = self.sample_times(req);
+        crate::gmond::run_threaded(sources, &bus, &times)?;
+        Ok(agg.into_pool())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmond::ConstantSource;
+    use crate::metric::{MetricFrame, MetricId, METRIC_COUNT};
+
+    fn source(id: u32, cpu: f64) -> ConstantSource {
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, cpu);
+        ConstantSource::new(NodeId(id), f)
+    }
+
+    #[test]
+    fn request_validates_window() {
+        assert!(ProfileRequest::new(NodeId(1), 10, 10).is_err());
+        assert!(ProfileRequest::new(NodeId(1), 10, 5).is_err());
+        let r = ProfileRequest::new(NodeId(1), 0, 50).unwrap();
+        assert_eq!(r.duration(), 50);
+    }
+
+    #[test]
+    fn interval_must_be_positive() {
+        assert!(PerformanceProfiler::with_interval(0).is_err());
+        assert!(PerformanceProfiler::with_interval(5).is_ok());
+    }
+
+    #[test]
+    fn sample_count_matches_m_formula() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 100).unwrap();
+        // m = (t1 - t0) / d = 100 / 5 = 20
+        assert_eq!(p.sample_times(&req).len(), 20);
+        assert_eq!(p.expected_samples(&req), 20);
+    }
+
+    #[test]
+    fn profile_collects_all_nodes() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 25).unwrap();
+        let pool = p.profile(vec![source(1, 10.0), source(2, 20.0)], &req).unwrap();
+        // 5 instants × 2 nodes
+        assert_eq!(pool.len(), 10);
+        assert_eq!(pool.count_for(NodeId(1)), 5);
+        assert_eq!(pool.count_for(NodeId(2)), 5);
+    }
+
+    #[test]
+    fn profile_matrix_has_m_rows_n_cols() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(7), 100, 200).unwrap();
+        let pool = p.profile(vec![source(7, 1.0)], &req).unwrap();
+        let m = pool.sample_matrix(NodeId(7)).unwrap();
+        assert_eq!(m.shape(), (20, METRIC_COUNT));
+    }
+
+    #[test]
+    fn profile_honours_custom_interval() {
+        let p = PerformanceProfiler::with_interval(10).unwrap();
+        let req = ProfileRequest::new(NodeId(1), 0, 100).unwrap();
+        let pool = p.profile(vec![source(1, 0.0)], &req).unwrap();
+        assert_eq!(pool.len(), 10);
+    }
+
+    #[test]
+    fn threaded_profile_matches_synchronous_counts() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 100).unwrap();
+        let sync_pool = p.profile(vec![source(1, 5.0), source(2, 6.0)], &req).unwrap();
+        let thr_pool = p.profile_threaded(vec![source(1, 5.0), source(2, 6.0)], &req).unwrap();
+        assert_eq!(sync_pool.len(), thr_pool.len());
+        for node in [NodeId(1), NodeId(2)] {
+            assert_eq!(sync_pool.count_for(node), thr_pool.count_for(node));
+            // ConstantSource is order-independent: matrices must be equal
+            // after the filter's time sort.
+            assert_eq!(
+                sync_pool.sample_matrix(node).unwrap(),
+                thr_pool.sample_matrix(node).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_profile_validates_window() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest { target: NodeId(1), t0: 10, t1: 10 };
+        assert!(p.profile_threaded(vec![source(1, 0.0)], &req).is_err());
+    }
+
+    #[test]
+    fn snapshots_are_timestamped_at_sampling_instants() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 15).unwrap();
+        let pool = p.profile(vec![source(1, 0.0)], &req).unwrap();
+        let times: Vec<u64> = pool.filter_node(NodeId(1)).iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![0, 5, 10]);
+    }
+}

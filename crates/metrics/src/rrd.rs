@@ -1,0 +1,304 @@
+//! Round-robin time-series storage (Ganglia's RRD analogue).
+//!
+//! Ganglia persists every metric into RRDtool round-robin databases:
+//! fixed-size ring buffers at several resolutions, where old samples are
+//! *consolidated* (averaged or maxed) into coarser rings instead of
+//! growing without bound. The paper's monitoring deployment inherits this
+//! property — a VM can be watched forever in constant space. This module
+//! reimplements the mechanism: a [`RoundRobinArchive`] holds one ring per
+//! resolution, each fed by consolidating the one below it.
+
+use serde::{Deserialize, Serialize};
+
+/// How multiple fine-grained samples consolidate into one coarse sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Consolidation {
+    /// Arithmetic mean (RRDtool's AVERAGE).
+    Average,
+    /// Maximum (RRDtool's MAX) — for peak-tracking metrics.
+    Max,
+    /// Most recent value (RRDtool's LAST).
+    Last,
+}
+
+impl Consolidation {
+    fn apply(self, samples: &[f64]) -> f64 {
+        match self {
+            Consolidation::Average => {
+                samples.iter().sum::<f64>() / samples.len().max(1) as f64
+            }
+            Consolidation::Max => samples.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            Consolidation::Last => *samples.last().expect("non-empty consolidation window"),
+        }
+    }
+}
+
+/// One fixed-capacity ring of `(time, value)` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ring {
+    capacity: usize,
+    /// Oldest-first storage; `start` indexes the logical first element.
+    data: Vec<(u64, f64)>,
+    start: usize,
+}
+
+impl Ring {
+    /// A ring holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring { capacity, data: Vec::with_capacity(capacity), start: 0 }
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of retained samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    ///
+    /// Defensive against state restored from untrusted serialization: a
+    /// zero capacity drops samples and an out-of-range `start` is wrapped,
+    /// rather than panicking.
+    pub fn push(&mut self, time: u64, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.data.len() < self.capacity {
+            self.data.push((time, value));
+        } else {
+            self.start %= self.data.len();
+            self.data[self.start] = (time, value);
+            self.start = (self.start + 1) % self.capacity;
+        }
+    }
+
+    /// Samples oldest-first. An out-of-range `start` (possible only via
+    /// untrusted deserialization) is clamped instead of panicking.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let (tail, head) = self.data.split_at(self.start.min(self.data.len()));
+        head.iter().chain(tail.iter()).copied()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        self.iter().last()
+    }
+}
+
+/// One archive level: a ring plus the consolidation step that feeds it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ArchiveLevel {
+    /// Primary samples consolidated into one sample at this level.
+    steps: usize,
+    ring: Ring,
+    /// Pending fine-grained samples awaiting consolidation.
+    pending: Vec<f64>,
+    pending_time: u64,
+}
+
+/// A multi-resolution round-robin archive for one metric.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_metrics::rrd::{Consolidation, RoundRobinArchive};
+///
+/// // 5 s primaries; keep 120 of them, plus 60 one-minute averages.
+/// let mut rrd = RoundRobinArchive::new(5, &[(1, 120), (12, 60)], Consolidation::Average);
+/// for i in 0..1000 {
+///     rrd.record(i * 5, i as f64);
+/// }
+/// assert_eq!(rrd.level_len(0), 120);
+/// assert_eq!(rrd.level_len(1), 60);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRobinArchive {
+    /// Seconds between primary samples (the paper's `d` = 5).
+    step_secs: u64,
+    consolidation: Consolidation,
+    levels: Vec<ArchiveLevel>,
+}
+
+impl RoundRobinArchive {
+    /// Builds an archive. `levels` is `(steps, rows)` per resolution:
+    /// `steps` primary samples consolidate into one row, of which `rows`
+    /// are retained. Level 0 conventionally uses `steps = 1` (raw).
+    pub fn new(step_secs: u64, levels: &[(usize, usize)], consolidation: Consolidation) -> Self {
+        assert!(!levels.is_empty(), "an archive needs at least one level");
+        RoundRobinArchive {
+            step_secs,
+            consolidation,
+            levels: levels
+                .iter()
+                .map(|&(steps, rows)| ArchiveLevel {
+                    steps: steps.max(1),
+                    ring: Ring::new(rows),
+                    pending: Vec::new(),
+                    pending_time: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Ganglia-like default: 5 s raw for an hour, 1 min averages for a
+    /// day, 15 min averages for a week.
+    pub fn ganglia_default() -> Self {
+        RoundRobinArchive::new(
+            5,
+            &[(1, 720), (12, 1_440), (180, 672)],
+            Consolidation::Average,
+        )
+    }
+
+    /// Number of resolution levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Retained samples at a level.
+    pub fn level_len(&self, level: usize) -> usize {
+        self.levels[level].ring.len()
+    }
+
+    /// Records one primary sample, cascading consolidation upward.
+    pub fn record(&mut self, time: u64, value: f64) {
+        for level in self.levels.iter_mut() {
+            if level.pending.is_empty() {
+                level.pending_time = time;
+            }
+            level.pending.push(value);
+            if level.pending.len() >= level.steps {
+                let consolidated = self.consolidation.apply(&level.pending);
+                level.ring.push(level.pending_time, consolidated);
+                level.pending.clear();
+            }
+        }
+    }
+
+    /// Samples at a level, oldest-first.
+    pub fn series(&self, level: usize) -> Vec<(u64, f64)> {
+        self.levels[level].ring.iter().collect()
+    }
+
+    /// The most recent consolidated value at a level.
+    pub fn last(&self, level: usize) -> Option<(u64, f64)> {
+        self.levels[level].ring.last()
+    }
+
+    /// Seconds covered by a level when full.
+    pub fn level_span_secs(&self, level: usize) -> u64 {
+        let l = &self.levels[level];
+        self.step_secs * l.steps as u64 * l.ring.capacity() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_eviction_order() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        for i in 0..5u64 {
+            r.push(i, i as f64);
+        }
+        assert_eq!(r.len(), 3);
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(v, vec![(2, 2.0), (3, 3.0), (4, 4.0)]);
+        assert_eq!(r.last(), Some((4, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_ring_panics() {
+        let _ = Ring::new(0);
+    }
+
+    #[test]
+    fn consolidation_functions() {
+        assert_eq!(Consolidation::Average.apply(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(Consolidation::Max.apply(&[1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(Consolidation::Last.apply(&[1.0, 5.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn cascading_consolidation() {
+        // 3 primaries per coarse row.
+        let mut rrd = RoundRobinArchive::new(5, &[(1, 100), (3, 100)], Consolidation::Average);
+        rrd.record(0, 1.0);
+        rrd.record(5, 2.0);
+        assert_eq!(rrd.level_len(1), 0, "coarse row incomplete");
+        rrd.record(10, 3.0);
+        assert_eq!(rrd.level_len(1), 1);
+        assert_eq!(rrd.last(1), Some((0, 2.0)), "average of 1,2,3 stamped at window start");
+        assert_eq!(rrd.level_len(0), 3);
+    }
+
+    #[test]
+    fn constant_space_over_long_runs() {
+        let mut rrd = RoundRobinArchive::new(5, &[(1, 10), (4, 5)], Consolidation::Average);
+        for i in 0..10_000u64 {
+            rrd.record(i * 5, (i % 7) as f64);
+        }
+        assert_eq!(rrd.level_len(0), 10);
+        assert_eq!(rrd.level_len(1), 5);
+        // Fine level retains the most recent samples.
+        let newest = rrd.series(0).last().unwrap().0;
+        assert_eq!(newest, 9_999 * 5);
+    }
+
+    #[test]
+    fn max_consolidation_tracks_peaks() {
+        let mut rrd = RoundRobinArchive::new(5, &[(1, 10), (5, 10)], Consolidation::Max);
+        for (i, v) in [1.0, 9.0, 2.0, 3.0, 1.0].iter().enumerate() {
+            rrd.record(i as u64 * 5, *v);
+        }
+        assert_eq!(rrd.last(1).unwrap().1, 9.0);
+    }
+
+    #[test]
+    fn ganglia_default_spans() {
+        let rrd = RoundRobinArchive::ganglia_default();
+        assert_eq!(rrd.level_count(), 3);
+        assert_eq!(rrd.level_span_secs(0), 3_600); // raw hour
+        assert_eq!(rrd.level_span_secs(1), 86_400); // day of minutes
+        assert_eq!(rrd.level_span_secs(2), 604_800); // week of quarter-hours
+    }
+
+    #[test]
+    fn hostile_deserialized_ring_does_not_panic() {
+        // start beyond len and capacity 0: both tolerated.
+        let json = r#"{"capacity":3,"data":[[0,1.0],[5,2.0]],"start":99}"#;
+        let mut ring: Ring = serde_json::from_str(json).unwrap();
+        let _ = ring.iter().count();
+        ring.push(10, 3.0);
+        ring.push(15, 4.0);
+        assert_eq!(ring.len(), 3);
+        let json0 = r#"{"capacity":0,"data":[],"start":0}"#;
+        let mut zero: Ring = serde_json::from_str(json0).unwrap();
+        zero.push(0, 1.0); // dropped, no panic
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rrd = RoundRobinArchive::new(5, &[(1, 4), (2, 2)], Consolidation::Average);
+        for i in 0..9u64 {
+            rrd.record(i * 5, i as f64);
+        }
+        let json = serde_json::to_string(&rrd).unwrap();
+        let back: RoundRobinArchive = serde_json::from_str(&json).unwrap();
+        assert_eq!(rrd, back);
+    }
+}

@@ -1,0 +1,289 @@
+//! Snapshots and the application performance data pool.
+//!
+//! A [`Snapshot`] is one node's full metric frame at one sampling instant.
+//! The profiler accumulates snapshots into a [`DataPool`] — the paper's
+//! `A(n×m)` matrix of `m` snapshots by `n = 33` metrics (we store it
+//! row-per-snapshot, i.e. `Aᵀ`, the conventional sample-matrix layout).
+
+use crate::error::{Error, Result};
+use crate::metric::{MetricFrame, MetricId, METRIC_COUNT};
+use appclass_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a monitored node (the paper uses the VM's IP address; a
+/// small integer id plays that role here).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One monitoring sample: a node, a timestamp (simulation seconds), and the
+/// full 33-metric frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Node the frame describes.
+    pub node: NodeId,
+    /// Sample time in seconds since simulation start.
+    pub time: u64,
+    /// The metric values.
+    pub frame: MetricFrame,
+}
+
+impl Snapshot {
+    /// Creates a snapshot.
+    pub fn new(node: NodeId, time: u64, frame: MetricFrame) -> Self {
+        Snapshot { node, time, frame }
+    }
+
+    /// Validates that every metric value is finite.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(idx) = self.frame.first_non_finite() {
+            return Err(Error::NonFiniteMetric { node: self.node, metric: idx });
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of snapshots, possibly spanning many nodes — what
+/// the Ganglia listener accumulates, since multicast delivers every node's
+/// announcements to every listener.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataPool {
+    snapshots: Vec<Snapshot>,
+}
+
+impl DataPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        DataPool { snapshots: Vec::new() }
+    }
+
+    /// Appends a snapshot (kept in arrival order).
+    pub fn push(&mut self, s: Snapshot) {
+        self.snapshots.push(s);
+    }
+
+    /// Total number of stored snapshots (across all nodes).
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if no snapshots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Immutable view of all snapshots.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Number of snapshots recorded for one node.
+    pub fn count_for(&self, node: NodeId) -> usize {
+        self.snapshots.iter().filter(|s| s.node == node).count()
+    }
+
+    /// The distinct nodes present, sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut set: BTreeMap<NodeId, ()> = BTreeMap::new();
+        for s in &self.snapshots {
+            set.insert(s.node, ());
+        }
+        set.into_keys().collect()
+    }
+
+    /// Extracts the target node's snapshots in time order — the paper's
+    /// *performance filter* step.
+    pub fn filter_node(&self, node: NodeId) -> Vec<&Snapshot> {
+        let mut out: Vec<&Snapshot> = self.snapshots.iter().filter(|s| s.node == node).collect();
+        out.sort_by_key(|s| s.time);
+        out
+    }
+
+    /// Assembles the target node's sample matrix: one row per snapshot,
+    /// `METRIC_COUNT` columns (the transpose of the paper's `A(n×m)`).
+    ///
+    /// Returns [`Error::NoSamples`] when the node never reported, and
+    /// [`Error::NonFiniteMetric`] when any sample is corrupt.
+    pub fn sample_matrix(&self, node: NodeId) -> Result<Matrix> {
+        let snaps = self.filter_node(node);
+        if snaps.is_empty() {
+            return Err(Error::NoSamples { node });
+        }
+        let mut m = Matrix::zeros(snaps.len(), METRIC_COUNT);
+        for (i, s) in snaps.iter().enumerate() {
+            s.validate()?;
+            m.row_mut(i).copy_from_slice(s.frame.as_slice());
+        }
+        Ok(m)
+    }
+
+    /// Like [`DataPool::sample_matrix`] but keeping only the given metric
+    /// columns, in order — used by the expert-knowledge preprocessor.
+    pub fn sample_matrix_selected(&self, node: NodeId, metrics: &[MetricId]) -> Result<Matrix> {
+        let snaps = self.filter_node(node);
+        if snaps.is_empty() {
+            return Err(Error::NoSamples { node });
+        }
+        let mut m = Matrix::zeros(snaps.len(), metrics.len());
+        for (i, s) in snaps.iter().enumerate() {
+            s.validate()?;
+            m.row_mut(i).copy_from_slice(&s.frame.select(metrics));
+        }
+        Ok(m)
+    }
+
+    /// Merges another pool into this one.
+    pub fn extend(&mut self, other: DataPool) {
+        self.snapshots.extend(other.snapshots);
+    }
+
+    /// Exports one node's time series as CSV: a `time` column followed by
+    /// every metric in catalogue order. The header row uses the gmond
+    /// metric names, so the file drops straight into external analysis
+    /// tools.
+    pub fn to_csv(&self, node: NodeId) -> Result<String> {
+        let snaps = self.filter_node(node);
+        if snaps.is_empty() {
+            return Err(Error::NoSamples { node });
+        }
+        let mut out = String::from("time");
+        for id in MetricId::ALL {
+            out.push(',');
+            out.push_str(id.name());
+        }
+        out.push('\n');
+        for s in snaps {
+            s.validate()?;
+            out.push_str(&s.time.to_string());
+            for v in s.frame.as_slice() {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_with(id: MetricId, v: f64) -> MetricFrame {
+        let mut f = MetricFrame::zeroed();
+        f.set(id, v);
+        f
+    }
+
+    #[test]
+    fn push_and_filter() {
+        let mut pool = DataPool::new();
+        pool.push(Snapshot::new(NodeId(1), 10, frame_with(MetricId::CpuUser, 1.0)));
+        pool.push(Snapshot::new(NodeId(2), 10, frame_with(MetricId::CpuUser, 2.0)));
+        pool.push(Snapshot::new(NodeId(1), 5, frame_with(MetricId::CpuUser, 0.5)));
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.count_for(NodeId(1)), 2);
+        let filtered = pool.filter_node(NodeId(1));
+        assert_eq!(filtered.len(), 2);
+        // sorted by time
+        assert_eq!(filtered[0].time, 5);
+        assert_eq!(filtered[1].time, 10);
+    }
+
+    #[test]
+    fn nodes_sorted_unique() {
+        let mut pool = DataPool::new();
+        for id in [3u32, 1, 2, 1, 3] {
+            pool.push(Snapshot::new(NodeId(id), 0, MetricFrame::zeroed()));
+        }
+        assert_eq!(pool.nodes(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn sample_matrix_shape_and_content() {
+        let mut pool = DataPool::new();
+        pool.push(Snapshot::new(NodeId(7), 0, frame_with(MetricId::BytesIn, 100.0)));
+        pool.push(Snapshot::new(NodeId(7), 5, frame_with(MetricId::BytesIn, 200.0)));
+        let m = pool.sample_matrix(NodeId(7)).unwrap();
+        assert_eq!(m.shape(), (2, METRIC_COUNT));
+        assert_eq!(m[(0, MetricId::BytesIn.index())], 100.0);
+        assert_eq!(m[(1, MetricId::BytesIn.index())], 200.0);
+    }
+
+    #[test]
+    fn sample_matrix_missing_node() {
+        let pool = DataPool::new();
+        assert_eq!(
+            pool.sample_matrix(NodeId(9)).unwrap_err(),
+            Error::NoSamples { node: NodeId(9) }
+        );
+    }
+
+    #[test]
+    fn sample_matrix_rejects_nan() {
+        let mut pool = DataPool::new();
+        pool.push(Snapshot::new(NodeId(1), 0, frame_with(MetricId::IoBi, f64::NAN)));
+        assert!(matches!(
+            pool.sample_matrix(NodeId(1)),
+            Err(Error::NonFiniteMetric { .. })
+        ));
+    }
+
+    #[test]
+    fn selected_matrix_orders_columns() {
+        let mut pool = DataPool::new();
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, 1.0);
+        f.set(MetricId::SwapOut, 9.0);
+        pool.push(Snapshot::new(NodeId(1), 0, f));
+        let m = pool
+            .sample_matrix_selected(NodeId(1), &[MetricId::SwapOut, MetricId::CpuUser])
+            .unwrap();
+        assert_eq!(m.shape(), (1, 2));
+        assert_eq!(m[(0, 0)], 9.0);
+        assert_eq!(m[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = DataPool::new();
+        a.push(Snapshot::new(NodeId(1), 0, MetricFrame::zeroed()));
+        let mut b = DataPool::new();
+        b.push(Snapshot::new(NodeId(2), 0, MetricFrame::zeroed()));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn csv_export_shape_and_values() {
+        let mut pool = DataPool::new();
+        pool.push(Snapshot::new(NodeId(1), 5, frame_with(MetricId::CpuUser, 42.5)));
+        pool.push(Snapshot::new(NodeId(2), 5, MetricFrame::zeroed())); // other node
+        pool.push(Snapshot::new(NodeId(1), 10, frame_with(MetricId::CpuUser, 43.0)));
+        let csv = pool.to_csv(NodeId(1)).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[0].starts_with("time,cpu_user,"));
+        assert_eq!(lines[0].split(',').count(), 1 + METRIC_COUNT);
+        assert!(lines[1].starts_with("5,42.5,"));
+        assert!(lines[2].starts_with("10,43,"));
+        assert!(pool.to_csv(NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn snapshot_validate() {
+        let ok = Snapshot::new(NodeId(1), 0, MetricFrame::zeroed());
+        assert!(ok.validate().is_ok());
+        let bad = Snapshot::new(NodeId(1), 0, frame_with(MetricId::CpuIdle, f64::NEG_INFINITY));
+        assert!(bad.validate().is_err());
+    }
+}

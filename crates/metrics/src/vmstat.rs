@@ -1,0 +1,126 @@
+//! The paper's vmstat add-on collector.
+//!
+//! Ganglia's default metric list lacks the I/O and paging rates the
+//! classifier needs, so the authors wrote a program that parses `vmstat`
+//! output and injects four extra metrics into gmond's list: blocks
+//! read/written per second (`io bi`/`io bo`) and memory swapped in/out per
+//! second (`si`/`so`). This module is that collector: a [`VmstatReading`]
+//! carries the four rates, and [`VmstatAugmented`] grafts them onto any
+//! base [`MetricSource`], exactly as the paper extended gmond.
+
+use crate::gmond::MetricSource;
+use crate::metric::{MetricFrame, MetricId};
+use crate::snapshot::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One `vmstat` observation: the four rates the paper adds to Ganglia.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VmstatReading {
+    /// Blocks received from a block device (reads), blocks/s (`vmstat`
+    /// column `bi`).
+    pub io_bi: f64,
+    /// Blocks sent to a block device (writes), blocks/s (`bo`).
+    pub io_bo: f64,
+    /// Memory swapped in from disk, kB/s (`si`).
+    pub swap_in: f64,
+    /// Memory swapped out to disk, kB/s (`so`).
+    pub swap_out: f64,
+}
+
+impl VmstatReading {
+    /// Writes the four rates into their reserved slots of a frame.
+    pub fn apply_to(&self, frame: &mut MetricFrame) {
+        frame.set(MetricId::IoBi, self.io_bi);
+        frame.set(MetricId::IoBo, self.io_bo);
+        frame.set(MetricId::SwapIn, self.swap_in);
+        frame.set(MetricId::SwapOut, self.swap_out);
+    }
+
+    /// Reads the four rates back out of a frame.
+    pub fn from_frame(frame: &MetricFrame) -> Self {
+        VmstatReading {
+            io_bi: frame.get(MetricId::IoBi),
+            io_bo: frame.get(MetricId::IoBo),
+            swap_in: frame.get(MetricId::SwapIn),
+            swap_out: frame.get(MetricId::SwapOut),
+        }
+    }
+}
+
+/// Supplier of vmstat readings for a node (implemented by the simulated VM).
+pub trait VmstatProvider {
+    /// Current vmstat rates at simulation time `time`.
+    fn vmstat(&mut self, time: u64) -> VmstatReading;
+}
+
+/// A [`MetricSource`] decorator that merges a base source's frame with a
+/// [`VmstatProvider`]'s four extra metrics — the reproduction of the paper's
+/// patched gmond metric list.
+pub struct VmstatAugmented<S, V> {
+    base: S,
+    vmstat: V,
+}
+
+impl<S: MetricSource, V: VmstatProvider> VmstatAugmented<S, V> {
+    /// Combines a base metric source with a vmstat provider.
+    pub fn new(base: S, vmstat: V) -> Self {
+        VmstatAugmented { base, vmstat }
+    }
+}
+
+impl<S: MetricSource, V: VmstatProvider> MetricSource for VmstatAugmented<S, V> {
+    fn node(&self) -> NodeId {
+        self.base.node()
+    }
+
+    fn sample(&mut self, time: u64) -> MetricFrame {
+        let mut frame = self.base.sample(time);
+        self.vmstat.vmstat(time).apply_to(&mut frame);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmond::ConstantSource;
+
+    struct FixedVmstat(VmstatReading);
+
+    impl VmstatProvider for FixedVmstat {
+        fn vmstat(&mut self, _time: u64) -> VmstatReading {
+            self.0
+        }
+    }
+
+    #[test]
+    fn apply_and_read_back() {
+        let r = VmstatReading { io_bi: 1.0, io_bo: 2.0, swap_in: 3.0, swap_out: 4.0 };
+        let mut f = MetricFrame::zeroed();
+        r.apply_to(&mut f);
+        assert_eq!(VmstatReading::from_frame(&f), r);
+    }
+
+    #[test]
+    fn augmented_source_merges() {
+        let mut base_frame = MetricFrame::zeroed();
+        base_frame.set(MetricId::CpuUser, 80.0);
+        let base = ConstantSource::new(NodeId(3), base_frame);
+        let reading = VmstatReading { io_bi: 500.0, io_bo: 100.0, swap_in: 0.0, swap_out: 0.0 };
+        let mut src = VmstatAugmented::new(base, FixedVmstat(reading));
+        assert_eq!(src.node(), NodeId(3));
+        let f = src.sample(0);
+        // base metric survives
+        assert_eq!(f.get(MetricId::CpuUser), 80.0);
+        // vmstat metrics injected
+        assert_eq!(f.get(MetricId::IoBi), 500.0);
+        assert_eq!(f.get(MetricId::IoBo), 100.0);
+    }
+
+    #[test]
+    fn default_reading_is_zero() {
+        let r = VmstatReading::default();
+        assert_eq!(r.io_bi, 0.0);
+        assert_eq!(r.swap_out, 0.0);
+    }
+}

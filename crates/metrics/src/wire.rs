@@ -1,0 +1,155 @@
+//! Wire format for metric announcements (gmond's XDR analogue).
+//!
+//! Real gmond serializes each metric announcement with XDR before
+//! multicasting it. This module provides the equivalent compact binary
+//! codec for [`Snapshot`]s: a fixed header (magic, version, node id,
+//! timestamp) followed by the 33 metric values as big-endian IEEE-754
+//! doubles. Decoding validates the magic, version, frame width and value
+//! finiteness, so a corrupted or truncated datagram is rejected instead of
+//! poisoning the data pool.
+
+use crate::error::{Error, Result};
+use crate::metric::{MetricFrame, METRIC_COUNT};
+use crate::snapshot::{NodeId, Snapshot};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes opening every announcement ("GMON").
+pub const MAGIC: u32 = 0x474D_4F4E;
+
+/// Wire protocol version.
+pub const VERSION: u16 = 1;
+
+/// Encoded size of one announcement: header + payload.
+pub const WIRE_SIZE: usize = 4 + 2 + 2 + 4 + 8 + METRIC_COUNT * 8;
+
+/// Encodes a snapshot into its wire representation.
+pub fn encode(snapshot: &Snapshot) -> Bytes {
+    let mut buf = BytesMut::with_capacity(WIRE_SIZE);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u16(METRIC_COUNT as u16);
+    buf.put_u32(snapshot.node.0);
+    buf.put_u64(snapshot.time);
+    for &v in snapshot.frame.as_slice() {
+        buf.put_f64(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a wire announcement back into a snapshot.
+///
+/// Rejects short buffers, bad magic/version, unexpected metric counts and
+/// non-finite values — all as [`Error::MalformedWire`].
+pub fn decode(mut data: &[u8]) -> Result<Snapshot> {
+    if data.len() < WIRE_SIZE {
+        return Err(Error::MalformedWire {
+            reason: "truncated announcement",
+            offset: data.len(),
+        });
+    }
+    let magic = data.get_u32();
+    if magic != MAGIC {
+        return Err(Error::MalformedWire { reason: "bad magic", offset: 0 });
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(Error::MalformedWire { reason: "unsupported version", offset: 4 });
+    }
+    let count = data.get_u16() as usize;
+    if count != METRIC_COUNT {
+        return Err(Error::MalformedWire { reason: "unexpected metric count", offset: 6 });
+    }
+    let node = NodeId(data.get_u32());
+    let time = data.get_u64();
+    let mut values = Vec::with_capacity(METRIC_COUNT);
+    for i in 0..METRIC_COUNT {
+        let v = data.get_f64();
+        if !v.is_finite() {
+            return Err(Error::MalformedWire {
+                reason: "non-finite metric value",
+                offset: 20 + i * 8,
+            });
+        }
+        values.push(v);
+    }
+    let frame = MetricFrame::from_values(&values).expect("exact width");
+    Ok(Snapshot::new(node, time, frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::MetricId;
+
+    fn snapshot() -> Snapshot {
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, 42.25);
+        f.set(MetricId::SwapOut, 1234.5);
+        Snapshot::new(NodeId(7), 12345, f)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = snapshot();
+        let wire = encode(&s);
+        assert_eq!(wire.len(), WIRE_SIZE);
+        let back = decode(&wire).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let wire = encode(&snapshot());
+        for cut in [0, 1, 10, WIRE_SIZE - 1] {
+            let err = decode(&wire[..cut]).unwrap_err();
+            assert!(matches!(err, Error::MalformedWire { .. }), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = encode(&snapshot()).to_vec();
+        wire[0] ^= 0xFF;
+        assert!(matches!(
+            decode(&wire),
+            Err(Error::MalformedWire { reason: "bad magic", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut wire = encode(&snapshot()).to_vec();
+        wire[5] = 99;
+        assert!(matches!(
+            decode(&wire),
+            Err(Error::MalformedWire { reason: "unsupported version", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_nan_rejected() {
+        let mut wire = encode(&snapshot()).to_vec();
+        // Overwrite the first metric value with a NaN bit pattern.
+        let nan = f64::NAN.to_be_bytes();
+        wire[20..28].copy_from_slice(&nan);
+        assert!(matches!(
+            decode(&wire),
+            Err(Error::MalformedWire { reason: "non-finite metric value", .. })
+        ));
+    }
+
+    #[test]
+    fn values_survive_exactly() {
+        // Bit-exact round trip for awkward doubles.
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::BytesIn, f64::MIN_POSITIVE);
+        f.set(MetricId::BytesOut, 1.0e308);
+        f.set(MetricId::LoadOne, -0.0);
+        let s = Snapshot::new(NodeId(u32::MAX), u64::MAX, f);
+        let back = decode(&encode(&s)).unwrap();
+        assert_eq!(back.node, NodeId(u32::MAX));
+        assert_eq!(back.time, u64::MAX);
+        assert_eq!(back.frame.get(MetricId::BytesOut), 1.0e308);
+        assert!(back.frame.get(MetricId::LoadOne).to_bits() == (-0.0f64).to_bits());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests of the wire codec: arbitrary finite snapshots round-trip
+//! bit-exactly, and arbitrary byte mutations never panic the decoder.
+
+use appclass_metrics::wire::{decode, encode, WIRE_SIZE};
+use appclass_metrics::{MetricFrame, NodeId, Snapshot, METRIC_COUNT};
+use proptest::prelude::*;
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        prop::collection::vec(-1.0e12f64..1.0e12, METRIC_COUNT),
+    )
+        .prop_map(|(node, time, values)| {
+            Snapshot::new(NodeId(node), time, MetricFrame::from_values(&values).unwrap())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_bit_exact(snap in arb_snapshot()) {
+        let wire = encode(&snap);
+        prop_assert_eq!(wire.len(), WIRE_SIZE);
+        let back = decode(&wire).unwrap();
+        prop_assert_eq!(back.node, snap.node);
+        prop_assert_eq!(back.time, snap.time);
+        for (a, b) in back.frame.as_slice().iter().zip(snap.frame.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        snap in arb_snapshot(),
+        idx in 0usize..WIRE_SIZE,
+        xor in 1u8..=255,
+    ) {
+        let mut wire = encode(&snap).to_vec();
+        wire[idx] ^= xor;
+        // Must either decode to *something* or return a typed error —
+        // never panic. (Corruptions inside a double usually still decode;
+        // header corruptions must be caught.)
+        let _ = decode(&wire);
+        if idx < 8 {
+            // Magic/version corruption is always detected.
+            prop_assert!(decode(&wire).is_err());
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(snap in arb_snapshot(), cut in 0usize..WIRE_SIZE) {
+        let wire = encode(&snap);
+        prop_assert!(decode(&wire[..cut]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_ignored(snap in arb_snapshot(), extra in 0usize..64) {
+        // Datagrams can arrive padded; the decoder reads its fixed frame.
+        let mut wire = encode(&snap).to_vec();
+        wire.extend(std::iter::repeat_n(0xAB, extra));
+        let back = decode(&wire).unwrap();
+        prop_assert_eq!(back.node, snap.node);
+    }
+}

@@ -1,0 +1,170 @@
+//! Resource demand vectors and host capacities.
+//!
+//! A [`ResourceDemand`] is what an application *asks for* during one second
+//! of wall-clock time, before any contention or environment effect is
+//! applied. The VM turns demand into observed metrics; the host scales
+//! demand down when co-located VMs oversubscribe a resource.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-second resource demand of an application, uncontended.
+///
+/// CPU fractions are of a single core (`1.0` = one core fully busy); the
+/// paper's hosts are dual-CPU, so a host can absorb `2.0` total. Disk is in
+/// `vmstat` blocks (1 kB) per second; network in bytes per second; the
+/// working set is the amount of memory the application actively touches.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceDemand {
+    /// User-mode CPU demand, fraction of one core.
+    pub cpu_user: f64,
+    /// System-mode CPU demand, fraction of one core.
+    pub cpu_system: f64,
+    /// Blocks read from disk per second.
+    pub disk_read: f64,
+    /// Blocks written to disk per second.
+    pub disk_write: f64,
+    /// Network bytes received per second.
+    pub net_in: f64,
+    /// Network bytes sent per second.
+    pub net_out: f64,
+    /// Actively touched memory, kB.
+    pub working_set_kb: f64,
+    /// Size of the file data the I/O stream touches, kB. Determines how
+    /// much of the traffic the OS buffer cache can absorb: a dataset that
+    /// fits in cache produces almost no physical disk I/O (SPECseis96 A),
+    /// while a file pool larger than cache hits the disk (PostMark).
+    pub file_set_kb: f64,
+    /// Memory-access temporal pattern under overcommit. `true` for
+    /// phase-structured applications (SPECseis, STREAM) whose page faults
+    /// cluster when a new region is touched, then subside — their paging
+    /// alternates between near-quiet and storm. `false` for uniform-random
+    /// access (PageBench), which faults steadily.
+    pub bursty_paging: bool,
+}
+
+impl ResourceDemand {
+    /// A demand that asks for nothing (an idle tick).
+    pub fn idle() -> Self {
+        ResourceDemand::default()
+    }
+
+    /// Total CPU demand (user + system), fraction of one core.
+    pub fn cpu_total(&self) -> f64 {
+        self.cpu_user + self.cpu_system
+    }
+
+    /// Total disk blocks per second.
+    pub fn disk_total(&self) -> f64 {
+        self.disk_read + self.disk_write
+    }
+
+    /// Total network bytes per second.
+    pub fn net_total(&self) -> f64 {
+        self.net_in + self.net_out
+    }
+
+    /// Element-wise scaling (used by contention: a VM granted 50% of its
+    /// demand does 50% of its work that second).
+    pub fn scaled(&self, f: f64) -> Self {
+        ResourceDemand {
+            cpu_user: self.cpu_user * f,
+            cpu_system: self.cpu_system * f,
+            disk_read: self.disk_read * f,
+            disk_write: self.disk_write * f,
+            net_in: self.net_in * f,
+            net_out: self.net_out * f,
+            // Footprints are not rates: they do not shrink because the
+            // application runs slower.
+            working_set_kb: self.working_set_kb,
+            file_set_kb: self.file_set_kb,
+            bursty_paging: self.bursty_paging,
+        }
+    }
+
+    /// True when every rate component is (near) zero.
+    pub fn is_idle(&self) -> bool {
+        self.cpu_total() < 1e-9 && self.disk_total() < 1e-9 && self.net_total() < 1e-9
+    }
+}
+
+/// Capacity of a physical host (the paper's dual-CPU Xeon servers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Capacity {
+    /// Number of CPU cores (fractional allowed).
+    pub cpu_cores: f64,
+    /// Disk bandwidth, blocks per second.
+    pub disk_blocks_per_sec: f64,
+    /// Network bandwidth, bytes per second.
+    pub net_bytes_per_sec: f64,
+}
+
+impl Capacity {
+    /// A host modelled on the paper's testbed: dual 1.8–2.4 GHz Xeon,
+    /// a 2005-era IDE/SCSI disk (~12 MB/s ≈ 12 000 blocks/s), and Gigabit
+    /// Ethernet (~110 MB/s effective).
+    pub fn paper_host() -> Self {
+        Capacity {
+            cpu_cores: 2.0,
+            disk_blocks_per_sec: 12_000.0,
+            net_bytes_per_sec: 110.0e6,
+        }
+    }
+}
+
+impl Default for Capacity {
+    fn default() -> Self {
+        Capacity::paper_host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_demand_is_idle() {
+        assert!(ResourceDemand::idle().is_idle());
+        let d = ResourceDemand { cpu_user: 0.5, ..Default::default() };
+        assert!(!d.is_idle());
+    }
+
+    #[test]
+    fn totals() {
+        let d = ResourceDemand {
+            cpu_user: 0.6,
+            cpu_system: 0.2,
+            disk_read: 100.0,
+            disk_write: 50.0,
+            net_in: 10.0,
+            net_out: 20.0,
+            working_set_kb: 1000.0,
+            file_set_kb: 0.0,
+            bursty_paging: false,
+        };
+        assert!((d.cpu_total() - 0.8).abs() < 1e-12);
+        assert_eq!(d.disk_total(), 150.0);
+        assert_eq!(d.net_total(), 30.0);
+    }
+
+    #[test]
+    fn scaling_preserves_working_set() {
+        let d = ResourceDemand {
+            cpu_user: 1.0,
+            disk_read: 200.0,
+            working_set_kb: 4096.0,
+            ..Default::default()
+        };
+        let s = d.scaled(0.25);
+        assert_eq!(s.cpu_user, 0.25);
+        assert_eq!(s.disk_read, 50.0);
+        assert_eq!(s.working_set_kb, 4096.0);
+    }
+
+    #[test]
+    fn paper_host_capacity() {
+        let c = Capacity::paper_host();
+        assert_eq!(c.cpu_cores, 2.0);
+        assert!(c.disk_blocks_per_sec > 0.0);
+        assert!(c.net_bytes_per_sec > 0.0);
+    }
+}

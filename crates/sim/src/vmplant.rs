@@ -1,0 +1,408 @@
+//! VMPlant-style VM creation: DAG-configured cloning of application VMs.
+//!
+//! The paper's classifier "is inspired by the VMPlant project, which
+//! provides automated cloning and configuration of application-centric
+//! Virtual Machines… Customized, application-specific VMs can be defined
+//! in VMPlant with the use of a directed acyclic graph (DAG)
+//! configuration. VM execution environments defined within this framework
+//! can then be cloned and dynamically instantiated" (§2).
+//!
+//! This module reproduces that substrate: a [`VmPlan`] is a DAG of
+//! configuration actions over a golden image (set memory, attach an NFS
+//! mount, install an application, set the node identity); [`VmPlant`]
+//! validates the DAG, executes it in topological order, and instantiates
+//! the finished [`VirtualMachine`] — which is how the experiment runners
+//! could provision their VMs in a deployment-shaped way.
+
+use crate::vm::{DiskBacking, VirtualMachine, VmConfig};
+use crate::workload::BoxedWorkload;
+use appclass_metrics::NodeId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// One configuration action in a VM plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigAction {
+    /// Set the VM's memory size in kB.
+    SetMemory(f64),
+    /// Set the VM's swap size in kB.
+    SetSwap(f64),
+    /// Back the working directory locally or over NFS.
+    SetDisk(DiskBacking),
+    /// Set the number of virtual CPUs.
+    SetCpus(f64),
+    /// Set the reported CPU clock (MHz).
+    SetCpuMhz(f64),
+    /// Assign the node identity (the paper's VM IP).
+    AssignNode(NodeId),
+    /// Marker action with no config effect (e.g. "install application
+    /// files") — exists so plans can express ordering constraints the
+    /// way real VMPlant DAGs do.
+    Provision(&'static str),
+}
+
+/// Errors from plan validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A dependency edge referenced an unknown step.
+    UnknownStep(String),
+    /// The dependency graph has a cycle including this step.
+    Cycle(String),
+    /// Two steps with the same name were added.
+    DuplicateStep(String),
+    /// The plan finished without assigning a node identity.
+    NoNodeAssigned,
+    /// A numeric parameter was not positive.
+    BadParameter(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownStep(s) => write!(f, "dependency on unknown step `{s}`"),
+            PlanError::Cycle(s) => write!(f, "configuration DAG has a cycle involving `{s}`"),
+            PlanError::DuplicateStep(s) => write!(f, "duplicate step name `{s}`"),
+            PlanError::NoNodeAssigned => write!(f, "plan never assigns a node identity"),
+            PlanError::BadParameter(s) => write!(f, "bad parameter in step `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A named step with dependencies.
+#[derive(Debug, Clone)]
+struct PlanStep {
+    action: ConfigAction,
+    deps: Vec<String>,
+}
+
+/// A DAG of configuration actions defining an application VM.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_metrics::NodeId;
+/// use appclass_sim::vm::DiskBacking;
+/// use appclass_sim::vmplant::{ConfigAction, VmPlan, VmPlant};
+///
+/// // PostMark_NFS's environment: standard clone, NFS working directory.
+/// let plan = VmPlan::new()
+///     .step("node", ConfigAction::AssignNode(NodeId(2)), &[]).unwrap()
+///     .step("nfs-mount", ConfigAction::SetDisk(DiskBacking::Nfs), &["node"]).unwrap();
+/// let cfg = VmPlant::new().configure(&plan).unwrap();
+/// assert_eq!(cfg.disk, DiskBacking::Nfs);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VmPlan {
+    steps: BTreeMap<String, PlanStep>,
+}
+
+impl VmPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        VmPlan::default()
+    }
+
+    /// Adds a step with dependencies on earlier-named steps.
+    pub fn step(
+        mut self,
+        name: &str,
+        action: ConfigAction,
+        deps: &[&str],
+    ) -> Result<Self, PlanError> {
+        if self.steps.contains_key(name) {
+            return Err(PlanError::DuplicateStep(name.to_string()));
+        }
+        self.steps.insert(
+            name.to_string(),
+            PlanStep { action, deps: deps.iter().map(|s| s.to_string()).collect() },
+        );
+        Ok(self)
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the plan has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Validates the DAG and returns the execution order (Kahn's
+    /// algorithm; ties resolve alphabetically for determinism).
+    pub fn topological_order(&self) -> Result<Vec<String>, PlanError> {
+        // Validate edges.
+        for (name, step) in &self.steps {
+            for d in &step.deps {
+                if !self.steps.contains_key(d) {
+                    return Err(PlanError::UnknownStep(format!("{name} -> {d}")));
+                }
+            }
+        }
+        let mut indegree: BTreeMap<&str, usize> =
+            self.steps.keys().map(|k| (k.as_str(), 0)).collect();
+        let mut dependents: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (name, step) in &self.steps {
+            for d in &step.deps {
+                *indegree.get_mut(name.as_str()).expect("validated") += 1;
+                dependents.entry(d.as_str()).or_default().push(name.as_str());
+            }
+        }
+        let mut ready: VecDeque<&str> = indegree
+            .iter()
+            .filter(|(_, &deg)| deg == 0)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut order = Vec::with_capacity(self.steps.len());
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        while let Some(next) = ready.pop_front() {
+            order.push(next.to_string());
+            done.insert(next);
+            if let Some(deps) = dependents.get(next) {
+                for &d in deps {
+                    let deg = indegree.get_mut(d).expect("known step");
+                    *deg -= 1;
+                    if *deg == 0 {
+                        ready.push_back(d);
+                    }
+                }
+            }
+        }
+        if order.len() != self.steps.len() {
+            let stuck = self
+                .steps
+                .keys()
+                .find(|k| !done.contains(k.as_str()))
+                .expect("some step is stuck");
+            return Err(PlanError::Cycle(stuck.clone()));
+        }
+        Ok(order)
+    }
+}
+
+/// The VM factory: executes plans against a golden-image baseline.
+#[derive(Debug, Clone)]
+pub struct VmPlant {
+    /// The golden image's baseline configuration, cloned per instantiation.
+    golden: VmConfig,
+    /// Instantiation counter (for reporting).
+    cloned: usize,
+}
+
+impl VmPlant {
+    /// A plant whose golden image matches the paper's standard VM.
+    pub fn new() -> Self {
+        VmPlant { golden: VmConfig::paper_default(NodeId(0)), cloned: 0 }
+    }
+
+    /// A plant with a custom golden image.
+    pub fn with_golden(golden: VmConfig) -> Self {
+        VmPlant { golden, cloned: 0 }
+    }
+
+    /// VMs instantiated so far.
+    pub fn cloned(&self) -> usize {
+        self.cloned
+    }
+
+    /// Executes a plan and returns the resulting configuration.
+    pub fn configure(&self, plan: &VmPlan) -> Result<VmConfig, PlanError> {
+        let order = plan.topological_order()?;
+        let mut cfg = self.golden;
+        let mut node_assigned = false;
+        for name in &order {
+            let step = &plan.steps[name];
+            match step.action {
+                ConfigAction::SetMemory(kb) => {
+                    if kb <= 0.0 {
+                        return Err(PlanError::BadParameter(name.clone()));
+                    }
+                    cfg.memory_kb = kb;
+                }
+                ConfigAction::SetSwap(kb) => {
+                    if kb < 0.0 {
+                        return Err(PlanError::BadParameter(name.clone()));
+                    }
+                    cfg.swap_kb = kb;
+                }
+                ConfigAction::SetDisk(backing) => cfg.disk = backing,
+                ConfigAction::SetCpus(n) => {
+                    if n <= 0.0 {
+                        return Err(PlanError::BadParameter(name.clone()));
+                    }
+                    cfg.cpu_num = n;
+                }
+                ConfigAction::SetCpuMhz(mhz) => {
+                    if mhz <= 0.0 {
+                        return Err(PlanError::BadParameter(name.clone()));
+                    }
+                    cfg.cpu_mhz = mhz;
+                }
+                ConfigAction::AssignNode(node) => {
+                    cfg.node = node;
+                    node_assigned = true;
+                }
+                ConfigAction::Provision(_) => {}
+            }
+        }
+        if !node_assigned {
+            return Err(PlanError::NoNodeAssigned);
+        }
+        Ok(cfg)
+    }
+
+    /// Clones the golden image, applies the plan, and boots the workload —
+    /// VMPlant's "clone and dynamically instantiate".
+    pub fn instantiate(
+        &mut self,
+        plan: &VmPlan,
+        workload: BoxedWorkload,
+        seed: u64,
+    ) -> Result<VirtualMachine, PlanError> {
+        let cfg = self.configure(plan)?;
+        self.cloned += 1;
+        Ok(VirtualMachine::new(cfg, workload, seed))
+    }
+}
+
+impl Default for VmPlant {
+    fn default() -> Self {
+        VmPlant::new()
+    }
+}
+
+/// The plan the paper's SPECseis96 B experiment needs: clone the standard
+/// image, shrink memory to 32 MB, assign the node.
+pub fn small_memory_plan(node: NodeId) -> VmPlan {
+    VmPlan::new()
+        .step("assign-node", ConfigAction::AssignNode(node), &[])
+        .expect("fresh name")
+        .step("shrink-memory", ConfigAction::SetMemory(32.0 * 1024.0), &["assign-node"])
+        .expect("fresh name")
+        .step("install-app", ConfigAction::Provision("SPECseis96"), &["shrink-memory"])
+        .expect("fresh name")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::specseis::{specseis, DataSize};
+
+    fn plan_basic(node: u32) -> VmPlan {
+        VmPlan::new()
+            .step("node", ConfigAction::AssignNode(NodeId(node)), &[])
+            .unwrap()
+            .step("mem", ConfigAction::SetMemory(128.0 * 1024.0), &["node"])
+            .unwrap()
+    }
+
+    #[test]
+    fn topological_order_respects_deps() {
+        let plan = VmPlan::new()
+            .step("c", ConfigAction::Provision("late"), &["b"])
+            .unwrap()
+            .step("a", ConfigAction::AssignNode(NodeId(1)), &[])
+            .unwrap()
+            .step("b", ConfigAction::Provision("mid"), &["a"])
+            .unwrap();
+        let order = plan.topological_order().unwrap();
+        let pos = |n: &str| order.iter().position(|s| s == n).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let plan = VmPlan::new()
+            .step("a", ConfigAction::Provision("x"), &["b"])
+            .unwrap()
+            .step("b", ConfigAction::Provision("y"), &["a"])
+            .unwrap();
+        assert!(matches!(plan.topological_order(), Err(PlanError::Cycle(_))));
+    }
+
+    #[test]
+    fn unknown_dep_detected() {
+        let plan = VmPlan::new().step("a", ConfigAction::Provision("x"), &["ghost"]).unwrap();
+        assert!(matches!(plan.topological_order(), Err(PlanError::UnknownStep(_))));
+    }
+
+    #[test]
+    fn duplicate_step_rejected() {
+        let res = VmPlan::new()
+            .step("a", ConfigAction::Provision("x"), &[])
+            .unwrap()
+            .step("a", ConfigAction::Provision("y"), &[]);
+        assert!(matches!(res, Err(PlanError::DuplicateStep(_))));
+    }
+
+    #[test]
+    fn configure_applies_actions_in_order() {
+        let plant = VmPlant::new();
+        let cfg = plant.configure(&plan_basic(7)).unwrap();
+        assert_eq!(cfg.node, NodeId(7));
+        assert_eq!(cfg.memory_kb, 128.0 * 1024.0);
+        // untouched fields inherit the golden image
+        assert_eq!(cfg.cpu_num, 2.0);
+    }
+
+    #[test]
+    fn later_steps_override_earlier() {
+        let plan = VmPlan::new()
+            .step("node", ConfigAction::AssignNode(NodeId(1)), &[])
+            .unwrap()
+            .step("mem1", ConfigAction::SetMemory(64.0 * 1024.0), &["node"])
+            .unwrap()
+            .step("mem2", ConfigAction::SetMemory(256.0 * 1024.0), &["mem1"])
+            .unwrap();
+        let cfg = VmPlant::new().configure(&plan).unwrap();
+        assert_eq!(cfg.memory_kb, 256.0 * 1024.0);
+    }
+
+    #[test]
+    fn node_assignment_required() {
+        let plan = VmPlan::new().step("mem", ConfigAction::SetMemory(1024.0), &[]).unwrap();
+        assert_eq!(VmPlant::new().configure(&plan), Err(PlanError::NoNodeAssigned));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let plan = VmPlan::new()
+            .step("node", ConfigAction::AssignNode(NodeId(1)), &[])
+            .unwrap()
+            .step("mem", ConfigAction::SetMemory(-5.0), &[])
+            .unwrap();
+        assert!(matches!(VmPlant::new().configure(&plan), Err(PlanError::BadParameter(_))));
+    }
+
+    #[test]
+    fn instantiate_boots_a_runnable_vm() {
+        let mut plant = VmPlant::new();
+        let plan = small_memory_plan(NodeId(3));
+        let mut vm = plant
+            .instantiate(&plan, Box::new(specseis(DataSize::Small)), 5)
+            .unwrap();
+        assert_eq!(plant.cloned(), 1);
+        assert_eq!(vm.config().memory_kb, 32.0 * 1024.0);
+        assert_eq!(vm.node(), NodeId(3));
+        // Small memory ⇒ the cloned VM pages, like SPECseis96 B.
+        for _ in 0..60 {
+            vm.tick_solo();
+        }
+        assert!(vm.progress() < 59.0, "paging must slow the starved clone");
+    }
+
+    #[test]
+    fn nfs_plan_flips_backing() {
+        let plan = VmPlan::new()
+            .step("node", ConfigAction::AssignNode(NodeId(9)), &[])
+            .unwrap()
+            .step("nfs", ConfigAction::SetDisk(DiskBacking::Nfs), &["node"])
+            .unwrap();
+        let cfg = VmPlant::new().configure(&plan).unwrap();
+        assert_eq!(cfg.disk, DiskBacking::Nfs);
+    }
+}

@@ -1,0 +1,58 @@
+//! Autobench — automated web-server benchmark via httperf (NET test).
+//!
+//! Autobench wraps `httperf` to sweep request rates against a web server.
+//! On the client node this is sustained HTTP traffic: small requests out,
+//! response bodies in, with the kernel and httperf burning moderate CPU.
+//! The paper's 172-sample run classified 100% NET (Table 3).
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the Autobench client workload model (rate sweep, ~860 s).
+pub fn autobench() -> PhasedWorkload {
+    let mk = |rate_scale: f64| ResourceDemand {
+        cpu_user: 0.08 * rate_scale.min(1.5),
+        cpu_system: 0.20 * rate_scale.min(1.5),
+        net_in: 2.0e7 * rate_scale,
+        net_out: 2.5e6 * rate_scale,
+        working_set_kb: 12.0 * 1024.0,
+        ..Default::default()
+    };
+    PhasedWorkload::new(
+        "Autobench",
+        WorkloadKind::Net,
+        vec![
+            Phase::new(215, mk(0.5), 0.3),
+            Phase::new(215, mk(0.8), 0.3),
+            Phase::new(215, mk(1.1), 0.3),
+            Phase::new(215, mk(1.4), 0.3),
+        ],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn responses_dominate_inbound() {
+        let mut w = autobench();
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = w.demand(500, &mut rng);
+        assert!(d.net_in > d.net_out * 2.0, "HTTP responses are bigger than requests");
+    }
+
+    #[test]
+    fn rate_sweep_increases_traffic() {
+        let mut w = autobench();
+        let mut rng = StdRng::seed_from_u64(10);
+        let lo = w.demand(100, &mut rng).net_total();
+        let hi = w.demand(800, &mut rng).net_total();
+        assert!(hi > lo);
+        assert_eq!(w.nominal_duration(), Some(860));
+    }
+}

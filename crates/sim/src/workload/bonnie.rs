@@ -1,0 +1,137 @@
+//! Bonnie — the classic Unix file-system benchmark (I/O & paging test).
+//!
+//! Bonnie runs a fixed sequence of stages against one large test file:
+//! per-character writes, block writes, a read-modify-write pass,
+//! per-character reads, block reads, and random seeks. The per-character
+//! stages burn notable CPU (getc/putc loops); the block stages are nearly
+//! pure disk bandwidth. The paper's 94-sample run classified 86% I/O,
+//! 4% CPU, 9.6% paging (Table 3).
+//!
+//! This model is deliberately **multi-stage**: it exercises the paper's
+//! observation that long applications move between resource signatures
+//! within a single run.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the Bonnie workload model (six stages, ~470 s).
+pub fn bonnie() -> PhasedWorkload {
+    let ws = 22.0 * 1024.0;
+    let fs = 800.0 * 1024.0; // test file larger than any cache
+    let base = ResourceDemand { working_set_kb: ws, file_set_kb: fs, ..Default::default() };
+    PhasedWorkload::new(
+        "Bonnie",
+        WorkloadKind::IoPaging,
+        vec![
+            // putc: per-character write, CPU + disk (reads are the
+            // filesystem's own metadata/journal traffic).
+            Phase::new(
+                90,
+                ResourceDemand {
+                    cpu_user: 0.35,
+                    cpu_system: 0.25,
+                    disk_read: 1_200.0,
+                    disk_write: 3_500.0,
+                    ..base
+                },
+                0.15,
+            ),
+            // block write: disk bandwidth.
+            Phase::new(
+                90,
+                ResourceDemand {
+                    cpu_user: 0.04,
+                    cpu_system: 0.15,
+                    disk_read: 1_500.0,
+                    disk_write: 7_500.0,
+                    ..base
+                },
+                0.15,
+            ),
+            // rewrite: read-modify-write.
+            Phase::new(
+                90,
+                ResourceDemand {
+                    cpu_user: 0.05,
+                    cpu_system: 0.18,
+                    disk_read: 3_500.0,
+                    disk_write: 3_500.0,
+                    ..base
+                },
+                0.15,
+            ),
+            // getc: per-character read.
+            Phase::new(
+                90,
+                ResourceDemand {
+                    cpu_user: 0.35,
+                    cpu_system: 0.25,
+                    disk_read: 3_500.0,
+                    disk_write: 1_200.0,
+                    ..base
+                },
+                0.15,
+            ),
+            // block read.
+            Phase::new(
+                60,
+                ResourceDemand {
+                    cpu_user: 0.04,
+                    cpu_system: 0.15,
+                    disk_read: 8_000.0,
+                    disk_write: 1_500.0,
+                    ..base
+                },
+                0.15,
+            ),
+            // random seeks.
+            Phase::new(
+                50,
+                ResourceDemand {
+                    cpu_user: 0.05,
+                    cpu_system: 0.12,
+                    disk_read: 1_800.0,
+                    disk_write: 1_800.0,
+                    ..base
+                },
+                0.25,
+            ),
+        ],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn six_stage_structure() {
+        let w = bonnie();
+        assert_eq!(w.nominal_duration(), Some(470));
+    }
+
+    #[test]
+    fn stages_differ_in_signature() {
+        let mut w = bonnie();
+        let mut rng = StdRng::seed_from_u64(6);
+        let putc = w.demand(45, &mut rng);
+        let block_write = w.demand(135, &mut rng);
+        let block_read = w.demand(400, &mut rng);
+        assert!(putc.cpu_total() > block_write.cpu_total());
+        assert!(block_write.disk_write > putc.disk_write);
+        assert!(block_read.disk_read > 4_000.0);
+        assert!(block_read.disk_read > block_read.disk_write * 3.0, "read-dominated stage");
+    }
+
+    #[test]
+    fn always_io_heavy_on_average() {
+        let mut w = bonnie();
+        let mut rng = StdRng::seed_from_u64(6);
+        let total: f64 = (0..470).step_by(10).map(|t| w.demand(t, &mut rng).disk_total()).sum();
+        assert!(total / 47.0 > 2_000.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! CH3D — a curvilinear-grid hydrodynamics 3D model (CPU-intensive test).
+//!
+//! CH3D simulates coastal circulation on a structured grid: time-stepped
+//! stencil computation with periodic result dumps. The paper's 45-sample run
+//! classified 100% CPU (Table 3), and CH3D is the CPU half of the Table 4
+//! concurrent-vs-sequential experiment.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the CH3D workload model.
+pub fn ch3d() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "CH3D",
+        WorkloadKind::Cpu,
+        vec![Phase::new(
+            225,
+            ResourceDemand {
+                cpu_user: 0.96,
+                cpu_system: 0.02,
+                disk_write: 50.0,
+                working_set_kb: 60.0 * 1024.0,
+                file_set_kb: 20.0 * 1024.0,
+                ..Default::default()
+            },
+            0.05,
+        )],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cpu_dominated_with_result_dumps() {
+        let mut w = ch3d();
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = w.demand(100, &mut rng);
+        assert!(d.cpu_user > 0.8);
+        assert!(d.disk_write < 200.0);
+        assert_eq!(w.nominal_duration(), Some(225));
+        assert_eq!(w.kind(), WorkloadKind::Cpu);
+    }
+}

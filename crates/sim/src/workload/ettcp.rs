@@ -1,0 +1,57 @@
+//! Ettcp — TCP/UDP throughput benchmark (NET training app).
+//!
+//! Ettcp (an evolution of the classic `ttcp`) blasts a TCP or UDP stream
+//! between two nodes and reports the achieved throughput. On the client it
+//! is almost pure network transmission plus the kernel's protocol
+//! processing (system CPU). The paper uses it as the training application
+//! for the network-intensive class.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the Ettcp client workload model.
+pub fn ettcp() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "Ettcp",
+        WorkloadKind::Net,
+        vec![Phase::new(
+            300,
+            ResourceDemand {
+                cpu_user: 0.05,
+                cpu_system: 0.30,
+                net_out: 1.4e7, // ~14 MB/s: GigE through 2005-era VMware GSX
+                net_in: 7.0e5,  // ACK traffic
+                working_set_kb: 10.0 * 1024.0,
+                ..Default::default()
+            },
+            0.12,
+        )],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn network_dominated() {
+        let mut w = ettcp();
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = w.demand(100, &mut rng);
+        assert!(d.net_out > 1e7);
+        assert!(d.disk_total() == 0.0);
+        assert_eq!(w.kind(), WorkloadKind::Net);
+    }
+
+    #[test]
+    fn protocol_processing_is_system_cpu() {
+        let mut w = ettcp();
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = w.demand(0, &mut rng);
+        assert!(d.cpu_system > d.cpu_user);
+    }
+}

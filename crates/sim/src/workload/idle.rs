@@ -1,0 +1,62 @@
+//! Idle — a machine with no application, only background daemons.
+//!
+//! "A machine with no load except for background load from system daemons
+//! is considered as in idle state" (§3). The idle state is one of the five
+//! training classes; its signature is near-zero everything, with the faint
+//! pulse of cron jobs, log flushes, and Ganglia's own multicast chatter.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the idle "workload": background daemons, cycling forever.
+pub fn idle() -> PhasedWorkload {
+    let quiet = ResourceDemand {
+        cpu_user: 0.004,
+        cpu_system: 0.004,
+        net_in: 1_500.0, // monitoring chatter
+        net_out: 900.0,
+        working_set_kb: 6.0 * 1024.0,
+        ..Default::default()
+    };
+    let cron_pulse = ResourceDemand {
+        cpu_user: 0.02,
+        cpu_system: 0.01,
+        disk_write: 12.0, // log flush
+        net_in: 1_500.0,
+        net_out: 900.0,
+        working_set_kb: 6.0 * 1024.0,
+        file_set_kb: 1_024.0,
+        ..Default::default()
+    };
+    PhasedWorkload::new(
+        "Idle",
+        WorkloadKind::Idle,
+        vec![Phase::new(55, quiet, 0.6), Phase::new(5, cron_pulse, 0.6)],
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn runs_forever() {
+        assert_eq!(idle().nominal_duration(), None);
+    }
+
+    #[test]
+    fn near_zero_everything() {
+        let mut w = idle();
+        let mut rng = StdRng::seed_from_u64(14);
+        for t in (0..600).step_by(13) {
+            let d = w.demand(t, &mut rng);
+            assert!(d.cpu_total() < 0.1);
+            assert!(d.disk_total() < 100.0);
+            assert!(d.net_total() < 10_000.0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! NetPIPE — protocol-independent network performance tool (NET test).
+//!
+//! NetPIPE ping-pongs messages of exponentially growing size between two
+//! nodes, so one run sweeps from latency-bound small messages (low
+//! bandwidth, some idle time) to bandwidth-bound large messages. The
+//! paper's 74-sample run classified 91.9% NET with small idle and I/O
+//! residues (Table 3) — the residues come from the low-rate start of the
+//! sweep, which this model reproduces with its ramp phases.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the NetPIPE client workload model (~370 s sweep).
+pub fn netpipe() -> PhasedWorkload {
+    let mk = |rate: f64, cpu_sys: f64| ResourceDemand {
+        cpu_user: 0.04,
+        cpu_system: cpu_sys,
+        net_in: rate / 2.0,
+        net_out: rate / 2.0,
+        working_set_kb: 8.0 * 1024.0,
+        ..Default::default()
+    };
+    PhasedWorkload::new(
+        "NetPIPE",
+        WorkloadKind::Net,
+        vec![
+            // Setup: options parsing, warm-up, a little file output.
+            Phase::new(
+                15,
+                ResourceDemand {
+                    cpu_user: 0.03,
+                    cpu_system: 0.02,
+                    disk_read: 250.0,
+                    working_set_kb: 8.0 * 1024.0,
+                    file_set_kb: 300.0 * 1024.0,
+                    ..Default::default()
+                },
+                0.3,
+            ),
+            // Message-size ramp: the large-message sizes dominate wall
+            // time because NetPIPE repeats each size until it has a stable
+            // bandwidth estimate, and big transfers take longer per rep.
+            Phase::new(25, mk(2.0e6, 0.08), 0.25),
+            Phase::new(40, mk(6.0e6, 0.12), 0.2),
+            Phase::new(70, mk(1.2e7, 0.20), 0.15),
+            Phase::new(100, mk(2.4e7, 0.28), 0.12),
+            Phase::new(120, mk(4.0e7, 0.35), 0.10),
+        ],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ramp_grows_monotonically() {
+        let mut w = netpipe();
+        let mut rng = StdRng::seed_from_u64(9);
+        let early = w.demand(50, &mut rng).net_total();
+        let mid = w.demand(200, &mut rng).net_total();
+        let late = w.demand(340, &mut rng).net_total();
+        assert!(early < mid && mid < late, "{early} < {mid} < {late}");
+    }
+
+    #[test]
+    fn symmetric_ping_pong() {
+        let mut w = netpipe();
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = w.demand(300, &mut rng);
+        let ratio = d.net_in / d.net_out;
+        assert!(ratio > 0.5 && ratio < 2.0, "ping-pong traffic is symmetric");
+    }
+
+    #[test]
+    fn duration_matches_paper_sample_count() {
+        // 74 samples × 5 s = 370 s
+        assert_eq!(netpipe().nominal_duration(), Some(370));
+    }
+}

@@ -1,0 +1,73 @@
+//! PageBench — the paper's synthetic paging benchmark (MEM training app).
+//!
+//! PageBench "initializes and updates an array whose size is bigger than
+//! the memory of the virtual machine, thereby inducing frequent paging
+//! activity" (§4.2.3). It is the training application for the
+//! paging/memory-intensive class. All the interesting behaviour — the swap
+//! storm, the disk traffic of the swap device, the progress collapse — is
+//! produced by the VM's paging model; the workload itself just declares a
+//! working set larger than the VM's memory.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Default array size: 400 MB, comfortably above the paper's 256 MB VMs.
+pub const DEFAULT_ARRAY_MB: f64 = 400.0;
+
+/// Builds PageBench with the default 400 MB array.
+pub fn pagebench() -> PhasedWorkload {
+    pagebench_with_array(DEFAULT_ARRAY_MB)
+}
+
+/// Builds PageBench with a custom array size (MB) — used by ablation
+/// experiments to sweep the paging intensity.
+pub fn pagebench_with_array(array_mb: f64) -> PhasedWorkload {
+    PhasedWorkload::new(
+        "PageBench",
+        WorkloadKind::Mem,
+        vec![Phase::new(
+            300,
+            ResourceDemand {
+                cpu_user: 0.20,
+                cpu_system: 0.10,
+                working_set_kb: array_mb * 1024.0,
+                ..Default::default()
+            },
+            0.08,
+        )],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn working_set_exceeds_paper_vm_memory() {
+        let mut w = pagebench();
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = w.demand(0, &mut rng);
+        assert!(d.working_set_kb > 256.0 * 1024.0);
+        assert_eq!(w.kind(), WorkloadKind::Mem);
+    }
+
+    #[test]
+    fn custom_array_size() {
+        let mut w = pagebench_with_array(512.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(w.demand(0, &mut rng).working_set_kb, 512.0 * 1024.0);
+    }
+
+    #[test]
+    fn no_explicit_io_or_network() {
+        let mut w = pagebench();
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = w.demand(10, &mut rng);
+        assert_eq!(d.disk_total(), 0.0, "paging I/O comes from the VM, not the app");
+        assert_eq!(d.net_total(), 0.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The workload registry: the paper's Table 2 in executable form.
+//!
+//! Each [`WorkloadSpec`] binds a benchmark model to the VM configuration
+//! the paper ran it in, its expected behaviour class (ground truth for the
+//! evaluation), and whether it serves as a training application for the
+//! classifier. The Table 3 experiment iterates this registry.
+
+use crate::vm::VmConfig;
+use crate::workload::{
+    autobench, bonnie, ch3d, ettcp, idle, netpipe, pagebench, postmark, sftp, simplescalar,
+    specseis, stream, vmd, xspim, BoxedWorkload, WorkloadKind,
+};
+use appclass_metrics::NodeId;
+
+/// One entry of Table 2: a runnable benchmark with its environment.
+pub struct WorkloadSpec {
+    /// Row name as used in Table 3 (e.g. `SPECseis96_B`).
+    pub name: &'static str,
+    /// Expected behaviour class (evaluation ground truth, never a
+    /// classifier input).
+    pub expected: WorkloadKind,
+    /// True for the five training applications (§4.2.3).
+    pub training: bool,
+    /// What the benchmark does and why it represents its class.
+    pub description: &'static str,
+    /// Builds a fresh workload instance.
+    pub build: fn() -> BoxedWorkload,
+    /// The VM configuration the paper ran this benchmark in.
+    pub vm_config: fn(NodeId) -> VmConfig,
+    /// Monitoring window in seconds for workloads that run until stopped
+    /// (`None` = run to workload completion).
+    pub run_secs: Option<u64>,
+}
+
+fn vm_default(node: NodeId) -> VmConfig {
+    VmConfig::paper_default(node)
+}
+
+fn vm_small(node: NodeId) -> VmConfig {
+    VmConfig::small_memory(node)
+}
+
+fn vm_nfs(node: NodeId) -> VmConfig {
+    VmConfig::paper_default(node).with_nfs()
+}
+
+fn b_specseis_medium() -> BoxedWorkload {
+    Box::new(specseis::specseis(specseis::DataSize::Medium))
+}
+fn b_specseis_small() -> BoxedWorkload {
+    Box::new(specseis::specseis(specseis::DataSize::Small))
+}
+fn b_simplescalar() -> BoxedWorkload {
+    Box::new(simplescalar::simplescalar())
+}
+fn b_ch3d() -> BoxedWorkload {
+    Box::new(ch3d::ch3d())
+}
+fn b_postmark() -> BoxedWorkload {
+    Box::new(postmark::postmark())
+}
+fn b_pagebench() -> BoxedWorkload {
+    Box::new(pagebench::pagebench())
+}
+fn b_bonnie() -> BoxedWorkload {
+    Box::new(bonnie::bonnie())
+}
+fn b_stream() -> BoxedWorkload {
+    Box::new(stream::stream())
+}
+fn b_ettcp() -> BoxedWorkload {
+    Box::new(ettcp::ettcp())
+}
+fn b_netpipe() -> BoxedWorkload {
+    Box::new(netpipe::netpipe())
+}
+fn b_autobench() -> BoxedWorkload {
+    Box::new(autobench::autobench())
+}
+fn b_sftp() -> BoxedWorkload {
+    Box::new(sftp::sftp())
+}
+fn b_vmd() -> BoxedWorkload {
+    Box::new(vmd::vmd())
+}
+fn b_xspim() -> BoxedWorkload {
+    Box::new(xspim::xspim())
+}
+fn b_idle() -> BoxedWorkload {
+    Box::new(idle::idle())
+}
+
+/// The five training applications (§4.2.3): one representative per class.
+pub fn training_specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "SPECseis96-train",
+            expected: WorkloadKind::Cpu,
+            training: true,
+            description: "Seismic processing, the CPU-intensive exemplar",
+            build: b_specseis_small,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "PostMark-train",
+            expected: WorkloadKind::IoPaging,
+            training: true,
+            description: "File-system transactions, the IO-intensive exemplar",
+            build: b_postmark,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "PageBench-train",
+            expected: WorkloadKind::Mem,
+            training: true,
+            description: "Array bigger than VM memory, the paging exemplar",
+            build: b_pagebench,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "Ettcp-train",
+            expected: WorkloadKind::Net,
+            training: true,
+            description: "TCP throughput blast, the network exemplar",
+            build: b_ettcp,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "Idle-train",
+            expected: WorkloadKind::Idle,
+            training: true,
+            description: "Background daemons only",
+            build: b_idle,
+            vm_config: vm_default,
+            run_secs: Some(300),
+        },
+    ]
+}
+
+/// The Table 3 test rows, in the paper's order.
+pub fn test_specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "SPECseis96_A",
+            expected: WorkloadKind::Cpu,
+            training: false,
+            description: "Medium data in a 256 MB VM: pure CPU",
+            build: b_specseis_medium,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "SPECseis96_C",
+            expected: WorkloadKind::Cpu,
+            training: false,
+            description: "Small data in a 256 MB VM: pure CPU, short run",
+            build: b_specseis_small,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "CH3D",
+            expected: WorkloadKind::Cpu,
+            training: false,
+            description: "Hydrodynamics stencil code",
+            build: b_ch3d,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "SimpleScalar",
+            expected: WorkloadKind::Cpu,
+            training: false,
+            description: "Architecture simulator, pure computation",
+            build: b_simplescalar,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "PostMark",
+            expected: WorkloadKind::IoPaging,
+            training: false,
+            description: "Mail-server file transactions on a local directory",
+            build: b_postmark,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "Bonnie",
+            expected: WorkloadKind::IoPaging,
+            training: false,
+            description: "Six-stage file-system benchmark",
+            build: b_bonnie,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "SPECseis96_B",
+            expected: WorkloadKind::IoPaging,
+            training: false,
+            description: "Medium data in a 32 MB VM: paging turns CPU into CPU/IO mix",
+            build: b_specseis_medium,
+            vm_config: vm_small,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "Stream",
+            expected: WorkloadKind::IoPaging,
+            training: false,
+            description: "Memory-bandwidth kernels overflowing VM memory",
+            build: b_stream,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "PostMark_NFS",
+            expected: WorkloadKind::Net,
+            training: false,
+            description: "PostMark with an NFS working directory: I/O becomes network",
+            build: b_postmark,
+            vm_config: vm_nfs,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "NetPIPE",
+            expected: WorkloadKind::Net,
+            training: false,
+            description: "Message-size sweep between two nodes",
+            build: b_netpipe,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "Autobench",
+            expected: WorkloadKind::Net,
+            training: false,
+            description: "httperf-based web-server load sweep",
+            build: b_autobench,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "Sftp",
+            expected: WorkloadKind::Net,
+            training: false,
+            description: "2 GB secure file transfer",
+            build: b_sftp,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "VMD",
+            expected: WorkloadKind::Interactive,
+            training: false,
+            description: "Interactive molecular visualization over VNC",
+            build: b_vmd,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+        WorkloadSpec {
+            name: "XSpim",
+            expected: WorkloadKind::Interactive,
+            training: false,
+            description: "Short GUI session of a MIPS simulator",
+            build: b_xspim,
+            vm_config: vm_default,
+            run_secs: None,
+        },
+    ]
+}
+
+/// Full registry: training apps first, then the Table 3 test rows.
+pub fn registry() -> Vec<WorkloadSpec> {
+    let mut all = training_specs();
+    all.extend(test_specs());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn five_training_classes() {
+        let train = training_specs();
+        assert_eq!(train.len(), 5);
+        let kinds: HashSet<_> = train.iter().map(|s| s.expected).collect();
+        assert_eq!(kinds.len(), 5, "one training app per class");
+        assert!(train.iter().all(|s| s.training));
+    }
+
+    #[test]
+    fn fourteen_test_rows_like_table3() {
+        let tests = test_specs();
+        assert_eq!(tests.len(), 14);
+        assert!(tests.iter().all(|s| !s.training));
+    }
+
+    #[test]
+    fn names_unique() {
+        let all = registry();
+        let names: HashSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn specs_build_runnable_workloads() {
+        for spec in registry() {
+            let w = (spec.build)();
+            assert!(!w.name().is_empty());
+            let cfg = (spec.vm_config)(NodeId(1));
+            assert!(cfg.memory_kb > 0.0);
+            // Every spec either self-terminates or has a window.
+            assert!(
+                w.nominal_duration().is_some() || spec.run_secs.is_some(),
+                "{} would run forever",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn environment_variants_share_workload() {
+        let tests = test_specs();
+        let a = tests.iter().find(|s| s.name == "SPECseis96_A").unwrap();
+        let b = tests.iter().find(|s| s.name == "SPECseis96_B").unwrap();
+        // Same builder, different VM memory.
+        assert_eq!(a.build as usize, b.build as usize);
+        let cfg_a = (a.vm_config)(NodeId(1));
+        let cfg_b = (b.vm_config)(NodeId(1));
+        assert!(cfg_a.memory_kb > cfg_b.memory_kb);
+        let pm = tests.iter().find(|s| s.name == "PostMark").unwrap();
+        let pm_nfs = tests.iter().find(|s| s.name == "PostMark_NFS").unwrap();
+        assert_eq!(pm.build as usize, pm_nfs.build as usize);
+    }
+}

@@ -1,0 +1,58 @@
+//! Sftp — scripted 2 GB secure file transfer (NET test).
+//!
+//! The paper's synthetic network test: `sftp` pushing a 2 GB file to a
+//! remote node. Traffic is a sustained outbound stream; the SSH encryption
+//! burns real user CPU; reading the source file adds a little disk I/O
+//! (Table 3 shows 97.8% NET with a 2.2% I/O residue).
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the sftp workload model (~230 s at ~9 MB/s ≈ 2 GB).
+pub fn sftp() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "Sftp",
+        WorkloadKind::Net,
+        vec![Phase::new(
+            230,
+            ResourceDemand {
+                cpu_user: 0.30, // encryption
+                cpu_system: 0.15,
+                net_out: 2.2e7,
+                net_in: 9.0e5,
+                disk_read: 700.0, // reading the 2 GB source file
+                working_set_kb: 16.0 * 1024.0,
+                file_set_kb: 2.0 * 1024.0 * 1024.0, // 2 GB, uncacheable
+                ..Default::default()
+            },
+            0.12,
+        )],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outbound_stream_with_crypto_cpu() {
+        let mut w = sftp();
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = w.demand(100, &mut rng);
+        assert!(d.net_out > 1e7);
+        assert!(d.net_out > d.net_in * 10.0);
+        assert!(d.cpu_user > 0.15, "encryption costs CPU");
+        assert_eq!(w.kind(), WorkloadKind::Net);
+    }
+
+    #[test]
+    fn source_file_cannot_be_cached() {
+        let mut w = sftp();
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(w.demand(0, &mut rng).file_set_kb > 1024.0 * 1024.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! SimpleScalar — a computer-architecture simulator (CPU-intensive test).
+//!
+//! SimpleScalar interprets a compiled binary instruction by instruction to
+//! model a microarchitecture: pure computation over in-memory state with a
+//! tiny trace file written at the end. The paper's 62-sample run classified
+//! 100% CPU (Table 3).
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the SimpleScalar workload model.
+pub fn simplescalar() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "SimpleScalar",
+        WorkloadKind::Cpu,
+        vec![Phase::new(
+            310,
+            ResourceDemand {
+                cpu_user: 0.97,
+                cpu_system: 0.02,
+                disk_write: 10.0,
+                working_set_kb: 30.0 * 1024.0,
+                file_set_kb: 5.0 * 1024.0,
+                ..Default::default()
+            },
+            0.03,
+        )],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn is_pure_cpu() {
+        let mut w = simplescalar();
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in 0..20 {
+            let d = w.demand(t * 10, &mut rng);
+            assert!(d.cpu_user > 0.8);
+            assert!(d.net_total() == 0.0);
+        }
+        assert_eq!(w.kind(), WorkloadKind::Cpu);
+        assert_eq!(w.nominal_duration(), Some(310));
+    }
+}

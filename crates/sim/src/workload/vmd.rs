@@ -1,0 +1,89 @@
+//! VMD — interactive molecular visualization over VNC (interactive test).
+//!
+//! VMD renders molecular structures with a GUI; in the paper's setup the
+//! user drives it through a VNC remote display. The session mixes three
+//! signatures (Table 3: 37% idle, 41% I/O, 22% NET):
+//!
+//! * **idle** while the user reads or thinks,
+//! * **I/O** while an input structure file is uploaded/loaded,
+//! * **network** while the user rotates the molecule and VNC streams
+//!   framebuffer updates.
+//!
+//! The session script below reproduces those proportions over an 86-sample
+//! (430 s) run.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the scripted VMD interactive session.
+pub fn vmd() -> PhasedWorkload {
+    let idle = ResourceDemand {
+        cpu_user: 0.01,
+        cpu_system: 0.005,
+        working_set_kb: 48.0 * 1024.0,
+        ..Default::default()
+    };
+    let upload = ResourceDemand {
+        cpu_user: 0.08,
+        cpu_system: 0.12,
+        disk_write: 3_500.0,
+        disk_read: 1_200.0,
+        net_in: 3.0e5,
+        working_set_kb: 48.0 * 1024.0,
+        file_set_kb: 700.0 * 1024.0,
+        ..Default::default()
+    };
+    let gui = ResourceDemand {
+        cpu_user: 0.15,
+        cpu_system: 0.22, // X server + network stack processing
+        net_out: 1.2e7,   // VNC framebuffer stream
+        net_in: 4.0e5,    // mouse/keyboard events + VNC acks
+        working_set_kb: 64.0 * 1024.0,
+        ..Default::default()
+    };
+    PhasedWorkload::new(
+        "VMD",
+        WorkloadKind::Interactive,
+        vec![
+            Phase::new(60, idle, 0.5),    // user reads instructions
+            Phase::new(90, upload, 0.25), // uploads the structure file
+            Phase::new(40, idle, 0.5),    // waits, inspects
+            Phase::new(50, gui, 0.3),     // rotates the molecule over VNC
+            Phase::new(60, idle, 0.5),
+            Phase::new(85, upload, 0.25), // loads a second dataset
+            Phase::new(45, gui, 0.3),
+        ],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn session_length_matches_paper() {
+        // 86 samples × 5 s = 430 s
+        assert_eq!(vmd().nominal_duration(), Some(430));
+    }
+
+    #[test]
+    fn phases_cover_three_signatures() {
+        let mut w = vmd();
+        let mut rng = StdRng::seed_from_u64(12);
+        let idle = w.demand(30, &mut rng);
+        let upload = w.demand(100, &mut rng);
+        let gui = w.demand(220, &mut rng);
+        assert!(idle.is_idle() || idle.cpu_total() < 0.1);
+        assert!(upload.disk_total() > 1_000.0);
+        assert!(gui.net_out > 1e6);
+    }
+
+    #[test]
+    fn is_interactive_kind() {
+        assert_eq!(vmd().kind(), WorkloadKind::Interactive);
+    }
+}

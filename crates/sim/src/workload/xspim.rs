@@ -1,0 +1,56 @@
+//! XSpim — a MIPS assembly simulator with an X-Windows GUI (interactive
+//! test).
+//!
+//! The paper's second interactive program: a short session loading and
+//! stepping through an assembly program. Its 9-sample run classified 22%
+//! idle + 78% I/O (Table 3) — mostly the program/X resources loading from
+//! disk, with idle gaps.
+
+use crate::resources::ResourceDemand;
+use crate::workload::{Phase, PhasedWorkload, WorkloadKind};
+
+/// Builds the short XSpim session (~45 s).
+pub fn xspim() -> PhasedWorkload {
+    let idle = ResourceDemand {
+        cpu_user: 0.01,
+        cpu_system: 0.005,
+        working_set_kb: 20.0 * 1024.0,
+        ..Default::default()
+    };
+    let load = ResourceDemand {
+        cpu_user: 0.10,
+        cpu_system: 0.12,
+        disk_read: 3_500.0,
+        disk_write: 2_500.0,
+        working_set_kb: 20.0 * 1024.0,
+        file_set_kb: 800.0 * 1024.0,
+        ..Default::default()
+    };
+    PhasedWorkload::new(
+        "XSpim",
+        WorkloadKind::Interactive,
+        vec![Phase::new(10, idle, 0.5), Phase::new(35, load, 0.3)],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_session() {
+        assert_eq!(xspim().nominal_duration(), Some(45));
+    }
+
+    #[test]
+    fn io_heavy_tail() {
+        let mut w = xspim();
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!(w.demand(2, &mut rng).disk_total() < 100.0);
+        assert!(w.demand(30, &mut rng).disk_total() > 800.0);
+    }
+}

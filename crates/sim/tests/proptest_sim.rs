@@ -1,0 +1,128 @@
+//! Property-based tests of the simulator's physical invariants.
+//!
+//! Whatever the seed, workload, or VM configuration, the simulation must
+//! never produce unphysical observations: negative rates, CPU percentages
+//! above 100, non-finite metrics, or progress faster than wall time.
+
+use appclass_metrics::gmond::MetricSource;
+use appclass_metrics::{MetricId, NodeId};
+use appclass_sim::host::Host;
+use appclass_sim::vm::{SoloVm, VirtualMachine, VmConfig};
+use appclass_sim::workload::registry::registry;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an index into the workload registry.
+fn spec_index() -> impl Strategy<Value = usize> {
+    0..registry().len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn demands_are_physical(idx in spec_index(), seed in 0u64..1_000, t in 0u64..5_000) {
+        let specs = registry();
+        let mut w = (specs[idx].build)();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = w.demand(t, &mut rng);
+        prop_assert!(d.cpu_user >= 0.0 && d.cpu_user <= 1.0);
+        prop_assert!(d.cpu_system >= 0.0 && d.cpu_system <= 1.0);
+        prop_assert!(d.disk_read >= 0.0 && d.disk_write >= 0.0);
+        prop_assert!(d.net_in >= 0.0 && d.net_out >= 0.0);
+        prop_assert!(d.working_set_kb >= 0.0 && d.file_set_kb >= 0.0);
+    }
+
+    #[test]
+    fn metric_frames_are_physical(idx in spec_index(), seed in 0u64..200) {
+        let specs = registry();
+        let spec = &specs[idx];
+        let vm = VirtualMachine::new((spec.vm_config)(NodeId(1)), (spec.build)(), seed);
+        let mut solo = SoloVm::new(vm);
+        for step in 1..=20u64 {
+            let frame = solo.sample(step * 5);
+            prop_assert!(frame.first_non_finite().is_none(), "{}: non-finite metric", spec.name);
+            for id in [MetricId::CpuUser, MetricId::CpuSystem, MetricId::CpuIdle, MetricId::CpuWio] {
+                let v = frame.get(id);
+                prop_assert!((0.0..=100.0).contains(&v), "{}: {} = {v}", spec.name, id.name());
+            }
+            for id in [
+                MetricId::BytesIn, MetricId::BytesOut, MetricId::IoBi, MetricId::IoBo,
+                MetricId::SwapIn, MetricId::SwapOut, MetricId::MemFree, MetricId::SwapFree,
+            ] {
+                prop_assert!(frame.get(id) >= 0.0, "{}: negative {}", spec.name, id.name());
+            }
+        }
+    }
+
+    #[test]
+    fn progress_never_beats_wall_time(idx in spec_index(), seed in 0u64..200) {
+        let specs = registry();
+        let spec = &specs[idx];
+        let mut vm = VirtualMachine::new((spec.vm_config)(NodeId(1)), (spec.build)(), seed);
+        let mut last = 0.0f64;
+        for _ in 0..300 {
+            vm.tick_solo();
+            prop_assert!(vm.progress() >= last, "progress must be monotone");
+            prop_assert!(
+                vm.progress() <= vm.wall_secs() as f64 + 1e-9,
+                "progress {} outran wall {}",
+                vm.progress(),
+                vm.wall_secs()
+            );
+            last = vm.progress();
+        }
+    }
+
+    #[test]
+    fn co_location_never_speeds_anyone_up(seed in 0u64..50) {
+        // Compare CH3D solo vs CH3D + PostMark: co-location may slow, never
+        // accelerate.
+        use appclass_sim::workload::{ch3d, postmark};
+        let solo_time = {
+            let mut host = Host::paper_host();
+            host.add_vm(VirtualMachine::new(
+                VmConfig::paper_default(NodeId(1)),
+                Box::new(ch3d::ch3d()),
+                seed,
+            ));
+            host.run_to_completion(20_000)[0].completion_secs.unwrap()
+        };
+        let shared_time = {
+            let mut host = Host::paper_host();
+            host.add_vm(VirtualMachine::new(
+                VmConfig::paper_default(NodeId(1)),
+                Box::new(ch3d::ch3d()),
+                seed,
+            ));
+            host.add_vm(VirtualMachine::new(
+                VmConfig::paper_default(NodeId(2)),
+                Box::new(postmark::postmark()),
+                seed + 1,
+            ));
+            host.run_to_completion(20_000)[0].completion_secs.unwrap()
+        };
+        prop_assert!(
+            shared_time + 1 >= solo_time,
+            "sharing accelerated the job: solo {solo_time}, shared {shared_time}"
+        );
+    }
+
+    #[test]
+    fn smaller_memory_never_faster(seed in 0u64..50) {
+        use appclass_sim::workload::specseis::{specseis, DataSize};
+        let run = |cfg: VmConfig| {
+            let mut vm = VirtualMachine::new(cfg, Box::new(specseis(DataSize::Small)), seed);
+            let mut secs = 0u64;
+            while !vm.finished() && secs < 30_000 {
+                vm.tick_solo();
+                secs += 1;
+            }
+            secs
+        };
+        let roomy = run(VmConfig::paper_default(NodeId(1)));
+        let starved = run(VmConfig::small_memory(NodeId(1)));
+        prop_assert!(starved >= roomy, "starving memory sped the run up?!");
+    }
+}

@@ -1,0 +1,124 @@
+//! Reproduces **Table 3** (application class compositions) and the
+//! **Figure 3** cluster diagrams.
+//!
+//! Trains the paper's pipeline on the five training applications, then
+//! classifies every Table 3 test run and prints its class composition in
+//! the paper's row format. With `--clusters <dir>`, also writes the
+//! PC1/PC2 projections as CSV series (training data + the three diagrams
+//! the paper plots: SimpleScalar, Autobench, VMD).
+//!
+//! ```text
+//! cargo run --release --example classify_workloads [-- --clusters out/]
+//! ```
+
+use appclass::prelude::*;
+use appclass::sim::runner::{run_batch, run_spec};
+use appclass::sim::workload::registry::{test_specs, training_specs};
+use appclass::{expected_class, metrics::NodeId};
+use std::io::Write as _;
+
+fn main() {
+    let cluster_dir = cluster_dir_from_args();
+
+    // --- train ----------------------------------------------------------
+    let training = training_specs();
+    println!("training on {} applications:", training.len());
+    let runs = run_batch(&training, 42);
+    let labelled: Vec<(Matrix, AppClass)> = runs
+        .iter()
+        .zip(&training)
+        .map(|(rec, spec)| {
+            let m = rec.pool.sample_matrix(rec.node).expect("training samples");
+            println!("  {:<18} {:>4} snapshots  ({})", spec.name, m.rows(), spec.description);
+            (m, expected_class(spec.expected))
+        })
+        .collect();
+    let pipeline =
+        ClassifierPipeline::train(&labelled, &PipelineConfig::paper()).expect("training");
+    let ev = pipeline.pca().explained_variance();
+    println!(
+        "\npipeline: 33 metrics -> 8 expert metrics -> {} PCs \
+         (variance: PC1 {:.1}%, PC2 {:.1}%) -> 3-NN\n",
+        pipeline.n_components(),
+        ev[0] * 100.0,
+        ev.get(1).copied().unwrap_or(0.0) * 100.0
+    );
+
+    if let Some(dir) = &cluster_dir {
+        let (proj, labels) = pipeline.training_projection();
+        write_cluster_csv(dir, "training", proj, labels);
+    }
+    if plot_requested() {
+        let (proj, labels) = pipeline.training_projection();
+        println!("Figure 3(a): training-data clusters in PC space\n");
+        println!("{}", appclass::plot::scatter(proj, labels, 64, 20));
+    }
+
+    // --- classify Table 3 -----------------------------------------------
+    println!(
+        "{:<15} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8}   class",
+        "Application", "#samples", "Idle", "I/O", "CPU", "Network", "Paging"
+    );
+    for (i, spec) in test_specs().iter().enumerate() {
+        let rec = run_spec(spec, NodeId(100 + i as u32), 1000 + i as u64);
+        let raw = rec.pool.sample_matrix(rec.node).expect("test samples");
+        let result = pipeline.classify(&raw).expect("classification");
+        let c = &result.composition;
+        println!(
+            "{:<15} {:>8} {:>8.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}%   {}",
+            spec.name,
+            raw.rows(),
+            c.fraction(AppClass::Idle) * 100.0,
+            c.fraction(AppClass::Io) * 100.0,
+            c.fraction(AppClass::Cpu) * 100.0,
+            c.fraction(AppClass::Net) * 100.0,
+            c.fraction(AppClass::Mem) * 100.0,
+            result.class,
+        );
+        if let Some(dir) = &cluster_dir {
+            if matches!(spec.name, "SimpleScalar" | "Autobench" | "VMD") {
+                write_cluster_csv(dir, spec.name, &result.projected, &result.class_vector);
+            }
+        }
+        if plot_requested() && spec.name == "VMD" {
+            println!("\nFigure 3(d): VMD snapshots in PC space\n");
+            println!(
+                "{}",
+                appclass::plot::scatter(&result.projected, &result.class_vector, 64, 16)
+            );
+        }
+    }
+    if let Some(dir) = &cluster_dir {
+        println!("\ncluster CSVs written to {}", dir.display());
+    }
+}
+
+fn plot_requested() -> bool {
+    std::env::args().any(|a| a == "--plot")
+}
+
+fn cluster_dir_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--clusters").map(|i| {
+        let dir = std::path::PathBuf::from(
+            args.get(i + 1).map(String::as_str).unwrap_or("clusters"),
+        );
+        std::fs::create_dir_all(&dir).expect("create cluster dir");
+        dir
+    })
+}
+
+/// Writes one Figure 3 panel: `pc1,pc2,class` per snapshot.
+fn write_cluster_csv(
+    dir: &std::path::Path,
+    name: &str,
+    projected: &Matrix,
+    labels: &[AppClass],
+) {
+    let path = dir.join(format!("fig3_{}.csv", name.to_lowercase()));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "pc1,pc2,class").unwrap();
+    for (row, label) in projected.iter_rows().zip(labels) {
+        writeln!(f, "{},{},{}", row[0], row.get(1).copied().unwrap_or(0.0), label).unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! Class-aware scheduling of a dynamic job stream (beyond the paper).
+//!
+//! The paper's §5.2 places nine known jobs statically; this experiment
+//! feeds a seeded random stream of S/P/N jobs into a three-machine
+//! cluster and compares a class-blind least-loaded policy against the
+//! class-aware diversity policy, at several load levels.
+//!
+//! ```text
+//! cargo run --release --example dynamic_scheduling
+//! ```
+
+use appclass::sched::dynamic::{
+    random_stream, simulate_stream, ClusterConfig, DiversityPolicy, LeastLoadedPolicy,
+};
+
+fn main() {
+    let config = ClusterConfig::default();
+    println!(
+        "cluster: {} machines x {} slots, {}-core hosts\n",
+        config.machines, config.slots, config.capacity.cpu_cores
+    );
+    println!(
+        "{:>14} {:>7} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9} | {:>8}",
+        "interarrival",
+        "jobs",
+        "blind resp",
+        "blind mksp",
+        "blind t/d",
+        "aware resp",
+        "aware mksp",
+        "aware t/d",
+        "resp gain"
+    );
+    for &mean_interarrival in &[15.0, 30.0, 60.0, 120.0] {
+        let jobs = random_stream(90, mean_interarrival, 20_060_104);
+        let blind = simulate_stream(&jobs, &mut LeastLoadedPolicy, &config);
+        let aware = simulate_stream(&jobs, &mut DiversityPolicy, &config);
+        let gain = (1.0 - aware.mean_response / blind.mean_response) * 100.0;
+        println!(
+            "{:>12} s {:>7} | {:>10.0} s {:>10} s {:>9.0} | {:>10.0} s {:>10} s {:>9.0} | {:>+7.1}%",
+            mean_interarrival,
+            jobs.len(),
+            blind.mean_response,
+            blind.makespan,
+            blind.throughput_jobs_per_day,
+            aware.mean_response,
+            aware.makespan,
+            aware.throughput_jobs_per_day,
+            gain,
+        );
+    }
+    println!(
+        "\nresp = mean job response time; mksp = makespan; t/d = throughput (jobs/day).\n\
+         Gains are small (within a few percent, occasionally negative) — far below the\n\
+         static experiment's 19-22%: a uniform random stream lets plain least-loaded\n\
+         placement spread classes reasonably by accident, while the paper's Figure 4\n\
+         compares against a *random choice over whole schedules*, including pathological\n\
+         same-class pile-ups the stream setting rarely reproduces. Class knowledge pays\n\
+         most when placement would otherwise be adversarially bad."
+    );
+}

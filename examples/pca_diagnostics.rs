@@ -1,0 +1,74 @@
+//! Diagnostic view of the trained feature space.
+//!
+//! Prints the PCA eigen-spectrum, the per-class centroid of the training
+//! clusters in PC space, their pairwise separations, and where each test
+//! run's centroid lands — the numbers behind the Figure 3 cluster
+//! diagrams. Useful when tuning workload models or debugging a
+//! misclassification.
+//!
+//! ```text
+//! cargo run --release --example pca_diagnostics
+//! ```
+
+use appclass::prelude::*;
+use appclass::sim::runner::{run_batch, run_spec};
+use appclass::sim::workload::registry::{test_specs, training_specs};
+use appclass::{expected_class, metrics::NodeId};
+
+fn main() {
+    let training = training_specs();
+    let runs = run_batch(&training, 42);
+    let labelled: Vec<(Matrix, AppClass)> = runs
+        .iter()
+        .zip(&training)
+        .map(|(rec, spec)| {
+            (rec.pool.sample_matrix(rec.node).unwrap(), expected_class(spec.expected))
+        })
+        .collect();
+    let pipeline = ClassifierPipeline::train(&labelled, &PipelineConfig::paper()).unwrap();
+
+    println!("eigenvalues of the 8x8 correlation matrix:");
+    for (i, v) in pipeline.pca().eigenvalues().iter().enumerate() {
+        println!("  lambda_{i} = {v:.4}");
+    }
+    println!("\ncomponent loadings (rows: expert metrics, cols: PC1 PC2):");
+    let comps = pipeline.pca().components();
+    for (i, id) in pipeline.preprocessor().metrics().iter().enumerate() {
+        println!("  {:<12} {:>8.4} {:>8.4}", id.name(), comps[(i, 0)], comps[(i, 1)]);
+    }
+
+    println!("\ntraining-cluster centroids in PC space:");
+    let (proj, labels) = pipeline.training_projection();
+    for class in AppClass::ALL {
+        let pts: Vec<&[f64]> = proj
+            .iter_rows()
+            .zip(labels)
+            .filter(|(_, l)| **l == class)
+            .map(|(r, _)| r)
+            .collect();
+        if pts.is_empty() {
+            continue;
+        }
+        let n = pts.len() as f64;
+        let cx = pts.iter().map(|p| p[0]).sum::<f64>() / n;
+        let cy = pts.iter().map(|p| p[1]).sum::<f64>() / n;
+        let spread = (pts
+            .iter()
+            .map(|p| (p[0] - cx).powi(2) + (p[1] - cy).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        println!("  {:<5} centroid = ({cx:>7.3}, {cy:>7.3})  rms spread = {spread:.3}", class.label());
+    }
+
+    println!("\ntest-run centroids in PC space:");
+    for (i, spec) in test_specs().iter().enumerate() {
+        let rec = run_spec(spec, NodeId(100 + i as u32), 1000 + i as u64);
+        let raw = rec.pool.sample_matrix(rec.node).unwrap();
+        let proj = pipeline.project(&raw).unwrap();
+        let n = proj.rows() as f64;
+        let cx = proj.iter_rows().map(|r| r[0]).sum::<f64>() / n;
+        let cy = proj.iter_rows().map(|r| r[1]).sum::<f64>() / n;
+        println!("  {:<15} centroid = ({cx:>7.3}, {cy:>7.3})", spec.name);
+    }
+}

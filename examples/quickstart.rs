@@ -1,0 +1,85 @@
+//! Quickstart: train the classifier and classify one application run.
+//!
+//! This walks the paper's whole Figure 1 loop once:
+//!
+//! 1. run the five training applications in simulated VMs under the
+//!    Ganglia-like monitor,
+//! 2. train the Figure 2 pipeline (expert 8 metrics → 2 PCs → 3-NN),
+//! 3. run a fresh application (CH3D) and classify it,
+//! 4. store the result in the application database and price the run with
+//!    the §4.4 cost model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use appclass::core::appdb::{ApplicationDb, RunRecord};
+use appclass::prelude::*;
+use appclass::sim::runner::{run_batch, run_spec};
+use appclass::sim::workload::registry::{test_specs, training_specs};
+use appclass::{expected_class, metrics::NodeId};
+
+fn main() {
+    // 1. Monitored training runs. Each spec boots a VM, attaches a gmond
+    //    daemon, and samples the 33 Ganglia metrics every 5 seconds.
+    println!("== training ==");
+    let training = training_specs();
+    let runs = run_batch(&training, 42);
+    let labelled: Vec<(Matrix, AppClass)> = runs
+        .iter()
+        .zip(&training)
+        .map(|(rec, spec)| {
+            let m = rec.pool.sample_matrix(rec.node).expect("samples");
+            println!("  {:<18} {:>4} snapshots, {:>5} s", spec.name, m.rows(), rec.wall_secs);
+            (m, expected_class(spec.expected))
+        })
+        .collect();
+
+    // 2. The paper's pipeline configuration.
+    let config = PipelineConfig::paper();
+    println!("\n  expert metrics (Table 1):");
+    for id in &config.metrics {
+        println!("    {:<12} {:<10} {}", id.name(), id.unit(), id.description());
+    }
+    let pipeline = ClassifierPipeline::train(&labelled, &config).expect("training");
+    println!(
+        "\n  trained: {} -> 8 -> {} dims, {} training snapshots",
+        appclass::metrics::METRIC_COUNT,
+        pipeline.n_components(),
+        pipeline.knn().n_training(),
+    );
+
+    // 3. Classify a fresh run.
+    println!("\n== classification ==");
+    let specs = test_specs();
+    let ch3d = specs.iter().find(|s| s.name == "CH3D").expect("registry");
+    let rec = run_spec(ch3d, NodeId(9), 7);
+    let raw = rec.pool.sample_matrix(rec.node).expect("samples");
+    let result = pipeline.classify(&raw).expect("classification");
+    println!("  application: {}   ({} snapshots over {} s)", rec.name, rec.samples, rec.wall_secs);
+    println!("  class:       {}", result.class);
+    println!("  composition: {}", result.composition);
+
+    // 4. Record in the application DB and price the run.
+    println!("\n== application database & cost model ==");
+    let mut db = ApplicationDb::new();
+    db.record(RunRecord {
+        app: rec.name.clone(),
+        class: result.class,
+        composition: result.composition,
+        exec_secs: rec.wall_secs,
+        samples: rec.samples,
+    });
+    let model = CostModel::new(ResourceRates { cpu: 10.0, mem: 8.0, io: 6.0, net: 4.0, idle: 1.0 });
+    let stats = db.stats(&rec.name).expect("recorded");
+    println!("  historical runs: {}", stats.runs);
+    println!("  mean execution:  {} s", stats.mean_exec_secs);
+    println!(
+        "  unit cost:       {:.2}  (rates: cpu 10, mem 8, io 6, net 4, idle 1)",
+        model.unit_cost(&stats.mean_composition)
+    );
+    println!(
+        "  run cost:        {:.0}",
+        model.run_cost(&stats.mean_composition, stats.mean_exec_secs)
+    );
+}

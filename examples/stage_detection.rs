@@ -1,0 +1,52 @@
+//! Multi-stage application segmentation over classified runs.
+//!
+//! The paper's introduction motivates identifying execution stages so a
+//! scheduler can re-match resources mid-run (e.g. migrate a job when it
+//! leaves its CPU stage). This example classifies two multi-stage runs —
+//! Bonnie (six I/O stages of different character) and VMD (an interactive
+//! idle/upload/GUI session) — and segments their class vectors.
+//!
+//! ```text
+//! cargo run --release --example stage_detection
+//! ```
+
+use appclass::core::stages::{segment, SegmentationConfig};
+use appclass::prelude::*;
+use appclass::sim::runner::{run_batch, run_spec};
+use appclass::sim::workload::registry::{test_specs, training_specs};
+use appclass::{expected_class, metrics::NodeId};
+
+fn main() {
+    let training = training_specs();
+    let runs = run_batch(&training, 42);
+    let labelled: Vec<(Matrix, AppClass)> = runs
+        .iter()
+        .zip(&training)
+        .map(|(rec, spec)| {
+            (rec.pool.sample_matrix(rec.node).expect("samples"), expected_class(spec.expected))
+        })
+        .collect();
+    let pipeline = ClassifierPipeline::train(&labelled, &PipelineConfig::paper()).expect("train");
+
+    let config = SegmentationConfig::default();
+    for name in ["VMD", "Bonnie", "SPECseis96_B", "CH3D"] {
+        let specs = test_specs();
+        let spec = specs.iter().find(|s| s.name == name).expect("registry");
+        let rec = run_spec(spec, NodeId(30), 77);
+        let raw = rec.pool.sample_matrix(rec.node).expect("samples");
+        let result = pipeline.classify(&raw).expect("classify");
+        let stages = segment(&result.class_vector, &config);
+
+        println!("{name}: {} snapshots -> {} stages", result.class_vector.len(), stages.len());
+        for s in &stages {
+            println!(
+                "    [{:>5} s .. {:>5} s]  {:<4}  ({} snapshots)",
+                s.start as u64 * 5,
+                (s.end as u64 + 1) * 5,
+                s.class.label(),
+                s.len()
+            );
+        }
+        println!();
+    }
+}

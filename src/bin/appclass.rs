@@ -1,0 +1,319 @@
+//! `appclass` — command-line interface to the reproduction.
+//!
+//! ```text
+//! appclass list                                  # Table 2 registry
+//! appclass train  --out pipeline.json [--seed N]
+//! appclass classify --pipeline pipeline.json --workload CH3D [--seed N] [--db db.json]
+//! appclass table3   [--seed N]
+//! appclass fig4     [--seed N]
+//! appclass table4   [--seed N]
+//! appclass cost     --db db.json [--cpu a --mem b --io c --net d --idle e]
+//! ```
+//!
+//! Everything is seeded and file-based: `train` persists a pipeline as
+//! JSON, `classify` loads it, classifies a monitored run of a registry
+//! workload, prints the composition and (optionally) appends the run to an
+//! application-database file that `cost` can price.
+
+use appclass::core::appdb::{ApplicationDb, RunRecord};
+use appclass::prelude::*;
+
+/// Writes a line to stdout, exiting quietly when the reader went away
+/// (`appclass list | head` must not panic on the broken pipe).
+fn pout(args: std::fmt::Arguments) {
+    use std::io::Write as _;
+    if let Err(e) = std::io::stdout().write_fmt(args) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("error: cannot write to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+macro_rules! out {
+    () => { pout(format_args!("\n")) };
+    ($($t:tt)*) => { pout(format_args!("{}\n", format_args!($($t)*))) };
+}
+use appclass::sim::runner::{run_batch, run_spec};
+use appclass::sim::workload::registry::{registry, test_specs, training_specs};
+use appclass::{expected_class, metrics::NodeId};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "train" => cmd_train(&args[1..]),
+        "classify" => cmd_classify(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "table3" => cmd_table3(&args[1..]),
+        "fig4" => cmd_fig4(&args[1..]),
+        "fig5" => cmd_fig5(&args[1..]),
+        "table4" => cmd_table4(&args[1..]),
+        "cost" => cmd_cost(&args[1..]),
+        "help" | "--help" | "-h" => {
+            out!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: appclass <command> [options]
+
+commands:
+  list                         print the workload registry (Table 2)
+  train --out FILE [--seed N]  train the paper pipeline, save as JSON
+  classify --pipeline FILE --workload NAME [--seed N] [--db FILE]
+                               classify a monitored run; optionally record it
+  export --workload NAME --out FILE [--seed N]
+                               run a workload and export its metric series as CSV
+  table3 [--seed N]            regenerate Table 3 (class compositions)
+  fig4 [--seed N]              regenerate Figure 4 (schedule throughput)
+  fig5 [--seed N]              regenerate Figure 5 (per-app throughput)
+  table4 [--seed N]            regenerate Table 4 (concurrent vs sequential)
+  cost --db FILE [--cpu A --mem B --io C --net D --idle E]
+                               price recorded runs under a rate card";
+
+/// Minimal `--key value` option extraction. A following token that is
+/// itself a flag does not count as the value, so `--out --seed 7` reports
+/// a missing value instead of writing a file named `--seed`.
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+/// True when `key` appears among the args at all — used to distinguish an
+/// omitted optional flag (fine, use the default) from a flag whose value
+/// is missing (an error, not a silent default).
+fn flag_present(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn opt_seed(args: &[String]) -> Result<u64, String> {
+    match opt(args, "--seed") {
+        None if !flag_present(args, "--seed") => Ok(42),
+        None => Err("--seed requires a value".to_string()),
+        Some(s) => s.parse().map_err(|_| format!("--seed must be an integer, got `{s}`")),
+    }
+}
+
+fn opt_rate(args: &[String], key: &str, default: f64) -> Result<f64, String> {
+    match opt(args, key) {
+        None if !flag_present(args, key) => Ok(default),
+        None => Err(format!("{key} requires a value")),
+        Some(s) => s.parse().map_err(|_| format!("{key} must be a number, got `{s}`")),
+    }
+}
+
+fn train_pipeline(seed: u64) -> Result<ClassifierPipeline, String> {
+    let training = training_specs();
+    let runs = run_batch(&training, seed);
+    let labelled: Vec<(Matrix, AppClass)> = runs
+        .iter()
+        .zip(&training)
+        .map(|(rec, spec)| {
+            rec.pool
+                .sample_matrix(rec.node)
+                .map(|m| (m, expected_class(spec.expected)))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    ClassifierPipeline::train(&labelled, &PipelineConfig::paper()).map_err(|e| e.to_string())
+}
+
+fn cmd_list() -> Result<(), String> {
+    out!("{:<18} {:>8} {:<24} description", "name", "training", "expected class");
+    for spec in registry() {
+        out!(
+            "{:<18} {:>8} {:<24} {}",
+            spec.name,
+            if spec.training { "yes" } else { "" },
+            spec.expected.label(),
+            spec.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out = opt(args, "--out").ok_or("train requires --out FILE")?;
+    let seed = opt_seed(args)?;
+    let pipeline = train_pipeline(seed)?;
+    let json = pipeline.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    out!(
+        "trained pipeline (33 -> {} -> {} dims, {} training snapshots) saved to {out}",
+        pipeline.preprocessor().dim(),
+        pipeline.n_components(),
+        pipeline.knn().n_training()
+    );
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let pipeline_path = opt(args, "--pipeline").ok_or("classify requires --pipeline FILE")?;
+    let workload = opt(args, "--workload").ok_or("classify requires --workload NAME")?;
+    let seed = opt_seed(args)?;
+
+    let json = std::fs::read_to_string(&pipeline_path).map_err(|e| e.to_string())?;
+    let pipeline = ClassifierPipeline::from_json(&json).map_err(|e| e.to_string())?;
+
+    let specs = test_specs();
+    let spec = specs
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&workload))
+        .ok_or_else(|| format!("unknown workload `{workload}` (see `appclass list`)"))?;
+
+    let rec = run_spec(spec, NodeId(1), seed);
+    let raw = rec.pool.sample_matrix(rec.node).map_err(|e| e.to_string())?;
+    let result = pipeline.classify(&raw).map_err(|e| e.to_string())?;
+    out!("workload:    {}", spec.name);
+    out!("samples:     {} over {} s", rec.samples, rec.wall_secs);
+    out!("class:       {}", result.class);
+    out!("composition: {}", result.composition);
+
+    if let Some(db_path) = opt(args, "--db") {
+        let path = Path::new(&db_path);
+        let mut db = if path.exists() {
+            ApplicationDb::load(path).map_err(|e| e.to_string())?
+        } else {
+            ApplicationDb::new()
+        };
+        db.record(RunRecord {
+            app: spec.name.to_string(),
+            class: result.class,
+            composition: result.composition,
+            exec_secs: rec.wall_secs,
+            samples: rec.samples,
+        });
+        db.save(path).map_err(|e| e.to_string())?;
+        out!("recorded run #{} for {} in {db_path}", db.runs_of(spec.name).len(), spec.name);
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let workload = opt(args, "--workload").ok_or("export requires --workload NAME")?;
+    let out = opt(args, "--out").ok_or("export requires --out FILE")?;
+    let seed = opt_seed(args)?;
+    let specs = test_specs();
+    let spec = specs
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&workload))
+        .ok_or_else(|| format!("unknown workload `{workload}` (see `appclass list`)"))?;
+    let rec = run_spec(spec, NodeId(1), seed);
+    let csv = rec.pool.to_csv(rec.node).map_err(|e| e.to_string())?;
+    std::fs::write(&out, csv).map_err(|e| e.to_string())?;
+    out!("exported {} snapshots of {} to {out}", rec.samples, spec.name);
+    Ok(())
+}
+
+fn cmd_table3(args: &[String]) -> Result<(), String> {
+    let seed = opt_seed(args)?;
+    let pipeline = train_pipeline(seed)?;
+    out!(
+        "{:<15} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Application", "#samples", "Idle", "I/O", "CPU", "Network", "Paging"
+    );
+    for (i, spec) in test_specs().iter().enumerate() {
+        let rec = run_spec(spec, NodeId(100 + i as u32), seed + 1000 + i as u64);
+        let raw = rec.pool.sample_matrix(rec.node).map_err(|e| e.to_string())?;
+        let c = pipeline.classify(&raw).map_err(|e| e.to_string())?.composition;
+        out!(
+            "{:<15} {:>8} {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}%",
+            spec.name,
+            raw.rows(),
+            c.fraction(AppClass::Idle) * 100.0,
+            c.fraction(AppClass::Io) * 100.0,
+            c.fraction(AppClass::Cpu) * 100.0,
+            c.fraction(AppClass::Net) * 100.0,
+            c.fraction(AppClass::Mem) * 100.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig4(args: &[String]) -> Result<(), String> {
+    let seed = opt_seed(args)?;
+    let fig4 = appclass::sched::experiments::figure4(seed);
+    for row in &fig4.rows {
+        out!("{:>2}  {:<24} {:>7.0} jobs/day", row.id, row.label, row.throughput_jobs_per_day);
+    }
+    out!(
+        "class-aware {:.0} vs average {:.0}: {:+.2}% (paper: +22.11%)",
+        fig4.class_aware, fig4.average, fig4.improvement_pct
+    );
+    Ok(())
+}
+
+fn cmd_fig5(args: &[String]) -> Result<(), String> {
+    let seed = opt_seed(args)?;
+    let rows = appclass::sched::experiments::figure5(seed);
+    out!("{:<12} {:>8} {:>8} {:>8} {:>8}", "app", "MIN", "AVG", "MAX", "SPN");
+    for row in rows {
+        out!(
+            "{:<12?} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   max by {}",
+            row.app, row.min, row.avg, row.max, row.spn, row.max_schedule
+        );
+    }
+    Ok(())
+}
+
+fn cmd_table4(args: &[String]) -> Result<(), String> {
+    let seed = opt_seed(args)?;
+    let t = appclass::sched::experiments::table4(seed);
+    out!("{:<12} {:>8} {:>10} {:>14}", "Execution", "CH3D", "PostMark", "2-job total");
+    out!(
+        "{:<12} {:>8} {:>10} {:>14}",
+        "Concurrent", t.concurrent_ch3d, t.concurrent_postmark, t.concurrent_total
+    );
+    out!(
+        "{:<12} {:>8} {:>10} {:>14}",
+        "Sequential", t.sequential_ch3d, t.sequential_postmark, t.sequential_total
+    );
+    Ok(())
+}
+
+fn cmd_cost(args: &[String]) -> Result<(), String> {
+    let db_path = opt(args, "--db").ok_or("cost requires --db FILE")?;
+    let db = ApplicationDb::load(Path::new(&db_path)).map_err(|e| e.to_string())?;
+    let rates = ResourceRates {
+        cpu: opt_rate(args, "--cpu", 10.0)?,
+        mem: opt_rate(args, "--mem", 8.0)?,
+        io: opt_rate(args, "--io", 6.0)?,
+        net: opt_rate(args, "--net", 4.0)?,
+        idle: opt_rate(args, "--idle", 1.0)?,
+    };
+    let model = CostModel::new(rates);
+    out!(
+        "rates: cpu {} mem {} io {} net {} idle {}\n",
+        rates.cpu, rates.mem, rates.io, rates.net, rates.idle
+    );
+    out!("{:<18} {:>5} {:>6} {:>10} {:>12}", "application", "runs", "class", "mean secs", "run cost");
+    for app in db.applications() {
+        let stats = db.stats(&app).expect("listed app has stats");
+        let cost = db.expected_cost(&app, &model).expect("listed app priced");
+        out!(
+            "{:<18} {:>5} {:>6} {:>10.0} {:>12.1}",
+            app, stats.runs, stats.class.label(), stats.mean_exec_secs, cost
+        );
+    }
+    Ok(())
+}

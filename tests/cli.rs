@@ -1,0 +1,147 @@
+//! Integration tests of the `appclass` CLI binary.
+//!
+//! Drives the compiled binary end to end through its file-based workflow:
+//! list → train → classify (recording into a DB) → cost.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_appclass"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("appclass_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("commands:"));
+}
+
+#[test]
+fn list_shows_registry() {
+    let out = bin().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let s = stdout(&out);
+    for name in ["SPECseis96_A", "PostMark_NFS", "VMD", "Ettcp-train"] {
+        assert!(s.contains(name), "missing {name} in list output");
+    }
+}
+
+#[test]
+fn train_classify_cost_workflow() {
+    let dir = tmpdir("workflow");
+    let pipe = dir.join("pipeline.json");
+    let db = dir.join("db.json");
+
+    // train
+    let out = bin().args(["train", "--out", pipe.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(pipe.exists());
+    assert!(stdout(&out).contains("trained pipeline"));
+
+    // classify + record
+    let out = bin()
+        .args([
+            "classify",
+            "--pipeline",
+            pipe.to_str().unwrap(),
+            "--workload",
+            "CH3D",
+            "--db",
+            db.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = stdout(&out);
+    assert!(s.contains("class:       CPU"), "CH3D must classify CPU:\n{s}");
+    assert!(db.exists());
+
+    // cost over the recorded DB
+    let out = bin().args(["cost", "--db", db.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("CH3D"));
+    assert!(s.contains("CPU"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn classify_requires_existing_pipeline() {
+    let out = bin()
+        .args(["classify", "--pipeline", "/nonexistent/p.json", "--workload", "CH3D"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn classify_rejects_unknown_workload() {
+    let dir = tmpdir("badworkload");
+    let pipe = dir.join("pipeline.json");
+    assert!(bin().args(["train", "--out", pipe.to_str().unwrap()]).status().unwrap().success());
+    let out = bin()
+        .args(["classify", "--pipeline", pipe.to_str().unwrap(), "--workload", "NotABenchmark"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn export_writes_csv() {
+    let dir = tmpdir("export");
+    let csv = dir.join("xspim.csv");
+    let out = bin()
+        .args(["export", "--workload", "XSpim", "--out", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let content = std::fs::read_to_string(&csv).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    assert!(lines[0].starts_with("time,cpu_user"));
+    assert_eq!(lines.len(), 10, "header + XSpim's 9 samples");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn table4_prints_both_rows() {
+    let out = bin().arg("table4").output().unwrap();
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("Concurrent"));
+    assert!(s.contains("Sequential"));
+}
+
+#[test]
+fn bad_seed_rejected() {
+    let out = bin().args(["table4", "--seed", "not-a-number"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+}

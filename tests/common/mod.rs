@@ -1,0 +1,22 @@
+//! Shared fixtures for the integration tests.
+
+use appclass::prelude::*;
+use appclass::sim::runner::run_batch;
+use appclass::sim::workload::registry::training_specs;
+use appclass::expected_class;
+
+/// Runs the five standard training applications (seed 42) and trains the
+/// paper-configured pipeline — the fixture nearly every integration test
+/// starts from.
+pub fn trained_pipeline() -> ClassifierPipeline {
+    let training = training_specs();
+    let runs = run_batch(&training, 42);
+    let labelled: Vec<(Matrix, AppClass)> = runs
+        .iter()
+        .zip(&training)
+        .map(|(rec, spec)| {
+            (rec.pool.sample_matrix(rec.node).unwrap(), expected_class(spec.expected))
+        })
+        .collect();
+    ClassifierPipeline::train(&labelled, &PipelineConfig::paper()).unwrap()
+}

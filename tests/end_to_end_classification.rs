@@ -1,0 +1,102 @@
+//! Integration test: the Table 3 experiment's class expectations.
+//!
+//! Trains on the five training applications and asserts that every test
+//! workload's majority class (and key composition fractions) match the
+//! paper's findings in shape.
+
+use appclass::prelude::*;
+use appclass::sim::runner::run_spec;
+use appclass::sim::workload::registry::test_specs;
+use appclass::metrics::NodeId;
+
+mod common;
+fn trained() -> ClassifierPipeline {
+    common::trained_pipeline()
+}
+
+fn classify(pipeline: &ClassifierPipeline, name: &str, seed: u64) -> ClassComposition {
+    let specs = test_specs();
+    let spec = specs.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("{name}?"));
+    let rec = run_spec(spec, NodeId(50), seed);
+    let raw = rec.pool.sample_matrix(NodeId(50)).unwrap();
+    pipeline.classify(&raw).unwrap().composition
+}
+
+#[test]
+fn cpu_workloads_classify_cpu() {
+    let p = trained();
+    for name in ["SPECseis96_A", "SPECseis96_C", "CH3D", "SimpleScalar"] {
+        let comp = classify(&p, name, 11);
+        assert_eq!(comp.majority(), AppClass::Cpu, "{name}: {comp}");
+        assert!(comp.fraction(AppClass::Cpu) > 0.9, "{name}: {comp}");
+    }
+}
+
+#[test]
+fn io_workloads_classify_io() {
+    let p = trained();
+    for name in ["PostMark", "Bonnie"] {
+        let comp = classify(&p, name, 13);
+        assert_eq!(comp.majority(), AppClass::Io, "{name}: {comp}");
+        assert!(comp.fraction(AppClass::Io) > 0.6, "{name}: {comp}");
+    }
+}
+
+#[test]
+fn net_workloads_classify_net() {
+    let p = trained();
+    for name in ["PostMark_NFS", "NetPIPE", "Autobench", "Sftp"] {
+        let comp = classify(&p, name, 17);
+        assert_eq!(comp.majority(), AppClass::Net, "{name}: {comp}");
+        assert!(comp.fraction(AppClass::Net) > 0.8, "{name}: {comp}");
+    }
+}
+
+#[test]
+fn specseis_b_mixes_cpu_io_paging() {
+    // The paper's key row: the same binary as SPECseis96_A, but in a 32 MB
+    // VM, splits between CPU (≈50%), IO (≈43%) and paging (≈6.5%).
+    let p = trained();
+    let comp = classify(&p, "SPECseis96_B", 19);
+    assert_eq!(comp.majority(), AppClass::Cpu, "{comp}");
+    assert!(comp.fraction(AppClass::Cpu) > 0.3, "{comp}");
+    assert!(comp.fraction(AppClass::Io) > 0.15, "{comp}");
+    assert!(
+        comp.fraction(AppClass::Cpu) < 0.9,
+        "B must not look like A: {comp}"
+    );
+}
+
+#[test]
+fn stream_is_io_and_paging() {
+    let p = trained();
+    let comp = classify(&p, "Stream", 23);
+    let io_paging = comp.fraction(AppClass::Io) + comp.fraction(AppClass::Mem);
+    assert!(io_paging > 0.8, "Stream is IO+paging dominated: {comp}");
+}
+
+#[test]
+fn interactive_sessions_mix_idle_with_activity() {
+    let p = trained();
+    // VMD: idle + IO + NET (paper: 37% / 41% / 22%).
+    let vmd = classify(&p, "VMD", 29);
+    assert!(vmd.fraction(AppClass::Idle) > 0.2, "{vmd}");
+    assert!(vmd.fraction(AppClass::Io) > 0.2, "{vmd}");
+    assert!(vmd.fraction(AppClass::Net) > 0.1, "{vmd}");
+    // XSpim: idle + IO (paper: 22% / 78%).
+    let xspim = classify(&p, "XSpim", 31);
+    assert!(xspim.fraction(AppClass::Idle) > 0.1, "{xspim}");
+    assert!(xspim.fraction(AppClass::Io) > 0.5, "{xspim}");
+}
+
+#[test]
+fn classification_is_seed_stable() {
+    // A different monitoring seed must not flip any majority class: the
+    // classifier's verdicts are about the workload, not the noise.
+    let p = trained();
+    for name in ["CH3D", "PostMark", "Autobench"] {
+        let a = classify(&p, name, 41).majority();
+        let b = classify(&p, name, 43).majority();
+        assert_eq!(a, b, "{name} flipped class across seeds");
+    }
+}

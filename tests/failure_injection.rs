@@ -1,0 +1,134 @@
+//! Failure injection: malformed monitoring data must surface as typed
+//! errors at the public API, never as panics or silent nonsense.
+
+use appclass::core::error::Error as CoreError;
+use appclass::metrics::{Error as MetricsError, METRIC_COUNT};
+use appclass::prelude::*;
+use appclass::metrics::profiler::{PerformanceProfiler, ProfileRequest};
+
+fn raw_run(rows: usize, cpu: f64) -> Matrix {
+    let mut m = Matrix::zeros(rows, METRIC_COUNT);
+    for i in 0..rows {
+        m[(i, MetricId::CpuUser.index())] = cpu + (i % 3) as f64;
+    }
+    m
+}
+
+fn trained() -> ClassifierPipeline {
+    let runs = vec![
+        (raw_run(10, 80.0), AppClass::Cpu),
+        (raw_run(10, 0.2), AppClass::Idle),
+    ];
+    ClassifierPipeline::train(&runs, &PipelineConfig::paper()).unwrap()
+}
+
+#[test]
+fn nan_in_training_pool_is_rejected() {
+    let mut bad = raw_run(10, 80.0);
+    bad[(3, MetricId::IoBi.index())] = f64::NAN;
+    let runs = vec![(bad, AppClass::Cpu), (raw_run(10, 0.2), AppClass::Idle)];
+    let err = ClassifierPipeline::train(&runs, &PipelineConfig::paper()).unwrap_err();
+    assert!(matches!(err, CoreError::Linalg(_)), "{err}");
+}
+
+#[test]
+fn infinite_metric_in_snapshot_pool_is_rejected() {
+    let mut pool = DataPool::new();
+    let mut frame = MetricFrame::zeroed();
+    frame.set(MetricId::BytesIn, f64::INFINITY);
+    pool.push(Snapshot::new(NodeId(1), 0, frame));
+    let err = pool.sample_matrix(NodeId(1)).unwrap_err();
+    assert!(matches!(err, MetricsError::NonFiniteMetric { .. }), "{err}");
+}
+
+#[test]
+fn classifying_wrong_width_matrix_is_typed() {
+    let pipeline = trained();
+    let err = pipeline.classify(&Matrix::zeros(5, 8)).unwrap_err();
+    assert!(
+        matches!(err, CoreError::FeatureMismatch { expected: 33, got: 8 }),
+        "{err}"
+    );
+}
+
+#[test]
+fn empty_everything_is_typed() {
+    // Empty training set.
+    assert!(matches!(
+        ClassifierPipeline::train(&[], &PipelineConfig::paper()),
+        Err(CoreError::NoTrainingData)
+    ));
+    // Pool without the target node.
+    let pool = DataPool::new();
+    assert!(matches!(
+        pool.sample_matrix(NodeId(7)),
+        Err(MetricsError::NoSamples { .. })
+    ));
+    // Degenerate profiling windows.
+    assert!(ProfileRequest::new(NodeId(1), 50, 50).is_err());
+    assert!(PerformanceProfiler::with_interval(0).is_err());
+}
+
+#[test]
+fn zero_variance_training_features_do_not_panic() {
+    // Every selected metric constant: normalization degenerates to zeros,
+    // PCA sees a zero covariance matrix — still no panic, and
+    // classification remains deterministic.
+    let constant = Matrix::zeros(10, METRIC_COUNT);
+    let runs =
+        vec![(constant.clone(), AppClass::Idle), (constant.clone(), AppClass::Idle)];
+    let pipeline = ClassifierPipeline::train(&runs, &PipelineConfig::paper()).unwrap();
+    let result = pipeline.classify(&constant).unwrap();
+    assert_eq!(result.class, AppClass::Idle);
+}
+
+#[test]
+fn bad_pipeline_configs_are_typed() {
+    let runs = vec![(raw_run(10, 80.0), AppClass::Cpu), (raw_run(10, 0.2), AppClass::Idle)];
+    // Even k.
+    let bad_k = PipelineConfig { k: 4, ..PipelineConfig::paper() };
+    assert!(matches!(
+        ClassifierPipeline::train(&runs, &bad_k),
+        Err(CoreError::BadK { k: 4 })
+    ));
+    // Impossible component count.
+    let bad_q = PipelineConfig {
+        selection: appclass::core::pca::ComponentSelection::Count(9),
+        ..PipelineConfig::paper()
+    };
+    assert!(matches!(
+        ClassifierPipeline::train(&runs, &bad_q),
+        Err(CoreError::BadComponentCount { requested: 9, available: 8 })
+    ));
+    // Empty metric list.
+    let bad_metrics = PipelineConfig { metrics: vec![], ..PipelineConfig::paper() };
+    assert!(ClassifierPipeline::train(&runs, &bad_metrics).is_err());
+}
+
+#[test]
+fn corrupt_persisted_state_is_typed() {
+    assert!(matches!(
+        ClassifierPipeline::from_json("{ not json"),
+        Err(CoreError::Storage(_))
+    ));
+    assert!(matches!(
+        appclass::core::appdb::ApplicationDb::from_json("[1,2,3]"),
+        Err(CoreError::Storage(_))
+    ));
+}
+
+#[test]
+fn irregular_sampling_still_classifies() {
+    // Dropped and out-of-order snapshots: the filter sorts by time and the
+    // classifier is order-insensitive.
+    let pipeline = trained();
+    let mut pool = DataPool::new();
+    for &t in &[50u64, 5, 200, 10, 45] {
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, 80.0);
+        pool.push(Snapshot::new(NodeId(1), t, f));
+    }
+    let m = pool.sample_matrix(NodeId(1)).unwrap();
+    assert_eq!(m.rows(), 5);
+    assert_eq!(pipeline.classify(&m).unwrap().class, AppClass::Cpu);
+}

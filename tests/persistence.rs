@@ -1,0 +1,86 @@
+//! Integration test: trained pipelines and the application DB survive
+//! serialization — the paper's Figure 1 stores classification state in a
+//! database for future scheduling decisions.
+
+use appclass::core::appdb::{ApplicationDb, RunRecord};
+use appclass::prelude::*;
+use appclass::sim::runner::run_spec;
+use appclass::sim::workload::registry::test_specs;
+use appclass::metrics::NodeId;
+
+mod common;
+fn trained() -> ClassifierPipeline {
+    common::trained_pipeline()
+}
+
+#[test]
+fn pipeline_json_roundtrip_classifies_identically() {
+    let pipeline = trained();
+    let json = pipeline.to_json().unwrap();
+    let restored = ClassifierPipeline::from_json(&json).unwrap();
+    assert_eq!(pipeline, restored);
+
+    let specs = test_specs();
+    for name in ["CH3D", "PostMark", "Sftp"] {
+        let spec = specs.iter().find(|s| s.name == name).unwrap();
+        let rec = run_spec(spec, NodeId(4), 77);
+        let raw = rec.pool.sample_matrix(NodeId(4)).unwrap();
+        let a = pipeline.classify(&raw).unwrap();
+        let b = restored.classify(&raw).unwrap();
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.class_vector, b.class_vector);
+    }
+}
+
+#[test]
+fn appdb_file_roundtrip_preserves_stats() {
+    let pipeline = trained();
+    let mut db = ApplicationDb::new();
+    let specs = test_specs();
+    for name in ["CH3D", "PostMark"] {
+        let spec = specs.iter().find(|s| s.name == name).unwrap();
+        for seed in [1u64, 2, 3] {
+            let rec = run_spec(spec, NodeId(4), seed);
+            let raw = rec.pool.sample_matrix(NodeId(4)).unwrap();
+            let result = pipeline.classify(&raw).unwrap();
+            db.record(RunRecord {
+                app: name.to_string(),
+                class: result.class,
+                composition: result.composition,
+                exec_secs: rec.wall_secs,
+                samples: rec.samples,
+            });
+        }
+    }
+
+    let dir = std::env::temp_dir().join("appclass_it_persistence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.json");
+    db.save(&path).unwrap();
+    let restored = ApplicationDb::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(db, restored);
+    let stats = restored.stats("CH3D").unwrap();
+    assert_eq!(stats.runs, 3);
+    assert_eq!(stats.class, AppClass::Cpu);
+    assert!(stats.mean_exec_secs > 0.0);
+    assert!(stats.min_exec_secs <= stats.max_exec_secs);
+}
+
+#[test]
+fn cost_model_consistent_after_reload() {
+    let mut db = ApplicationDb::new();
+    db.record(RunRecord {
+        app: "job".into(),
+        class: AppClass::Net,
+        composition: ClassComposition::from_fractions(0.1, 0.0, 0.0, 0.9, 0.0).unwrap(),
+        exec_secs: 100,
+        samples: 20,
+    });
+    let model = CostModel::new(ResourceRates { cpu: 10.0, mem: 8.0, io: 6.0, net: 4.0, idle: 1.0 });
+    let before = db.expected_cost("job", &model).unwrap();
+    let json = db.to_json().unwrap();
+    let after = ApplicationDb::from_json(&json).unwrap().expected_cost("job", &model).unwrap();
+    assert_eq!(before, after);
+}

@@ -1,0 +1,81 @@
+//! Integration test: the Figure 2 dimension-reduction chain over the real
+//! monitoring + simulation stack.
+//!
+//! `A(m×33) → A'(m×8) → B(m×2) → C(1×m) → Class` — every arrow's
+//! dimensions, as stated in the paper, verified end to end.
+
+use appclass::prelude::*;
+use appclass::sim::runner::run_spec;
+use appclass::sim::workload::registry::test_specs;
+use appclass::metrics::NodeId;
+
+mod common;
+fn trained() -> ClassifierPipeline {
+    common::trained_pipeline()
+}
+
+#[test]
+fn figure2_chain_dimensions() {
+    let pipeline = trained();
+
+    // n = 33: the monitoring system's full metric list.
+    assert_eq!(appclass::metrics::METRIC_COUNT, 33);
+
+    // p = 8: the expert-selected metrics of Table 1.
+    assert_eq!(pipeline.preprocessor().dim(), 8);
+
+    // q = 2: principal components, chosen to extract exactly two.
+    assert_eq!(pipeline.n_components(), 2);
+
+    // One run through the whole chain.
+    let specs = test_specs();
+    let spec = specs.iter().find(|s| s.name == "SimpleScalar").unwrap();
+    let rec = run_spec(spec, NodeId(1), 5);
+    let raw = rec.pool.sample_matrix(NodeId(1)).unwrap();
+    let m = raw.rows();
+    assert_eq!(raw.cols(), 33, "A is m x n");
+
+    let result = pipeline.classify(&raw).unwrap();
+    assert_eq!(result.projected.shape(), (m, 2), "B is m x q");
+    assert_eq!(result.class_vector.len(), m, "C is 1 x m");
+
+    // The class is the majority vote of the class vector.
+    let comp = ClassComposition::from_labels(&result.class_vector);
+    assert_eq!(result.class, comp.majority());
+    assert!((result.composition.total() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn m_equals_duration_over_interval() {
+    // m = (t1 - t0) / d with d = 5 s.
+    let specs = test_specs();
+    let spec = specs.iter().find(|s| s.name == "CH3D").unwrap();
+    let rec = run_spec(spec, NodeId(2), 3);
+    assert_eq!(rec.samples as u64, rec.wall_secs / 5);
+}
+
+#[test]
+fn pca_variance_ordering() {
+    let pipeline = trained();
+    let ev = pipeline.pca().eigenvalues();
+    assert_eq!(ev.len(), 8);
+    for w in ev.windows(2) {
+        assert!(w[0] >= w[1] - 1e-9, "eigenvalues must be sorted descending");
+    }
+    // Two components must carry the dominant share of the variance for the
+    // 2-D cluster diagrams to be meaningful.
+    let explained: f64 = pipeline.pca().explained_variance().iter().sum();
+    assert!(explained > 0.6, "2 PCs carry only {explained}");
+}
+
+#[test]
+fn training_projection_shapes() {
+    let pipeline = trained();
+    let (proj, labels) = pipeline.training_projection();
+    assert_eq!(proj.cols(), 2);
+    assert_eq!(proj.rows(), labels.len());
+    // All five classes are represented in the training set.
+    for class in AppClass::ALL {
+        assert!(labels.contains(&class), "missing training class {class}");
+    }
+}

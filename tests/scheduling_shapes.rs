@@ -1,0 +1,90 @@
+//! Integration test: the §5.2 scheduling results hold in shape.
+
+use appclass::sched::experiments::{app_throughput, figure4, run_schedule, table4};
+use appclass::sched::{enumerate_schedules, ClassAwarePolicy, JobType, SchedulingPolicy};
+
+#[test]
+fn figure4_class_aware_schedule_wins() {
+    let fig4 = figure4(1);
+    assert_eq!(fig4.rows.len(), 10);
+
+    // Schedule 10 is the best of the ten.
+    let best = fig4
+        .rows
+        .iter()
+        .max_by(|a, b| a.throughput_jobs_per_day.partial_cmp(&b.throughput_jobs_per_day).unwrap())
+        .unwrap();
+    assert_eq!(best.label, "{(SPN),(SPN),(SPN)}", "class-aware schedule must win");
+
+    // The paper's headline: +22.11% over the random-scheduler average.
+    // Shape criterion: a double-digit improvement in the same ballpark.
+    assert!(
+        (10.0..=45.0).contains(&fig4.improvement_pct),
+        "improvement {:.2}% too far from the paper's 22.11%",
+        fig4.improvement_pct
+    );
+}
+
+#[test]
+fn figure4_same_class_schedule_worst_region() {
+    let fig4 = figure4(2);
+    let schedule1 = &fig4.rows[0];
+    assert_eq!(schedule1.label, "{(SSS),(PPP),(NNN)}");
+    // Fully same-class placement must be clearly below the class-aware one.
+    assert!(
+        schedule1.throughput_jobs_per_day < fig4.class_aware * 0.85,
+        "schedule 1 at {} vs class-aware {}",
+        schedule1.throughput_jobs_per_day,
+        fig4.class_aware
+    );
+}
+
+#[test]
+fn figure5_spn_never_much_worse_than_average() {
+    // Under the SPN schedule every application's throughput should be at
+    // or above the cross-schedule average (strongly so for the CPU and IO
+    // apps in the paper; NetPIPE gains the least).
+    let schedules = enumerate_schedules();
+    let outcomes: Vec<_> =
+        schedules.iter().enumerate().map(|(i, s)| run_schedule(s, 100 + i as u64 * 17)).collect();
+    for app in JobType::ALL {
+        let tputs: Vec<f64> = outcomes.iter().map(|o| app_throughput(o, app)).collect();
+        let avg = tputs.iter().sum::<f64>() / tputs.len() as f64;
+        let spn = outcomes
+            .iter()
+            .find(|o| o.schedule.is_fully_diverse())
+            .map(|o| app_throughput(o, app))
+            .unwrap();
+        assert!(
+            spn > avg * 0.95,
+            "{app:?}: SPN throughput {spn} fell below average {avg}"
+        );
+    }
+}
+
+#[test]
+fn table4_shape() {
+    let t = table4(5);
+    // Each job stretches under co-location…
+    assert!(t.concurrent_ch3d >= t.sequential_ch3d, "{t:?}");
+    assert!(t.concurrent_postmark >= t.sequential_postmark, "{t:?}");
+    // …but the pair finishes sooner than running back to back.
+    assert!(t.concurrent_total < t.sequential_total, "{t:?}");
+    // And not absurdly so: the win comes from overlap, not magic.
+    assert!(t.concurrent_total * 3 > t.sequential_total, "{t:?}");
+}
+
+#[test]
+fn class_aware_policy_picks_measured_winner() {
+    // The policy's choice (made without simulation) coincides with the
+    // measured best schedule — the point of the whole paper.
+    let candidates = enumerate_schedules();
+    let choice = ClassAwarePolicy.choose(&candidates);
+    let fig4 = figure4(3);
+    let best = fig4
+        .rows
+        .iter()
+        .max_by(|a, b| a.throughput_jobs_per_day.partial_cmp(&b.throughput_jobs_per_day).unwrap())
+        .unwrap();
+    assert_eq!(choice.to_string(), best.label);
+}

@@ -1,0 +1,63 @@
+//! Integration test: stage segmentation recovers the workloads' scripted
+//! phase structure from classified snapshots alone.
+
+use appclass::core::stages::{segment, SegmentationConfig};
+use appclass::prelude::*;
+use appclass::sim::runner::run_spec;
+use appclass::sim::workload::registry::test_specs;
+use appclass::metrics::NodeId;
+
+mod common;
+fn trained() -> ClassifierPipeline {
+    common::trained_pipeline()
+}
+
+fn stages_of(pipeline: &ClassifierPipeline, name: &str, seed: u64) -> Vec<appclass::core::stages::Stage> {
+    let specs = test_specs();
+    let spec = specs.iter().find(|s| s.name == name).unwrap();
+    let rec = run_spec(spec, NodeId(1), seed);
+    let raw = rec.pool.sample_matrix(NodeId(1)).unwrap();
+    let result = pipeline.classify(&raw).unwrap();
+    segment(&result.class_vector, &SegmentationConfig::default())
+}
+
+#[test]
+fn single_stage_for_uniform_workloads() {
+    let p = trained();
+    for name in ["CH3D", "SimpleScalar", "PostMark"] {
+        let stages = stages_of(&p, name, 3);
+        assert_eq!(stages.len(), 1, "{name} is single-stage: {stages:?}");
+    }
+}
+
+#[test]
+fn vmd_session_structure_recovered() {
+    // VMD's script: idle → upload → idle → GUI → idle → upload → GUI.
+    let p = trained();
+    let stages = stages_of(&p, "VMD", 77);
+    assert!(
+        (4..=8).contains(&stages.len()),
+        "VMD has a multi-stage session: {stages:?}"
+    );
+    // It must open idle and contain at least one IO and one NET stage.
+    assert_eq!(stages[0].class, AppClass::Idle, "{stages:?}");
+    assert!(stages.iter().any(|s| s.class == AppClass::Io), "{stages:?}");
+    assert!(stages.iter().any(|s| s.class == AppClass::Net), "{stages:?}");
+    // Stages tile the run.
+    for w in stages.windows(2) {
+        assert_eq!(w[0].end + 1, w[1].start);
+    }
+}
+
+#[test]
+fn specseis_b_alternates_compute_and_io() {
+    // The memory-starved run flips between CPU-looking and IO-looking
+    // windows; segmentation must surface multiple alternations, giving a
+    // migration-aware scheduler something to react to.
+    let p = trained();
+    let stages = stages_of(&p, "SPECseis96_B", 19);
+    let cpu_stages = stages.iter().filter(|s| s.class == AppClass::Cpu).count();
+    let io_stages = stages.iter().filter(|s| s.class == AppClass::Io).count();
+    assert!(cpu_stages >= 2, "multiple compute windows: {stages:?}");
+    assert!(io_stages >= 2, "multiple io windows: {stages:?}");
+}
