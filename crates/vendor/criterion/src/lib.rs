@@ -1,0 +1,131 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the call shapes the bench targets use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros — backed by plain `std::time::Instant` wall-clock timing. No
+//! statistical analysis, HTML reports, or CLI filtering; each benchmark
+//! prints `group/name: <mean time>` over `sample_size` timed samples.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for compatibility; there is no CLI configuration here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean sample time.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let total: Duration = bencher.samples.iter().sum();
+        let n = bencher.samples.len().max(1);
+        println!(
+            "{}/{}: {:>12.3?} per iter ({} samples)",
+            self.name,
+            id,
+            total / n as u32,
+            n
+        );
+        self
+    }
+
+    /// Ends the group (kept for call-shape compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples, with a short
+    /// warm-up to fault in code and caches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 2 warm-up + 5 timed
+        assert_eq!(runs, 7);
+    }
+}

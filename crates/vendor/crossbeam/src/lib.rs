@@ -1,0 +1,130 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! The workspace uses two slices of crossbeam: `crossbeam::scope` for
+//! fork-join parallelism and `crossbeam::channel` for unbounded MPSC
+//! fan-out. Both have had std equivalents since Rust 1.63
+//! (`std::thread::scope`) and forever (`std::sync::mpsc`), so this shim is
+//! a thin adapter preserving crossbeam's call shapes: `scope` returns
+//! `thread::Result` (Err when a child panicked) and spawn closures receive
+//! a (here inert) scope argument.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle passed to the `scope` closure; `spawn` runs a task that joins
+/// before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped task. The closure's argument mirrors crossbeam's
+    /// nested-scope handle; every call site here ignores it (`|_|`), so it
+    /// is passed as `()`.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || {
+            f(());
+        });
+    }
+}
+
+/// Creates a scope for spawning threads that borrow from the caller's
+/// stack. Returns `Err` (like crossbeam) if any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// MPSC channels (subset of `crossbeam::channel` over `std::sync::mpsc`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only when all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Drains currently pending messages without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+
+        /// Blocking iterator that ends when all senders are gone.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_propagates_results() {
+        let mut acc = vec![0u64; 4];
+        super::scope(|s| {
+            for (i, slot) in acc.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(acc, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_fan_out() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx.try_recv().is_err());
+    }
+}
