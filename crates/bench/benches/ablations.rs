@@ -43,10 +43,8 @@ fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_components");
     group.sample_size(20);
     for q in [1usize, 2, 4, 8] {
-        let config = PipelineConfig {
-            selection: ComponentSelection::Count(q),
-            ..PipelineConfig::paper()
-        };
+        let config =
+            PipelineConfig { selection: ComponentSelection::Count(q), ..PipelineConfig::paper() };
         let pipeline = ClassifierPipeline::train(&runs, &config).unwrap();
         group.bench_function(format!("q{q}"), |b| {
             b.iter(|| pipeline.classify(black_box(&raw)).unwrap())
@@ -63,16 +61,12 @@ fn bench_feature_sets(c: &mut Criterion) {
 
     let expert = PipelineConfig::paper();
     let pipeline = ClassifierPipeline::train(&runs, &expert).unwrap();
-    group.bench_function("expert8", |b| {
-        b.iter(|| pipeline.classify(black_box(&raw)).unwrap())
-    });
+    group.bench_function("expert8", |b| b.iter(|| pipeline.classify(black_box(&raw)).unwrap()));
 
     // The "no expert knowledge" variant: all 33 metrics into PCA.
     let all33 = PipelineConfig { metrics: MetricId::ALL.to_vec(), ..PipelineConfig::paper() };
     let pipeline33 = ClassifierPipeline::train(&runs, &all33).unwrap();
-    group.bench_function("all33", |b| {
-        b.iter(|| pipeline33.classify(black_box(&raw)).unwrap())
-    });
+    group.bench_function("all33", |b| b.iter(|| pipeline33.classify(black_box(&raw)).unwrap()));
     group.finish();
 }
 
@@ -88,9 +82,7 @@ fn bench_distances(c: &mut Criterion) {
     ] {
         let config = PipelineConfig { distance: d, ..PipelineConfig::paper() };
         let pipeline = ClassifierPipeline::train(&runs, &config).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| pipeline.classify(black_box(&raw)).unwrap())
-        });
+        group.bench_function(name, |b| b.iter(|| pipeline.classify(black_box(&raw)).unwrap()));
     }
     group.finish();
 }

@@ -9,6 +9,7 @@
 
 use appclass_bench::fixtures::{trained_pipeline, training_runs};
 use appclass_core::pipeline::{ClassifierPipeline, PipelineConfig};
+use appclass_core::stage::StagePipeline;
 use appclass_metrics::filter::PerformanceFilter;
 use appclass_metrics::{DataPool, MetricFrame, NodeId, Snapshot};
 use appclass_sim::runner::run_spec;
@@ -53,13 +54,34 @@ fn bench_cost(c: &mut Criterion) {
     let p = ClassifierPipeline::train(&runs, &config).unwrap();
     let _ = p.classify(&extracted).unwrap();
     let t_classify = t1.elapsed();
-    let per_sample =
-        (t_filter + t_classify).as_secs_f64() * 1_000.0 / report.extracted as f64;
+    let per_sample = (t_filter + t_classify).as_secs_f64() * 1_000.0 / report.extracted as f64;
     println!("\nClassification cost (§5.3), {} target samples:", report.extracted);
     println!("  filter extraction: {:.3} s  (paper: 72 s)", t_filter.as_secs_f64());
     println!("  train + PCA + classify: {:.3} s  (paper: 50 s)", t_classify.as_secs_f64());
     println!("  unit cost: {:.4} ms/sample  (paper: 15 ms/sample)", per_sample);
-    println!("  sampling period is 5000 ms: online classification feasible = {}", per_sample < 5_000.0);
+    println!(
+        "  sampling period is 5000 ms: online classification feasible = {}",
+        per_sample < 5_000.0
+    );
+
+    // Per-stage breakdown of the classify cost, from the dataflow runner's
+    // own instrumentation.
+    let mut runner = StagePipeline::new();
+    let _ = p.classify_with(&mut runner, &extracted).unwrap();
+    println!("  per-stage breakdown (one classify pass):");
+    for stat in runner.metrics().stages() {
+        println!(
+            "    {:<10} {:>6} samples  {:>12.3?}  ({:.6} ms/sample)",
+            stat.name,
+            stat.samples,
+            stat.elapsed(),
+            stat.ms_per_sample()
+        );
+    }
+    assert!(
+        runner.metrics().stages().iter().all(|s| s.samples > 0),
+        "every stage must report non-zero sample counts"
+    );
 
     let mut group = c.benchmark_group("classification_cost");
     group.sample_size(10);
@@ -72,9 +94,20 @@ fn bench_cost(c: &mut Criterion) {
     group.bench_function("classify_8000", |b| {
         b.iter(|| pipeline.classify(black_box(&target)).unwrap())
     });
+    group.bench_function("classify_8000_reused_runner", |b| {
+        // The steady-state path: scratch buffers warm across iterations,
+        // no intermediate-matrix allocation after the first pass.
+        let mut runner = StagePipeline::new();
+        b.iter(|| pipeline.classify_with(&mut runner, black_box(&target)).unwrap())
+    });
     group.bench_function("classify_one_frame", |b| {
         let frame = MetricFrame::from_values(target.row(0)).unwrap();
         b.iter(|| pipeline.classify_frame(black_box(&frame)).unwrap())
+    });
+    group.bench_function("classify_one_frame_reused_runner", |b| {
+        let frame = MetricFrame::from_values(target.row(0)).unwrap();
+        let mut runner = StagePipeline::new();
+        b.iter(|| pipeline.classify_frame_with(&mut runner, black_box(&frame)).unwrap())
     });
     group.finish();
 }

@@ -62,8 +62,7 @@ fn bench_knn(c: &mut Criterion) {
     group.sample_size(20);
     // The pipeline's scale: ~700 training points in 2-D.
     let points = random_matrix(700, 2, 6);
-    let labels: Vec<AppClass> =
-        (0..700).map(|i| AppClass::ALL[i % 5]).collect();
+    let labels: Vec<AppClass> = (0..700).map(|i| AppClass::ALL[i % 5]).collect();
     let knn = KnnClassifier::paper(points, labels).unwrap();
     group.bench_function("classify_one_of_700", |b| {
         b.iter(|| knn.classify(black_box(&[0.3, -1.2])).unwrap())
@@ -79,9 +78,7 @@ fn bench_standardize(c: &mut Criterion) {
     let mut group = c.benchmark_group("numerics_standardize");
     group.sample_size(20);
     let pool = random_matrix(8_000, 8, 8);
-    group.bench_function("fit_8000x8", |b| {
-        b.iter(|| Standardizer::fit(black_box(&pool)).unwrap())
-    });
+    group.bench_function("fit_8000x8", |b| b.iter(|| Standardizer::fit(black_box(&pool)).unwrap()));
     let s = Standardizer::fit(&pool).unwrap();
     group.bench_function("apply_8000x8", |b| b.iter(|| s.apply(black_box(&pool)).unwrap()));
     group.finish();

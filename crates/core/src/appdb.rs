@@ -224,7 +224,8 @@ mod tests {
     fn expected_cost_uses_mean() {
         let mut db = ApplicationDb::new();
         db.record(rec("job", AppClass::Cpu, 100));
-        let model = CostModel::new(ResourceRates { cpu: 2.0, mem: 0.0, io: 0.0, net: 0.0, idle: 0.0 });
+        let model =
+            CostModel::new(ResourceRates { cpu: 2.0, mem: 0.0, io: 0.0, net: 0.0, idle: 0.0 });
         assert_eq!(db.expected_cost("job", &model), Some(200.0));
         assert_eq!(db.expected_cost("ghost", &model), None);
     }

@@ -41,6 +41,12 @@ impl AppClass {
         }
     }
 
+    /// Inverse of [`AppClass::index`]; `None` outside `0..5`. Used to
+    /// decode class-index columns flowing between dataflow stages.
+    pub fn from_index(i: usize) -> Option<AppClass> {
+        AppClass::ALL.get(i).copied()
+    }
+
     /// Short label used in tables and cluster diagrams.
     pub fn label(self) -> &'static str {
         match self {

@@ -77,10 +77,7 @@ impl CostModel {
 
     /// UnitApplicationCost = Σ rate(class) · fraction(class).
     pub fn unit_cost(&self, composition: &ClassComposition) -> f64 {
-        AppClass::ALL
-            .iter()
-            .map(|&c| self.rates.rate(c) * composition.fraction(c))
-            .sum()
+        AppClass::ALL.iter().map(|&c| self.rates.rate(c) * composition.fraction(c)).sum()
     }
 
     /// Total cost of a run: unit cost × execution seconds.

@@ -42,6 +42,11 @@ pub enum Error {
         /// Columns supplied.
         got: usize,
     },
+    /// A class-index column held a value that names no application class.
+    BadClassIndex {
+        /// The offending value.
+        value: f64,
+    },
     /// The application database file could not be read or written.
     Storage(String),
 }
@@ -63,6 +68,9 @@ impl fmt::Display for Error {
             Error::EmptyRun => write!(f, "the run contains no snapshots to classify"),
             Error::FeatureMismatch { expected, got } => {
                 write!(f, "expected {expected} feature columns, got {got}")
+            }
+            Error::BadClassIndex { value } => {
+                write!(f, "{value} is not a valid class index")
             }
             Error::Storage(msg) => write!(f, "storage error: {msg}"),
         }

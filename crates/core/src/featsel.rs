@@ -149,10 +149,7 @@ fn correlation_matrix(runs: &[(Matrix, AppClass)]) -> Vec<[f64; METRIC_COUNT]> {
 
 /// Greedy mRMR selection: picks `count` metrics maximizing
 /// `relevance − mean |correlation with already-selected|` at each step.
-pub fn select_features(
-    runs: &[(Matrix, AppClass)],
-    count: usize,
-) -> Result<Vec<MetricId>> {
+pub fn select_features(runs: &[(Matrix, AppClass)], count: usize) -> Result<Vec<MetricId>> {
     if count == 0 || count > METRIC_COUNT {
         return Err(Error::BadComponentCount { requested: count, available: METRIC_COUNT });
     }
@@ -177,10 +174,7 @@ pub fn select_features(
                 let redundancy = if selected.is_empty() {
                     0.0
                 } else {
-                    selected
-                        .iter()
-                        .map(|&m| corr[s.metric.index()][m.index()].abs())
-                        .sum::<f64>()
+                    selected.iter().map(|&m| corr[s.metric.index()][m.index()].abs()).sum::<f64>()
                         / selected.len() as f64
                 };
                 // Quotient-form mRMR: redundancy *discounts* relevance
@@ -229,9 +223,7 @@ mod tests {
     #[test]
     fn relevance_ranks_discriminative_metrics() {
         let scores = relevance_scores(&runs()).unwrap();
-        let score_of = |id: MetricId| {
-            scores.iter().find(|s| s.metric == id).unwrap().relevance
-        };
+        let score_of = |id: MetricId| scores.iter().find(|s| s.metric == id).unwrap().relevance;
         // The class-driving metrics dominate a constant metric.
         assert!(score_of(MetricId::CpuUser) > 10.0 * score_of(MetricId::MemTotal).max(1e-9));
         assert!(score_of(MetricId::IoBi) > 0.0);
@@ -245,7 +237,10 @@ mod tests {
         let has = |id: MetricId| selected.contains(&id);
         assert!(has(MetricId::CpuUser) || has(MetricId::CpuSystem), "{selected:?}");
         assert!(has(MetricId::IoBi) || has(MetricId::IoBo), "{selected:?}");
-        assert!(has(MetricId::BytesIn) || has(MetricId::BytesOut) || has(MetricId::PktsIn), "{selected:?}");
+        assert!(
+            has(MetricId::BytesIn) || has(MetricId::BytesOut) || has(MetricId::PktsIn),
+            "{selected:?}"
+        );
         assert!(has(MetricId::SwapIn) || has(MetricId::SwapOut), "{selected:?}");
     }
 
@@ -295,15 +290,17 @@ mod tests {
             (cpu_b.clone(), AppClass::Cpu),
             (idle.clone(), AppClass::Idle),
         ];
-        let stacked = vec![
-            (cpu_a.vstack(&cpu_b).unwrap(), AppClass::Cpu),
-            (idle, AppClass::Idle),
-        ];
+        let stacked = vec![(cpu_a.vstack(&cpu_b).unwrap(), AppClass::Cpu), (idle, AppClass::Idle)];
         let s1 = relevance_scores(&split).unwrap();
         let s2 = relevance_scores(&stacked).unwrap();
         for (a, b) in s1.iter().zip(&s2) {
-            assert!((a.relevance - b.relevance).abs() < 1e-9, "{}: {} vs {}",
-                a.metric.name(), a.relevance, b.relevance);
+            assert!(
+                (a.relevance - b.relevance).abs() < 1e-9,
+                "{}: {} vs {}",
+                a.metric.name(),
+                a.relevance,
+                b.relevance
+            );
         }
     }
 

@@ -10,6 +10,7 @@
 
 use crate::class::AppClass;
 use crate::error::{Error, Result};
+use crate::stage::{encode_classes, Stage, StreamingStage};
 use appclass_linalg::{vector, Matrix};
 use serde::{Deserialize, Serialize};
 
@@ -73,7 +74,12 @@ impl KnnClassifier {
     ///
     /// `k` must be odd and positive (the paper uses 3). If fewer training
     /// points than `k` exist, every vote uses all of them.
-    pub fn new(k: usize, points: Matrix, labels: Vec<AppClass>, distance: Distance) -> Result<Self> {
+    pub fn new(
+        k: usize,
+        points: Matrix,
+        labels: Vec<AppClass>,
+        distance: Distance,
+    ) -> Result<Self> {
         if k == 0 || k.is_multiple_of(2) {
             return Err(Error::BadK { k });
         }
@@ -104,6 +110,16 @@ impl KnnClassifier {
     /// `k`.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The training points (rows, in feature space).
+    pub fn points(&self) -> &Matrix {
+        &self.points
+    }
+
+    /// The training labels, parallel to [`KnnClassifier::points`] rows.
+    pub fn labels(&self) -> &[AppClass] {
+        &self.labels
     }
 
     /// Classifies one point: the majority vote of its k nearest training
@@ -186,6 +202,30 @@ impl KnnClassifier {
     }
 }
 
+impl Stage for KnnClassifier {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    /// `B(m×q) → C(m×1)`: classifies every row, emitting the class vector
+    /// as a class-index column (decode with
+    /// [`decode_classes`](crate::stage::decode_classes)).
+    fn transform_into(&self, input: &Matrix, out: &mut Matrix) -> Result<()> {
+        let labels = self.classify_batch(input)?;
+        encode_classes(&labels, out);
+        Ok(())
+    }
+}
+
+impl StreamingStage for KnnClassifier {
+    fn transform_row_into(&self, input: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        let class = self.classify(input)?;
+        out.clear();
+        out.push(class.index() as f64);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,8 +272,7 @@ mod tests {
     #[test]
     fn majority_beats_single_nearest() {
         // Nearest point is Io, but two Cpu points are next: 3-NN → Cpu.
-        let points =
-            Matrix::from_rows(&[vec![0.0], vec![0.3], vec![0.4], vec![100.0]]).unwrap();
+        let points = Matrix::from_rows(&[vec![0.0], vec![0.3], vec![0.4], vec![100.0]]).unwrap();
         let labels = vec![AppClass::Io, AppClass::Cpu, AppClass::Cpu, AppClass::Net];
         let knn = KnnClassifier::paper(points, labels).unwrap();
         assert_eq!(knn.classify(&[0.05]).unwrap(), AppClass::Cpu);
@@ -273,21 +312,16 @@ mod tests {
     #[test]
     fn k_larger_than_training_set_uses_all() {
         let p = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
-        let knn =
-            KnnClassifier::new(5, p, vec![AppClass::Cpu, AppClass::Cpu], Distance::Euclidean)
-                .unwrap();
+        let knn = KnnClassifier::new(5, p, vec![AppClass::Cpu, AppClass::Cpu], Distance::Euclidean)
+            .unwrap();
         assert_eq!(knn.classify(&[10.0]).unwrap(), AppClass::Cpu);
     }
 
     #[test]
     fn batch_matches_pointwise() {
         let knn = two_clusters();
-        let queries = Matrix::from_rows(&[
-            vec![8.0, 1.0],
-            vec![-8.0, 1.0],
-            vec![11.0, -1.0],
-        ])
-        .unwrap();
+        let queries =
+            Matrix::from_rows(&[vec![8.0, 1.0], vec![-8.0, 1.0], vec![11.0, -1.0]]).unwrap();
         let batch = knn.classify_batch(&queries).unwrap();
         for (i, row) in queries.iter_rows().enumerate() {
             assert_eq!(batch[i], knn.classify(row).unwrap());
@@ -319,13 +353,7 @@ mod tests {
     fn alternative_distances_work() {
         for d in [Distance::Manhattan, Distance::Chebyshev] {
             let points = Matrix::from_rows(&[vec![5.0, 5.0], vec![-5.0, -5.0]]).unwrap();
-            let knn = KnnClassifier::new(
-                1,
-                points,
-                vec![AppClass::Net, AppClass::Mem],
-                d,
-            )
-            .unwrap();
+            let knn = KnnClassifier::new(1, points, vec![AppClass::Net, AppClass::Mem], d).unwrap();
             assert_eq!(knn.classify(&[4.0, 4.0]).unwrap(), AppClass::Net);
             assert_eq!(knn.classify(&[-4.0, -6.0]).unwrap(), AppClass::Mem);
         }

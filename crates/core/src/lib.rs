@@ -30,6 +30,10 @@
 //!   scoring the classifier against ground truth.
 //! * [`featsel`] — automated mRMR feature selection over the 33-metric
 //!   catalogue (§7's "automate this feature selection process").
+//! * [`stage`] — the composable dataflow core: `Stage`/`StreamingStage`
+//!   traits implemented by the preprocessor, PCA and k-NN head, and the
+//!   buffer-reusing, per-stage-instrumented [`stage::StagePipeline`]
+//!   runner both the offline and online paths execute on.
 //! * [`stages`] — multi-stage segmentation of the class vector, enabling
 //!   the migration opportunities the introduction motivates.
 
@@ -46,6 +50,7 @@ pub mod online;
 pub mod pca;
 pub mod pipeline;
 pub mod preprocess;
+pub mod stage;
 pub mod stages;
 
 pub use class::{AppClass, ClassComposition};

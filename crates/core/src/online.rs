@@ -17,14 +17,19 @@
 use crate::class::{AppClass, ClassComposition};
 use crate::error::{Error, Result};
 use crate::pipeline::{ClassifierPipeline, PipelineConfig};
+use crate::stage::StagePipeline;
 use appclass_linalg::Matrix;
-use appclass_metrics::{MetricFrame, Snapshot, METRIC_COUNT};
+use appclass_metrics::{MetricFrame, Snapshot, StageMetrics, METRIC_COUNT};
 use std::collections::VecDeque;
 
 /// Streaming classifier over a trained pipeline.
 #[derive(Debug, Clone)]
 pub struct OnlineClassifier<'a> {
     pipeline: &'a ClassifierPipeline,
+    /// The dataflow runner every frame executes on: scratch buffers stay
+    /// warm across snapshots (zero allocation in steady state) and
+    /// per-stage cost counters accumulate over the stream.
+    runner: StagePipeline,
     /// All labels seen (bounded by `window` when set).
     labels: VecDeque<AppClass>,
     /// Running per-class counts over `labels`, kept in lockstep so
@@ -42,6 +47,7 @@ impl<'a> OnlineClassifier<'a> {
     pub fn new(pipeline: &'a ClassifierPipeline) -> Self {
         OnlineClassifier {
             pipeline,
+            runner: StagePipeline::new(),
             labels: VecDeque::new(),
             counts: [0; 5],
             window: None,
@@ -54,6 +60,7 @@ impl<'a> OnlineClassifier<'a> {
     pub fn with_window(pipeline: &'a ClassifierPipeline, window: usize) -> Self {
         OnlineClassifier {
             pipeline,
+            runner: StagePipeline::new(),
             labels: VecDeque::new(),
             counts: [0; 5],
             window: Some(window.max(1)),
@@ -64,7 +71,7 @@ impl<'a> OnlineClassifier<'a> {
     /// Classifies one incoming frame and folds it into the running state;
     /// returns the snapshot's class.
     pub fn push_frame(&mut self, frame: &MetricFrame) -> Result<AppClass> {
-        let class = self.pipeline.classify_frame(frame)?;
+        let class = self.pipeline.classify_frame_with(&mut self.runner, frame)?;
         self.labels.push_back(class);
         self.counts[class.index()] += 1;
         if let Some(w) = self.window {
@@ -116,12 +123,20 @@ impl<'a> OnlineClassifier<'a> {
         }
     }
 
+    /// Per-stage cost counters accumulated over every snapshot pushed so
+    /// far — the streaming view of the §5.3 cost breakdown.
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        self.runner.metrics()
+    }
+
     /// Resets the running state (e.g. when a new application starts on the
-    /// monitored VM); the pipeline itself is untouched.
+    /// monitored VM); the pipeline itself is untouched. Stage counters
+    /// restart too, so the next application's cost report is its own.
     pub fn reset(&mut self) {
         self.labels.clear();
         self.counts = [0; 5];
         self.observed = 0;
+        self.runner.reset_metrics();
     }
 }
 
@@ -301,8 +316,7 @@ mod tests {
         assert_eq!(oc.current_class(), Some(AppClass::Cpu));
         // …then an I/O stage: the window flips within its length.
         for _ in 0..6 {
-            oc.push_frame(&frame(&[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)]))
-                .unwrap();
+            oc.push_frame(&frame(&[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)])).unwrap();
         }
         assert_eq!(oc.current_class(), Some(AppClass::Io));
         assert_eq!(oc.in_state(), 6, "window bounds the state");
@@ -317,8 +331,7 @@ mod tests {
             oc.push_frame(&frame(&[(MetricId::CpuUser, 85.0)])).unwrap();
         }
         for _ in 0..6 {
-            oc.push_frame(&frame(&[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)]))
-                .unwrap();
+            oc.push_frame(&frame(&[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)])).unwrap();
         }
         // 20 CPU vs 6 IO: full-history majority stays CPU.
         assert_eq!(oc.current_class(), Some(AppClass::Cpu));
@@ -344,6 +357,80 @@ mod tests {
         oc.reset();
         assert_eq!(oc.current_class(), None);
         assert_eq!(oc.observed(), 0);
+    }
+
+    #[test]
+    fn zero_window_clamps_to_one() {
+        let p = trained();
+        let mut oc = OnlineClassifier::with_window(&p, 0);
+        for _ in 0..3 {
+            oc.push_frame(&frame(&[(MetricId::CpuUser, 85.0)])).unwrap();
+        }
+        // A window of 0 would make every composition empty; it clamps to 1.
+        assert_eq!(oc.in_state(), 1);
+        assert_eq!(oc.observed(), 3);
+        assert_eq!(oc.current_class(), Some(AppClass::Cpu));
+        // One I/O frame flips a 1-snapshot window instantly.
+        oc.push_frame(&frame(&[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)])).unwrap();
+        assert_eq!(oc.current_class(), Some(AppClass::Io));
+    }
+
+    #[test]
+    fn reset_mid_stream_starts_a_fresh_application() {
+        let p = trained();
+        let mut oc = OnlineClassifier::with_window(&p, 8);
+        for _ in 0..5 {
+            oc.push_frame(&frame(&[(MetricId::CpuUser, 85.0)])).unwrap();
+        }
+        assert!(!oc.stage_metrics().is_empty());
+        oc.reset();
+        assert_eq!(oc.current_class(), None);
+        assert_eq!(oc.in_state(), 0);
+        assert!(oc.stage_metrics().is_empty(), "reset restarts the cost report");
+        // Post-reset classification must see none of the CPU history.
+        for _ in 0..2 {
+            oc.push_frame(&frame(&[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)])).unwrap();
+        }
+        assert_eq!(oc.current_class(), Some(AppClass::Io));
+        assert_eq!(oc.composition().fraction(AppClass::Io), 1.0);
+        assert_eq!(oc.observed(), 2);
+    }
+
+    #[test]
+    fn streaming_composition_equals_offline_classification() {
+        let p = trained();
+        // A multi-stage run: CPU, then I/O, then network.
+        let raw = raw_run(10, &[(MetricId::CpuUser, 85.0)])
+            .vstack(&raw_run(7, &[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)]))
+            .unwrap()
+            .vstack(&raw_run(5, &[(MetricId::BytesOut, 2.8e7)]))
+            .unwrap();
+        let offline = p.classify(&raw).unwrap();
+        let mut oc = OnlineClassifier::new(&p);
+        let mut streamed = Vec::new();
+        for i in 0..raw.rows() {
+            let f = MetricFrame::from_values(raw.row(i)).unwrap();
+            streamed.push(oc.push_frame(&f).unwrap());
+        }
+        // Same per-snapshot class vector, composition, and majority —
+        // both paths run the same stages on the same dataflow core.
+        assert_eq!(streamed, offline.class_vector);
+        assert_eq!(oc.composition(), offline.composition);
+        assert_eq!(oc.current_class(), Some(offline.class));
+    }
+
+    #[test]
+    fn stream_accumulates_stage_metrics() {
+        let p = trained();
+        let mut oc = OnlineClassifier::new(&p);
+        for _ in 0..12 {
+            oc.push_frame(&frame(&[(MetricId::CpuUser, 85.0)])).unwrap();
+        }
+        for name in ["preprocess", "pca", "knn"] {
+            let stat = oc.stage_metrics().get(name).expect(name);
+            assert_eq!(stat.samples, 12, "{name}");
+            assert_eq!(stat.calls, 12, "{name}");
+        }
     }
 
     // --- OnlineTrainer ----------------------------------------------------
@@ -381,8 +468,11 @@ mod tests {
             t.absorb(frame(&[(MetricId::CpuUser, 80.0 + i as f64)]), AppClass::Cpu).unwrap();
         }
         for i in 0..8 {
-            t.absorb(frame(&[(MetricId::IoBi, 2000.0 + 10.0 * i as f64), (MetricId::IoBo, 2400.0)]), AppClass::Io)
-                .unwrap();
+            t.absorb(
+                frame(&[(MetricId::IoBi, 2000.0 + 10.0 * i as f64), (MetricId::IoBo, 2400.0)]),
+                AppClass::Io,
+            )
+            .unwrap();
         }
         let p = t.pipeline().expect("trained");
         assert_eq!(p.classify_frame(&frame(&[(MetricId::CpuUser, 83.0)])).unwrap(), AppClass::Cpu);

@@ -10,6 +10,7 @@
 //! cluster diagrams of Figure 3 drawable.
 
 use crate::error::{Error, Result};
+use crate::stage::{Stage, StreamingStage};
 use appclass_linalg::eigen::{symmetric_eigen, EigenDecomposition};
 use appclass_linalg::stats::covariance_matrix;
 use appclass_linalg::svd::thin_svd;
@@ -121,11 +122,7 @@ impl Pca {
                         canonicalize_column_sign(&mut vectors, j);
                     }
                     EigenDecomposition {
-                        values: svd
-                            .singular_values
-                            .iter()
-                            .map(|s| s * s / denom)
-                            .collect(),
+                        values: svd.singular_values.iter().map(|s| s * s / denom).collect(),
                         vectors,
                     }
                 }
@@ -194,28 +191,77 @@ impl Pca {
 
     /// Projects a sample matrix into component space: `(m×p) → (m×q)`.
     pub fn transform(&self, samples: &Matrix) -> Result<Matrix> {
-        if samples.cols() != self.input_dim() {
-            return Err(Error::FeatureMismatch { expected: self.input_dim(), got: samples.cols() });
-        }
-        let centered = center(samples, &self.means);
-        Ok(centered.matmul(&self.components)?)
+        let mut out = Matrix::zeros(0, 0);
+        self.transform_into(samples, &mut out)?;
+        Ok(out)
     }
 
     /// Projects a single sample row: `p → q`.
     pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>> {
-        if row.len() != self.input_dim() {
-            return Err(Error::FeatureMismatch { expected: self.input_dim(), got: row.len() });
-        }
-        let centered: Vec<f64> = row.iter().zip(&self.means).map(|(x, m)| x - m).collect();
-        let mut out = vec![0.0; self.q];
-        for (j, o) in out.iter_mut().enumerate() {
-            *o = centered
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c * self.components[(i, j)])
-                .sum();
-        }
+        let mut out = Vec::new();
+        self.transform_row_into(row, &mut out)?;
         Ok(out)
+    }
+
+    /// `μᵀW` — the fitting means projected through the components.
+    /// Because `(X − 1μᵀ)W = XW − 1(μᵀW)`, subtracting this *after*
+    /// multiplying projects without materializing a centered copy of the
+    /// data, which is what lets the dataflow stage reuse buffers.
+    fn projected_means(&self) -> Vec<f64> {
+        let mut pm = vec![0.0; self.q];
+        for (j, p) in pm.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (i, &mu) in self.means.iter().enumerate() {
+                acc += mu * self.components[(i, j)];
+            }
+            *p = acc;
+        }
+        pm
+    }
+}
+
+impl Stage for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    /// `B = A'W − 1(μᵀW)` into a reusable buffer. The per-entry
+    /// accumulation order (components ascending) is identical to
+    /// [`StreamingStage::transform_row_into`], so batch and streaming
+    /// projections agree bit-for-bit.
+    fn transform_into(&self, input: &Matrix, out: &mut Matrix) -> Result<()> {
+        if input.cols() != self.input_dim() {
+            return Err(Error::FeatureMismatch { expected: self.input_dim(), got: input.cols() });
+        }
+        input.matmul_into(&self.components, out)?;
+        let pm = self.projected_means();
+        for i in 0..out.rows() {
+            for (x, m) in out.row_mut(i).iter_mut().zip(&pm) {
+                *x -= m;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StreamingStage for Pca {
+    fn transform_row_into(&self, input: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if input.len() != self.input_dim() {
+            return Err(Error::FeatureMismatch { expected: self.input_dim(), got: input.len() });
+        }
+        out.clear();
+        out.resize(self.q, 0.0);
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (i, &x) in input.iter().enumerate() {
+                acc += x * self.components[(i, j)];
+            }
+            *o = acc;
+        }
+        for (o, m) in out.iter_mut().zip(self.projected_means()) {
+            *o -= m;
+        }
+        Ok(())
     }
 }
 
@@ -237,16 +283,6 @@ fn canonicalize_column_sign(m: &mut Matrix, j: usize) {
             m[(i, j)] = -m[(i, j)];
         }
     }
-}
-
-fn center(samples: &Matrix, means: &[f64]) -> Matrix {
-    let mut out = samples.clone();
-    for i in 0..out.rows() {
-        for (x, m) in out.row_mut(i).iter_mut().zip(means) {
-            *x -= m;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -340,8 +376,10 @@ mod tests {
         let row = [3.0, -1.5];
         let via_row = pca.transform_row(&row).unwrap();
         let via_matrix = pca.transform(&Matrix::from_rows(&[row.to_vec()]).unwrap()).unwrap();
+        // Both paths multiply-then-subtract in the same accumulation
+        // order, so streaming and batch projections are bitwise equal.
         for j in 0..2 {
-            assert!((via_row[j] - via_matrix[(0, j)]).abs() < 1e-12);
+            assert_eq!(via_row[j], via_matrix[(0, j)]);
         }
     }
 
@@ -355,10 +393,7 @@ mod tests {
     #[test]
     fn needs_at_least_two_samples() {
         let one = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
-        assert!(matches!(
-            Pca::fit(&one, ComponentSelection::Count(1)),
-            Err(Error::NoTrainingData)
-        ));
+        assert!(matches!(Pca::fit(&one, ComponentSelection::Count(1)), Err(Error::NoTrainingData)));
     }
 
     #[test]
@@ -381,8 +416,9 @@ mod tests {
             vec![1.0, -2.0, 0.0, 0.0],
         ])
         .unwrap();
-        let eig = Pca::fit_with_backend(&data, ComponentSelection::Count(3), PcaBackend::CovarianceEigen)
-            .unwrap();
+        let eig =
+            Pca::fit_with_backend(&data, ComponentSelection::Count(3), PcaBackend::CovarianceEigen)
+                .unwrap();
         let svd =
             Pca::fit_with_backend(&data, ComponentSelection::Count(3), PcaBackend::Svd).unwrap();
         // Eigenvalues agree.

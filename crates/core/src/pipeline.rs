@@ -15,8 +15,9 @@ use crate::error::{Error, Result};
 use crate::knn::{Distance, KnnClassifier};
 use crate::pca::{ComponentSelection, Pca};
 use crate::preprocess::{expert_metrics, Preprocessor};
+use crate::stage::{decode_class, Stage, StagePipeline, StreamingStage};
 use appclass_linalg::Matrix;
-use appclass_metrics::{MetricFrame, MetricId};
+use appclass_metrics::{MetricFrame, MetricId, StageMetrics};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the pipeline's three stages.
@@ -63,6 +64,12 @@ pub struct ClassificationResult {
     /// The snapshots projected to principal-component space (`B`,
     /// `m × q`) — plot this for the Figure 3 cluster diagrams.
     pub projected: Matrix,
+    /// Per-stage sample counts and wall-clock cost for this
+    /// classification — the §5.3 measurement, broken down by stage. When
+    /// the run executed on a shared [`StagePipeline`] via
+    /// [`ClassifierPipeline::classify_with`], the counters cover every
+    /// classification the runner has executed so far.
+    pub stage_metrics: StageMetrics,
 }
 
 /// A fully trained classifier.
@@ -96,9 +103,6 @@ pub struct ClassifierPipeline {
     preprocessor: Preprocessor,
     pca: Pca,
     knn: KnnClassifier,
-    /// Projected training points, kept for the Figure 3(a) diagram.
-    training_projection: Matrix,
-    training_labels: Vec<AppClass>,
 }
 
 impl ClassifierPipeline {
@@ -127,15 +131,11 @@ impl ClassifierPipeline {
         let normalized = preprocessor.apply(&pool)?;
         let pca = Pca::fit(&normalized, config.selection)?;
         let projected = pca.transform(&normalized)?;
-        let knn =
-            KnnClassifier::new(config.k, projected.clone(), labels.clone(), config.distance)?;
-        Ok(ClassifierPipeline {
-            preprocessor,
-            pca,
-            knn,
-            training_projection: projected,
-            training_labels: labels,
-        })
+        // The k-NN stage owns the projected pool and labels outright; the
+        // Figure 3(a) accessors read them back from there instead of the
+        // pipeline keeping duplicate copies.
+        let knn = KnnClassifier::new(config.k, projected, labels, config.distance)?;
+        Ok(ClassifierPipeline { preprocessor, pca, knn })
     }
 
     /// Number of principal components in use (the paper's `q`).
@@ -159,15 +159,29 @@ impl ClassifierPipeline {
     }
 
     /// The projected training snapshots and their labels — Figure 3(a).
+    /// (Owned by the k-NN stage; exposed here for the diagram code.)
     pub fn training_projection(&self) -> (&Matrix, &[AppClass]) {
-        (&self.training_projection, &self.training_labels)
+        (self.knn.points(), self.knn.labels())
+    }
+
+    /// The projection front of the Figure 2 chain (`A → A' → B`) as
+    /// dataflow stages, for running on a [`StagePipeline`].
+    pub fn projection_stages(&self) -> [&dyn Stage; 2] {
+        [&self.preprocessor, &self.pca]
+    }
+
+    /// The full per-snapshot chain (`A → A' → B → C`) as streaming
+    /// stages, for running on a [`StagePipeline`].
+    pub fn streaming_stages(&self) -> [&dyn StreamingStage; 3] {
+        [&self.preprocessor, &self.pca, &self.knn]
     }
 
     /// Projects a raw run into principal-component space without
     /// classifying (`A → B`).
     pub fn project(&self, raw: &Matrix) -> Result<Matrix> {
-        let normalized = self.preprocessor.apply(raw)?;
-        self.pca.transform(&normalized)
+        let mut runner = StagePipeline::new();
+        runner.run_batch(&self.projection_stages(), raw)?;
+        Ok(runner.into_output())
     }
 
     /// Runs the full chain on a raw (`m × 33`) sample matrix.
@@ -175,25 +189,55 @@ impl ClassifierPipeline {
     /// An empty run (zero snapshots) is an error: a majority vote over
     /// nothing has no meaningful class.
     pub fn classify(&self, raw: &Matrix) -> Result<ClassificationResult> {
+        let mut runner = StagePipeline::new();
+        self.classify_with(&mut runner, raw)
+    }
+
+    /// Like [`ClassifierPipeline::classify`], but executes on a
+    /// caller-owned [`StagePipeline`], so consecutive classifications
+    /// reuse the runner's scratch buffers (steady-state: no intermediate-
+    /// matrix allocation) and accumulate per-stage cost counters.
+    pub fn classify_with(
+        &self,
+        runner: &mut StagePipeline,
+        raw: &Matrix,
+    ) -> Result<ClassificationResult> {
         if raw.rows() == 0 {
             return Err(Error::EmptyRun);
         }
-        let projected = self.project(raw)?;
-        let class_vector = self.knn.classify_batch(&projected)?;
+        runner.run_batch(&self.projection_stages(), raw)?;
+        // The m×q projection is part of the result (Figure 3's raw
+        // material), so it is copied out of the scratch buffer; the wide
+        // m×33 and m×8 intermediates never leave the runner.
+        let projected = runner.output().clone();
+        let class_vector =
+            runner.time_stage("knn", raw.rows() as u64, || self.knn.classify_batch(&projected))?;
         let composition = ClassComposition::from_labels(&class_vector);
         Ok(ClassificationResult {
             class: composition.majority(),
             composition,
             class_vector,
             projected,
+            stage_metrics: runner.metrics().clone(),
         })
     }
 
     /// Classifies a single snapshot frame (the online path).
     pub fn classify_frame(&self, frame: &MetricFrame) -> Result<AppClass> {
-        let row = self.preprocessor.apply_frame(frame.as_slice())?;
-        let projected = self.pca.transform_row(&row)?;
-        self.knn.classify(&projected)
+        let mut runner = StagePipeline::new();
+        self.classify_frame_with(&mut runner, frame)
+    }
+
+    /// Like [`ClassifierPipeline::classify_frame`], but on a caller-owned
+    /// [`StagePipeline`] — the zero-allocation steady state the online
+    /// classifier runs in, one snapshot every `d` seconds.
+    pub fn classify_frame_with(
+        &self,
+        runner: &mut StagePipeline,
+        frame: &MetricFrame,
+    ) -> Result<AppClass> {
+        let out = runner.run_row(&self.streaming_stages(), frame.as_slice())?;
+        decode_class(out[0])
     }
 
     /// Serializes the trained pipeline to JSON (the form the application
@@ -228,14 +272,8 @@ mod tests {
 
     fn training_runs() -> Vec<(Matrix, AppClass)> {
         vec![
-            (
-                raw_run(30, &[(MetricId::CpuUser, 90.0), (MetricId::CpuSystem, 5.0)]),
-                AppClass::Cpu,
-            ),
-            (
-                raw_run(30, &[(MetricId::IoBi, 2000.0), (MetricId::IoBo, 3000.0)]),
-                AppClass::Io,
-            ),
+            (raw_run(30, &[(MetricId::CpuUser, 90.0), (MetricId::CpuSystem, 5.0)]), AppClass::Cpu),
+            (raw_run(30, &[(MetricId::IoBi, 2000.0), (MetricId::IoBo, 3000.0)]), AppClass::Io),
             (
                 raw_run(30, &[(MetricId::BytesIn, 1.0e6), (MetricId::BytesOut, 3.0e7)]),
                 AppClass::Net,
@@ -332,22 +370,77 @@ mod tests {
     }
 
     #[test]
+    fn result_reports_per_stage_metrics() {
+        let p = trained();
+        let raw = raw_run(15, &[(MetricId::CpuUser, 85.0)]);
+        let r = p.classify(&raw).unwrap();
+        let names: Vec<&str> = r.stage_metrics.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["preprocess", "pca", "knn"], "dataflow order");
+        for stat in r.stage_metrics.stages() {
+            assert_eq!(stat.samples, 15, "{}", stat.name);
+            assert_eq!(stat.calls, 1, "{}", stat.name);
+        }
+    }
+
+    #[test]
+    fn shared_runner_reuses_buffers_and_accumulates() {
+        let p = trained();
+        let raw = raw_run(25, &[(MetricId::IoBi, 2100.0), (MetricId::IoBo, 2900.0)]);
+        let mut runner = StagePipeline::new();
+        // Two warm-up calls grow both ping-pong buffers to steady state.
+        p.classify_with(&mut runner, &raw).unwrap();
+        p.classify_with(&mut runner, &raw).unwrap();
+        let ptr = runner.output().as_slice().as_ptr();
+        let r3 = p.classify_with(&mut runner, &raw).unwrap();
+        let r4 = p.classify_with(&mut runner, &raw).unwrap();
+        assert_eq!(
+            runner.output().as_slice().as_ptr(),
+            ptr,
+            "same-shape classifications must not reallocate intermediates"
+        );
+        assert_eq!(r3.class, r4.class);
+        // Counters accumulate across the runner's lifetime.
+        let knn = runner.metrics().get("knn").unwrap();
+        assert_eq!(knn.calls, 4);
+        assert_eq!(knn.samples, 100);
+        assert_eq!(r4.stage_metrics.get("preprocess").unwrap().samples, 100);
+    }
+
+    #[test]
+    fn classify_with_matches_classify() {
+        let p = trained();
+        let raw = raw_run(9, &[(MetricId::BytesOut, 2.5e7)]);
+        let fresh = p.classify(&raw).unwrap();
+        let mut runner = StagePipeline::new();
+        p.classify_with(&mut runner, &raw).unwrap(); // warm the buffers
+        let shared = p.classify_with(&mut runner, &raw).unwrap();
+        assert_eq!(fresh.class, shared.class);
+        assert_eq!(fresh.class_vector, shared.class_vector);
+        assert_eq!(fresh.projected, shared.projected);
+    }
+
+    #[test]
     fn json_roundtrip_preserves_behaviour() {
         let p = trained();
         let json = p.to_json().unwrap();
         let q = ClassifierPipeline::from_json(&json).unwrap();
         assert_eq!(p, q);
-        let raw = raw_run(4, &[(MetricId::SwapIn, 4800.0), (MetricId::SwapOut, 4400.0),
-            (MetricId::IoBi, 4800.0), (MetricId::IoBo, 4800.0)]);
+        let raw = raw_run(
+            4,
+            &[
+                (MetricId::SwapIn, 4800.0),
+                (MetricId::SwapOut, 4400.0),
+                (MetricId::IoBi, 4800.0),
+                (MetricId::IoBo, 4800.0),
+            ],
+        );
         assert_eq!(p.classify(&raw).unwrap().class, q.classify(&raw).unwrap().class);
     }
 
     #[test]
     fn custom_config_three_components() {
-        let cfg = PipelineConfig {
-            selection: ComponentSelection::Count(3),
-            ..PipelineConfig::paper()
-        };
+        let cfg =
+            PipelineConfig { selection: ComponentSelection::Count(3), ..PipelineConfig::paper() };
         let p = ClassifierPipeline::train(&training_runs(), &cfg).unwrap();
         assert_eq!(p.n_components(), 3);
         // Still classifies training classes correctly.

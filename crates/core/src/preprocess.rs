@@ -8,6 +8,7 @@
 //! and then applied unchanged to test data.
 
 use crate::error::{Error, Result};
+use crate::stage::{Stage, StreamingStage};
 use appclass_linalg::stats::Standardizer;
 use appclass_linalg::Matrix;
 use appclass_metrics::{MetricId, METRIC_COUNT};
@@ -56,24 +57,52 @@ impl Preprocessor {
     /// Applies selection + normalization to a raw 33-column sample matrix,
     /// yielding the paper's `A'(m×p)`.
     pub fn apply(&self, raw: &Matrix) -> Result<Matrix> {
-        let selected = select_columns(raw, &self.metrics)?;
-        Ok(self.standardizer.apply(&selected)?)
+        let mut out = Matrix::zeros(0, 0);
+        self.transform_into(raw, &mut out)?;
+        Ok(out)
     }
 
     /// Applies selection + normalization to a single raw 33-metric frame
     /// row (the online-classification path).
     pub fn apply_frame(&self, frame: &[f64]) -> Result<Vec<f64>> {
-        if frame.len() != METRIC_COUNT {
-            return Err(Error::FeatureMismatch { expected: METRIC_COUNT, got: frame.len() });
-        }
-        let mut row: Vec<f64> = self.metrics.iter().map(|m| frame[m.index()]).collect();
-        self.standardizer.apply_row(&mut row)?;
+        let mut row = Vec::new();
+        self.transform_row_into(frame, &mut row)?;
         Ok(row)
     }
 
     /// The fitted normalization parameters.
     pub fn standardizer(&self) -> &Standardizer {
         &self.standardizer
+    }
+}
+
+impl Stage for Preprocessor {
+    fn name(&self) -> &'static str {
+        "preprocess"
+    }
+
+    /// Selection + normalization into a reusable buffer — `A(m×n)` to
+    /// `A'(m×p)` without allocating when `out` is already warm.
+    fn transform_into(&self, input: &Matrix, out: &mut Matrix) -> Result<()> {
+        if input.cols() != METRIC_COUNT {
+            return Err(Error::FeatureMismatch { expected: METRIC_COUNT, got: input.cols() });
+        }
+        let idx: Vec<usize> = self.metrics.iter().map(|m| m.index()).collect();
+        input.select_columns_into(&idx, out)?;
+        self.standardizer.apply_in_place(out)?;
+        Ok(())
+    }
+}
+
+impl StreamingStage for Preprocessor {
+    fn transform_row_into(&self, input: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if input.len() != METRIC_COUNT {
+            return Err(Error::FeatureMismatch { expected: METRIC_COUNT, got: input.len() });
+        }
+        out.clear();
+        out.extend(self.metrics.iter().map(|m| input[m.index()]));
+        self.standardizer.apply_row(out)?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,345 @@
+//! Composable dataflow stages — the Figure 2 chain as first-class values.
+//!
+//! The paper's classification chain `A(n×m) → A'(p×m) → B(q×m) → C(1×m)`
+//! used to be hand-rolled in three places: the batch pipeline, the online
+//! classifier, and the stage-segmentation smoothing pass. This module
+//! factors it into:
+//!
+//! * [`Stage`] — a batch transform over snapshot matrices (one row per
+//!   snapshot). Implemented by
+//!   [`Preprocessor`](crate::preprocess::Preprocessor),
+//!   [`Pca`](crate::pca::Pca),
+//!   [`KnnClassifier`](crate::knn::KnnClassifier) and
+//!   [`SmoothingStage`](crate::stages::SmoothingStage).
+//! * [`StreamingStage`] — the per-snapshot counterpart, the online path.
+//! * [`StagePipeline`] — the runner: executes a stage chain by ping-ponging
+//!   between two reusable scratch buffers (no per-call matrix allocation
+//!   once warm) and records per-stage sample counts and wall-clock time
+//!   into a [`StageMetrics`] accumulator — the §5.3 cost measurement with
+//!   a breakdown.
+//!
+//! Classifier heads speak the matrix interface by encoding each snapshot's
+//! class as its [`AppClass::index`] in an `m × 1` column — see
+//! [`encode_classes`] / [`decode_classes`].
+
+use crate::class::AppClass;
+use crate::error::{Error, Result};
+use appclass_linalg::Matrix;
+use appclass_metrics::StageMetrics;
+use std::time::Instant;
+
+/// A batch dataflow stage: transforms an `m × a` snapshot matrix into an
+/// `m × b` one, writing into a caller-owned buffer.
+pub trait Stage {
+    /// Stage name used by the instrumentation (and the §5.3 breakdown).
+    fn name(&self) -> &'static str;
+
+    /// Transforms `input` into `out`, reusing `out`'s allocation.
+    fn transform_into(&self, input: &Matrix, out: &mut Matrix) -> Result<()>;
+}
+
+/// The per-snapshot (streaming) counterpart of [`Stage`] — what the online
+/// classifier drives once per 5-second sample.
+pub trait StreamingStage: Stage {
+    /// Transforms one snapshot row into `out`, reusing its allocation.
+    fn transform_row_into(&self, input: &[f64], out: &mut Vec<f64>) -> Result<()>;
+}
+
+/// Executes stage chains over reusable scratch buffers, recording
+/// per-stage [`StageMetrics`].
+///
+/// One runner can be shared across many classifications: buffers reach a
+/// steady state after the first call (no further allocation for same-shape
+/// batches) and metrics accumulate, which is how the online classifier and
+/// the §5.3 bench report totals.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_core::stage::{Stage, StagePipeline};
+/// use appclass_linalg::Matrix;
+///
+/// /// Doubles every entry.
+/// struct Double;
+/// impl Stage for Double {
+///     fn name(&self) -> &'static str { "double" }
+///     fn transform_into(
+///         &self,
+///         input: &Matrix,
+///         out: &mut Matrix,
+///     ) -> appclass_core::Result<()> {
+///         out.resize(input.rows(), input.cols());
+///         for (o, i) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+///             *o = 2.0 * i;
+///         }
+///         Ok(())
+///     }
+/// }
+///
+/// let mut runner = StagePipeline::new();
+/// let input = Matrix::filled(4, 2, 1.5);
+/// runner.run_batch(&[&Double, &Double], &input).unwrap();
+/// assert_eq!(runner.output()[(0, 0)], 6.0);
+/// assert_eq!(runner.metrics().get("double").unwrap().samples, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StagePipeline {
+    /// Holds the most recent batch output; swapped with `pong` per stage.
+    ping: Matrix,
+    pong: Matrix,
+    /// Streaming counterparts of `ping`/`pong`.
+    row_ping: Vec<f64>,
+    row_pong: Vec<f64>,
+    metrics: StageMetrics,
+}
+
+impl Default for StagePipeline {
+    fn default() -> Self {
+        StagePipeline::new()
+    }
+}
+
+impl StagePipeline {
+    /// A runner with empty buffers and no recorded metrics.
+    pub fn new() -> Self {
+        StagePipeline {
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
+            row_ping: Vec::new(),
+            row_pong: Vec::new(),
+            metrics: StageMetrics::new(),
+        }
+    }
+
+    /// Runs a batch chain; the result is left in [`StagePipeline::output`].
+    ///
+    /// Each stage's sample count (`input.rows()`) and wall-clock time are
+    /// recorded under the stage's name. An empty chain copies the input
+    /// through unchanged.
+    pub fn run_batch(&mut self, stages: &[&dyn Stage], input: &Matrix) -> Result<()> {
+        if stages.is_empty() {
+            self.ping.resize(input.rows(), input.cols());
+            self.ping.as_mut_slice().copy_from_slice(input.as_slice());
+            return Ok(());
+        }
+        let samples = input.rows() as u64;
+        for (i, stage) in stages.iter().enumerate() {
+            let started = Instant::now();
+            if i == 0 {
+                stage.transform_into(input, &mut self.ping)?;
+            } else {
+                stage.transform_into(&self.ping, &mut self.pong)?;
+                std::mem::swap(&mut self.ping, &mut self.pong);
+            }
+            self.metrics.record(stage.name(), samples, started.elapsed());
+        }
+        Ok(())
+    }
+
+    /// The output buffer of the last [`StagePipeline::run_batch`].
+    pub fn output(&self) -> &Matrix {
+        &self.ping
+    }
+
+    /// Consumes the runner, returning the last batch output by move.
+    pub fn into_output(self) -> Matrix {
+        self.ping
+    }
+
+    /// Runs a streaming chain over one snapshot row, returning the final
+    /// row (borrowed from the runner's scratch; copy it out to keep it).
+    pub fn run_row(&mut self, stages: &[&dyn StreamingStage], input: &[f64]) -> Result<&[f64]> {
+        if stages.is_empty() {
+            self.row_ping.clear();
+            self.row_ping.extend_from_slice(input);
+            return Ok(&self.row_ping);
+        }
+        for (i, stage) in stages.iter().enumerate() {
+            let started = Instant::now();
+            if i == 0 {
+                stage.transform_row_into(input, &mut self.row_ping)?;
+            } else {
+                stage.transform_row_into(&self.row_ping, &mut self.row_pong)?;
+                std::mem::swap(&mut self.row_ping, &mut self.row_pong);
+            }
+            self.metrics.record(stage.name(), 1, started.elapsed());
+        }
+        Ok(&self.row_ping)
+    }
+
+    /// Times a step that runs outside the ping-pong chain (e.g. a typed
+    /// classifier head) into the same metrics accumulator.
+    pub fn time_stage<T>(
+        &mut self,
+        name: &'static str,
+        samples: u64,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        let started = Instant::now();
+        let result = f();
+        self.metrics.record(name, samples, started.elapsed());
+        result
+    }
+
+    /// The per-stage counters accumulated so far.
+    pub fn metrics(&self) -> &StageMetrics {
+        &self.metrics
+    }
+
+    /// Clears the accumulated metrics (buffers are kept warm).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.clear();
+    }
+}
+
+/// Encodes a class vector as an `m × 1` class-index matrix — the
+/// representation classifier heads emit through the [`Stage`] interface.
+pub fn encode_classes(labels: &[AppClass], out: &mut Matrix) {
+    out.resize(labels.len(), 1);
+    for (slot, l) in out.as_mut_slice().iter_mut().zip(labels) {
+        *slot = l.index() as f64;
+    }
+}
+
+/// Decodes an `m × 1` class-index matrix back into a class vector.
+pub fn decode_classes(encoded: &Matrix) -> Result<Vec<AppClass>> {
+    if encoded.cols() != 1 {
+        return Err(Error::FeatureMismatch { expected: 1, got: encoded.cols() });
+    }
+    encoded.as_slice().iter().map(|&v| decode_class(v)).collect()
+}
+
+/// Decodes one class-index value (must be an exact integer in `0..5`).
+pub fn decode_class(value: f64) -> Result<AppClass> {
+    if value.fract() == 0.0 && value >= 0.0 {
+        if let Some(class) = AppClass::from_index(value as usize) {
+            return Ok(class);
+        }
+    }
+    Err(Error::BadClassIndex { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Appends a constant column (widens by one).
+    struct Widen;
+    impl Stage for Widen {
+        fn name(&self) -> &'static str {
+            "widen"
+        }
+        fn transform_into(&self, input: &Matrix, out: &mut Matrix) -> Result<()> {
+            out.resize(input.rows(), input.cols() + 1);
+            for i in 0..input.rows() {
+                out.row_mut(i)[..input.cols()].copy_from_slice(input.row(i));
+                out.row_mut(i)[input.cols()] = 9.0;
+            }
+            Ok(())
+        }
+    }
+    impl StreamingStage for Widen {
+        fn transform_row_into(&self, input: &[f64], out: &mut Vec<f64>) -> Result<()> {
+            out.clear();
+            out.extend_from_slice(input);
+            out.push(9.0);
+            Ok(())
+        }
+    }
+
+    /// Always fails.
+    struct Broken;
+    impl Stage for Broken {
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+        fn transform_into(&self, _: &Matrix, _: &mut Matrix) -> Result<()> {
+            Err(Error::EmptyRun)
+        }
+    }
+
+    #[test]
+    fn batch_chain_threads_output_through_stages() {
+        let mut runner = StagePipeline::new();
+        let input = Matrix::zeros(3, 2);
+        runner.run_batch(&[&Widen, &Widen, &Widen], &input).unwrap();
+        assert_eq!(runner.output().shape(), (3, 5));
+        assert_eq!(runner.output()[(2, 4)], 9.0);
+        let stat = runner.metrics().get("widen").unwrap();
+        assert_eq!(stat.samples, 9, "3 rows x 3 invocations");
+        assert_eq!(stat.calls, 3);
+    }
+
+    #[test]
+    fn empty_chain_copies_input() {
+        let mut runner = StagePipeline::new();
+        let input = Matrix::filled(2, 2, 3.0);
+        runner.run_batch(&[], &input).unwrap();
+        assert_eq!(*runner.output(), input);
+        assert_eq!(runner.run_row(&[], &[1.0, 2.0]).unwrap(), &[1.0, 2.0]);
+        assert!(runner.metrics().is_empty());
+    }
+
+    #[test]
+    fn row_chain_matches_batch_chain() {
+        let mut runner = StagePipeline::new();
+        let out = runner.run_row(&[&Widen, &Widen], &[1.0, 2.0]).unwrap();
+        assert_eq!(out, &[1.0, 2.0, 9.0, 9.0]);
+        assert_eq!(runner.metrics().get("widen").unwrap().samples, 2);
+    }
+
+    #[test]
+    fn failing_stage_propagates_error() {
+        let mut runner = StagePipeline::new();
+        let input = Matrix::zeros(1, 1);
+        assert!(runner.run_batch(&[&Widen, &Broken], &input).is_err());
+    }
+
+    #[test]
+    fn buffers_reach_steady_state() {
+        let mut runner = StagePipeline::new();
+        let input = Matrix::zeros(16, 4);
+        // Two warm-up calls let the swapped ping/pong pair both grow to
+        // the widest stage output; after that, no reallocation.
+        runner.run_batch(&[&Widen, &Widen], &input).unwrap();
+        runner.run_batch(&[&Widen, &Widen], &input).unwrap();
+        let ptr = runner.output().as_slice().as_ptr();
+        runner.run_batch(&[&Widen, &Widen], &input).unwrap();
+        runner.run_batch(&[&Widen, &Widen], &input).unwrap();
+        assert_eq!(
+            runner.output().as_slice().as_ptr(),
+            ptr,
+            "same-shape reruns must reuse the warm buffers"
+        );
+    }
+
+    #[test]
+    fn time_stage_records_and_returns() {
+        let mut runner = StagePipeline::new();
+        let v = runner.time_stage("head", 7, || Ok(41 + 1)).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(runner.metrics().get("head").unwrap().samples, 7);
+        runner.reset_metrics();
+        assert!(runner.metrics().is_empty());
+    }
+
+    #[test]
+    fn class_codec_roundtrips() {
+        let labels =
+            vec![AppClass::Cpu, AppClass::Idle, AppClass::Net, AppClass::Mem, AppClass::Io];
+        let mut encoded = Matrix::zeros(0, 0);
+        encode_classes(&labels, &mut encoded);
+        assert_eq!(encoded.shape(), (5, 1));
+        assert_eq!(decode_classes(&encoded).unwrap(), labels);
+    }
+
+    #[test]
+    fn class_codec_rejects_garbage() {
+        assert!(matches!(decode_class(7.0), Err(Error::BadClassIndex { .. })));
+        assert!(matches!(decode_class(1.5), Err(Error::BadClassIndex { .. })));
+        assert!(matches!(decode_class(-1.0), Err(Error::BadClassIndex { .. })));
+        assert!(matches!(decode_class(f64::NAN), Err(Error::BadClassIndex { .. })));
+        assert!(decode_classes(&Matrix::zeros(2, 2)).is_err());
+        assert_eq!(decode_class(2.0).unwrap(), AppClass::Cpu);
+    }
+}

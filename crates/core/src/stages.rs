@@ -10,6 +10,9 @@
 //! stages: a majority-smoothed segmentation with short-segment merging.
 
 use crate::class::{AppClass, ClassComposition};
+use crate::error::Result;
+use crate::stage::{decode_classes, encode_classes, Stage as DataflowStage, StagePipeline};
+use appclass_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// One execution stage: a maximal run of snapshots sharing a class.
@@ -79,13 +82,53 @@ impl Default for SegmentationConfig {
 /// assert_eq!(stages[1].duration_secs(5), 100); // 20 snapshots at 5 s
 /// ```
 pub fn segment(class_vector: &[AppClass], config: &SegmentationConfig) -> Vec<Stage> {
+    let mut runner = StagePipeline::new();
+    segment_smooth(&mut runner, class_vector, config)
+        .expect("smoothing a well-formed class vector cannot fail")
+}
+
+/// Like [`segment`], but executes the smoothing pass on a caller-owned
+/// [`StagePipeline`], reusing its scratch buffers and recording the
+/// smoothing cost under the `"smooth"` stage — so segmentation shows up
+/// in the same per-stage cost breakdown as classification.
+pub fn segment_smooth(
+    runner: &mut StagePipeline,
+    class_vector: &[AppClass],
+    config: &SegmentationConfig,
+) -> Result<Vec<Stage>> {
     if class_vector.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let smoothed = majority_smooth(class_vector, config.smoothing_window.max(1));
+    let mut encoded = Matrix::zeros(0, 0);
+    encode_classes(class_vector, &mut encoded);
+    let smoother = SmoothingStage { window: config.smoothing_window.max(1) };
+    runner.run_batch(&[&smoother], &encoded)?;
+    let smoothed = decode_classes(runner.output())?;
     let mut stages = runs_of(&smoothed);
     merge_short_stages(&mut stages, config.min_stage_len);
-    stages
+    Ok(stages)
+}
+
+/// The sliding majority filter as a dataflow stage: consumes and emits an
+/// `m × 1` class-index column, so it composes downstream of a classifier
+/// head on a [`StagePipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmoothingStage {
+    /// Centred window width (1 = pass-through).
+    pub window: usize,
+}
+
+impl DataflowStage for SmoothingStage {
+    fn name(&self) -> &'static str {
+        "smooth"
+    }
+
+    fn transform_into(&self, input: &Matrix, out: &mut Matrix) -> Result<()> {
+        let labels = decode_classes(input)?;
+        let smoothed = majority_smooth(&labels, self.window.max(1));
+        encode_classes(&smoothed, out);
+        Ok(())
+    }
 }
 
 /// Sliding majority filter. The window is centred; edges use the
@@ -240,5 +283,19 @@ mod tests {
         assert_eq!(stages.len(), 1);
         assert_eq!(stages[0].start, 0);
         assert_eq!(stages[0].end, 5);
+    }
+
+    #[test]
+    fn shared_runner_segmentation_matches_and_records_cost() {
+        let mut v = vec![Cpu; 10];
+        v[4] = Io;
+        v.extend([Io; 10]);
+        let cfg = SegmentationConfig::default();
+        let mut runner = StagePipeline::new();
+        let via_runner = segment_smooth(&mut runner, &v, &cfg).unwrap();
+        assert_eq!(via_runner, segment(&v, &cfg));
+        let stat = runner.metrics().get("smooth").expect("smoothing recorded");
+        assert_eq!(stat.samples, 20);
+        assert_eq!(stat.calls, 1);
     }
 }

@@ -268,11 +268,8 @@ pub fn power_iteration(a: &Matrix, max_iter: usize, tol: f64) -> Result<(f64, Ve
         let delta = (new_lambda - lambda).abs();
         lambda = new_lambda;
         // Compare directions modulo sign.
-        let diff = x
-            .iter()
-            .zip(&y)
-            .map(|(a, b)| (a - b).abs().min((a + b).abs()))
-            .fold(0.0f64, f64::max);
+        let diff =
+            x.iter().zip(&y).map(|(a, b)| (a - b).abs().min((a + b).abs())).fold(0.0f64, f64::max);
         x = y;
         if it > 0 && diff < tol && delta < tol * lambda.abs().max(1.0) {
             canonicalize_sign(&mut x);
@@ -338,11 +335,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = sym(&[
-            vec![2.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 2.0],
-        ]);
+        let a = sym(&[vec![2.0, -1.0, 0.0], vec![-1.0, 2.0, -1.0], vec![0.0, -1.0, 2.0]]);
         let ed = symmetric_eigen(&a).unwrap();
         let vtv = ed.vectors.transpose().matmul(&ed.vectors).unwrap();
         assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
@@ -388,11 +381,7 @@ mod tests {
 
     #[test]
     fn power_iteration_agrees_with_jacobi() {
-        let a = sym(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.25],
-            vec![0.5, 0.25, 1.0],
-        ]);
+        let a = sym(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.25], vec![0.5, 0.25, 1.0]]);
         let ed = symmetric_eigen(&a).unwrap();
         let (lambda, v) = power_iteration(&a, 10_000, 1e-12).unwrap();
         assert!((lambda - ed.values[0]).abs() < 1e-8);

@@ -140,9 +140,25 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable access to the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix, returning its flat row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+
+    /// Reshapes to `rows x cols` in place, zeroing the contents. The
+    /// existing allocation is reused whenever it is large enough — the
+    /// primitive the `_into` operations build on to keep hot paths free of
+    /// per-call allocation.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Element access with bounds checking.
@@ -229,6 +245,15 @@ impl Matrix {
     /// rows of both operands, and spreads the output rows over a crossbeam
     /// scope when the problem is large enough to amortize thread startup.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Matrix::matmul`] but writes the product into `out`, which is
+    /// reshaped to `self.rows x rhs.cols` with its allocation reused — the
+    /// variant the classification hot path calls per batch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch {
                 op: "matmul",
@@ -236,7 +261,7 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.resize(self.rows, rhs.cols);
         let work = self.rows * self.cols * rhs.cols;
         if work >= PAR_MATMUL_THRESHOLD && self.rows > 1 {
             let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -272,7 +297,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix-vector product `self * x`.
@@ -290,7 +315,11 @@ impl Matrix {
     /// Element-wise sum `self + rhs`.
     pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
-            return Err(Error::DimensionMismatch { op: "add", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(Error::DimensionMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
         Ok(Matrix { rows: self.rows, cols: self.cols, data })
@@ -299,7 +328,11 @@ impl Matrix {
     /// Element-wise difference `self - rhs`.
     pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
-            return Err(Error::DimensionMismatch { op: "sub", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(Error::DimensionMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
         Ok(Matrix { rows: self.rows, cols: self.cols, data })
@@ -335,12 +368,20 @@ impl Matrix {
 
     /// Extracts the sub-matrix of the given columns (cloned), preserving order.
     pub fn select_columns(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.select_columns_into(indices, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Matrix::select_columns`] but writes into `out`, reusing its
+    /// allocation.
+    pub fn select_columns_into(&self, indices: &[usize], out: &mut Matrix) -> Result<()> {
         for &j in indices {
             if j >= self.cols {
                 return Err(Error::IndexOutOfBounds { index: (0, j), shape: self.shape() });
             }
         }
-        let mut out = Matrix::zeros(self.rows, indices.len());
+        out.resize(self.rows, indices.len());
         for i in 0..self.rows {
             let src = self.row(i);
             let dst = out.row_mut(i);
@@ -348,7 +389,7 @@ impl Matrix {
                 dst[oj] = src[j];
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Appends the rows of `other` below `self`.
@@ -497,10 +538,10 @@ mod tests {
     fn parallel_matmul_matches_serial() {
         // Big enough to cross PAR_MATMUL_THRESHOLD.
         let n = 80;
-        let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 17) as f64 - 8.0).collect())
-            .unwrap();
-        let b = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 13) as f64 - 6.0).collect())
-            .unwrap();
+        let a =
+            Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 17) as f64 - 8.0).collect()).unwrap();
+        let b =
+            Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 13) as f64 - 6.0).collect()).unwrap();
         let fast = a.matmul(&b).unwrap();
         // Naive triple loop reference.
         let mut reference = Matrix::zeros(n, n);
@@ -514,6 +555,43 @@ mod tests {
             }
         }
         assert!(fast.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_buffer() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // A second product of the same shape must not reallocate.
+        let ptr = out.as_slice().as_ptr();
+        b.matmul_into(&a, &mut out).unwrap();
+        assert_eq!(out.as_slice().as_ptr(), ptr, "allocation must be reused");
+        assert_eq!(out, b.matmul(&a).unwrap());
+        // Shape errors leave out usable.
+        assert!(a.matmul_into(&Matrix::zeros(3, 2), &mut out).is_err());
+    }
+
+    #[test]
+    fn resize_reshapes_and_zeroes() {
+        let mut m = Matrix::filled(4, 4, 7.0);
+        let ptr = m.as_slice().as_ptr();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrinking must keep the allocation");
+        m.as_mut_slice()[0] = 1.0;
+        assert_eq!(m[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn select_columns_into_matches_select_columns() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        a.select_columns_into(&[2, 0], &mut out).unwrap();
+        assert_eq!(out, a.select_columns(&[2, 0]).unwrap());
+        assert!(a.select_columns_into(&[5], &mut out).is_err());
     }
 
     #[test]
@@ -541,12 +619,8 @@ mod tests {
 
     #[test]
     fn select_rows_and_columns() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-            vec![7.0, 8.0, 9.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]])
+            .unwrap();
         let r = a.select_rows(&[2, 0]).unwrap();
         assert_eq!(r.row(0), &[7.0, 8.0, 9.0]);
         assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);

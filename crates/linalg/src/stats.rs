@@ -107,10 +107,8 @@ impl Standardizer {
         samples.check_finite()?;
         let means = column_means(samples)?;
         let vars = column_variances(samples)?;
-        let stds = vars
-            .iter()
-            .map(|&v| if v <= DEGENERATE_VARIANCE { 0.0 } else { v.sqrt() })
-            .collect();
+        let stds =
+            vars.iter().map(|&v| if v <= DEGENERATE_VARIANCE { 0.0 } else { v.sqrt() }).collect();
         Ok(Standardizer { means, stds })
     }
 
@@ -131,6 +129,14 @@ impl Standardizer {
 
     /// Applies the fitted transform to a sample matrix.
     pub fn apply(&self, samples: &Matrix) -> Result<Matrix> {
+        let mut out = samples.clone();
+        self.apply_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// Applies the fitted transform to a sample matrix in place — the
+    /// allocation-free variant the classification hot path uses.
+    pub fn apply_in_place(&self, samples: &mut Matrix) -> Result<()> {
         if samples.cols() != self.dim() {
             return Err(Error::DimensionMismatch {
                 op: "standardize",
@@ -138,14 +144,13 @@ impl Standardizer {
                 rhs: (1, self.dim()),
             });
         }
-        let mut out = samples.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
+        for i in 0..samples.rows() {
+            let row = samples.row_mut(i);
             for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
                 *x = if s == 0.0 { 0.0 } else { (*x - m) / s };
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Applies the fitted transform to a single sample in place.
@@ -295,12 +300,7 @@ mod tests {
     use super::*;
 
     fn samples() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap()
     }
 
     #[test]
@@ -322,10 +322,9 @@ mod tests {
         // Perfectly correlated columns: cov = [[1, 10], [10, 100]].
         let m = samples();
         let c = covariance_matrix(&m).unwrap();
-        assert!(c.approx_eq(
-            &Matrix::from_rows(&[vec![1.0, 10.0], vec![10.0, 100.0]]).unwrap(),
-            1e-12
-        ));
+        assert!(
+            c.approx_eq(&Matrix::from_rows(&[vec![1.0, 10.0], vec![10.0, 100.0]]).unwrap(), 1e-12)
+        );
     }
 
     #[test]
@@ -398,6 +397,17 @@ mod tests {
     }
 
     #[test]
+    fn apply_in_place_matches_apply() {
+        let s = Standardizer::fit(&samples()).unwrap();
+        let test = Matrix::from_rows(&[vec![3.0, 10.0], vec![1.0, 25.0]]).unwrap();
+        let expected = s.apply(&test).unwrap();
+        let mut in_place = test.clone();
+        s.apply_in_place(&mut in_place).unwrap();
+        assert_eq!(in_place, expected);
+        assert!(s.apply_in_place(&mut Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
     fn apply_row_matches_apply() {
         let s = Standardizer::fit(&samples()).unwrap();
         let mut row = [3.0, 10.0];
@@ -442,8 +452,8 @@ mod tests {
             s.push(x);
         }
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / (data.len() - 1) as f64;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.sample_variance() - var).abs() < 1e-12);
         assert_eq!(s.min(), Some(-2.0));

@@ -63,7 +63,11 @@ impl Svd {
 pub fn thin_svd(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     if m < n {
-        return Err(Error::DimensionMismatch { op: "thin_svd (needs m >= n)", lhs: (m, n), rhs: (n, n) });
+        return Err(Error::DimensionMismatch {
+            op: "thin_svd (needs m >= n)",
+            lhs: (m, n),
+            rhs: (n, n),
+        });
     }
     if n == 0 {
         return Err(Error::Empty { op: "thin_svd" });
@@ -182,12 +186,7 @@ mod tests {
 
     #[test]
     fn u_and_v_orthonormal() {
-        let a = mat(&[
-            vec![2.0, 1.0],
-            vec![1.0, 3.0],
-            vec![0.0, 1.0],
-            vec![4.0, -1.0],
-        ]);
+        let a = mat(&[vec![2.0, 1.0], vec![1.0, 3.0], vec![0.0, 1.0], vec![4.0, -1.0]]);
         let svd = thin_svd(&a).unwrap();
         let utu = svd.u.transpose().matmul(&svd.u).unwrap();
         assert!(utu.approx_eq(&Matrix::identity(2), 1e-9), "UᵀU = I");

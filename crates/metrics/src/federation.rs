@@ -143,14 +143,11 @@ impl Gmetad {
     /// The least-CPU-loaded cluster by latest summary — the site a grid
     /// scheduler would route a CPU-hungry job to.
     pub fn least_cpu_loaded(&self) -> Option<&ClusterSummary> {
-        self.summaries
-            .iter()
-            .filter(|s| s.nodes > 0)
-            .min_by(|a, b| {
-                let ka = a.means.get("cpu_user").copied().unwrap_or(f64::INFINITY);
-                let kb = b.means.get("cpu_user").copied().unwrap_or(f64::INFINITY);
-                ka.partial_cmp(&kb).expect("finite means")
-            })
+        self.summaries.iter().filter(|s| s.nodes > 0).min_by(|a, b| {
+            let ka = a.means.get("cpu_user").copied().unwrap_or(f64::INFINITY);
+            let kb = b.means.get("cpu_user").copied().unwrap_or(f64::INFINITY);
+            ka.partial_cmp(&kb).expect("finite means")
+        })
     }
 }
 
@@ -180,7 +177,8 @@ mod tests {
     #[test]
     fn gmetad_federates_and_summarizes() {
         let mut a = Cluster::new("siteA", vec![source(1, 90.0), source(2, 70.0)]);
-        let mut b = Cluster::new("siteB", vec![source(10, 5.0), source(11, 15.0), source(12, 10.0)]);
+        let mut b =
+            Cluster::new("siteB", vec![source(10, 5.0), source(11, 15.0), source(12, 10.0)]);
         for t in [5, 10] {
             a.tick(t).unwrap();
             b.tick(t).unwrap();

@@ -101,9 +101,8 @@ mod tests {
     #[test]
     fn selected_extraction_width() {
         let pool = pool_with(&[4, 4]);
-        let (m, report) = PerformanceFilter
-            .extract_selected(&pool, NodeId(4), &MetricId::EXPERT_EIGHT)
-            .unwrap();
+        let (m, report) =
+            PerformanceFilter.extract_selected(&pool, NodeId(4), &MetricId::EXPERT_EIGHT).unwrap();
         assert_eq!(m.shape(), (2, 8));
         assert_eq!(report.extracted, 2);
         assert_eq!(report.discarded, 0);

@@ -207,10 +207,7 @@ mod tests {
     #[test]
     fn announce_without_subscribers_errors() {
         let bus = MetricBus::new();
-        assert_eq!(
-            bus.announce(Snapshot::new(NodeId(1), 0, frame(0.0))),
-            Err(Error::BusClosed)
-        );
+        assert_eq!(bus.announce(Snapshot::new(NodeId(1), 0, frame(0.0))), Err(Error::BusClosed));
     }
 
     #[test]

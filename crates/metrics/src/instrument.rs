@@ -1,0 +1,204 @@
+//! Per-stage cost instrumentation for the classification dataflow.
+//!
+//! §5.3 of the paper reports the classification cost as a lump sum: 72 s
+//! for the performance filter and 50 s for training + PCA + classification
+//! over 8000 snapshots (~15 ms per sample on a Pentium III 750). To
+//! reproduce that measurement with a *breakdown* — and to watch the online
+//! path stay far below the 5-second sampling period — every dataflow stage
+//! records how many samples it processed and how long it took into a
+//! [`StageMetrics`] accumulator. The profiler, the classifier pipeline and
+//! the §5.3 bench all report through this one type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Counters for one named stage: samples processed, invocations, and
+/// accumulated wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageStat {
+    /// Stage name (e.g. `"preprocess"`, `"pca"`, `"knn"`).
+    pub name: String,
+    /// Snapshots the stage has processed.
+    pub samples: u64,
+    /// Invocations (batches or single rows).
+    pub calls: u64,
+    /// Accumulated wall-clock time in nanoseconds.
+    pub nanos: u64,
+}
+
+impl StageStat {
+    /// Accumulated time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.nanos)
+    }
+
+    /// Mean cost per sample in milliseconds — the unit §5.3 argues with
+    /// (15 ms/sample against a 5000 ms sampling period).
+    pub fn ms_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / 1e6 / self.samples as f64
+        }
+    }
+}
+
+/// Ordered accumulator of per-stage counters.
+///
+/// Stages appear in first-recorded order, which for a pipeline run is the
+/// dataflow order — so displaying the metrics reads like the Figure 2
+/// chain.
+///
+/// # Examples
+///
+/// ```
+/// use appclass_metrics::StageMetrics;
+/// use std::time::Duration;
+///
+/// let mut m = StageMetrics::new();
+/// m.record("preprocess", 100, Duration::from_micros(40));
+/// m.record("pca", 100, Duration::from_micros(25));
+/// m.record("preprocess", 100, Duration::from_micros(38));
+/// let pre = m.get("preprocess").unwrap();
+/// assert_eq!(pre.samples, 200);
+/// assert_eq!(pre.calls, 2);
+/// assert_eq!(m.stages().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageMetrics {
+    stages: Vec<StageStat>,
+}
+
+impl StageMetrics {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        StageMetrics { stages: Vec::new() }
+    }
+
+    /// Folds one observation into the named stage (created on first use).
+    pub fn record(&mut self, name: &str, samples: u64, elapsed: Duration) {
+        let nanos = elapsed.as_nanos() as u64;
+        if let Some(s) = self.stages.iter_mut().find(|s| s.name == name) {
+            s.samples += samples;
+            s.calls += 1;
+            s.nanos += nanos;
+        } else {
+            self.stages.push(StageStat { name: name.to_string(), samples, calls: 1, nanos });
+        }
+    }
+
+    /// All stages, in first-recorded order.
+    pub fn stages(&self) -> &[StageStat] {
+        &self.stages
+    }
+
+    /// Counters for one stage by name.
+    pub fn get(&self, name: &str) -> Option<&StageStat> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// True before anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Wall-clock total across every stage.
+    pub fn total_elapsed(&self) -> Duration {
+        Duration::from_nanos(self.stages.iter().map(|s| s.nanos).sum())
+    }
+
+    /// Absorbs another accumulator's counters (stage-wise).
+    pub fn merge(&mut self, other: &StageMetrics) {
+        for o in &other.stages {
+            if let Some(s) = self.stages.iter_mut().find(|s| s.name == o.name) {
+                s.samples += o.samples;
+                s.calls += o.calls;
+                s.nanos += o.nanos;
+            } else {
+                self.stages.push(o.clone());
+            }
+        }
+    }
+
+    /// Drops every recorded stage.
+    pub fn clear(&mut self) {
+        self.stages.clear();
+    }
+}
+
+impl fmt::Display for StageMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<12} {:>10} samples  {:>12.3?}  ({:.6} ms/sample)",
+                s.name,
+                s.samples,
+                s.elapsed(),
+                s.ms_per_sample()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_stage() {
+        let mut m = StageMetrics::new();
+        m.record("a", 10, Duration::from_nanos(100));
+        m.record("b", 10, Duration::from_nanos(50));
+        m.record("a", 5, Duration::from_nanos(20));
+        let a = m.get("a").unwrap();
+        assert_eq!((a.samples, a.calls, a.nanos), (15, 2, 120));
+        assert_eq!(m.total_elapsed(), Duration::from_nanos(170));
+        assert_eq!(m.stages()[0].name, "a", "first-recorded order");
+        assert!(m.get("missing").is_none());
+    }
+
+    #[test]
+    fn merge_is_stage_wise() {
+        let mut a = StageMetrics::new();
+        a.record("x", 1, Duration::from_nanos(10));
+        let mut b = StageMetrics::new();
+        b.record("x", 2, Duration::from_nanos(30));
+        b.record("y", 3, Duration::from_nanos(40));
+        a.merge(&b);
+        assert_eq!(a.get("x").unwrap().samples, 3);
+        assert_eq!(a.get("x").unwrap().calls, 2);
+        assert_eq!(a.get("y").unwrap().samples, 3);
+    }
+
+    #[test]
+    fn per_sample_cost_and_empty() {
+        let mut m = StageMetrics::new();
+        assert!(m.is_empty());
+        m.record("knn", 2000, Duration::from_millis(4));
+        assert!((m.get("knn").unwrap().ms_per_sample() - 0.002).abs() < 1e-12);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(StageStat::default().ms_per_sample(), 0.0);
+    }
+
+    #[test]
+    fn display_lists_stages() {
+        let mut m = StageMetrics::new();
+        m.record("preprocess", 8000, Duration::from_millis(3));
+        let text = m.to_string();
+        assert!(text.contains("preprocess"), "{text}");
+        assert!(text.contains("8000"), "{text}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = StageMetrics::new();
+        m.record("pca", 42, Duration::from_micros(7));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: StageMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -25,6 +25,9 @@
 //!   RRDtool analogue): constant-space retention with consolidation.
 //! * [`profiler`] — the performance profiler + filter of the paper's
 //!   Figure 1: start/stop sampling, target-node extraction, pool assembly.
+//! * [`instrument`] — per-stage sample/time accounting ([`StageMetrics`])
+//!   shared by the profiler and the classification dataflow, reproducing
+//!   the §5.3 cost measurement with a per-stage breakdown.
 //!
 //! The bus supports both a deterministic synchronous mode (used by the
 //! reproduction experiments so runs are bit-reproducible) and a threaded
@@ -39,6 +42,7 @@ pub mod error;
 pub mod federation;
 pub mod filter;
 pub mod gmond;
+pub mod instrument;
 pub mod metric;
 pub mod profiler;
 pub mod rrd;
@@ -47,5 +51,6 @@ pub mod vmstat;
 pub mod wire;
 
 pub use error::{Error, Result};
+pub use instrument::{StageMetrics, StageStat};
 pub use metric::{MetricFrame, MetricId, METRIC_COUNT};
 pub use snapshot::{DataPool, NodeId, Snapshot};

@@ -175,9 +175,7 @@ impl MetricId {
             | MetricId::CpuWio
             | MetricId::CpuAidle
             | MetricId::PartMaxUsed => "%",
-            MetricId::CpuNum | MetricId::ProcRun | MetricId::ProcTotal | MetricId::Gexec => {
-                "count"
-            }
+            MetricId::CpuNum | MetricId::ProcRun | MetricId::ProcTotal | MetricId::Gexec => "count",
             MetricId::CpuSpeed => "MHz",
             MetricId::LoadOne | MetricId::LoadFive | MetricId::LoadFifteen => "load",
             MetricId::MemFree

@@ -9,6 +9,7 @@
 use crate::aggregator::Aggregator;
 use crate::error::{Error, Result};
 use crate::gmond::{Gmond, MetricBus, MetricSource};
+use crate::instrument::StageMetrics;
 use crate::snapshot::{DataPool, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +103,22 @@ impl PerformanceProfiler {
         Ok(agg.into_pool())
     }
 
+    /// Like [`PerformanceProfiler::profile`], but also reports the
+    /// collection cost as a [`StageMetrics`] stage named `"profile"` — the
+    /// front end of the §5.3 cost breakdown, upstream of the classifier's
+    /// own per-stage accounting.
+    pub fn profile_instrumented<S: MetricSource>(
+        &self,
+        sources: Vec<S>,
+        req: &ProfileRequest,
+    ) -> Result<(DataPool, StageMetrics)> {
+        let started = std::time::Instant::now();
+        let pool = self.profile(sources, req)?;
+        let mut metrics = StageMetrics::new();
+        metrics.record("profile", pool.len() as u64, started.elapsed());
+        Ok((pool, metrics))
+    }
+
     /// Like [`PerformanceProfiler::profile`] but with every gmond on its
     /// own thread, announcing concurrently — the deployment shape of a
     /// real Ganglia subnet. Snapshot content is identical to the
@@ -183,6 +200,17 @@ mod tests {
         let req = ProfileRequest::new(NodeId(1), 0, 100).unwrap();
         let pool = p.profile(vec![source(1, 0.0)], &req).unwrap();
         assert_eq!(pool.len(), 10);
+    }
+
+    #[test]
+    fn instrumented_profile_reports_collection_cost() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 50).unwrap();
+        let (pool, metrics) = p.profile_instrumented(vec![source(1, 3.0)], &req).unwrap();
+        assert_eq!(pool.len(), 10);
+        let stat = metrics.get("profile").expect("profile stage recorded");
+        assert_eq!(stat.samples, 10);
+        assert_eq!(stat.calls, 1);
     }
 
     #[test]

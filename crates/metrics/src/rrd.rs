@@ -24,9 +24,7 @@ pub enum Consolidation {
 impl Consolidation {
     fn apply(self, samples: &[f64]) -> f64 {
         match self {
-            Consolidation::Average => {
-                samples.iter().sum::<f64>() / samples.len().max(1) as f64
-            }
+            Consolidation::Average => samples.iter().sum::<f64>() / samples.len().max(1) as f64,
             Consolidation::Max => samples.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
             Consolidation::Last => *samples.last().expect("non-empty consolidation window"),
         }
@@ -153,11 +151,7 @@ impl RoundRobinArchive {
     /// Ganglia-like default: 5 s raw for an hour, 1 min averages for a
     /// day, 15 min averages for a week.
     pub fn ganglia_default() -> Self {
-        RoundRobinArchive::new(
-            5,
-            &[(1, 720), (12, 1_440), (180, 672)],
-            Consolidation::Average,
-        )
+        RoundRobinArchive::new(5, &[(1, 720), (12, 1_440), (180, 672)], Consolidation::Average)
     }
 
     /// Number of resolution levels.

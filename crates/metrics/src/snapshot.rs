@@ -232,10 +232,7 @@ mod tests {
     fn sample_matrix_rejects_nan() {
         let mut pool = DataPool::new();
         pool.push(Snapshot::new(NodeId(1), 0, frame_with(MetricId::IoBi, f64::NAN)));
-        assert!(matches!(
-            pool.sample_matrix(NodeId(1)),
-            Err(Error::NonFiniteMetric { .. })
-        ));
+        assert!(matches!(pool.sample_matrix(NodeId(1)), Err(Error::NonFiniteMetric { .. })));
     }
 
     #[test]

@@ -42,10 +42,7 @@ pub fn encode(snapshot: &Snapshot) -> Bytes {
 /// non-finite values — all as [`Error::MalformedWire`].
 pub fn decode(mut data: &[u8]) -> Result<Snapshot> {
     if data.len() < WIRE_SIZE {
-        return Err(Error::MalformedWire {
-            reason: "truncated announcement",
-            offset: data.len(),
-        });
+        return Err(Error::MalformedWire { reason: "truncated announcement", offset: data.len() });
     }
     let magic = data.get_u32();
     if magic != MAGIC {
@@ -110,10 +107,7 @@ mod tests {
     fn bad_magic_rejected() {
         let mut wire = encode(&snapshot()).to_vec();
         wire[0] ^= 0xFF;
-        assert!(matches!(
-            decode(&wire),
-            Err(Error::MalformedWire { reason: "bad magic", .. })
-        ));
+        assert!(matches!(decode(&wire), Err(Error::MalformedWire { reason: "bad magic", .. })));
     }
 
     #[test]

@@ -6,14 +6,11 @@ use appclass_metrics::{MetricFrame, NodeId, Snapshot, METRIC_COUNT};
 use proptest::prelude::*;
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
-    (
-        any::<u32>(),
-        any::<u64>(),
-        prop::collection::vec(-1.0e12f64..1.0e12, METRIC_COUNT),
-    )
-        .prop_map(|(node, time, values)| {
+    (any::<u32>(), any::<u64>(), prop::collection::vec(-1.0e12f64..1.0e12, METRIC_COUNT)).prop_map(
+        |(node, time, values)| {
             Snapshot::new(NodeId(node), time, MetricFrame::from_values(&values).unwrap())
-        })
+        },
+    )
 }
 
 proptest! {

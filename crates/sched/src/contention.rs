@@ -60,22 +60,15 @@ pub fn mix_slowdowns(mix: &[JobType], capacity: &Capacity) -> (f64, f64, f64) {
         disk += p.disk;
         net += p.net;
     }
-    let virt = if mix.len() > 1 {
-        1.0 / (1.0 + VIRT_OVERHEAD * (mix.len() - 1) as f64)
-    } else {
-        1.0
-    };
+    let virt =
+        if mix.len() > 1 { 1.0 / (1.0 + VIRT_OVERHEAD * (mix.len() - 1) as f64) } else { 1.0 };
     let emulation = (disk / capacity.disk_blocks_per_sec).min(1.0) * IO_CPU_COST
         + (net / capacity.net_bytes_per_sec).min(1.0) * NET_CPU_COST;
     let guest_cores = (capacity.cpu_cores - emulation).max(MIN_GUEST_CORES);
     let cpu_share = (guest_cores / cpu.max(1e-12)).min(1.0) * virt;
     let disk_share = (capacity.disk_blocks_per_sec / disk.max(1e-12)).min(1.0) * virt;
     let net_share = (capacity.net_bytes_per_sec / net.max(1e-12)).min(1.0) * virt;
-    (
-        1.0 / cpu_share,
-        1.0 / disk_share.min(cpu_share),
-        1.0 / net_share.min(cpu_share),
-    )
+    (1.0 / cpu_share, 1.0 / disk_share.min(cpu_share), 1.0 / net_share.min(cpu_share))
 }
 
 /// Predicted wall time until the last job of an arbitrary mix finishes

@@ -71,10 +71,7 @@ pub struct LeastLoadedPolicy;
 
 impl PlacementPolicy for LeastLoadedPolicy {
     fn place(&mut self, _job: JobType, mixes: &[Vec<JobType>], free: &[usize]) -> usize {
-        *free
-            .iter()
-            .min_by_key(|&&i| mixes[i].len())
-            .expect("caller guarantees a free machine")
+        *free.iter().min_by_key(|&&i| mixes[i].len()).expect("caller guarantees a free machine")
     }
 
     fn name(&self) -> &'static str {
@@ -172,9 +169,8 @@ pub fn simulate_stream(
         }
         // Place pending jobs while a slot is free.
         loop {
-            let free: Vec<usize> = (0..config.machines)
-                .filter(|&i| machines[i].len() < config.slots)
-                .collect();
+            let free: Vec<usize> =
+                (0..config.machines).filter(|&i| machines[i].len() < config.slots).collect();
             if free.is_empty() || pending.is_empty() {
                 break;
             }
@@ -221,11 +217,8 @@ pub fn simulate_stream(
             *c = now;
         }
     }
-    let responses: Vec<u64> = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, j)| completions[i].saturating_sub(j.arrival))
-        .collect();
+    let responses: Vec<u64> =
+        jobs.iter().enumerate().map(|(i, j)| completions[i].saturating_sub(j.arrival)).collect();
     let makespan = completions.iter().copied().max().unwrap_or(0);
     let mean_response = responses.iter().sum::<u64>() as f64 / responses.len().max(1) as f64;
     StreamOutcome {

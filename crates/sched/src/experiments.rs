@@ -64,11 +64,7 @@ pub fn run_machine_with(
         .zip(&results)
         .map(|(t, r)| (t, r.completion_secs.expect("job completed within cap")))
         .collect();
-    MachineOutcome {
-        mix: *mix,
-        jobs,
-        makespan_secs: host.makespan().expect("all jobs completed"),
-    }
+    MachineOutcome { mix: *mix, jobs, makespan_secs: host.makespan().expect("all jobs completed") }
 }
 
 /// Outcome of one full schedule (three machines in parallel).
@@ -99,12 +95,8 @@ pub fn run_schedule_with(
 ) -> ScheduleOutcome {
     let mut outcomes: Vec<Option<MachineOutcome>> = vec![None, None, None];
     std::thread::scope(|s| {
-        for (i, ((mix, capacity), slot)) in schedule
-            .machines()
-            .iter()
-            .zip(capacities)
-            .zip(outcomes.iter_mut())
-            .enumerate()
+        for (i, ((mix, capacity), slot)) in
+            schedule.machines().iter().zip(capacities).zip(outcomes.iter_mut()).enumerate()
         {
             s.spawn(move || {
                 *slot = Some(run_machine_with(mix, capacity, seed + 1000 * i as u64));
@@ -190,8 +182,7 @@ pub fn figure4_from(outcomes: &[ScheduleOutcome]) -> Fig4Result {
             throughput_jobs_per_day: o.throughput_jobs_per_day,
         })
         .collect();
-    let average =
-        rows.iter().map(|r| r.throughput_jobs_per_day).sum::<f64>() / rows.len() as f64;
+    let average = rows.iter().map(|r| r.throughput_jobs_per_day).sum::<f64>() / rows.len() as f64;
     let class_aware = rows.last().expect("ten rows").throughput_jobs_per_day;
     Fig4Result {
         rows,
@@ -263,10 +254,8 @@ pub fn figure5_from(outcomes: &[ScheduleOutcome]) -> Vec<Fig5Row> {
     JobType::ALL
         .iter()
         .map(|&app| {
-            let stats: Vec<(f64, String)> = outcomes
-                .iter()
-                .map(|o| (app_throughput(o, app), o.schedule.to_string()))
-                .collect();
+            let stats: Vec<(f64, String)> =
+                outcomes.iter().map(|o| (app_throughput(o, app), o.schedule.to_string())).collect();
             let spn = outcomes
                 .iter()
                 .find(|o| o.schedule.is_fully_diverse())
@@ -350,10 +339,7 @@ mod tests {
         let out = run_machine(&mix, 7);
         assert_eq!(out.jobs.len(), 3);
         assert!(out.makespan_secs > 0);
-        assert_eq!(
-            out.makespan_secs,
-            out.jobs.iter().map(|&(_, t)| t).max().unwrap()
-        );
+        assert_eq!(out.makespan_secs, out.jobs.iter().map(|&(_, t)| t).max().unwrap());
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod contention;
 pub mod dynamic;
 pub mod experiments;
 pub mod policy;
-pub mod search;
 pub mod schedule;
+pub mod search;
 
 pub use experiments::{figure4, figure5, table4, Fig4Row, Fig5Row, Table4Result};
 pub use policy::{ClassAwarePolicy, OraclePolicy, RandomPolicy, SchedulingPolicy};

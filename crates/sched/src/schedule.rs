@@ -102,9 +102,7 @@ impl Schedule {
     /// Builds a schedule from three machine mixes, checking the global job
     /// counts (3 of each type) and canonicalizing the machine order.
     pub fn new(mut machines: [MachineMix; 3]) -> Option<Self> {
-        let (s, p, n) = machines.iter().fold((0, 0, 0), |(s, p, n), m| {
-            (s + m.s, p + m.p, n + m.n)
-        });
+        let (s, p, n) = machines.iter().fold((0, 0, 0), |(s, p, n), m| (s + m.s, p + m.p, n + m.n));
         if (s, p, n) != (3, 3, 3) {
             return None;
         }
@@ -168,9 +166,7 @@ struct SortableSchedule(Schedule);
 
 impl Ord for SortableSchedule {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let key = |s: &Schedule| {
-            s.machines().map(|m| (m.s, m.p, m.n))
-        };
+        let key = |s: &Schedule| s.machines().map(|m| (m.s, m.p, m.n));
         key(&self.0).cmp(&key(&other.0))
     }
 }

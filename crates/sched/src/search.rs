@@ -168,8 +168,9 @@ pub fn local_search(
         }
 
         match best {
-            Some((cand, score)) if score.0 < current.0 - 1e-9
-                || (score.0 < current.0 + 1e-9 && score.1 < current.1 - 1e-9) =>
+            Some((cand, score))
+                if score.0 < current.0 - 1e-9
+                    || (score.0 < current.0 + 1e-9 && score.1 < current.1 - 1e-9) =>
             {
                 placement = cand;
                 moves += 1;
@@ -245,15 +246,11 @@ mod tests {
         let best_enumerated = enumerate_schedules()
             .iter()
             .map(|s| {
-                s.machines()
-                    .iter()
-                    .map(|m| mix_makespan(&m.jobs(), &cap()))
-                    .fold(0.0f64, f64::max)
+                s.machines().iter().map(|m| mix_makespan(&m.jobs(), &cap())).fold(0.0f64, f64::max)
             })
             .fold(f64::INFINITY, f64::min);
-        let searched = optimize_placement(&paper_jobs(), 3, 3, &cap())
-            .unwrap()
-            .predicted_makespan(&cap());
+        let searched =
+            optimize_placement(&paper_jobs(), 3, 3, &cap()).unwrap().predicted_makespan(&cap());
         assert!((searched - best_enumerated).abs() < 1e-6);
     }
 
@@ -269,9 +266,8 @@ mod tests {
         assert!(moves > 0);
         // Hill climbing may stop in a local optimum, but it must get
         // within striking distance of the global one.
-        let global = optimize_placement(&paper_jobs(), 3, 3, &cap())
-            .unwrap()
-            .predicted_makespan(&cap());
+        let global =
+            optimize_placement(&paper_jobs(), 3, 3, &cap()).unwrap().predicted_makespan(&cap());
         let reached = better.predicted_makespan(&cap());
         assert!(reached < before * 0.9, "{reached} vs start {before}");
         assert!(reached <= global * 1.15, "{reached} vs global {global}");
@@ -287,11 +283,7 @@ mod tests {
         let placement = optimize_placement(&jobs, 9, 3, &cap()).unwrap();
         assert_eq!(placement.job_count(), 27);
         // Every machine should end up fully diverse.
-        assert_eq!(
-            signature(&placement),
-            vec![(1, 1, 1); 9],
-            "{placement:?}"
-        );
+        assert_eq!(signature(&placement), vec![(1, 1, 1); 9], "{placement:?}");
     }
 
     #[test]

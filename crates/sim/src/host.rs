@@ -185,10 +185,7 @@ impl Host {
     /// (each VM's frame covers the window since its previous snapshot).
     pub fn sample_all(&mut self) -> Vec<Snapshot> {
         let t = self.wall_secs;
-        self.vms
-            .iter_mut()
-            .map(|vm| Snapshot::new(vm.node(), t, vm.metric_frame()))
-            .collect()
+        self.vms.iter_mut().map(|vm| Snapshot::new(vm.node(), t, vm.metric_frame())).collect()
     }
 
     /// Runs to completion while monitoring every VM at `interval` seconds —
@@ -233,7 +230,7 @@ impl Host {
 mod tests {
     use super::*;
     use crate::vm::VmConfig;
-    use crate::workload::{specseis, postmark, BoxedWorkload};
+    use crate::workload::{postmark, specseis, BoxedWorkload};
     use appclass_metrics::NodeId;
 
     fn cpu_job() -> BoxedWorkload {
@@ -302,10 +299,7 @@ mod tests {
         };
         let same = run(vec![cpu_job(), cpu_job(), cpu_job()]);
         let mixed = run(vec![cpu_job(), io_job(), io_job()]);
-        assert!(
-            mixed < same,
-            "cross-class mix ({mixed}) must beat same-class pile-up ({same})"
-        );
+        assert!(mixed < same, "cross-class mix ({mixed}) must beat same-class pile-up ({same})");
     }
 
     #[test]

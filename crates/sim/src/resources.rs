@@ -103,11 +103,7 @@ impl Capacity {
     /// a 2005-era IDE/SCSI disk (~12 MB/s ≈ 12 000 blocks/s), and Gigabit
     /// Ethernet (~110 MB/s effective).
     pub fn paper_host() -> Self {
-        Capacity {
-            cpu_cores: 2.0,
-            disk_blocks_per_sec: 12_000.0,
-            net_bytes_per_sec: 110.0e6,
-        }
+        Capacity { cpu_cores: 2.0, disk_blocks_per_sec: 12_000.0, net_bytes_per_sec: 110.0e6 }
     }
 }
 

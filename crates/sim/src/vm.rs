@@ -420,9 +420,8 @@ impl VirtualMachine {
         let cpu_user = demand.cpu_user * cpu_share * (1.0 - paging_stall);
         let cpu_system = demand.cpu_system * cpu_share * (1.0 - paging_stall);
         // I/O wait: paging stalls plus a term proportional to disk traffic.
-        let cpu_wio = (paging_stall * demand.cpu_total().max(0.2)
-            + (io_bi + io_bo) / 20_000.0)
-            .min(1.0);
+        let cpu_wio =
+            (paging_stall * demand.cpu_total().max(0.2) + (io_bi + io_bo) / 20_000.0).min(1.0);
 
         TickOutcome {
             cpu_user,
@@ -490,7 +489,14 @@ impl VirtualMachine {
         // --- memory ---
         let ws = a.working_set_kb.min(self.config.memory_kb - OS_RESERVED_KB * 0.5);
         let cache = (self.config.memory_kb - OS_RESERVED_KB - ws).max(1024.0);
-        f.set(MetricId::MemFree, noise::jitter(rng, (self.config.memory_kb - OS_RESERVED_KB - ws - cache * 0.8).max(2048.0), 0.05));
+        f.set(
+            MetricId::MemFree,
+            noise::jitter(
+                rng,
+                (self.config.memory_kb - OS_RESERVED_KB - ws - cache * 0.8).max(2048.0),
+                0.05,
+            ),
+        );
         f.set(MetricId::MemShared, 0.0);
         f.set(MetricId::MemBuffers, noise::jitter(rng, cache * 0.1, 0.05));
         f.set(MetricId::MemCached, noise::jitter(rng, cache * 0.7, 0.05));

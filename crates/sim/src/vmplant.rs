@@ -151,11 +151,8 @@ impl VmPlan {
                 dependents.entry(d.as_str()).or_default().push(name.as_str());
             }
         }
-        let mut ready: VecDeque<&str> = indegree
-            .iter()
-            .filter(|(_, &deg)| deg == 0)
-            .map(|(&k, _)| k)
-            .collect();
+        let mut ready: VecDeque<&str> =
+            indegree.iter().filter(|(_, &deg)| deg == 0).map(|(&k, _)| k).collect();
         let mut order = Vec::with_capacity(self.steps.len());
         let mut done: BTreeSet<&str> = BTreeSet::new();
         while let Some(next) = ready.pop_front() {
@@ -172,11 +169,8 @@ impl VmPlan {
             }
         }
         if order.len() != self.steps.len() {
-            let stuck = self
-                .steps
-                .keys()
-                .find(|k| !done.contains(k.as_str()))
-                .expect("some step is stuck");
+            let stuck =
+                self.steps.keys().find(|k| !done.contains(k.as_str())).expect("some step is stuck");
             return Err(PlanError::Cycle(stuck.clone()));
         }
         Ok(order)
@@ -332,10 +326,11 @@ mod tests {
 
     #[test]
     fn duplicate_step_rejected() {
-        let res = VmPlan::new()
-            .step("a", ConfigAction::Provision("x"), &[])
-            .unwrap()
-            .step("a", ConfigAction::Provision("y"), &[]);
+        let res = VmPlan::new().step("a", ConfigAction::Provision("x"), &[]).unwrap().step(
+            "a",
+            ConfigAction::Provision("y"),
+            &[],
+        );
         assert!(matches!(res, Err(PlanError::DuplicateStep(_))));
     }
 
@@ -382,9 +377,7 @@ mod tests {
     fn instantiate_boots_a_runnable_vm() {
         let mut plant = VmPlant::new();
         let plan = small_memory_plan(NodeId(3));
-        let mut vm = plant
-            .instantiate(&plan, Box::new(specseis(DataSize::Small)), 5)
-            .unwrap();
+        let mut vm = plant.instantiate(&plan, Box::new(specseis(DataSize::Small)), 5).unwrap();
         assert_eq!(plant.cloned(), 1);
         assert_eq!(vm.config().memory_kb, 32.0 * 1024.0);
         assert_eq!(vm.node(), NodeId(3));

@@ -29,9 +29,9 @@ pub mod netpipe;
 pub mod pagebench;
 pub mod postmark;
 pub mod registry;
+pub mod sftp;
 pub mod simplescalar;
 pub mod specseis;
-pub mod sftp;
 pub mod stream;
 pub mod vmd;
 pub mod xspim;
@@ -137,10 +137,7 @@ impl PhasedWorkload {
         cycle: bool,
     ) -> Self {
         assert!(!phases.is_empty(), "a workload needs at least one phase");
-        assert!(
-            phases.iter().all(|p| p.duration > 0),
-            "phase durations must be positive"
-        );
+        assert!(phases.iter().all(|p| p.duration > 0), "phase durations must be positive");
         PhasedWorkload { name: name.into(), kind, phases, cycle }
     }
 

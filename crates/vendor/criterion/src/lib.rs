@@ -23,11 +23,7 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            _criterion: self,
-            name: name.into(),
-            sample_size: 100,
-        }
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 100 }
     }
 }
 
@@ -57,13 +53,7 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher);
         let total: Duration = bencher.samples.iter().sum();
         let n = bencher.samples.len().max(1);
-        println!(
-            "{}/{}: {:>12.3?} per iter ({} samples)",
-            self.name,
-            id,
-            total / n as u32,
-            n
-        );
+        println!("{}/{}: {:>12.3?} per iter ({} samples)", self.name, id, total / n as u32, n);
         self
     }
 

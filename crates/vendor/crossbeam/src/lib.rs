@@ -37,62 +37,89 @@ pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    catch_unwind(AssertUnwindSafe(|| {
-        std::thread::scope(|s| f(&Scope { inner: s }))
-    }))
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
 }
 
 /// MPSC channels (subset of `crossbeam::channel` over `std::sync::mpsc`).
 pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
 
     pub use mpsc::{RecvError, SendError, TryRecvError};
 
     /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        queued: Arc<AtomicUsize>,
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender { tx: self.tx.clone(), queued: Arc::clone(&self.queued) }
         }
     }
 
     impl<T> Sender<T> {
         /// Sends a message; fails only when all receivers are gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg)
+            self.tx.send(msg)?;
+            self.queued.fetch_add(1, Ordering::SeqCst);
+            Ok(())
         }
     }
 
     /// The receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        queued: Arc<AtomicUsize>,
+    }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let msg = self.rx.recv()?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(msg)
         }
 
         /// Returns a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let msg = self.rx.try_recv()?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(msg)
         }
 
         /// Drains currently pending messages without blocking.
         pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.try_iter()
+            self.rx.try_iter().inspect(|_| {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+            })
         }
 
         /// Blocking iterator that ends when all senders are gone.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            self.rx.iter().inspect(|_| {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+            })
+        }
+
+        /// Number of messages currently queued in the channel.
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::SeqCst)
+        }
+
+        /// Whether the channel is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let queued = Arc::new(AtomicUsize::new(0));
+        (Sender { tx, queued: Arc::clone(&queued) }, Receiver { rx, queued })
     }
 }
 
@@ -124,7 +151,25 @@ mod tests {
         let tx2 = tx.clone();
         tx.send(1).unwrap();
         tx2.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
         assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
         assert!(rx.try_recv().is_err());
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn channel_len_tracks_recv_paths() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 3);
+        rx.try_recv().unwrap();
+        assert_eq!(rx.len(), 2);
+        drop(tx);
+        assert_eq!(rx.iter().count(), 2);
+        assert!(rx.is_empty());
     }
 }

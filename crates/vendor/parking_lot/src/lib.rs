@@ -25,16 +25,12 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the guarded value.
     pub fn into_inner(self) -> T {
-        self.0
-            .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.0.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0
-            .get_mut()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.0.get_mut().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 

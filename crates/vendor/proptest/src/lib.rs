@@ -49,9 +49,7 @@ pub mod test_runner {
     impl TestRng {
         /// A fixed-seed generator: every test run sees the same cases.
         pub fn deterministic() -> Self {
-            TestRng {
-                state: 0x9E37_79B9_7F4A_7C15,
-            }
+            TestRng { state: 0x9E37_79B9_7F4A_7C15 }
         }
 
         /// Next 64 uniform bits.
@@ -171,12 +169,7 @@ pub mod strategy {
             }
         )+};
     }
-    tuple_strategy!(
-        (A.0, B.1),
-        (A.0, B.1, C.2),
-        (A.0, B.1, C.2, D.3),
-        (A.0, B.1, C.2, D.3, E.4)
-    );
+    tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3), (A.0, B.1, C.2, D.3, E.4));
 }
 
 /// `any::<T>()` — full-domain strategies for primitives.

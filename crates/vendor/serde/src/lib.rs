@@ -65,7 +65,9 @@ impl Value {
         match self {
             Value::Number(Number::U64(u)) => Some(*u),
             Value::Number(Number::I64(i)) if *i >= 0 => Some(*i as u64),
-            Value::Number(Number::F64(f)) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+            Value::Number(Number::F64(f))
+                if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 =>
+            {
                 Some(*f as u64)
             }
             _ => None,
@@ -311,10 +313,9 @@ impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
 impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Object(pairs) => pairs
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Object(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             _ => Err(DeError::expected("object", v)),
         }
     }

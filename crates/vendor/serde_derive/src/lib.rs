@@ -48,7 +48,9 @@ pub fn derive_serialize(item: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(item: TokenStream) -> TokenStream {
     let input = parse_input(item);
-    gen_deserialize(&input).parse().expect("serde_derive: generated Deserialize impl failed to parse")
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
 }
 
 // --- parsing ---------------------------------------------------------------
@@ -64,28 +66,20 @@ fn parse_input(ts: TokenStream) -> Input {
     }
     match kw.as_str() {
         "struct" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
-                name,
-                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
-            },
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
-                name,
-                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
-            },
-            _ => Input {
-                name,
-                kind: Kind::UnitStruct,
-            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input { name, kind: Kind::NamedStruct(parse_named_fields(g.stream())) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input { name, kind: Kind::TupleStruct(count_tuple_fields(g.stream())) }
+            }
+            _ => Input { name, kind: Kind::UnitStruct },
         },
         "enum" => {
             let body = match tokens.get(i) {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
                 _ => panic!("serde_derive shim: enum `{name}` has no body"),
             };
-            Input {
-                name,
-                kind: Kind::Enum(parse_variants(body)),
-            }
+            Input { name, kind: Kind::Enum(parse_variants(body)) }
         }
         other => panic!("serde_derive shim: unsupported item kind `{other}`"),
     }
@@ -221,9 +215,8 @@ fn gen_serialize(input: &Input) -> String {
         }
         Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Kind::TupleStruct(n) => {
-            let items: Vec<String> = (0..*n)
-                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
-                .collect();
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
             format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
         }
         Kind::UnitStruct => "::serde::Value::Null".to_string(),
@@ -282,14 +275,11 @@ fn gen_deserialize(input: &Input) -> String {
     let body = match &input.kind {
         Kind::NamedStruct(fields) => {
             let inits: Vec<String> = fields.iter().map(|f| de_named_field(f, "v")).collect();
-            format!(
-                "::std::result::Result::Ok({name} {{ {} }})",
-                inits.join(", ")
-            )
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
         }
-        Kind::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Kind::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
@@ -323,12 +313,7 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
     let unit_arms: Vec<String> = variants
         .iter()
         .filter(|v| matches!(v.shape, VariantShape::Unit))
-        .map(|v| {
-            format!(
-                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
-                vn = v.name
-            )
-        })
+        .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
         .collect();
     let tagged_arms: Vec<String> = variants
         .iter()

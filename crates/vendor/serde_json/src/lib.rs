@@ -145,10 +145,7 @@ struct Parser<'a> {
 }
 
 fn parse_value_complete(s: &str) -> Result<Value> {
-    let mut p = Parser {
-        bytes: s.as_bytes(),
-        pos: 0,
-    };
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -177,10 +174,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -203,10 +197,7 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            Some(b) => Err(Error(format!(
-                "unexpected `{}` at byte {}",
-                b as char, self.pos
-            ))),
+            Some(b) => Err(Error(format!("unexpected `{}` at byte {}", b as char, self.pos))),
             None => Err(Error("unexpected end of input".to_string())),
         }
     }
@@ -287,9 +278,8 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error("unterminated escape".to_string()))?;
+                    let esc =
+                        self.peek().ok_or_else(|| Error("unterminated escape".to_string()))?;
                     self.pos += 1;
                     match esc {
                         b'"' => s.push('"'),
@@ -308,8 +298,7 @@ impl<'a> Parser<'a> {
                                     return Err(Error("lone high surrogate".to_string()));
                                 }
                                 let low = self.parse_hex4()?;
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error("invalid surrogate pair".to_string()))?
                             } else {
@@ -364,7 +353,12 @@ impl<'a> Parser<'a> {
                 return Ok(Value::Number(Number::U64(u)));
             }
             if let Ok(i) = text.parse::<i64>() {
-                return Ok(Value::Number(Number::I64(i)));
+                // `-0` must fall through to f64: the integer types cannot
+                // represent the negative zero, and dropping the sign breaks
+                // float roundtrips.
+                if i != 0 || !text.starts_with('-') {
+                    return Ok(Value::Number(Number::I64(i)));
+                }
             }
         }
         text.parse::<f64>()
@@ -388,8 +382,8 @@ mod tests {
 
     #[test]
     fn golden_object_parses() {
-        let v = parse_value_complete(r#"{"capacity":3,"data":[[0,1.0],[5,2.0]],"start":99}"#)
-            .unwrap();
+        let v =
+            parse_value_complete(r#"{"capacity":3,"data":[[0,1.0],[5,2.0]],"start":99}"#).unwrap();
         assert_eq!(v.get("capacity").unwrap().as_u64(), Some(3));
         let data: Vec<(u64, f64)> = Deserialize::from_value(v.get("data").unwrap()).unwrap();
         assert_eq!(data, vec![(0, 1.0), (5, 2.0)]);

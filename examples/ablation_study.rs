@@ -86,10 +86,7 @@ fn main() {
     for (name, metrics) in [
         ("expert-8 (Table 1)", MetricId::EXPERT_EIGHT.to_vec()),
         ("all 33 metrics", MetricId::ALL.to_vec()),
-        (
-            "cpu pair only",
-            vec![MetricId::CpuSystem, MetricId::CpuUser],
-        ),
+        ("cpu pair only", vec![MetricId::CpuSystem, MetricId::CpuUser]),
     ] {
         let config = PipelineConfig { metrics, ..PipelineConfig::paper() };
         let (h, t) = accuracy(&labelled, &suite, &config);

@@ -100,21 +100,15 @@ fn plot_requested() -> bool {
 fn cluster_dir_from_args() -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == "--clusters").map(|i| {
-        let dir = std::path::PathBuf::from(
-            args.get(i + 1).map(String::as_str).unwrap_or("clusters"),
-        );
+        let dir =
+            std::path::PathBuf::from(args.get(i + 1).map(String::as_str).unwrap_or("clusters"));
         std::fs::create_dir_all(&dir).expect("create cluster dir");
         dir
     })
 }
 
 /// Writes one Figure 3 panel: `pc1,pc2,class` per snapshot.
-fn write_cluster_csv(
-    dir: &std::path::Path,
-    name: &str,
-    projected: &Matrix,
-    labels: &[AppClass],
-) {
+fn write_cluster_csv(dir: &std::path::Path, name: &str, projected: &Matrix, labels: &[AppClass]) {
     let path = dir.join(format!("fig3_{}.csv", name.to_lowercase()));
     let mut f = std::fs::File::create(&path).expect("create csv");
     writeln!(f, "pc1,pc2,class").unwrap();

@@ -45,8 +45,10 @@ fn main() {
     }
 
     // Two providers with different pricing philosophies.
-    let cpu_shop = CostModel::new(ResourceRates { cpu: 12.0, mem: 5.0, io: 5.0, net: 3.0, idle: 0.5 });
-    let io_shop = CostModel::new(ResourceRates { cpu: 4.0, mem: 6.0, io: 12.0, net: 10.0, idle: 0.5 });
+    let cpu_shop =
+        CostModel::new(ResourceRates { cpu: 12.0, mem: 5.0, io: 5.0, net: 3.0, idle: 0.5 });
+    let io_shop =
+        CostModel::new(ResourceRates { cpu: 4.0, mem: 6.0, io: 12.0, net: 10.0, idle: 0.5 });
 
     println!(
         "{:<15} {:>6} {:>9} {:>14} {:>14}",

@@ -43,8 +43,7 @@ fn main() {
         let expert = if MetricId::EXPERT_EIGHT.contains(m) { "  <- Table 1" } else { "" };
         println!("  {}{}", m.name(), expert);
     }
-    let overlap =
-        auto.iter().filter(|m| MetricId::EXPERT_EIGHT.contains(m)).count();
+    let overlap = auto.iter().filter(|m| MetricId::EXPERT_EIGHT.contains(m)).count();
     println!("overlap with the expert list: {overlap}/8");
 
     // Accuracy comparison over the Table 3 suite.

@@ -12,14 +12,14 @@
 //! ```
 
 use appclass::core::online::OnlineClassifier;
+use appclass::metrics::aggregator::Aggregator;
+use appclass::metrics::gmond::{Gmond, MetricBus};
 use appclass::prelude::*;
 use appclass::sim::runner::run_batch;
 use appclass::sim::vm::SoloVm;
 use appclass::sim::workload::registry::{test_specs, training_specs};
 use appclass::sim::VirtualMachine;
 use appclass::{expected_class, metrics::NodeId};
-use appclass::metrics::aggregator::Aggregator;
-use appclass::metrics::gmond::{Gmond, MetricBus};
 
 fn main() {
     // Train the pipeline.

@@ -39,10 +39,7 @@ fn main() {
 
     let mut trainer = OnlineTrainer::new(PipelineConfig::paper(), 50);
     let max_rows = labelled.iter().map(|(m, _)| m.rows()).max().expect("runs");
-    println!(
-        "{:>10} {:>8} {:>12} {:>22}",
-        "absorbed", "refits", "CH3D class", "CH3D CPU fraction"
-    );
+    println!("{:>10} {:>8} {:>12} {:>22}", "absorbed", "refits", "CH3D class", "CH3D CPU fraction");
     let mut last_report = 0;
     for row in 0..max_rows {
         for (m, class) in &labelled {
@@ -66,8 +63,7 @@ fn main() {
         }
     }
     trainer.refit().expect("final refit");
-    let final_result =
-        trainer.pipeline().expect("fitted").classify(&eval_raw).expect("classify");
+    let final_result = trainer.pipeline().expect("fitted").classify(&eval_raw).expect("classify");
     println!(
         "\nfinal model after {} snapshots, {} refits: CH3D -> {} ({})",
         trainer.absorbed(),

@@ -40,25 +40,20 @@ fn main() {
     println!("\ntraining-cluster centroids in PC space:");
     let (proj, labels) = pipeline.training_projection();
     for class in AppClass::ALL {
-        let pts: Vec<&[f64]> = proj
-            .iter_rows()
-            .zip(labels)
-            .filter(|(_, l)| **l == class)
-            .map(|(r, _)| r)
-            .collect();
+        let pts: Vec<&[f64]> =
+            proj.iter_rows().zip(labels).filter(|(_, l)| **l == class).map(|(r, _)| r).collect();
         if pts.is_empty() {
             continue;
         }
         let n = pts.len() as f64;
         let cx = pts.iter().map(|p| p[0]).sum::<f64>() / n;
         let cy = pts.iter().map(|p| p[1]).sum::<f64>() / n;
-        let spread = (pts
-            .iter()
-            .map(|p| (p[0] - cx).powi(2) + (p[1] - cy).powi(2))
-            .sum::<f64>()
-            / n)
-            .sqrt();
-        println!("  {:<5} centroid = ({cx:>7.3}, {cy:>7.3})  rms spread = {spread:.3}", class.label());
+        let spread =
+            (pts.iter().map(|p| (p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sum::<f64>() / n).sqrt();
+        println!(
+            "  {:<5} centroid = ({cx:>7.3}, {cy:>7.3})  rms spread = {spread:.3}",
+            class.label()
+        );
     }
 
     println!("\ntest-run centroids in PC space:");

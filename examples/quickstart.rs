@@ -59,6 +59,16 @@ fn main() {
     println!("  application: {}   ({} snapshots over {} s)", rec.name, rec.samples, rec.wall_secs);
     println!("  class:       {}", result.class);
     println!("  composition: {}", result.composition);
+    println!("\n  per-stage cost (§5.3 breakdown):");
+    for stat in result.stage_metrics.stages() {
+        println!(
+            "    {:<10} {:>4} samples  {:>12.3?}  ({:.6} ms/sample)",
+            stat.name,
+            stat.samples,
+            stat.elapsed(),
+            stat.ms_per_sample()
+        );
+    }
 
     // 4. Record in the application DB and price the run.
     println!("\n== application database & cost model ==");

@@ -19,10 +19,7 @@ fn main() {
             row.id, row.label, row.throughput_jobs_per_day, bar
         );
     }
-    println!(
-        "\n  average over all schedules (random scheduler): {:>7.0} jobs/day",
-        fig4.average
-    );
+    println!("\n  average over all schedules (random scheduler): {:>7.0} jobs/day", fig4.average);
     println!(
         "  class-aware schedule 10  {{(SPN),(SPN),(SPN)}}: {:>7.0} jobs/day",
         fig4.class_aware
@@ -39,15 +36,16 @@ fn main() {
     let best = fig4
         .rows
         .iter()
-        .max_by(|a, b| {
-            a.throughput_jobs_per_day.partial_cmp(&b.throughput_jobs_per_day).unwrap()
-        })
+        .max_by(|a, b| a.throughput_jobs_per_day.partial_cmp(&b.throughput_jobs_per_day).unwrap())
         .unwrap();
     println!("  best schedule: #{} {}", best.id, best.label);
 
     // --- Figure 5 ---------------------------------------------------------
     println!("\nFigure 5: per-application throughput across schedules (jobs/day)\n");
-    println!("  {:<12} {:>8} {:>8} {:>8} {:>8}   schedule achieving MAX", "app", "MIN", "AVG", "MAX", "SPN");
+    println!(
+        "  {:<12} {:>8} {:>8} {:>8} {:>8}   schedule achieving MAX",
+        "app", "MIN", "AVG", "MAX", "SPN"
+    );
     for row in &fig5 {
         let name = match row.app {
             appclass::sched::JobType::S => "SPECseis96",
@@ -65,7 +63,10 @@ fn main() {
     // --- Table 4 ----------------------------------------------------------
     println!("\nTable 4: concurrent vs sequential execution (seconds)\n");
     let t4 = table4(20_060_103);
-    println!("  {:<12} {:>8} {:>10} {:>24}", "Execution", "CH3D", "PostMark", "Time to finish 2 jobs");
+    println!(
+        "  {:<12} {:>8} {:>10} {:>24}",
+        "Execution", "CH3D", "PostMark", "Time to finish 2 jobs"
+    );
     println!(
         "  {:<12} {:>8} {:>10} {:>24}",
         "Concurrent", t4.concurrent_ch3d, t4.concurrent_postmark, t4.concurrent_total

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Pre-PR gate: build, test, lint, format — run this before every commit.
+#
+#   ./scripts/check.sh
+#
+# Any failure (including a clippy warning or unformatted file) fails the
+# whole script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "All checks passed."

@@ -230,7 +230,13 @@ fn cmd_table3(args: &[String]) -> Result<(), String> {
     let pipeline = train_pipeline(seed)?;
     out!(
         "{:<15} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Application", "#samples", "Idle", "I/O", "CPU", "Network", "Paging"
+        "Application",
+        "#samples",
+        "Idle",
+        "I/O",
+        "CPU",
+        "Network",
+        "Paging"
     );
     for (i, spec) in test_specs().iter().enumerate() {
         let rec = run_spec(spec, NodeId(100 + i as u32), seed + 1000 + i as u64);
@@ -258,7 +264,9 @@ fn cmd_fig4(args: &[String]) -> Result<(), String> {
     }
     out!(
         "class-aware {:.0} vs average {:.0}: {:+.2}% (paper: +22.11%)",
-        fig4.class_aware, fig4.average, fig4.improvement_pct
+        fig4.class_aware,
+        fig4.average,
+        fig4.improvement_pct
     );
     Ok(())
 }
@@ -270,7 +278,12 @@ fn cmd_fig5(args: &[String]) -> Result<(), String> {
     for row in rows {
         out!(
             "{:<12?} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   max by {}",
-            row.app, row.min, row.avg, row.max, row.spn, row.max_schedule
+            row.app,
+            row.min,
+            row.avg,
+            row.max,
+            row.spn,
+            row.max_schedule
         );
     }
     Ok(())
@@ -282,11 +295,17 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
     out!("{:<12} {:>8} {:>10} {:>14}", "Execution", "CH3D", "PostMark", "2-job total");
     out!(
         "{:<12} {:>8} {:>10} {:>14}",
-        "Concurrent", t.concurrent_ch3d, t.concurrent_postmark, t.concurrent_total
+        "Concurrent",
+        t.concurrent_ch3d,
+        t.concurrent_postmark,
+        t.concurrent_total
     );
     out!(
         "{:<12} {:>8} {:>10} {:>14}",
-        "Sequential", t.sequential_ch3d, t.sequential_postmark, t.sequential_total
+        "Sequential",
+        t.sequential_ch3d,
+        t.sequential_postmark,
+        t.sequential_total
     );
     Ok(())
 }
@@ -304,15 +323,30 @@ fn cmd_cost(args: &[String]) -> Result<(), String> {
     let model = CostModel::new(rates);
     out!(
         "rates: cpu {} mem {} io {} net {} idle {}\n",
-        rates.cpu, rates.mem, rates.io, rates.net, rates.idle
+        rates.cpu,
+        rates.mem,
+        rates.io,
+        rates.net,
+        rates.idle
     );
-    out!("{:<18} {:>5} {:>6} {:>10} {:>12}", "application", "runs", "class", "mean secs", "run cost");
+    out!(
+        "{:<18} {:>5} {:>6} {:>10} {:>12}",
+        "application",
+        "runs",
+        "class",
+        "mean secs",
+        "run cost"
+    );
     for app in db.applications() {
         let stats = db.stats(&app).expect("listed app has stats");
         let cost = db.expected_cost(&app, &model).expect("listed app priced");
         out!(
             "{:<18} {:>5} {:>6} {:>10.0} {:>12.1}",
-            app, stats.runs, stats.class.label(), stats.mean_exec_secs, cost
+            app,
+            stats.runs,
+            stats.class.label(),
+            stats.mean_exec_secs,
+            cost
         );
     }
     Ok(())

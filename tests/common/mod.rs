@@ -1,9 +1,9 @@
 //! Shared fixtures for the integration tests.
 
+use appclass::expected_class;
 use appclass::prelude::*;
 use appclass::sim::runner::run_batch;
 use appclass::sim::workload::registry::training_specs;
-use appclass::expected_class;
 
 /// Runs the five standard training applications (seed 42) and trains the
 /// paper-configured pipeline — the fixture nearly every integration test

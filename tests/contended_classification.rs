@@ -8,11 +8,11 @@
 //! contended run, and checks both still classify as themselves — slower,
 //! but with the same signature.
 
+use appclass::metrics::NodeId;
 use appclass::metrics::{MetricFrame, METRIC_COUNT};
 use appclass::prelude::*;
 use appclass::sim::host::Host;
 use appclass::sim::workload::{ch3d, postmark};
-use appclass::metrics::NodeId;
 
 mod common;
 fn trained() -> ClassifierPipeline {
@@ -104,10 +104,7 @@ fn contention_shows_in_magnitude_not_class() {
     };
     let solo_io = avg_io(&solo_frames[..solo_frames.len().min(50)]);
     let cont_io = avg_io(&contended[..contended.len().min(50)]);
-    assert!(
-        cont_io < solo_io,
-        "contended I/O rate {cont_io} should sit below solo {solo_io}"
-    );
+    assert!(cont_io < solo_io, "contended I/O rate {cont_io} should sit below solo {solo_io}");
     let result = pipeline.classify(&matrix_of(&contended[..contended.len().min(50)])).unwrap();
     assert_eq!(result.class, AppClass::Io);
 }

@@ -33,10 +33,7 @@ fn batch_runner_is_deterministic_despite_threads() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.samples, y.samples);
         assert_eq!(x.wall_secs, y.wall_secs);
-        assert_eq!(
-            x.pool.sample_matrix(x.node).unwrap(),
-            y.pool.sample_matrix(y.node).unwrap()
-        );
+        assert_eq!(x.pool.sample_matrix(x.node).unwrap(), y.pool.sample_matrix(y.node).unwrap());
     }
 }
 

@@ -4,10 +4,10 @@
 //! workload's majority class (and key composition fractions) match the
 //! paper's findings in shape.
 
+use appclass::metrics::NodeId;
 use appclass::prelude::*;
 use appclass::sim::runner::run_spec;
 use appclass::sim::workload::registry::test_specs;
-use appclass::metrics::NodeId;
 
 mod common;
 fn trained() -> ClassifierPipeline {
@@ -61,10 +61,7 @@ fn specseis_b_mixes_cpu_io_paging() {
     assert_eq!(comp.majority(), AppClass::Cpu, "{comp}");
     assert!(comp.fraction(AppClass::Cpu) > 0.3, "{comp}");
     assert!(comp.fraction(AppClass::Io) > 0.15, "{comp}");
-    assert!(
-        comp.fraction(AppClass::Cpu) < 0.9,
-        "B must not look like A: {comp}"
-    );
+    assert!(comp.fraction(AppClass::Cpu) < 0.9, "B must not look like A: {comp}");
 }
 
 #[test]

@@ -31,10 +31,7 @@ fn small_memory_vm_turns_specseis_into_pager() {
 
     // The paper's runtime observation: 291 min → 427 min (≈1.47x).
     let ratio = rec_b.wall_secs as f64 / rec_a.wall_secs as f64;
-    assert!(
-        (1.2..=1.8).contains(&ratio),
-        "runtime stretch {ratio} out of the paper's ballpark"
-    );
+    assert!((1.2..=1.8).contains(&ratio), "runtime stretch {ratio} out of the paper's ballpark");
 }
 
 #[test]
@@ -64,17 +61,17 @@ fn sample_counts_track_paper_rows() {
     // Table 3 "# of Samples" column (within a factor accounting for the
     // scaled-down SPECseis runs).
     let expect = [
-        ("SPECseis96_C", 80, 130),  // paper: 112
-        ("CH3D", 40, 50),           // paper: 45
-        ("SimpleScalar", 55, 70),   // paper: 62
-        ("PostMark", 45, 60),       // paper: 52
-        ("Bonnie", 85, 105),        // paper: 94
-        ("PostMark_NFS", 65, 90),   // paper: 77
-        ("NetPIPE", 65, 85),        // paper: 74
-        ("Autobench", 160, 185),    // paper: 172
-        ("Sftp", 40, 52),           // paper: 46
-        ("VMD", 80, 95),            // paper: 86
-        ("XSpim", 8, 11),           // paper: 9
+        ("SPECseis96_C", 80, 130), // paper: 112
+        ("CH3D", 40, 50),          // paper: 45
+        ("SimpleScalar", 55, 70),  // paper: 62
+        ("PostMark", 45, 60),      // paper: 52
+        ("Bonnie", 85, 105),       // paper: 94
+        ("PostMark_NFS", 65, 90),  // paper: 77
+        ("NetPIPE", 65, 85),       // paper: 74
+        ("Autobench", 160, 185),   // paper: 172
+        ("Sftp", 40, 52),          // paper: 46
+        ("VMD", 80, 95),           // paper: 86
+        ("XSpim", 8, 11),          // paper: 9
     ];
     let specs = test_specs();
     for (name, lo, hi) in expect {

@@ -2,9 +2,9 @@
 //! errors at the public API, never as panics or silent nonsense.
 
 use appclass::core::error::Error as CoreError;
+use appclass::metrics::profiler::{PerformanceProfiler, ProfileRequest};
 use appclass::metrics::{Error as MetricsError, METRIC_COUNT};
 use appclass::prelude::*;
-use appclass::metrics::profiler::{PerformanceProfiler, ProfileRequest};
 
 fn raw_run(rows: usize, cpu: f64) -> Matrix {
     let mut m = Matrix::zeros(rows, METRIC_COUNT);
@@ -15,10 +15,7 @@ fn raw_run(rows: usize, cpu: f64) -> Matrix {
 }
 
 fn trained() -> ClassifierPipeline {
-    let runs = vec![
-        (raw_run(10, 80.0), AppClass::Cpu),
-        (raw_run(10, 0.2), AppClass::Idle),
-    ];
+    let runs = vec![(raw_run(10, 80.0), AppClass::Cpu), (raw_run(10, 0.2), AppClass::Idle)];
     ClassifierPipeline::train(&runs, &PipelineConfig::paper()).unwrap()
 }
 
@@ -45,10 +42,7 @@ fn infinite_metric_in_snapshot_pool_is_rejected() {
 fn classifying_wrong_width_matrix_is_typed() {
     let pipeline = trained();
     let err = pipeline.classify(&Matrix::zeros(5, 8)).unwrap_err();
-    assert!(
-        matches!(err, CoreError::FeatureMismatch { expected: 33, got: 8 }),
-        "{err}"
-    );
+    assert!(matches!(err, CoreError::FeatureMismatch { expected: 33, got: 8 }), "{err}");
 }
 
 #[test]
@@ -60,10 +54,7 @@ fn empty_everything_is_typed() {
     ));
     // Pool without the target node.
     let pool = DataPool::new();
-    assert!(matches!(
-        pool.sample_matrix(NodeId(7)),
-        Err(MetricsError::NoSamples { .. })
-    ));
+    assert!(matches!(pool.sample_matrix(NodeId(7)), Err(MetricsError::NoSamples { .. })));
     // Degenerate profiling windows.
     assert!(ProfileRequest::new(NodeId(1), 50, 50).is_err());
     assert!(PerformanceProfiler::with_interval(0).is_err());
@@ -75,8 +66,7 @@ fn zero_variance_training_features_do_not_panic() {
     // PCA sees a zero covariance matrix — still no panic, and
     // classification remains deterministic.
     let constant = Matrix::zeros(10, METRIC_COUNT);
-    let runs =
-        vec![(constant.clone(), AppClass::Idle), (constant.clone(), AppClass::Idle)];
+    let runs = vec![(constant.clone(), AppClass::Idle), (constant.clone(), AppClass::Idle)];
     let pipeline = ClassifierPipeline::train(&runs, &PipelineConfig::paper()).unwrap();
     let result = pipeline.classify(&constant).unwrap();
     assert_eq!(result.class, AppClass::Idle);
@@ -87,10 +77,7 @@ fn bad_pipeline_configs_are_typed() {
     let runs = vec![(raw_run(10, 80.0), AppClass::Cpu), (raw_run(10, 0.2), AppClass::Idle)];
     // Even k.
     let bad_k = PipelineConfig { k: 4, ..PipelineConfig::paper() };
-    assert!(matches!(
-        ClassifierPipeline::train(&runs, &bad_k),
-        Err(CoreError::BadK { k: 4 })
-    ));
+    assert!(matches!(ClassifierPipeline::train(&runs, &bad_k), Err(CoreError::BadK { k: 4 })));
     // Impossible component count.
     let bad_q = PipelineConfig {
         selection: appclass::core::pca::ComponentSelection::Count(9),
@@ -107,10 +94,7 @@ fn bad_pipeline_configs_are_typed() {
 
 #[test]
 fn corrupt_persisted_state_is_typed() {
-    assert!(matches!(
-        ClassifierPipeline::from_json("{ not json"),
-        Err(CoreError::Storage(_))
-    ));
+    assert!(matches!(ClassifierPipeline::from_json("{ not json"), Err(CoreError::Storage(_))));
     assert!(matches!(
         appclass::core::appdb::ApplicationDb::from_json("[1,2,3]"),
         Err(CoreError::Storage(_))

@@ -3,10 +3,10 @@
 //! database for future scheduling decisions.
 
 use appclass::core::appdb::{ApplicationDb, RunRecord};
+use appclass::metrics::NodeId;
 use appclass::prelude::*;
 use appclass::sim::runner::run_spec;
 use appclass::sim::workload::registry::test_specs;
-use appclass::metrics::NodeId;
 
 mod common;
 fn trained() -> ClassifierPipeline {

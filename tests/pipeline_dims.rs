@@ -4,10 +4,10 @@
 //! `A(m×33) → A'(m×8) → B(m×2) → C(1×m) → Class` — every arrow's
 //! dimensions, as stated in the paper, verified end to end.
 
+use appclass::metrics::NodeId;
 use appclass::prelude::*;
 use appclass::sim::runner::run_spec;
 use appclass::sim::workload::registry::test_specs;
-use appclass::metrics::NodeId;
 
 mod common;
 fn trained() -> ClassifierPipeline {

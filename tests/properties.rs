@@ -6,8 +6,8 @@
 //! come from training data only, and the cost model is linear.
 
 use appclass::core::cost::{CostModel, ResourceRates};
-use appclass::prelude::*;
 use appclass::metrics::METRIC_COUNT;
+use appclass::prelude::*;
 use proptest::prelude::*;
 
 /// Builds a raw run whose expert metrics are driven by three intensity

@@ -55,10 +55,7 @@ fn figure5_spn_never_much_worse_than_average() {
             .find(|o| o.schedule.is_fully_diverse())
             .map(|o| app_throughput(o, app))
             .unwrap();
-        assert!(
-            spn > avg * 0.95,
-            "{app:?}: SPN throughput {spn} fell below average {avg}"
-        );
+        assert!(spn > avg * 0.95, "{app:?}: SPN throughput {spn} fell below average {avg}");
     }
 }
 

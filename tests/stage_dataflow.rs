@@ -1,0 +1,124 @@
+//! Integration test: offline and streaming classification are the same
+//! dataflow.
+//!
+//! Both `ClassifierPipeline::classify` (batch) and `OnlineClassifier`
+//! (per-snapshot) execute the Figure 2 chain on the shared `StagePipeline`
+//! runner. These tests prove, on real simulated workloads, that the two
+//! paths emit identical per-snapshot class vectors, that a shared runner
+//! reuses its scratch buffers across classifications, and that the
+//! per-stage cost counters the §5.3 measurement reads are populated.
+
+use appclass::core::online::OnlineClassifier;
+use appclass::core::stage::StagePipeline;
+use appclass::core::stages::{segment, segment_smooth, SegmentationConfig};
+use appclass::metrics::{MetricFrame, NodeId};
+use appclass::prelude::*;
+use appclass::sim::runner::run_spec;
+use appclass::sim::workload::registry::test_specs;
+
+mod common;
+
+fn workload_matrix(name: &str, seed: u64) -> Matrix {
+    let specs = test_specs();
+    let spec = specs.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("{name}?"));
+    let rec = run_spec(spec, NodeId(60), seed);
+    rec.pool.sample_matrix(NodeId(60)).unwrap()
+}
+
+#[test]
+fn streaming_equals_offline_per_snapshot() {
+    let pipeline = common::trained_pipeline();
+    // Workloads covering clean, mixed, and multi-stage behaviour.
+    for name in ["CH3D", "PostMark", "PostMark_NFS", "VMD", "SPECseis96_B"] {
+        let raw = workload_matrix(name, 23);
+        let offline = pipeline.classify(&raw).unwrap();
+
+        let mut online = OnlineClassifier::new(&pipeline);
+        let mut streamed = Vec::with_capacity(raw.rows());
+        for i in 0..raw.rows() {
+            let frame = MetricFrame::from_values(raw.row(i)).unwrap();
+            streamed.push(online.push_frame(&frame).unwrap());
+        }
+
+        assert_eq!(
+            streamed, offline.class_vector,
+            "{name}: streaming and offline class vectors must be identical"
+        );
+        assert_eq!(online.composition(), offline.composition, "{name}");
+        assert_eq!(online.current_class(), Some(offline.class), "{name}");
+    }
+}
+
+#[test]
+fn offline_result_carries_stage_cost_breakdown() {
+    let pipeline = common::trained_pipeline();
+    let raw = workload_matrix("CH3D", 31);
+    let result = pipeline.classify(&raw).unwrap();
+    let m = raw.rows() as u64;
+    let names: Vec<&str> = result.stage_metrics.stages().iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["preprocess", "pca", "knn"], "Figure 2 order");
+    for stat in result.stage_metrics.stages() {
+        assert_eq!(stat.samples, m, "stage {} must count every snapshot", stat.name);
+        assert_eq!(stat.calls, 1, "stage {}", stat.name);
+    }
+}
+
+#[test]
+fn streaming_metrics_accumulate_per_snapshot() {
+    let pipeline = common::trained_pipeline();
+    let raw = workload_matrix("PostMark", 37);
+    let mut online = OnlineClassifier::with_window(&pipeline, 12);
+    for i in 0..raw.rows() {
+        let frame = MetricFrame::from_values(raw.row(i)).unwrap();
+        online.push_frame(&frame).unwrap();
+    }
+    let m = raw.rows() as u64;
+    for name in ["preprocess", "pca", "knn"] {
+        let stat = online.stage_metrics().get(name).unwrap_or_else(|| panic!("{name}?"));
+        assert_eq!(stat.samples, m, "{name}");
+        assert_eq!(stat.calls, m, "{name}: one call per snapshot");
+    }
+    // The streaming cost per sample must sit far below the paper's
+    // 5-second sampling period for online classification to be viable.
+    let total_ms: f64 = online
+        .stage_metrics()
+        .stages()
+        .iter()
+        .map(appclass::metrics::StageStat::ms_per_sample)
+        .sum();
+    assert!(total_ms < 5000.0, "{total_ms} ms/sample dwarfs the sampling period");
+}
+
+#[test]
+fn shared_runner_reuses_buffers_across_runs() {
+    let pipeline = common::trained_pipeline();
+    let raw = workload_matrix("Bonnie", 41);
+    let mut runner = StagePipeline::new();
+    // Two warm-up calls bring both ping-pong buffers to steady state.
+    pipeline.classify_with(&mut runner, &raw).unwrap();
+    pipeline.classify_with(&mut runner, &raw).unwrap();
+    let ptr = runner.output().as_slice().as_ptr();
+    let a = pipeline.classify_with(&mut runner, &raw).unwrap();
+    let b = pipeline.classify_with(&mut runner, &raw).unwrap();
+    assert_eq!(
+        runner.output().as_slice().as_ptr(),
+        ptr,
+        "steady-state classification must not reallocate intermediates"
+    );
+    assert_eq!(a.class_vector, b.class_vector);
+    assert_eq!(runner.metrics().get("knn").unwrap().calls, 4);
+}
+
+#[test]
+fn segmentation_joins_the_instrumented_dataflow() {
+    let pipeline = common::trained_pipeline();
+    let raw = workload_matrix("SPECseis96_B", 47);
+    let mut runner = StagePipeline::new();
+    let result = pipeline.classify_with(&mut runner, &raw).unwrap();
+    let cfg = SegmentationConfig::default();
+    let staged = segment_smooth(&mut runner, &result.class_vector, &cfg).unwrap();
+    assert_eq!(staged, segment(&result.class_vector, &cfg));
+    // The same runner now reports the whole chain, smoothing included.
+    let names: Vec<&str> = runner.metrics().stages().iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["preprocess", "pca", "knn", "smooth"]);
+}

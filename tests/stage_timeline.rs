@@ -2,17 +2,21 @@
 //! phase structure from classified snapshots alone.
 
 use appclass::core::stages::{segment, SegmentationConfig};
+use appclass::metrics::NodeId;
 use appclass::prelude::*;
 use appclass::sim::runner::run_spec;
 use appclass::sim::workload::registry::test_specs;
-use appclass::metrics::NodeId;
 
 mod common;
 fn trained() -> ClassifierPipeline {
     common::trained_pipeline()
 }
 
-fn stages_of(pipeline: &ClassifierPipeline, name: &str, seed: u64) -> Vec<appclass::core::stages::Stage> {
+fn stages_of(
+    pipeline: &ClassifierPipeline,
+    name: &str,
+    seed: u64,
+) -> Vec<appclass::core::stages::Stage> {
     let specs = test_specs();
     let spec = specs.iter().find(|s| s.name == name).unwrap();
     let rec = run_spec(spec, NodeId(1), seed);
@@ -35,10 +39,7 @@ fn vmd_session_structure_recovered() {
     // VMD's script: idle → upload → idle → GUI → idle → upload → GUI.
     let p = trained();
     let stages = stages_of(&p, "VMD", 77);
-    assert!(
-        (4..=8).contains(&stages.len()),
-        "VMD has a multi-stage session: {stages:?}"
-    );
+    assert!((4..=8).contains(&stages.len()), "VMD has a multi-stage session: {stages:?}");
     // It must open idle and contain at least one IO and one NET stage.
     assert_eq!(stages[0].class, AppClass::Idle, "{stages:?}");
     assert!(stages.iter().any(|s| s.class == AppClass::Io), "{stages:?}");
