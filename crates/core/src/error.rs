@@ -6,7 +6,12 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors produced by training or classification.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm so new failure classes (like the telemetry-resilience variants) can
+/// be added without breaking them.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Error {
     /// A numerical operation failed (dimension mismatch, non-convergence…).
     Linalg(appclass_linalg::Error),
@@ -49,6 +54,15 @@ pub enum Error {
     },
     /// The application database file could not be read or written.
     Storage(String),
+    /// A guarded classification had every frame rejected by the
+    /// [`FrameGuard`](appclass_metrics::FrameGuard): nothing usable
+    /// survived to vote on.
+    NoUsableFrames {
+        /// Frames offered to the guard.
+        seen: u64,
+        /// Frames the guard rejected.
+        dropped: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -73,6 +87,9 @@ impl fmt::Display for Error {
                 write!(f, "{value} is not a valid class index")
             }
             Error::Storage(msg) => write!(f, "storage error: {msg}"),
+            Error::NoUsableFrames { seen, dropped } => {
+                write!(f, "no usable frames: guard rejected {dropped} of {seen}")
+            }
         }
     }
 }
@@ -108,6 +125,7 @@ mod tests {
         assert!(Error::BadK { k: 4 }.to_string().contains('4'));
         assert!(Error::NotTrained.to_string().contains("trained"));
         assert!(Error::FeatureMismatch { expected: 8, got: 3 }.to_string().contains('8'));
+        assert!(Error::NoUsableFrames { seen: 9, dropped: 9 }.to_string().contains('9'));
     }
 
     #[test]

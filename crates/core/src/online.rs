@@ -19,7 +19,10 @@ use crate::error::{Error, Result};
 use crate::pipeline::{ClassifierPipeline, PipelineConfig};
 use crate::stage::StagePipeline;
 use appclass_linalg::Matrix;
-use appclass_metrics::{MetricFrame, Snapshot, StageMetrics, METRIC_COUNT};
+use appclass_metrics::{
+    FrameGuard, FrameVerdict, GuardConfig, MetricFrame, Snapshot, StageMetrics, TelemetryHealth,
+    METRIC_COUNT,
+};
 use std::collections::VecDeque;
 
 /// Streaming classifier over a trained pipeline.
@@ -40,6 +43,13 @@ pub struct OnlineClassifier<'a> {
     window: Option<usize>,
     /// Total snapshots ever observed (not bounded by the window).
     observed: usize,
+    /// Telemetry guard for the [`OnlineClassifier::push_guarded`] path.
+    guard: FrameGuard,
+    /// Whether each label in `labels` came from a repaired frame, kept in
+    /// lockstep with the deque.
+    repaired_flags: VecDeque<bool>,
+    /// Running count of `true` entries in `repaired_flags`.
+    repaired_in_state: usize,
 }
 
 impl<'a> OnlineClassifier<'a> {
@@ -52,32 +62,57 @@ impl<'a> OnlineClassifier<'a> {
             counts: [0; 5],
             window: None,
             observed: 0,
+            guard: FrameGuard::default(),
+            repaired_flags: VecDeque::new(),
+            repaired_in_state: 0,
         }
     }
 
     /// Wraps a trained pipeline with a sliding window of `window` snapshots
     /// (must be ≥ 1) for stage-change detection.
     pub fn with_window(pipeline: &'a ClassifierPipeline, window: usize) -> Self {
-        OnlineClassifier {
-            pipeline,
-            runner: StagePipeline::new(),
-            labels: VecDeque::new(),
-            counts: [0; 5],
-            window: Some(window.max(1)),
-            observed: 0,
-        }
+        let mut oc = OnlineClassifier::new(pipeline);
+        oc.window = Some(window.max(1));
+        oc
+    }
+
+    /// Like [`OnlineClassifier::with_window`] (`window = None` for full
+    /// history), but with an explicit guard policy for the
+    /// [`OnlineClassifier::push_guarded`] path.
+    pub fn with_guard(
+        pipeline: &'a ClassifierPipeline,
+        window: Option<usize>,
+        config: GuardConfig,
+    ) -> Self {
+        let mut oc = OnlineClassifier::new(pipeline);
+        oc.window = window.map(|w| w.max(1));
+        oc.guard = FrameGuard::new(config);
+        oc
     }
 
     /// Classifies one incoming frame and folds it into the running state;
     /// returns the snapshot's class.
     pub fn push_frame(&mut self, frame: &MetricFrame) -> Result<AppClass> {
+        self.push_classified(frame, false)
+    }
+
+    /// Shared tail of every push path: classify, fold into the vote state,
+    /// enforce the window.
+    fn push_classified(&mut self, frame: &MetricFrame, was_repaired: bool) -> Result<AppClass> {
         let class = self.pipeline.classify_frame_with(&mut self.runner, frame)?;
         self.labels.push_back(class);
         self.counts[class.index()] += 1;
+        self.repaired_flags.push_back(was_repaired);
+        if was_repaired {
+            self.repaired_in_state += 1;
+        }
         if let Some(w) = self.window {
             while self.labels.len() > w {
                 let evicted = self.labels.pop_front().expect("len > w >= 1");
                 self.counts[evicted.index()] -= 1;
+                if self.repaired_flags.pop_front().expect("lockstep with labels") {
+                    self.repaired_in_state -= 1;
+                }
             }
         }
         self.observed += 1;
@@ -87,6 +122,38 @@ impl<'a> OnlineClassifier<'a> {
     /// Convenience: push a monitoring snapshot.
     pub fn push(&mut self, snapshot: &Snapshot) -> Result<AppClass> {
         self.push_frame(&snapshot.frame)
+    }
+
+    /// Pushes a snapshot through the classifier's [`FrameGuard`] first:
+    /// corrupted values are imputed, duplicates and unusable frames are
+    /// rejected instead of poisoning the vote, and a cadence gap clears a
+    /// sliding window (the snapshots on the far side of an outage belong
+    /// to whatever the application is doing *now*, not to the stale
+    /// majority). Degradation is tallied in
+    /// [`OnlineClassifier::telemetry`] and discounted by
+    /// [`OnlineClassifier::confidence`].
+    ///
+    /// Returns the guard's verdict; the vote state only changes for usable
+    /// verdicts.
+    pub fn push_guarded(&mut self, snapshot: &Snapshot) -> Result<FrameVerdict> {
+        let admission = self.guard.admit(snapshot);
+        if let Some(frame) = admission.frame {
+            if admission.gap.is_some() && self.window.is_some() {
+                self.clear_vote_state();
+            }
+            let repaired = matches!(admission.verdict, FrameVerdict::Repaired { .. });
+            self.push_classified(&frame, repaired)?;
+        }
+        Ok(admission.verdict)
+    }
+
+    /// Clears the vote window without touching `observed`, the stage
+    /// counters, or the guard's health history.
+    fn clear_vote_state(&mut self) {
+        self.labels.clear();
+        self.counts = [0; 5];
+        self.repaired_flags.clear();
+        self.repaired_in_state = 0;
     }
 
     /// Total snapshots observed since construction.
@@ -129,14 +196,37 @@ impl<'a> OnlineClassifier<'a> {
         self.runner.metrics()
     }
 
+    /// Health of the guarded telemetry stream: everything pushed through
+    /// [`OnlineClassifier::push_guarded`] since construction (or the last
+    /// [`OnlineClassifier::reset`]). All-zero when only the unguarded
+    /// push paths were used.
+    pub fn telemetry(&self) -> &TelemetryHealth {
+        self.guard.health()
+    }
+
+    /// Confidence in [`OnlineClassifier::current_class`]: the majority
+    /// fraction over the current state, discounted by the fraction of
+    /// in-state snapshots whose frames were repaired. `0.0` before the
+    /// first snapshot.
+    pub fn confidence(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let composition = self.composition();
+        let majority = composition.fraction(composition.majority());
+        let repaired = self.repaired_in_state as f64 / self.labels.len() as f64;
+        majority * (1.0 - 0.5 * repaired)
+    }
+
     /// Resets the running state (e.g. when a new application starts on the
-    /// monitored VM); the pipeline itself is untouched. Stage counters
-    /// restart too, so the next application's cost report is its own.
+    /// monitored VM); the pipeline itself is untouched. Stage counters and
+    /// the telemetry guard restart too, so the next application's cost and
+    /// health reports are its own.
     pub fn reset(&mut self) {
-        self.labels.clear();
-        self.counts = [0; 5];
+        self.clear_vote_state();
         self.observed = 0;
         self.runner.reset_metrics();
+        self.guard.reset();
     }
 }
 
@@ -206,6 +296,25 @@ impl OnlineTrainer {
             }
         }
         Ok(refits)
+    }
+
+    /// Absorbs one labelled monitoring snapshot through a caller-owned
+    /// [`FrameGuard`]: frames the guard drops never enter the training
+    /// set, and repaired frames enter with their imputed (finite) values —
+    /// so a refit can never train on quarantined garbage. Returns `None`
+    /// when the frame was dropped, otherwise [`OnlineTrainer::absorb`]'s
+    /// refit flag.
+    pub fn absorb_guarded(
+        &mut self,
+        guard: &mut FrameGuard,
+        snapshot: &Snapshot,
+        class: AppClass,
+    ) -> Result<Option<bool>> {
+        let admission = guard.admit(snapshot);
+        match admission.frame {
+            Some(frame) => self.absorb(frame, class).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Rebuilds the pipeline from everything absorbed so far.
@@ -433,6 +542,103 @@ mod tests {
         }
     }
 
+    // --- Guarded streaming ------------------------------------------------
+
+    fn snap(t: u64, settings: &[(MetricId, f64)]) -> appclass_metrics::Snapshot {
+        appclass_metrics::Snapshot::new(appclass_metrics::NodeId(7), t, frame(settings))
+    }
+
+    #[test]
+    fn guarded_stream_repairs_and_discounts_confidence() {
+        let p = trained();
+        let mut oc = OnlineClassifier::new(&p);
+        assert_eq!(oc.confidence(), 0.0, "no data, no confidence");
+        for t in 0..4u64 {
+            let v = oc.push_guarded(&snap(5 * t, &[(MetricId::CpuUser, 85.0)])).unwrap();
+            assert_eq!(v, FrameVerdict::Accepted);
+        }
+        let clean_conf = oc.confidence();
+        assert!((clean_conf - 1.0).abs() < 1e-12, "unanimous clean stream");
+        // A corrupted frame is imputed from the last good value and still
+        // votes CPU — but the verdict is knowable and confidence drops.
+        let v = oc.push_guarded(&snap(20, &[(MetricId::CpuUser, f64::NAN)])).unwrap();
+        assert_eq!(v, FrameVerdict::Repaired { patched: 1 });
+        assert_eq!(oc.current_class(), Some(AppClass::Cpu));
+        assert_eq!(oc.in_state(), 5);
+        assert!(oc.confidence() < clean_conf, "repair discounts confidence");
+        // A duplicate timestamp never reaches the vote.
+        let v = oc.push_guarded(&snap(20, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        assert!(!v.is_usable());
+        assert_eq!(oc.in_state(), 5);
+        assert_eq!(oc.observed(), 5, "dropped frames are not observed");
+        let h = oc.telemetry();
+        assert_eq!((h.seen, h.accepted, h.repaired, h.duplicates), (6, 4, 1, 1));
+    }
+
+    #[test]
+    fn gap_clears_windowed_vote() {
+        let p = trained();
+        let mut oc = OnlineClassifier::with_guard(&p, Some(8), GuardConfig::default());
+        for t in 0..6u64 {
+            oc.push_guarded(&snap(5 * t, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        }
+        assert_eq!(oc.current_class(), Some(AppClass::Cpu));
+        // An outage: the next frame arrives four sampling instants late and
+        // carries I/O load. The stale CPU majority must not outvote the
+        // post-outage reality.
+        oc.push_guarded(&snap(50, &[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)])).unwrap();
+        assert_eq!(oc.in_state(), 1, "window restarted after the gap");
+        assert_eq!(oc.current_class(), Some(AppClass::Io));
+        let h = oc.telemetry();
+        assert_eq!((h.gaps, h.missed_frames), (1, 4));
+        assert_eq!(oc.observed(), 7, "observed survives the gap reset");
+    }
+
+    #[test]
+    fn unwindowed_guarded_stream_keeps_history_across_gaps() {
+        let p = trained();
+        let mut oc = OnlineClassifier::new(&p);
+        for t in 0..6u64 {
+            oc.push_guarded(&snap(5 * t, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        }
+        oc.push_guarded(&snap(50, &[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)])).unwrap();
+        // Full-history mode is order-insensitive, so a gap does not wipe
+        // the accumulated composition; the majority stays CPU.
+        assert_eq!(oc.in_state(), 7);
+        assert_eq!(oc.current_class(), Some(AppClass::Cpu));
+        assert_eq!(oc.telemetry().gaps, 1, "…but the gap is still on record");
+    }
+
+    #[test]
+    fn window_eviction_restores_confidence() {
+        let p = trained();
+        let mut oc = OnlineClassifier::with_guard(&p, Some(3), GuardConfig::default());
+        oc.push_guarded(&snap(0, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        oc.push_guarded(&snap(5, &[(MetricId::CpuUser, f64::NAN)])).unwrap();
+        assert!(oc.confidence() < 1.0);
+        // Three clean frames push the repaired one out of the window.
+        for t in [10u64, 15, 20] {
+            oc.push_guarded(&snap(t, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        }
+        assert!((oc.confidence() - 1.0).abs() < 1e-12, "repair left the window");
+    }
+
+    #[test]
+    fn reset_clears_guard_health() {
+        let p = trained();
+        let mut oc = OnlineClassifier::new(&p);
+        oc.push_guarded(&snap(0, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        oc.push_guarded(&snap(5, &[(MetricId::CpuUser, f64::NAN)])).unwrap();
+        assert_eq!(oc.telemetry().repaired, 1);
+        oc.reset();
+        assert_eq!(oc.telemetry(), &TelemetryHealth::default());
+        assert_eq!(oc.confidence(), 0.0);
+        // The guard forgot the node's sequencing too: t=0 is a fresh
+        // first frame, not an out-of-order arrival.
+        let v = oc.push_guarded(&snap(0, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        assert_eq!(v, FrameVerdict::Accepted);
+    }
+
     // --- OnlineTrainer ----------------------------------------------------
 
     #[test]
@@ -514,6 +720,43 @@ mod tests {
             let b = online.classify(test).unwrap();
             assert_eq!(a.class, b.class);
         }
+    }
+
+    #[test]
+    fn trainer_guarded_absorption_never_trains_on_garbage() {
+        use appclass_metrics::{NodeId, Snapshot};
+        let mut t = OnlineTrainer::new(PipelineConfig::paper(), usize::MAX);
+        let mut guard = FrameGuard::default();
+        let mut poisoned = frame(&[(MetricId::CpuUser, 85.0)]);
+        poisoned.set(MetricId::CpuSystem, f64::NAN);
+        // Corrupted before any baseline exists: dropped, never absorbed.
+        let s0 = Snapshot::new(NodeId(1), 0, poisoned.clone());
+        assert_eq!(t.absorb_guarded(&mut guard, &s0, AppClass::Cpu).unwrap(), None);
+        assert_eq!(t.absorbed(), 0);
+        // Clean frames are absorbed and seed the imputation baseline.
+        for i in 0..4u64 {
+            let s = Snapshot::new(
+                NodeId(1),
+                5 * (i + 1),
+                frame(&[(MetricId::CpuUser, 84.0 + i as f64)]),
+            );
+            assert!(t.absorb_guarded(&mut guard, &s, AppClass::Cpu).unwrap().is_some());
+        }
+        assert_eq!(t.absorbed(), 4);
+        assert_eq!(t.refits(), 1, "first viable set triggered the initial fit");
+        // The same corruption with a baseline: repaired, absorbed finite.
+        let s5 = Snapshot::new(NodeId(1), 25, poisoned);
+        assert_eq!(t.absorb_guarded(&mut guard, &s5, AppClass::Cpu).unwrap(), Some(false));
+        assert_eq!(t.absorbed(), 5);
+        // A duplicate is rejected without touching absorption statistics.
+        let dup = Snapshot::new(NodeId(1), 25, frame(&[(MetricId::CpuUser, 90.0)]));
+        assert_eq!(t.absorb_guarded(&mut guard, &dup, AppClass::Cpu).unwrap(), None);
+        assert_eq!(t.absorbed(), 5);
+        // Everything retained is finite, so a full refit succeeds — absorb
+        // would have rejected any quarantined value outright.
+        t.refit().unwrap();
+        assert_eq!(t.refits(), 2);
+        assert_eq!(guard.health().dropped, 2);
     }
 
     #[test]

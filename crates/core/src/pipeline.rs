@@ -17,7 +17,9 @@ use crate::pca::{ComponentSelection, Pca};
 use crate::preprocess::{expert_metrics, Preprocessor};
 use crate::stage::{decode_class, Stage, StagePipeline, StreamingStage};
 use appclass_linalg::Matrix;
-use appclass_metrics::{MetricFrame, MetricId, StageMetrics};
+use appclass_metrics::{
+    FrameGuard, GuardConfig, MetricFrame, MetricId, Snapshot, StageMetrics, TelemetryHealth,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the pipeline's three stages.
@@ -70,6 +72,15 @@ pub struct ClassificationResult {
     /// [`ClassifierPipeline::classify_with`], the counters cover every
     /// classification the runner has executed so far.
     pub stage_metrics: StageMetrics,
+    /// Confidence in the majority verdict: the majority fraction, further
+    /// discounted by the repair fraction when the run passed through a
+    /// [`FrameGuard`] (classifying imputed data is better than nothing,
+    /// but it should not be trusted like clean telemetry).
+    pub confidence: f64,
+    /// Telemetry health of the run's input. All-zero (nothing seen) for
+    /// the unguarded paths; populated by
+    /// [`ClassifierPipeline::classify_guarded`].
+    pub telemetry: TelemetryHealth,
 }
 
 /// A fully trained classifier.
@@ -213,13 +224,49 @@ impl ClassifierPipeline {
         let class_vector =
             runner.time_stage("knn", raw.rows() as u64, || self.knn.classify_batch(&projected))?;
         let composition = ClassComposition::from_labels(&class_vector);
+        let class = composition.majority();
         Ok(ClassificationResult {
-            class: composition.majority(),
+            class,
+            confidence: composition.fraction(class),
             composition,
             class_vector,
             projected,
             stage_metrics: runner.metrics().clone(),
+            telemetry: TelemetryHealth::default(),
         })
+    }
+
+    /// Classifies a run of monitoring snapshots behind a [`FrameGuard`]:
+    /// every snapshot is validated first, corrupted values are imputed
+    /// from the node's last good sample, and duplicated / reordered /
+    /// unusable frames are discarded before the vote. The result carries
+    /// the guard's [`TelemetryHealth`] and a confidence discounted by the
+    /// fraction of repaired frames.
+    ///
+    /// Returns [`Error::NoUsableFrames`] when the guard rejects every
+    /// snapshot — the degraded-telemetry analogue of [`Error::EmptyRun`].
+    pub fn classify_guarded(
+        &self,
+        snapshots: &[Snapshot],
+        config: GuardConfig,
+    ) -> Result<ClassificationResult> {
+        let mut guard = FrameGuard::new(config);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for snap in snapshots {
+            let admission = guard.admit(snap);
+            if let Some(frame) = admission.frame {
+                rows.push(frame.as_slice().to_vec());
+            }
+        }
+        let health = guard.health().clone();
+        if rows.is_empty() {
+            return Err(Error::NoUsableFrames { seen: health.seen, dropped: health.dropped });
+        }
+        let raw = Matrix::from_rows(&rows)?;
+        let mut result = self.classify(&raw)?;
+        result.confidence *= 1.0 - 0.5 * health.repair_fraction();
+        result.telemetry = health;
+        Ok(result)
     }
 
     /// Classifies a single snapshot frame (the online path).
@@ -435,6 +482,65 @@ mod tests {
             ],
         );
         assert_eq!(p.classify(&raw).unwrap().class, q.classify(&raw).unwrap().class);
+    }
+
+    #[test]
+    fn guarded_run_repairs_and_discounts_confidence() {
+        use appclass_metrics::NodeId;
+        let p = trained();
+        let raw = raw_run(12, &[(MetricId::CpuUser, 88.0)]);
+        let mut snaps: Vec<Snapshot> = (0..12)
+            .map(|i| {
+                Snapshot::new(
+                    NodeId(1),
+                    5 * i as u64,
+                    MetricFrame::from_values(raw.row(i)).unwrap(),
+                )
+            })
+            .collect();
+        // Clean run: plain majority-fraction confidence, pristine health.
+        let clean = p.classify_guarded(&snaps, GuardConfig::default()).unwrap();
+        assert_eq!(clean.class, AppClass::Cpu);
+        assert_eq!((clean.telemetry.seen, clean.telemetry.accepted), (12, 12));
+        assert!((clean.confidence - clean.composition.fraction(AppClass::Cpu)).abs() < 1e-12);
+        // Corrupt three mid-run frames: the guard imputes them, they still
+        // vote, and the confidence takes the repair discount.
+        for i in [3usize, 6, 9] {
+            let mut f = snaps[i].frame.clone();
+            f.set(MetricId::CpuUser, f64::NAN);
+            snaps[i] = Snapshot::new(NodeId(1), snaps[i].time, f);
+        }
+        let r = p.classify_guarded(&snaps, GuardConfig::default()).unwrap();
+        assert_eq!(r.class, AppClass::Cpu);
+        assert_eq!(r.telemetry.repaired, 3);
+        assert_eq!(r.class_vector.len(), 12, "repaired frames still vote");
+        assert!(r.confidence < clean.confidence, "repairs discount confidence");
+    }
+
+    #[test]
+    fn guarded_run_with_nothing_usable_errors() {
+        use appclass_metrics::NodeId;
+        let p = trained();
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, f64::INFINITY);
+        // A corrupted first frame has no baseline to impute from → dropped,
+        // and a run of only such frames is unusable.
+        let snaps = vec![Snapshot::new(NodeId(1), 0, f)];
+        assert!(matches!(
+            p.classify_guarded(&snaps, GuardConfig::default()),
+            Err(Error::NoUsableFrames { seen: 1, dropped: 1 })
+        ));
+    }
+
+    #[test]
+    fn unguarded_result_reports_clean_telemetry() {
+        let p = trained();
+        let raw = raw_run(6, &[(MetricId::CpuUser, 85.0)]);
+        let r = p.classify(&raw).unwrap();
+        assert_eq!(r.telemetry, TelemetryHealth::default());
+        let majority = r.composition.fraction(r.class);
+        assert!((r.confidence - majority).abs() < 1e-12, "no repair discount without a guard");
+        assert!(r.confidence > 0.5, "majority fraction by definition");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! drains announcements into a [`DataPool`].
 
 use crate::gmond::MetricBus;
+use crate::repair::FrameGuard;
 use crate::snapshot::{DataPool, NodeId, Snapshot};
 use crossbeam::channel::Receiver;
 
@@ -30,6 +31,23 @@ impl Aggregator {
             n += 1;
         }
         n
+    }
+
+    /// Like [`Aggregator::drain`], but routing every announcement through
+    /// a [`FrameGuard`] first: only accepted or repaired frames (with the
+    /// guard's patches applied) reach the pool. Returns how many frames
+    /// were admitted; drops are tallied in the guard's
+    /// [`TelemetryHealth`](crate::repair::TelemetryHealth).
+    pub fn drain_guarded(&mut self, guard: &mut FrameGuard) -> usize {
+        let mut admitted = 0;
+        for snap in self.rx.try_iter() {
+            let admission = guard.admit(&snap);
+            if let Some(frame) = admission.frame {
+                self.pool.push(Snapshot::new(snap.node, snap.time, frame));
+                admitted += 1;
+            }
+        }
+        admitted
     }
 
     /// Read access to the accumulated pool.
@@ -82,6 +100,31 @@ mod tests {
         g.announce_tick(5, &bus).unwrap();
         assert_eq!(agg.drain(), 1);
         assert_eq!(agg.pool().len(), 2);
+    }
+
+    #[test]
+    fn drain_guarded_repairs_and_filters() {
+        use crate::metric::MetricId;
+        use crate::repair::GuardConfig;
+        let bus = MetricBus::new();
+        let mut agg = Aggregator::subscribe(&bus);
+        let mut guard = FrameGuard::new(GuardConfig::default());
+        let mut clean = MetricFrame::zeroed();
+        clean.set(MetricId::CpuUser, 30.0);
+        bus.announce(Snapshot::new(NodeId(1), 0, clean.clone())).unwrap();
+        let mut dirty = clean.clone();
+        dirty.set(MetricId::CpuUser, f64::NAN);
+        bus.announce(Snapshot::new(NodeId(1), 5, dirty)).unwrap();
+        // Duplicate of t=5: must be filtered out.
+        bus.announce(Snapshot::new(NodeId(1), 5, clean)).unwrap();
+        assert_eq!(agg.drain_guarded(&mut guard), 2);
+        assert_eq!(agg.pool().len(), 2);
+        // The repaired frame carries the imputed value, so the matrix
+        // assembles without a NonFiniteMetric error.
+        let m = agg.pool().sample_matrix(NodeId(1)).unwrap();
+        assert_eq!(m[(1, MetricId::CpuUser.index())], 30.0);
+        let h = guard.health();
+        assert_eq!((h.accepted, h.repaired, h.duplicates), (1, 1, 1));
     }
 
     #[test]

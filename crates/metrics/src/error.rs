@@ -7,7 +7,12 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors produced by the monitoring stack.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm so new fault classes (like the telemetry-resilience variants) can
+/// be added without breaking them.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Error {
     /// The requested node produced no snapshots in the profiled window.
     NoSamples {
@@ -39,6 +44,22 @@ pub enum Error {
         /// Byte offset of the problem (or buffer length when truncated).
         offset: usize,
     },
+    /// A guarded telemetry stream degraded past the point of usability:
+    /// every offered frame was rejected.
+    TelemetryFault {
+        /// Frames offered to the guard.
+        seen: u64,
+        /// Frames the guard rejected.
+        dropped: u64,
+    },
+    /// A source stayed silent past its retry/backoff budget and was
+    /// removed from polling.
+    SourceEvicted {
+        /// The evicted node.
+        node: NodeId,
+        /// Consecutive missed probes at eviction time.
+        misses: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -55,6 +76,12 @@ impl fmt::Display for Error {
             Error::MalformedWire { reason, offset } => {
                 write!(f, "malformed wire announcement at byte {offset}: {reason}")
             }
+            Error::TelemetryFault { seen, dropped } => {
+                write!(f, "telemetry unusable: {dropped} of {seen} frames rejected")
+            }
+            Error::SourceEvicted { node, misses } => {
+                write!(f, "node {node} evicted after {misses} missed probes")
+            }
         }
     }
 }
@@ -70,5 +97,7 @@ mod tests {
         assert!(Error::NoSamples { node: NodeId(3) }.to_string().contains("node 3"));
         assert!(Error::BadWindow { t0: 5, t1: 5, interval: 1 }.to_string().contains("t0=5"));
         assert!(Error::BusClosed.to_string().contains("closed"));
+        assert!(Error::TelemetryFault { seen: 10, dropped: 10 }.to_string().contains("10"));
+        assert!(Error::SourceEvicted { node: NodeId(2), misses: 4 }.to_string().contains("node 2"));
     }
 }

@@ -11,16 +11,20 @@
 use crate::aggregator::Aggregator;
 use crate::gmond::{Gmond, MetricBus, MetricSource};
 use crate::metric::MetricId;
+use crate::repair::{FrameGuard, GuardConfig, TelemetryHealth};
 use crate::snapshot::{DataPool, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// One monitored subnet: a bus plus its gmond daemons.
+/// One monitored subnet: a bus plus its gmond daemons, optionally fronted
+/// by a [`FrameGuard`] so degraded announcements are repaired or rejected
+/// before entering the cluster pool.
 pub struct Cluster<S: MetricSource> {
     name: String,
     bus: MetricBus,
     gmonds: Vec<Gmond<S>>,
     aggregator: Aggregator,
+    guard: Option<FrameGuard>,
 }
 
 impl<S: MetricSource> Cluster<S> {
@@ -33,7 +37,17 @@ impl<S: MetricSource> Cluster<S> {
             gmonds: sources.into_iter().map(Gmond::new).collect(),
             bus,
             aggregator,
+            guard: None,
         }
+    }
+
+    /// Like [`Cluster::new`], but every announcement passes through a
+    /// [`FrameGuard`] before reaching the pool; the cluster's
+    /// [`TelemetryHealth`] is then reported in its summaries.
+    pub fn with_guard(name: impl Into<String>, sources: Vec<S>, config: GuardConfig) -> Self {
+        let mut cluster = Cluster::new(name, sources);
+        cluster.guard = Some(FrameGuard::new(config));
+        cluster
     }
 
     /// Cluster name.
@@ -51,13 +65,21 @@ impl<S: MetricSource> Cluster<S> {
         for g in self.gmonds.iter_mut() {
             g.announce_tick(time, &self.bus)?;
         }
-        self.aggregator.drain();
+        match self.guard.as_mut() {
+            Some(guard) => self.aggregator.drain_guarded(guard),
+            None => self.aggregator.drain(),
+        };
         Ok(())
     }
 
     /// The cluster's accumulated pool.
     pub fn pool(&self) -> &DataPool {
         self.aggregator.pool()
+    }
+
+    /// The guard's health report, when the cluster is guarded.
+    pub fn health(&self) -> Option<&TelemetryHealth> {
+        self.guard.as_ref().map(|g| g.health())
     }
 }
 
@@ -74,6 +96,8 @@ pub struct ClusterSummary {
     /// Mean of selected metrics over the cluster's latest snapshot per
     /// node, keyed by metric name.
     pub means: BTreeMap<String, f64>,
+    /// Telemetry health at poll time, for guarded clusters.
+    pub health: Option<TelemetryHealth>,
 }
 
 /// The federation root: polls clusters and builds the grid view.
@@ -121,6 +145,7 @@ impl Gmetad {
             nodes: latest.len(),
             snapshots: pool.len(),
             means,
+            health: cluster.health().cloned(),
         });
         // Merge only the snapshots that arrived since the previous poll.
         let seen = self.merged.entry(cluster.name().to_string()).or_insert(0);
@@ -223,6 +248,37 @@ mod tests {
         c.tick(10).unwrap();
         root.poll(&c);
         assert_eq!(root.federated_pool().len(), 2);
+    }
+
+    #[test]
+    fn guarded_cluster_repairs_and_reports_health() {
+        use crate::faults::{FaultPlan, FaultySource};
+        use crate::repair::GuardConfig;
+        let mut plan = FaultPlan::lossless(11);
+        plan.corrupt_rate = 0.5;
+        let sources: Vec<_> =
+            (1..=2).map(|n| FaultySource::new(source(n, 40.0 + n as f64), plan)).collect();
+        let mut c = Cluster::with_guard("lossy", sources, GuardConfig::default());
+        for t in (0..100).step_by(5) {
+            c.tick(t).unwrap();
+        }
+        let health = c.health().expect("guarded cluster reports health");
+        assert_eq!(health.seen, 40);
+        assert!(health.repaired > 0, "corruption must have triggered repairs: {health}");
+        // Everything in the pool is finite — the guard held the line.
+        for node in [NodeId(1), NodeId(2)] {
+            assert!(c.pool().sample_matrix(node).is_ok());
+        }
+        // The summary carries the health upward.
+        let mut root = Gmetad::new();
+        root.poll(&c);
+        let summary = &root.summaries()[0];
+        assert_eq!(summary.health.as_ref().unwrap(), health);
+        // Unguarded clusters keep reporting no health.
+        let mut plain = Cluster::new("plain", vec![source(3, 1.0)]);
+        plain.tick(0).unwrap();
+        root.poll(&plain);
+        assert!(root.summaries()[1].health.is_none());
     }
 
     #[test]

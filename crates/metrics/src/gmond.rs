@@ -130,6 +130,34 @@ impl<S: MetricSource> Gmond<S> {
         Ok(snap)
     }
 
+    /// Like [`Gmond::announce_tick`], but routing the announcement through
+    /// the wire codec and a lossy [`FaultyChannel`](crate::faults::FaultyChannel)
+    /// — the shape of a real UDP multicast hop. Each surviving datagram
+    /// that still decodes is announced; mangled ones are counted into
+    /// `guard` as malformed. Returns how many snapshots were announced
+    /// (possibly zero when the channel dropped the datagram).
+    pub fn announce_tick_wire(
+        &mut self,
+        time: u64,
+        bus: &MetricBus,
+        channel: &mut crate::faults::FaultyChannel,
+        guard: &mut crate::repair::FrameGuard,
+    ) -> Result<usize> {
+        let frame = self.source.sample(time);
+        let snap = Snapshot::new(self.source.node(), time, frame);
+        let mut announced = 0;
+        for datagram in channel.transmit(&crate::wire::encode(&snap)) {
+            match crate::wire::decode(&datagram) {
+                Ok(decoded) => {
+                    bus.announce(decoded)?;
+                    announced += 1;
+                }
+                Err(_) => guard.note_malformed(),
+            }
+        }
+        Ok(announced)
+    }
+
     /// Announces once per time in `times` (the deterministic synchronous
     /// drive mode used by the reproduction experiments).
     pub fn run_ticks(
@@ -220,6 +248,69 @@ mod tests {
         bus.announce(Snapshot::new(NodeId(1), 0, frame(0.0))).unwrap();
         assert_eq!(bus.subscriber_count(), 1);
         assert!(rx1.try_recv().is_ok());
+    }
+
+    #[test]
+    fn announce_survives_subscriber_dropped_mid_stream() {
+        // Regression: a listener disappearing between announcements must
+        // not error the announce for the survivors — the dead receiver is
+        // pruned and delivery to everyone else continues.
+        let bus = MetricBus::new();
+        let keeper = bus.subscribe();
+        let mut g = Gmond::new(ConstantSource::new(NodeId(1), frame(1.0)));
+        for tick in 0..5u64 {
+            // A short-lived subscriber joins and dies every tick.
+            let ephemeral = bus.subscribe();
+            drop(ephemeral);
+            g.announce_tick(tick * 5, &bus).unwrap();
+        }
+        assert_eq!(bus.subscriber_count(), 1, "only the keeper remains");
+        assert_eq!(keeper.len(), 5, "keeper missed nothing");
+    }
+
+    #[test]
+    fn announce_errors_only_when_last_subscriber_is_gone() {
+        let bus = MetricBus::new();
+        let rx = bus.subscribe();
+        bus.announce(Snapshot::new(NodeId(1), 0, frame(0.0))).unwrap();
+        drop(rx);
+        // Now truly nobody is listening: announcing is a wiring bug.
+        assert_eq!(bus.announce(Snapshot::new(NodeId(1), 5, frame(0.0))), Err(Error::BusClosed));
+    }
+
+    #[test]
+    fn wire_tick_lossless_matches_direct_announce() {
+        use crate::faults::{FaultPlan, FaultyChannel};
+        use crate::repair::FrameGuard;
+        let bus = MetricBus::new();
+        let rx = bus.subscribe();
+        let mut chan = FaultyChannel::new(FaultPlan::lossless(3));
+        let mut guard = FrameGuard::default();
+        let mut g = Gmond::new(ConstantSource::new(NodeId(2), frame(7.0)));
+        let n = g.announce_tick_wire(10, &bus, &mut chan, &mut guard).unwrap();
+        assert_eq!(n, 1);
+        let got = rx.try_recv().unwrap();
+        assert_eq!(got, Snapshot::new(NodeId(2), 10, frame(7.0)));
+        assert_eq!(guard.health().malformed, 0);
+    }
+
+    #[test]
+    fn wire_tick_truncation_is_counted_not_fatal() {
+        use crate::faults::{FaultPlan, FaultyChannel};
+        use crate::repair::FrameGuard;
+        let bus = MetricBus::new();
+        let rx = bus.subscribe();
+        let mut plan = FaultPlan::lossless(5);
+        plan.truncate_rate = 1.0; // every datagram arrives mangled
+        let mut chan = FaultyChannel::new(plan);
+        let mut guard = FrameGuard::default();
+        let mut g = Gmond::new(ConstantSource::new(NodeId(1), frame(1.0)));
+        for t in 0..10u64 {
+            let n = g.announce_tick_wire(t * 5, &bus, &mut chan, &mut guard).unwrap();
+            assert_eq!(n, 0, "nothing decodable should be announced");
+        }
+        assert_eq!(guard.health().malformed, 10);
+        assert!(rx.try_recv().is_err(), "no snapshot survived");
     }
 
     #[test]

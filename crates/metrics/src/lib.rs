@@ -19,6 +19,13 @@
 //! * [`federation`] — the gmetad tree: per-cluster summaries federated
 //!   into a grid view.
 //! * [`wire`] — the XDR-style binary codec gmond announcements travel in.
+//! * [`faults`] — deterministic seeded fault injection (drop, duplicate,
+//!   reorder, stall, spike, non-finite corruption, byte truncation) for
+//!   sources, wire datagrams, and recorded streams.
+//! * [`repair`] — the [`FrameGuard`] validation/repair stage (last-good
+//!   imputation with bounded repair streaks, duplicate/reorder/gap
+//!   detection, [`TelemetryHealth`] accounting) and staleness-based source
+//!   eviction.
 //! * [`vmstat`] — the add-on collector contributing the four I/O and paging
 //!   metrics the paper grafted into gmond's metric list.
 //! * [`rrd`] — round-robin multi-resolution metric archives (Ganglia's
@@ -39,18 +46,25 @@
 
 pub mod aggregator;
 pub mod error;
+pub mod faults;
 pub mod federation;
 pub mod filter;
 pub mod gmond;
 pub mod instrument;
 pub mod metric;
 pub mod profiler;
+pub mod repair;
 pub mod rrd;
 pub mod snapshot;
 pub mod vmstat;
 pub mod wire;
 
 pub use error::{Error, Result};
+pub use faults::{ChannelStats, FaultPlan, FaultyChannel, FaultySource};
 pub use instrument::{StageMetrics, StageStat};
 pub use metric::{MetricFrame, MetricId, METRIC_COUNT};
+pub use repair::{
+    Admission, DropReason, FrameGuard, FrameVerdict, GuardConfig, SourceStatus, StalenessPolicy,
+    StalenessTracker, TelemetryHealth,
+};
 pub use snapshot::{DataPool, NodeId, Snapshot};

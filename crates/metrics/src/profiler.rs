@@ -8,8 +8,12 @@
 
 use crate::aggregator::Aggregator;
 use crate::error::{Error, Result};
+use crate::faults::{ChannelStats, FaultPlan, FaultyChannel};
 use crate::gmond::{Gmond, MetricBus, MetricSource};
 use crate::instrument::StageMetrics;
+use crate::repair::{
+    FrameGuard, GuardConfig, SourceStatus, StalenessPolicy, StalenessTracker, TelemetryHealth,
+};
 use crate::snapshot::{DataPool, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +45,19 @@ impl ProfileRequest {
     pub fn duration(&self) -> u64 {
         self.t1 - self.t0
     }
+}
+
+/// Everything a degraded profiling run produces.
+#[derive(Debug, Clone)]
+pub struct DegradedProfile {
+    /// The guarded subnet-wide pool (accepted and repaired frames only).
+    pub pool: DataPool,
+    /// The guard's accounting of what happened to the stream.
+    pub health: TelemetryHealth,
+    /// Aggregate wire-level delivery stats across all per-node channels.
+    pub channel: ChannelStats,
+    /// Nodes evicted for staying silent past the retry budget.
+    pub evicted: Vec<NodeId>,
 }
 
 /// The performance profiler: drives gmond daemons at the sampling frequency
@@ -117,6 +134,83 @@ impl PerformanceProfiler {
         let mut metrics = StageMetrics::new();
         metrics.record("profile", pool.len() as u64, started.elapsed());
         Ok((pool, metrics))
+    }
+
+    /// Profiles through a degraded monitoring path: every announcement is
+    /// wire-encoded, pushed through a per-node lossy
+    /// [`FaultyChannel`] seeded from `plan`, decoded, and admitted through
+    /// a [`FrameGuard`] before reaching the pool. Sources that stay silent
+    /// past the staleness retry budget are evicted from polling.
+    ///
+    /// Returns [`Error::TelemetryFault`] when degradation was total — not
+    /// a single frame survived to the pool.
+    pub fn profile_degraded<S: MetricSource>(
+        &self,
+        sources: Vec<S>,
+        req: &ProfileRequest,
+        plan: FaultPlan,
+        guard_config: GuardConfig,
+    ) -> Result<DegradedProfile> {
+        if req.t1 <= req.t0 {
+            return Err(Error::BadWindow { t0: req.t0, t1: req.t1, interval: self.interval });
+        }
+        let bus = MetricBus::new();
+        let mut agg = Aggregator::subscribe(&bus);
+        let mut guard = FrameGuard::new(guard_config);
+        let mut staleness = StalenessTracker::new(StalenessPolicy {
+            interval: self.interval,
+            ..StalenessPolicy::default()
+        });
+        let mut links: Vec<(Gmond<S>, FaultyChannel)> = sources
+            .into_iter()
+            .map(|s| {
+                let salt = u64::from(s.node().0);
+                (Gmond::new(s), FaultyChannel::with_salt(plan, salt))
+            })
+            .collect();
+        let mut channel = ChannelStats::default();
+        for t in self.sample_times(req) {
+            let mut evicted_now: Vec<NodeId> = Vec::new();
+            for (g, chan) in links.iter_mut() {
+                let announced = g.announce_tick_wire(t, &bus, chan, &mut guard)?;
+                if staleness.observe(g.node(), t, announced > 0) == SourceStatus::Evicted {
+                    evicted_now.push(g.node());
+                }
+            }
+            if !evicted_now.is_empty() {
+                // An evicted link stops being polled; anything still held
+                // back inside it is lost with it, but its delivery stats
+                // still count.
+                let mut remaining = Vec::with_capacity(links.len());
+                for (g, chan) in links {
+                    if evicted_now.contains(&g.node()) {
+                        channel.merge(&chan.stats());
+                    } else {
+                        remaining.push((g, chan));
+                    }
+                }
+                links = remaining;
+            }
+            agg.drain_guarded(&mut guard);
+        }
+        // Flush datagrams still held back for reordering, then drain once
+        // more so everything goes through the guard.
+        for (_, chan) in links.iter_mut() {
+            for datagram in chan.drain() {
+                match crate::wire::decode(&datagram) {
+                    Ok(decoded) => bus.announce(decoded)?,
+                    Err(_) => guard.note_malformed(),
+                }
+            }
+            channel.merge(&chan.stats());
+        }
+        agg.drain_guarded(&mut guard);
+        let health = guard.health().clone();
+        let pool = agg.into_pool();
+        if pool.is_empty() {
+            return Err(Error::TelemetryFault { seen: health.seen, dropped: health.dropped });
+        }
+        Ok(DegradedProfile { pool, health, channel, evicted: staleness.evicted() })
     }
 
     /// Like [`PerformanceProfiler::profile`] but with every gmond on its
@@ -236,6 +330,87 @@ mod tests {
         let p = PerformanceProfiler::default();
         let req = ProfileRequest { target: NodeId(1), t0: 10, t1: 10 };
         assert!(p.profile_threaded(vec![source(1, 0.0)], &req).is_err());
+    }
+
+    #[test]
+    fn degraded_profile_with_lossless_plan_matches_clean_run() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 50).unwrap();
+        let clean = p.profile(vec![source(1, 10.0)], &req).unwrap();
+        let degraded = p
+            .profile_degraded(
+                vec![source(1, 10.0)],
+                &req,
+                FaultPlan::lossless(1),
+                GuardConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(degraded.pool.len(), clean.len());
+        assert_eq!(
+            degraded.pool.sample_matrix(NodeId(1)).unwrap(),
+            clean.sample_matrix(NodeId(1)).unwrap()
+        );
+        assert_eq!(degraded.health.accepted, 10);
+        assert_eq!(degraded.health.dropped, 0);
+        assert_eq!(degraded.channel.sent, 10);
+        assert!(degraded.evicted.is_empty());
+    }
+
+    #[test]
+    fn degraded_profile_is_deterministic_per_seed() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 250).unwrap();
+        let plan = FaultPlan::moderate(77);
+        let run = || {
+            p.profile_degraded(
+                vec![source(1, 10.0), source(2, 20.0)],
+                &req,
+                plan,
+                GuardConfig::default(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.health, b.health, "same seed ⇒ bitwise-identical health");
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.pool.len(), b.pool.len());
+        assert!(a.health.dropped + a.health.malformed > 0, "moderate plan must bite");
+        assert!(a.pool.len() > 50, "most frames survive the moderate plan");
+    }
+
+    #[test]
+    fn fully_dead_wire_is_a_typed_telemetry_fault() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 50).unwrap();
+        let plan = FaultPlan::lossless(1).with_drop_rate(1.0);
+        let err = p
+            .profile_degraded(vec![source(1, 5.0)], &req, plan, GuardConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, Error::TelemetryFault { .. }), "{err}");
+    }
+
+    #[test]
+    fn silent_source_is_evicted_and_polling_stops() {
+        let p = PerformanceProfiler::default();
+        let req = ProfileRequest::new(NodeId(1), 0, 500).unwrap();
+        // A wire that drops everything: the lone source goes permanently
+        // silent, gets evicted, and the run ends with a typed fault.
+        let dead_plan = FaultPlan::lossless(3).with_drop_rate(1.0);
+        let err = p
+            .profile_degraded(vec![source(2, 1.0)], &req, dead_plan, GuardConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, Error::TelemetryFault { .. }), "{err}");
+        // The eviction schedule itself: bounded backoff, then permanent.
+        let mut tracker = StalenessTracker::new(StalenessPolicy { interval: 5, max_misses: 2 });
+        let mut status = SourceStatus::Healthy;
+        for t in (0..500).step_by(5) {
+            status = tracker.observe(NodeId(2), t, false);
+            if status == SourceStatus::Evicted {
+                break;
+            }
+        }
+        assert_eq!(status, SourceStatus::Evicted);
     }
 
     #[test]

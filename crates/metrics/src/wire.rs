@@ -69,7 +69,8 @@ pub fn decode(mut data: &[u8]) -> Result<Snapshot> {
         }
         values.push(v);
     }
-    let frame = MetricFrame::from_values(&values).expect("exact width");
+    let frame = MetricFrame::from_values(&values)
+        .ok_or(Error::MalformedWire { reason: "frame width mismatch", offset: 20 })?;
     Ok(Snapshot::new(node, time, frame))
 }
 

@@ -2,7 +2,7 @@
 //! bit-exactly, and arbitrary byte mutations never panic the decoder.
 
 use appclass_metrics::wire::{decode, encode, WIRE_SIZE};
-use appclass_metrics::{MetricFrame, NodeId, Snapshot, METRIC_COUNT};
+use appclass_metrics::{Error, MetricFrame, NodeId, Snapshot, METRIC_COUNT};
 use proptest::prelude::*;
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
@@ -59,5 +59,57 @@ proptest! {
         wire.extend(std::iter::repeat_n(0xAB, extra));
         let back = decode(&wire).unwrap();
         prop_assert_eq!(back.node, snap.node);
+    }
+
+    #[test]
+    fn multi_byte_corruption_never_panics_and_errors_are_typed(
+        snap in arb_snapshot(),
+        hits in prop::collection::vec((0usize..WIRE_SIZE, any::<u8>()), 8),
+        cut in 0usize..WIRE_SIZE + 1,
+    ) {
+        // A burst of arbitrary byte mutations, then optional truncation —
+        // the worst a lossy network can do to one datagram. The decoder
+        // must either produce a snapshot or a typed MalformedWire error;
+        // anything else (a panic, a different error class) is a bug.
+        let mut wire = encode(&snap).to_vec();
+        for &(idx, xor) in &hits {
+            wire[idx] ^= xor;
+        }
+        wire.truncate(cut);
+        match decode(&wire) {
+            Ok(back) => {
+                // Whatever decoded is safe downstream: exactly 33 finite
+                // values and an intact header frame.
+                prop_assert_eq!(back.frame.as_slice().len(), METRIC_COUNT);
+                prop_assert!(back.frame.as_slice().iter().all(|v| v.is_finite()));
+            }
+            Err(Error::MalformedWire { offset, .. }) => {
+                prop_assert!(offset <= WIRE_SIZE, "error offset {} points into the frame", offset);
+            }
+            Err(other) => prop_assert!(false, "wrong error class: {}", other),
+        }
+    }
+
+    #[test]
+    fn injected_non_finite_values_are_rejected(
+        snap in arb_snapshot(),
+        slot in 0usize..METRIC_COUNT,
+        kind in 0u8..3,
+    ) {
+        // Overwrite one encoded value with NaN / +inf / −inf: the decoder
+        // refuses to hand non-finite data to the pipeline.
+        let bad = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let mut wire = encode(&snap).to_vec();
+        let at = 20 + 8 * slot;
+        wire[at..at + 8].copy_from_slice(&bad.to_be_bytes());
+        let err = decode(&wire).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            Error::MalformedWire { reason: "non-finite metric value", .. }
+        ));
     }
 }

@@ -48,4 +48,8 @@ pub mod workload;
 pub use host::{Host, HostCapacity};
 pub use resources::ResourceDemand;
 pub use vm::{DiskBacking, VirtualMachine, VmConfig};
+// Fault injection lives in the metrics crate (it mangles the telemetry,
+// not the simulation), but chaos experiments configure it alongside the
+// workload specs — re-exported here for their convenience.
+pub use appclass_metrics::faults::FaultPlan;
 pub use workload::{Workload, WorkloadKind};

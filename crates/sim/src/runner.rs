@@ -11,6 +11,7 @@
 use crate::vm::{SoloVm, VirtualMachine};
 use crate::workload::registry::WorkloadSpec;
 use appclass_metrics::aggregator::Aggregator;
+use appclass_metrics::faults::FaultPlan;
 use appclass_metrics::gmond::{Gmond, MetricBus};
 use appclass_metrics::profiler::DEFAULT_SAMPLING_INTERVAL;
 use appclass_metrics::{DataPool, NodeId};
@@ -63,6 +64,28 @@ pub fn run_vm(name: &str, vm: VirtualMachine, window_secs: Option<u64>) -> RunRe
     let pool = agg.into_pool();
     let samples = pool.count_for(node);
     RunRecord { name: name.to_string(), node, pool, samples, wall_secs: t }
+}
+
+/// Like [`run_spec`], but the captured snapshot stream is then degraded by
+/// `plan` — drops, stalls, duplicates, reordering, value corruption — the
+/// way a lossy monitoring network would mangle it in flight. The record's
+/// `samples` counts the *delivered* snapshots; `wall_secs` is unchanged
+/// (the application ran to completion either way). This is the chaos
+/// suite's entry point: same spec + seed + plan ⇒ bit-identical stream.
+pub fn run_spec_degraded(
+    spec: &WorkloadSpec,
+    node: NodeId,
+    seed: u64,
+    plan: FaultPlan,
+) -> RunRecord {
+    let mut rec = run_spec(spec, node, seed);
+    let mut pool = DataPool::new();
+    for snap in plan.degrade(rec.pool.snapshots()) {
+        pool.push(snap);
+    }
+    rec.samples = pool.count_for(node);
+    rec.pool = pool;
+    rec
 }
 
 /// Runs many specs concurrently, one OS thread per run (each with its own
@@ -147,6 +170,32 @@ mod tests {
             assert_eq!(rec.samples, solo.samples, "batch must be deterministic");
             assert_eq!(rec.wall_secs, solo.wall_secs);
         }
+    }
+
+    #[test]
+    fn degraded_run_is_deterministic_and_lossy() {
+        let specs = training_specs();
+        let idle = specs.iter().find(|s| s.name == "Idle-train").unwrap();
+        let clean = run_spec(idle, NodeId(2), 7);
+        let plan = FaultPlan::moderate(99);
+        let a = run_spec_degraded(idle, NodeId(2), 7, plan);
+        let b = run_spec_degraded(idle, NodeId(2), 7, plan);
+        // Same spec, seed, and plan: bit-identical delivered streams.
+        assert_eq!(a.samples, b.samples);
+        let bits = |r: &RunRecord| -> Vec<(u64, Vec<u64>)> {
+            r.pool
+                .snapshots()
+                .iter()
+                .map(|s| (s.time, s.frame.as_slice().iter().map(|v| v.to_bits()).collect()))
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        // The plan actually did damage relative to the clean run.
+        assert_ne!(a.samples, clean.samples, "moderate plan should drop/duplicate frames");
+        assert_eq!(a.wall_secs, clean.wall_secs, "the application itself ran identically");
+        // A lossless plan is the identity on the stream.
+        let lossless = run_spec_degraded(idle, NodeId(2), 7, FaultPlan::lossless(99));
+        assert_eq!(bits(&lossless), bits(&clean));
     }
 
     #[test]

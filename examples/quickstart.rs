@@ -7,7 +7,10 @@
 //! 2. train the Figure 2 pipeline (expert 8 metrics → 2 PCs → 3-NN),
 //! 3. run a fresh application (CH3D) and classify it,
 //! 4. store the result in the application database and price the run with
-//!    the §4.4 cost model.
+//!    the §4.4 cost model,
+//! 5. re-classify the same application over a *lossy* monitoring wire
+//!    (drops + corruption) behind the frame guard, and print the
+//!    telemetry-health report alongside the degraded verdict.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -15,7 +18,7 @@
 
 use appclass::core::appdb::{ApplicationDb, RunRecord};
 use appclass::prelude::*;
-use appclass::sim::runner::{run_batch, run_spec};
+use appclass::sim::runner::{run_batch, run_spec, run_spec_degraded};
 use appclass::sim::workload::registry::{test_specs, training_specs};
 use appclass::{expected_class, metrics::NodeId};
 
@@ -92,4 +95,20 @@ fn main() {
         "  run cost:        {:.0}",
         model.run_cost(&stats.mean_composition, stats.mean_exec_secs)
     );
+
+    // 5. The same application over a lossy wire: 8% of frames dropped,
+    //    4% carrying corrupted (non-finite) values. The frame guard
+    //    imputes what it can, rejects what it must, and the result owns
+    //    up to the damage instead of silently pretending it saw a clean
+    //    stream.
+    println!("\n== degraded telemetry (chaos run) ==");
+    let plan = FaultPlan::lossless(77).with_drop_rate(0.08).with_corrupt_rate(0.04);
+    let lossy = run_spec_degraded(ch3d, NodeId(9), 7, plan);
+    let degraded = pipeline
+        .classify_guarded(lossy.pool.snapshots(), GuardConfig::default())
+        .expect("majority survives moderate loss");
+    println!("  delivered:   {} of {} snapshots", lossy.samples, rec.samples);
+    println!("  class:       {}  (clean run said {})", degraded.class, result.class);
+    println!("  confidence:  {:.3}", degraded.confidence);
+    println!("  {}", degraded.telemetry);
 }

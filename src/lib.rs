@@ -9,7 +9,9 @@
 //! * [`linalg`] — dense matrices, a Jacobi symmetric eigensolver, and the
 //!   column statistics PCA is built on.
 //! * [`metrics`] — the Ganglia-like monitoring substrate: 33-metric
-//!   catalogue, announce/listen bus, performance profiler and filter.
+//!   catalogue, announce/listen bus, performance profiler and filter,
+//!   plus seeded fault injection and frame repair for degraded-telemetry
+//!   operation.
 //! * [`sim`] — the simulated testbed: VMs with paging/buffer-cache/NFS
 //!   behaviour, contended hosts, and the 14 benchmark workload models of
 //!   the paper's Table 2.
@@ -77,9 +79,11 @@ pub fn expected_class(kind: sim::workload::WorkloadKind) -> core::class::AppClas
 pub mod prelude {
     pub use appclass_core::class::{AppClass, ClassComposition};
     pub use appclass_core::cost::{CostModel, ResourceRates};
+    pub use appclass_core::online::{OnlineClassifier, OnlineTrainer};
     pub use appclass_core::pipeline::{ClassificationResult, ClassifierPipeline, PipelineConfig};
     pub use appclass_linalg::Matrix;
     pub use appclass_metrics::{DataPool, MetricFrame, MetricId, NodeId, Snapshot};
+    pub use appclass_metrics::{FaultPlan, FrameGuard, FrameVerdict, GuardConfig, TelemetryHealth};
     pub use appclass_sim::workload::{Workload, WorkloadKind};
     pub use appclass_sim::{DiskBacking, VirtualMachine, VmConfig};
 }

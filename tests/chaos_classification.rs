@@ -1,0 +1,176 @@
+//! Chaos suite: classification under degraded telemetry.
+//!
+//! The resilience contract, exercised end to end over the five seed
+//! workloads (CPU / IO / NET / MEM / IDLE):
+//!
+//! * the majority class survives fault-plan sweeps up to 10% frame loss;
+//! * degradation is graceful — heavier plans mean lower confidence and
+//!   richer [`TelemetryHealth`] counters, never panics;
+//! * total loss surfaces as the typed `NoUsableFrames` error;
+//! * identical seeds produce bitwise-identical outcomes (health reports
+//!   are integer-only, confidences compare by `to_bits`).
+
+use appclass::core::error::Error as CoreError;
+use appclass::prelude::*;
+use appclass::sim::runner::run_spec_degraded;
+use appclass::sim::workload::registry::training_specs;
+
+mod common;
+
+/// Wire-loss sweep points; the acceptance line is the 0.10 endpoint.
+const DROP_SWEEP: [f64; 4] = [0.0, 0.03, 0.06, 0.10];
+
+#[test]
+fn majority_class_survives_up_to_ten_percent_loss() {
+    let pipeline = common::trained_pipeline();
+    for (i, spec) in training_specs().iter().enumerate() {
+        let expected = appclass::expected_class(spec.expected);
+        let node = NodeId(60 + i as u32);
+        let mut clean_samples = 0usize;
+        for (j, &rate) in DROP_SWEEP.iter().enumerate() {
+            let plan = FaultPlan::lossless(100 + j as u64).with_drop_rate(rate);
+            let rec = run_spec_degraded(spec, node, 1000 + i as u64, plan);
+            let result = pipeline
+                .classify_guarded(rec.pool.snapshots(), GuardConfig::default())
+                .unwrap_or_else(|e| panic!("{} at drop {rate}: {e}", spec.name));
+            assert_eq!(
+                result.class, expected,
+                "{} must keep its majority at {rate} loss: {}",
+                spec.name, result.composition
+            );
+            assert!(
+                result.confidence > 0.5,
+                "{} at {rate}: confidence {} collapsed",
+                spec.name,
+                result.confidence
+            );
+            let h = &result.telemetry;
+            if rate == 0.0 {
+                clean_samples = rec.samples;
+                assert_eq!(h.missed_frames, 0, "{}: clean wire has no gaps", spec.name);
+                assert_eq!(h.admitted(), h.seen, "{}: clean wire drops nothing", spec.name);
+            } else {
+                // Degradation is graceful, not a cliff: a ≤10% lossy wire
+                // still delivers the overwhelming majority of the stream,
+                // and everything delivered is admitted (drops happened on
+                // the wire, so the guard sees them only as cadence gaps).
+                assert!(
+                    rec.samples < clean_samples,
+                    "{} at {rate}: wire loss must shrink the stream",
+                    spec.name
+                );
+                assert!(
+                    rec.samples as f64 >= 0.8 * clean_samples as f64,
+                    "{} at {rate}: {} of {} frames is a cliff, not degradation",
+                    spec.name,
+                    rec.samples,
+                    clean_samples
+                );
+                assert_eq!(h.admitted(), h.seen, "{}", spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_is_repaired_and_discounts_confidence() {
+    let pipeline = common::trained_pipeline();
+    for (i, spec) in training_specs().iter().enumerate() {
+        let expected = appclass::expected_class(spec.expected);
+        let node = NodeId(70 + i as u32);
+        let clean = run_spec_degraded(spec, node, 2000 + i as u64, FaultPlan::lossless(55));
+        let clean_result =
+            pipeline.classify_guarded(clean.pool.snapshots(), GuardConfig::default()).unwrap();
+        let lossy = run_spec_degraded(
+            spec,
+            node,
+            2000 + i as u64,
+            FaultPlan::lossless(55).with_corrupt_rate(0.10),
+        );
+        let result =
+            pipeline.classify_guarded(lossy.pool.snapshots(), GuardConfig::default()).unwrap();
+        assert_eq!(result.class, expected, "{}: {}", spec.name, result.composition);
+        assert!(result.telemetry.repaired > 0, "{}: 10% corruption must repair", spec.name);
+        assert!(result.telemetry.values_patched >= result.telemetry.repaired);
+        assert!(
+            result.confidence < clean_result.confidence,
+            "{}: repaired run ({}) must not outrank the clean one ({})",
+            spec.name,
+            result.confidence,
+            clean_result.confidence
+        );
+    }
+}
+
+#[test]
+fn heavy_degradation_is_graceful_never_a_panic() {
+    let pipeline = common::trained_pipeline();
+    for (i, spec) in training_specs().iter().enumerate() {
+        let node = NodeId(80 + i as u32);
+        let plan = FaultPlan::moderate(400 + i as u64).with_drop_rate(0.35).with_corrupt_rate(0.35);
+        let rec = run_spec_degraded(spec, node, 3000 + i as u64, plan);
+        match pipeline.classify_guarded(rec.pool.snapshots(), GuardConfig::default()) {
+            Ok(result) => {
+                // Whatever the verdict, the pipeline only saw finite data
+                // and the health report owns up to the damage.
+                assert!(result.confidence.is_finite());
+                let h = &result.telemetry;
+                assert_eq!(h.admitted() + h.dropped, h.seen, "{}", spec.name);
+                assert!(h.repaired > 0 || h.dropped > 0, "{}: plan did nothing?", spec.name);
+            }
+            Err(CoreError::NoUsableFrames { .. }) => {} // graceful, typed
+            Err(other) => panic!("{}: unexpected error {other}", spec.name),
+        }
+    }
+}
+
+#[test]
+fn total_loss_is_a_typed_error() {
+    let pipeline = common::trained_pipeline();
+    let specs = training_specs();
+    let idle = specs.iter().find(|s| s.name == "Idle-train").unwrap();
+    let rec = run_spec_degraded(idle, NodeId(90), 5, FaultPlan::lossless(9).with_drop_rate(1.0));
+    assert_eq!(rec.samples, 0, "nothing survives a fully dead wire");
+    let err = pipeline.classify_guarded(rec.pool.snapshots(), GuardConfig::default()).unwrap_err();
+    assert!(matches!(err, CoreError::NoUsableFrames { .. }), "{err}");
+}
+
+#[test]
+fn identical_seeds_give_bitwise_identical_outcomes() {
+    let pipeline = common::trained_pipeline();
+    let specs = training_specs();
+    let spec = specs.iter().find(|s| s.name == "PostMark-train").unwrap();
+    let plan = FaultPlan::moderate(7);
+    let run = || {
+        let rec = run_spec_degraded(spec, NodeId(91), 11, plan);
+        pipeline.classify_guarded(rec.pool.snapshots(), GuardConfig::default()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    // TelemetryHealth is integer-only, so Eq *is* bitwise identity.
+    assert_eq!(a.telemetry, b.telemetry);
+    assert_eq!(a.class, b.class);
+    assert_eq!(a.class_vector, b.class_vector);
+    assert_eq!(a.composition, b.composition);
+    assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+}
+
+#[test]
+fn online_guarded_stream_matches_contract() {
+    let pipeline = common::trained_pipeline();
+    let specs = training_specs();
+    let spec = specs.iter().find(|s| s.name == "Ettcp-train").unwrap();
+    let plan = FaultPlan::lossless(5).with_drop_rate(0.08).with_corrupt_rate(0.05);
+    let rec = run_spec_degraded(spec, NodeId(92), 21, plan);
+    let mut oc = OnlineClassifier::new(&pipeline);
+    for snap in rec.pool.snapshots() {
+        // The guarded push path must never error on degraded-but-decodable
+        // telemetry: repairs and rejections are verdicts, not failures.
+        oc.push_guarded(snap).unwrap();
+    }
+    assert_eq!(oc.current_class(), Some(AppClass::Net));
+    assert!(oc.confidence() > 0.5, "confidence {}", oc.confidence());
+    let h = oc.telemetry();
+    assert_eq!(h.seen as usize, rec.pool.len());
+    assert_eq!(h.admitted() as usize, oc.in_state());
+}
