@@ -204,6 +204,19 @@ impl<'a> OnlineClassifier<'a> {
         self.guard.health()
     }
 
+    /// Records a datagram that failed to decode before it could even
+    /// become a snapshot — the serving layer's hook for keeping
+    /// wire-level corruption in the same [`TelemetryHealth`] report as
+    /// frame-level degradation.
+    pub fn note_malformed(&mut self) {
+        self.guard.note_malformed();
+    }
+
+    /// The sliding-window length, if one is configured.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
     /// Confidence in [`OnlineClassifier::current_class`]: the majority
     /// fraction over the current state, discounted by the fraction of
     /// in-state snapshots whose frames were repaired. `0.0` before the

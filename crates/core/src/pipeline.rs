@@ -175,6 +175,30 @@ impl ClassifierPipeline {
         (self.knn.points(), self.knn.labels())
     }
 
+    /// Deterministic fingerprint of this trained model, used by the
+    /// serving handshake so a client can verify it is talking to the
+    /// pipeline it was told to expect. Covers shape (`k`, dims, training
+    /// size) and the exact bits of the projected training set and labels,
+    /// so retraining on different data — or on the same data with a
+    /// different seed — yields a different id. Never 0 (the handshake's
+    /// "any model" wildcard).
+    pub fn model_id(&self) -> u64 {
+        let (points, labels) = self.training_projection();
+        let mut bytes: Vec<u8> = Vec::with_capacity(32 + points.rows() * points.cols() * 8);
+        for dim in [self.knn.k(), self.preprocessor.dim(), self.n_components(), points.rows()] {
+            bytes.extend_from_slice(&(dim as u64).to_be_bytes());
+        }
+        for r in 0..points.rows() {
+            for &v in points.row(r) {
+                bytes.extend_from_slice(&v.to_bits().to_be_bytes());
+            }
+        }
+        for &label in labels {
+            bytes.push(label.index() as u8);
+        }
+        appclass_metrics::wire::fnv1a64(&bytes).max(1)
+    }
+
     /// The projection front of the Figure 2 chain (`A → A' → B`) as
     /// dataflow stages, for running on a [`StagePipeline`].
     pub fn projection_stages(&self) -> [&dyn Stage; 2] {
@@ -564,5 +588,21 @@ mod tests {
         let p = ClassifierPipeline::train(&training_runs(), &cfg).unwrap();
         assert!(p.n_components() >= 2);
         assert!(p.n_components() <= 8);
+    }
+
+    #[test]
+    fn model_id_is_deterministic_and_distinguishes_models() {
+        let a = trained();
+        let b = trained();
+        assert_ne!(a.model_id(), 0, "0 is the handshake wildcard");
+        assert_eq!(a.model_id(), b.model_id(), "same training data, same fingerprint");
+        // JSON persistence must not change the identity.
+        let restored = ClassifierPipeline::from_json(&a.to_json().unwrap()).unwrap();
+        assert_eq!(restored.model_id(), a.model_id());
+        // A different training set is a different model.
+        let mut runs = training_runs();
+        runs.truncate(3);
+        let other = ClassifierPipeline::train(&runs, &PipelineConfig::paper()).unwrap();
+        assert_ne!(other.model_id(), a.model_id());
     }
 }

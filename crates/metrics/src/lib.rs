@@ -68,3 +68,4 @@ pub use repair::{
     StalenessTracker, TelemetryHealth,
 };
 pub use snapshot::{DataPool, NodeId, Snapshot};
+pub use wire::{ByeReason, ControlFrame};

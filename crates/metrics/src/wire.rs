@@ -1,4 +1,5 @@
-//! Wire format for metric announcements (gmond's XDR analogue).
+//! Wire format for metric announcements (gmond's XDR analogue) and the
+//! classification service's control frames.
 //!
 //! Real gmond serializes each metric announcement with XDR before
 //! multicasting it. This module provides the equivalent compact binary
@@ -7,9 +8,22 @@
 //! doubles. Decoding validates the magic, version, frame width and value
 //! finiteness, so a corrupted or truncated datagram is rejected instead of
 //! poisoning the data pool.
+//!
+//! Layered on top, [`ControlFrame`] is the session protocol the
+//! `appclass-serve` TCP service speaks: a versioned envelope (magic,
+//! version, kind byte) around a typed payload, closed by an FNV-1a
+//! checksum over everything before it. The checksum makes the control
+//! layer strictly stronger than the snapshot datagram layer: *any* flipped
+//! byte in a control frame is detected and surfaces as a typed
+//! [`Error::MalformedWire`], never a panic and never silent corruption.
+//! Snapshot announcements travel *inside* [`ControlFrame::Snapshot`] as
+//! raw datagram bytes, so a lossy channel can still mangle the inner
+//! announcement (that is the fault domain [`crate::repair::FrameGuard`]
+//! owns) while the session envelope stays verifiable.
 
 use crate::error::{Error, Result};
 use crate::metric::{MetricFrame, METRIC_COUNT};
+use crate::repair::TelemetryHealth;
 use crate::snapshot::{NodeId, Snapshot};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -72,6 +86,359 @@ pub fn decode(mut data: &[u8]) -> Result<Snapshot> {
     let frame = MetricFrame::from_values(&values)
         .ok_or(Error::MalformedWire { reason: "frame width mismatch", offset: 20 })?;
     Ok(Snapshot::new(node, time, frame))
+}
+
+// --- Control frames (the appclass-serve session protocol) -----------------
+
+/// Magic bytes opening every control frame ("APCS").
+pub const CONTROL_MAGIC: u32 = 0x4150_4353;
+
+/// Control protocol version negotiated by the `Hello` handshake.
+pub const CONTROL_VERSION: u16 = 1;
+
+/// Envelope overhead: magic + version + kind in front, checksum behind.
+const CONTROL_HEADER: usize = 4 + 2 + 1;
+const CONTROL_TRAILER: usize = 8;
+
+/// Upper bound on an encoded control frame (the largest payload is a
+/// full snapshot datagram). Transport layers use this to bound reads.
+pub const MAX_CONTROL_SIZE: usize = CONTROL_HEADER + 2 + WIRE_SIZE + CONTROL_TRAILER;
+
+/// FNV-1a 64-bit hash — the control-frame checksum and the basis of
+/// deterministic model fingerprints. Flipping any single input byte
+/// always changes the digest (every round is a bijection of the state),
+/// which is exactly the guarantee the corruption proptests pin down.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a peer is closing (or refusing) a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByeReason {
+    /// Orderly end of session.
+    Normal,
+    /// The server is shutting down and draining sessions.
+    Shutdown,
+    /// Admission control refused the session (max sessions / backlog).
+    SessionLimit,
+    /// The session exhausted its per-session frame budget.
+    FrameBudget,
+    /// The peer violated the protocol (unexpected frame, bad handshake).
+    Protocol,
+    /// The client asked for a model the server is not serving.
+    ModelMismatch,
+}
+
+impl ByeReason {
+    /// Wire code of this reason.
+    pub fn code(self) -> u8 {
+        match self {
+            ByeReason::Normal => 0,
+            ByeReason::Shutdown => 1,
+            ByeReason::SessionLimit => 2,
+            ByeReason::FrameBudget => 3,
+            ByeReason::Protocol => 4,
+            ByeReason::ModelMismatch => 5,
+        }
+    }
+
+    /// Reason for a wire code, if valid.
+    pub fn from_code(code: u8) -> Option<ByeReason> {
+        match code {
+            0 => Some(ByeReason::Normal),
+            1 => Some(ByeReason::Shutdown),
+            2 => Some(ByeReason::SessionLimit),
+            3 => Some(ByeReason::FrameBudget),
+            4 => Some(ByeReason::Protocol),
+            5 => Some(ByeReason::ModelMismatch),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ByeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ByeReason::Normal => "normal close",
+            ByeReason::Shutdown => "server shutting down",
+            ByeReason::SessionLimit => "session limit reached",
+            ByeReason::FrameBudget => "frame budget exhausted",
+            ByeReason::Protocol => "protocol violation",
+            ByeReason::ModelMismatch => "model mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One message of the classification-service session protocol.
+///
+/// The lifecycle is `Hello` (both directions, versioned handshake) →
+/// any number of `Snapshot` / `Classify` / `Health` exchanges → `Bye`.
+/// `Verdict` and `Health` responses flow server→client; `Snapshot`,
+/// `Classify` and `Health` requests flow client→server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlFrame {
+    /// Session handshake. The client offers the model fingerprint it
+    /// expects (0 = any); the server replies with the assigned session id
+    /// and the fingerprint it actually serves.
+    Hello {
+        /// Session id (0 from the client; assigned by the server).
+        session: u32,
+        /// Deterministic fingerprint of the trained pipeline.
+        model_id: u64,
+    },
+    /// One snapshot announcement, carried as raw datagram bytes so that
+    /// in-flight corruption of the *inner* datagram (the lossy-subnet
+    /// fault domain) survives transport and is judged by the server's
+    /// [`FrameGuard`](crate::repair::FrameGuard).
+    Snapshot {
+        /// The (possibly mangled) `wire::encode` bytes.
+        wire: Vec<u8>,
+    },
+    /// Client request for the session's current verdict.
+    Classify,
+    /// Server response to [`ControlFrame::Classify`].
+    Verdict {
+        /// Majority class code (an `AppClass` index, `< 5`).
+        class: u8,
+        /// Confidence in the majority, degradation-discounted.
+        confidence: f64,
+        /// Class-fraction vector in `AppClass` index order.
+        composition: [f64; 5],
+    },
+    /// Telemetry health, as a client request (payload ignored) or the
+    /// server's response (the session's accumulated counters).
+    Health(TelemetryHealth),
+    /// Orderly close, with the reason the session ended.
+    Bye {
+        /// Why the session is over.
+        reason: ByeReason,
+    },
+}
+
+impl ControlFrame {
+    /// Wire code of this frame kind.
+    fn kind(&self) -> u8 {
+        match self {
+            ControlFrame::Hello { .. } => 1,
+            ControlFrame::Snapshot { .. } => 2,
+            ControlFrame::Classify => 3,
+            ControlFrame::Verdict { .. } => 4,
+            ControlFrame::Health(_) => 5,
+            ControlFrame::Bye { .. } => 6,
+        }
+    }
+
+    /// Human-readable frame-kind name (for protocol errors).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlFrame::Hello { .. } => "Hello",
+            ControlFrame::Snapshot { .. } => "Snapshot",
+            ControlFrame::Classify => "Classify",
+            ControlFrame::Verdict { .. } => "Verdict",
+            ControlFrame::Health(_) => "Health",
+            ControlFrame::Bye { .. } => "Bye",
+        }
+    }
+}
+
+/// Encodes a control frame: envelope, payload, FNV-1a checksum.
+///
+/// # Panics
+///
+/// Panics if a [`ControlFrame::Snapshot`] payload exceeds [`WIRE_SIZE`]
+/// (a faulty channel can only shrink a datagram, never grow it).
+pub fn encode_control(frame: &ControlFrame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(MAX_CONTROL_SIZE);
+    buf.put_u32(CONTROL_MAGIC);
+    buf.put_u16(CONTROL_VERSION);
+    buf.put_u8(frame.kind());
+    match frame {
+        ControlFrame::Hello { session, model_id } => {
+            buf.put_u32(*session);
+            buf.put_u64(*model_id);
+        }
+        ControlFrame::Snapshot { wire } => {
+            assert!(wire.len() <= WIRE_SIZE, "snapshot datagram larger than WIRE_SIZE");
+            buf.put_u16(wire.len() as u16);
+            buf.put_slice(wire);
+        }
+        ControlFrame::Classify => {}
+        ControlFrame::Verdict { class, confidence, composition } => {
+            buf.put_u8(*class);
+            buf.put_f64(*confidence);
+            for &f in composition {
+                buf.put_f64(f);
+            }
+        }
+        ControlFrame::Health(h) => {
+            for v in [
+                h.seen,
+                h.accepted,
+                h.repaired,
+                h.dropped,
+                h.duplicates,
+                h.reordered,
+                h.gaps,
+                h.missed_frames,
+                h.values_patched,
+                h.malformed,
+            ] {
+                buf.put_u64(v);
+            }
+            buf.put_u32(h.max_repair_streak);
+            buf.put_u16(h.dead_metrics.len() as u16);
+            for &m in &h.dead_metrics {
+                buf.put_u16(m as u16);
+            }
+        }
+        ControlFrame::Bye { reason } => buf.put_u8(reason.code()),
+    }
+    let checksum = fnv1a64(&buf);
+    buf.put_u64(checksum);
+    buf.freeze()
+}
+
+/// Decodes a control frame, validating envelope, checksum, payload shape
+/// and payload semantics. Every failure is a typed
+/// [`Error::MalformedWire`]; the decoder never panics on hostile input.
+pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
+    if data.len() < CONTROL_HEADER + CONTROL_TRAILER {
+        return Err(Error::MalformedWire { reason: "truncated control frame", offset: data.len() });
+    }
+    let (body, trailer) = data.split_at(data.len() - CONTROL_TRAILER);
+    let mut rest = body;
+    let magic = rest.get_u32();
+    if magic != CONTROL_MAGIC {
+        return Err(Error::MalformedWire { reason: "bad control magic", offset: 0 });
+    }
+    let version = rest.get_u16();
+    if version != CONTROL_VERSION {
+        return Err(Error::MalformedWire { reason: "unsupported control version", offset: 4 });
+    }
+    let mut check = trailer;
+    if check.get_u64() != fnv1a64(body) {
+        return Err(Error::MalformedWire {
+            reason: "control checksum mismatch",
+            offset: body.len(),
+        });
+    }
+    let kind = rest.get_u8();
+    let frame = match kind {
+        1 => {
+            expect_len(rest.len(), 12)?;
+            ControlFrame::Hello { session: rest.get_u32(), model_id: rest.get_u64() }
+        }
+        2 => {
+            if rest.len() < 2 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated snapshot payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let len = rest.get_u16() as usize;
+            if len > WIRE_SIZE {
+                return Err(Error::MalformedWire {
+                    reason: "oversized snapshot payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            expect_len(rest.len(), len)?;
+            ControlFrame::Snapshot { wire: rest.to_vec() }
+        }
+        3 => {
+            expect_len(rest.len(), 0)?;
+            ControlFrame::Classify
+        }
+        4 => {
+            expect_len(rest.len(), 1 + 8 + 5 * 8)?;
+            let class = rest.get_u8();
+            if class >= 5 {
+                return Err(Error::MalformedWire {
+                    reason: "bad verdict class code",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let confidence = rest.get_f64();
+            let mut composition = [0.0; 5];
+            for slot in &mut composition {
+                *slot = rest.get_f64();
+            }
+            if !confidence.is_finite() || composition.iter().any(|f| !f.is_finite()) {
+                return Err(Error::MalformedWire {
+                    reason: "non-finite verdict value",
+                    offset: CONTROL_HEADER + 1,
+                });
+            }
+            ControlFrame::Verdict { class, confidence, composition }
+        }
+        5 => {
+            if rest.len() < 10 * 8 + 4 + 2 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated health payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let mut h = TelemetryHealth {
+                seen: rest.get_u64(),
+                accepted: rest.get_u64(),
+                repaired: rest.get_u64(),
+                dropped: rest.get_u64(),
+                duplicates: rest.get_u64(),
+                reordered: rest.get_u64(),
+                gaps: rest.get_u64(),
+                missed_frames: rest.get_u64(),
+                values_patched: rest.get_u64(),
+                malformed: rest.get_u64(),
+                dead_metrics: Vec::new(),
+                max_repair_streak: rest.get_u32(),
+            };
+            let ndead = rest.get_u16() as usize;
+            if ndead > METRIC_COUNT {
+                return Err(Error::MalformedWire {
+                    reason: "too many dead metrics",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            expect_len(rest.len(), 2 * ndead)?;
+            let mut prev: Option<u16> = None;
+            for _ in 0..ndead {
+                let m = rest.get_u16();
+                if m as usize >= METRIC_COUNT || prev.is_some_and(|p| p >= m) {
+                    return Err(Error::MalformedWire {
+                        reason: "bad dead-metric list",
+                        offset: CONTROL_HEADER,
+                    });
+                }
+                prev = Some(m);
+                h.dead_metrics.push(m as usize);
+            }
+            ControlFrame::Health(h)
+        }
+        6 => {
+            expect_len(rest.len(), 1)?;
+            let reason = ByeReason::from_code(rest.get_u8())
+                .ok_or(Error::MalformedWire { reason: "bad bye reason", offset: CONTROL_HEADER })?;
+            ControlFrame::Bye { reason }
+        }
+        _ => {
+            return Err(Error::MalformedWire { reason: "unknown control kind", offset: 6 });
+        }
+    };
+    Ok(frame)
+}
+
+fn expect_len(got: usize, want: usize) -> Result<()> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(Error::MalformedWire { reason: "control payload length mismatch", offset: got })
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +513,111 @@ mod tests {
         assert_eq!(back.time, u64::MAX);
         assert_eq!(back.frame.get(MetricId::BytesOut), 1.0e308);
         assert!(back.frame.get(MetricId::LoadOne).to_bits() == (-0.0f64).to_bits());
+    }
+
+    // --- Control frames ---------------------------------------------------
+
+    fn control_samples() -> Vec<ControlFrame> {
+        let health = TelemetryHealth {
+            seen: 120,
+            accepted: 100,
+            repaired: 10,
+            dropped: 10,
+            dead_metrics: vec![3, 17],
+            max_repair_streak: 4,
+            ..TelemetryHealth::default()
+        };
+        vec![
+            ControlFrame::Hello { session: 7, model_id: 0xDEAD_BEEF },
+            ControlFrame::Snapshot { wire: encode(&snapshot()).to_vec() },
+            ControlFrame::Snapshot { wire: Vec::new() },
+            ControlFrame::Classify,
+            ControlFrame::Verdict {
+                class: 2,
+                confidence: 0.875,
+                composition: [0.0, 0.125, 0.875, 0.0, 0.0],
+            },
+            ControlFrame::Health(health),
+            ControlFrame::Bye { reason: ByeReason::FrameBudget },
+        ]
+    }
+
+    #[test]
+    fn control_roundtrip_every_kind() {
+        for frame in control_samples() {
+            let bytes = encode_control(&frame);
+            assert!(bytes.len() <= MAX_CONTROL_SIZE, "{} too big", frame.name());
+            let back = decode_control(&bytes).unwrap_or_else(|e| panic!("{}: {e}", frame.name()));
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn control_any_single_flip_is_detected() {
+        for frame in control_samples() {
+            let bytes = encode_control(&frame).to_vec();
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x40;
+                let err = decode_control(&bad)
+                    .expect_err(&format!("{} flip at {i} must not decode", frame.name()));
+                assert!(matches!(err, Error::MalformedWire { .. }), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn control_truncation_is_detected() {
+        let bytes = encode_control(&ControlFrame::Hello { session: 1, model_id: 2 });
+        for cut in 0..bytes.len() {
+            assert!(decode_control(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn control_rejects_semantic_garbage() {
+        // A well-checksummed frame with a bad class code must still fail.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(4); // Verdict
+        buf.put_u8(9); // class out of range
+        buf.put_f64(1.0);
+        for _ in 0..5 {
+            buf.put_f64(0.2);
+        }
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "bad verdict class code", .. })
+        ));
+    }
+
+    #[test]
+    fn control_bye_reason_codes_roundtrip() {
+        for reason in [
+            ByeReason::Normal,
+            ByeReason::Shutdown,
+            ByeReason::SessionLimit,
+            ByeReason::FrameBudget,
+            ByeReason::Protocol,
+            ByeReason::ModelMismatch,
+        ] {
+            assert_eq!(ByeReason::from_code(reason.code()), Some(reason));
+            assert!(!reason.to_string().is_empty());
+        }
+        assert_eq!(ByeReason::from_code(99), None);
+    }
+
+    #[test]
+    fn fnv_changes_on_any_flip() {
+        let data = b"appclass control frame";
+        let base = fnv1a64(data);
+        for i in 0..data.len() {
+            let mut d = data.to_vec();
+            d[i] ^= 1;
+            assert_ne!(fnv1a64(&d), base, "flip at {i}");
+        }
     }
 }

@@ -1,0 +1,166 @@
+//! Client side of the serving protocol.
+//!
+//! [`ServeClient`] speaks the handshake, streams monitoring snapshots,
+//! and asks for verdicts. The snapshot path can be routed through a
+//! [`FaultyChannel`] to emulate the degraded telemetry links of the
+//! chaos suite: the channel mangles the *inner* snapshot datagram while
+//! the checksummed session envelope stays intact, so the server's
+//! [`FrameGuard`](appclass_metrics::FrameGuard) — not the transport —
+//! absorbs the damage.
+
+use crate::error::{Result, ServeError};
+use crate::proto::{read_frame, write_frame};
+use appclass_core::{AppClass, ClassComposition};
+use appclass_metrics::faults::{FaultPlan, FaultyChannel};
+use appclass_metrics::{wire, ByeReason, ControlFrame, Snapshot, TelemetryHealth};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Model fingerprint the client requires; `0` accepts whatever the
+    /// server serves.
+    pub model_id: u64,
+    /// Optional fault plan applied to every outgoing snapshot datagram.
+    pub chaos: Option<FaultPlan>,
+}
+
+/// A verdict as the client sees it, decoded back into core types.
+#[derive(Debug, Clone)]
+pub struct VerdictReport {
+    /// The server's current majority class.
+    pub class: AppClass,
+    /// Confidence in that majority (degradation-discounted).
+    pub confidence: f64,
+    /// The full composition behind the majority.
+    pub composition: ClassComposition,
+}
+
+/// One connected classification session.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session: u32,
+    model_id: u64,
+    chaos: Option<FaultyChannel>,
+    snapshots_sent: u64,
+}
+
+impl ServeClient {
+    /// Connects and runs the handshake; fails with
+    /// [`ServeError::Rejected`] when the server refuses the session.
+    pub fn connect<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = ServeClient {
+            reader,
+            writer: BufWriter::new(stream),
+            session: 0,
+            model_id: 0,
+            chaos: config.chaos.map(FaultyChannel::new),
+            snapshots_sent: 0,
+        };
+        write_frame(
+            &mut client.writer,
+            &ControlFrame::Hello { session: 0, model_id: config.model_id },
+        )?;
+        match read_frame(&mut client.reader)? {
+            ControlFrame::Hello { session, model_id } => {
+                client.session = session;
+                client.model_id = model_id;
+                Ok(client)
+            }
+            ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
+            other => Err(ServeError::UnexpectedFrame { expected: "Hello", got: other.name() }),
+        }
+    }
+
+    /// The session id the server assigned.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// The model fingerprint the server reported in its `Hello`.
+    pub fn model_id(&self) -> u64 {
+        self.model_id
+    }
+
+    /// Snapshot frames actually put on the wire so far (after any chaos
+    /// drops).
+    pub fn snapshots_sent(&self) -> u64 {
+        self.snapshots_sent
+    }
+
+    /// Sends one snapshot. With chaos configured the encoded datagram
+    /// first crosses the fault channel, so it may be dropped, delayed
+    /// (emerging with a later send), duplicated, or corrupted.
+    pub fn send_snapshot(&mut self, snapshot: &Snapshot) -> Result<()> {
+        let datagram = wire::encode(snapshot).to_vec();
+        match &mut self.chaos {
+            Some(chan) => {
+                for delivered in chan.transmit(&datagram) {
+                    self.send_wire(delivered)?;
+                }
+            }
+            None => self.send_wire(datagram)?,
+        }
+        Ok(())
+    }
+
+    /// Streams a whole run of snapshots, then flushes anything the fault
+    /// channel was still holding back.
+    pub fn stream_snapshots(&mut self, snapshots: &[Snapshot]) -> Result<()> {
+        for snap in snapshots {
+            self.send_snapshot(snap)?;
+        }
+        if let Some(chan) = &mut self.chaos {
+            for delivered in chan.drain() {
+                self.send_wire(delivered)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn send_wire(&mut self, bytes: Vec<u8>) -> Result<()> {
+        write_frame(&mut self.writer, &ControlFrame::Snapshot { wire: bytes })?;
+        self.snapshots_sent += 1;
+        Ok(())
+    }
+
+    /// Asks the server for its current verdict.
+    pub fn classify(&mut self) -> Result<VerdictReport> {
+        write_frame(&mut self.writer, &ControlFrame::Classify)?;
+        match read_frame(&mut self.reader)? {
+            ControlFrame::Verdict { class, confidence, composition } => {
+                let class = AppClass::from_index(class as usize)
+                    .ok_or(ServeError::Handshake { reason: "verdict class out of range" })?;
+                let [idle, io, cpu, net, mem] = composition;
+                let composition = ClassComposition::from_fractions(idle, io, cpu, net, mem)
+                    .ok_or(ServeError::Handshake { reason: "verdict composition invalid" })?;
+                Ok(VerdictReport { class, confidence, composition })
+            }
+            ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
+            other => Err(ServeError::UnexpectedFrame { expected: "Verdict", got: other.name() }),
+        }
+    }
+
+    /// Asks the server for the session's telemetry health report.
+    pub fn health(&mut self) -> Result<TelemetryHealth> {
+        write_frame(&mut self.writer, &ControlFrame::Health(TelemetryHealth::default()))?;
+        match read_frame(&mut self.reader)? {
+            ControlFrame::Health(health) => Ok(health),
+            ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
+            other => Err(ServeError::UnexpectedFrame { expected: "Health", got: other.name() }),
+        }
+    }
+
+    /// Ends the session cleanly; returns the server's farewell reason.
+    pub fn bye(mut self) -> Result<ByeReason> {
+        write_frame(&mut self.writer, &ControlFrame::Bye { reason: ByeReason::Normal })?;
+        match read_frame(&mut self.reader)? {
+            ControlFrame::Bye { reason } => Ok(reason),
+            other => Err(ServeError::UnexpectedFrame { expected: "Bye", got: other.name() }),
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Length-prefixed framing of [`ControlFrame`]s over a byte stream.
+//!
+//! TCP gives the service a byte pipe, not datagrams, so every control
+//! frame travels as a big-endian `u32` length prefix followed by exactly
+//! that many [`wire::encode_control`] bytes. The prefix is bounded by
+//! [`MAX_FRAME_BYTES`]; a larger announcement is rejected *before* any
+//! allocation, so a corrupt or hostile peer cannot make the server
+//! buffer unbounded garbage.
+
+use crate::error::{Result, ServeError};
+use appclass_metrics::wire::{self, MAX_CONTROL_SIZE};
+use appclass_metrics::ControlFrame;
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on one framed message: the largest legal control frame.
+pub const MAX_FRAME_BYTES: usize = MAX_CONTROL_SIZE;
+
+/// How many consecutive read timeouts mid-frame are tolerated before the
+/// peer is declared gone. Timeouts *between* frames are normal (that is
+/// how the session loop polls its shutdown flag); a peer that stalls in
+/// the middle of a frame is broken.
+const MID_FRAME_TIMEOUT_BUDGET: u32 = 100;
+
+/// Writes one control frame (length prefix + encoded bytes) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, frame: &ControlFrame) -> Result<()> {
+    let bytes = wire::encode_control(frame);
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one control frame, blocking until it arrives.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<ControlFrame> {
+    match read_frame_or_idle(r)? {
+        Some(frame) => Ok(frame),
+        // Only possible on sockets with a read timeout configured.
+        None => Err(ServeError::Io(std::io::Error::from(ErrorKind::TimedOut))),
+    }
+}
+
+/// Reads one control frame from a stream that may have a read timeout
+/// configured. Returns `Ok(None)` when the timeout fired before *any*
+/// byte of the next frame arrived — the idle case the server's session
+/// loop uses to poll its shutdown flag. Once a frame has started, short
+/// timeouts are retried (up to a budget) so a frame split across packets
+/// is never torn.
+pub fn read_frame_or_idle<R: Read>(r: &mut R) -> Result<Option<ControlFrame>> {
+    let mut prefix = [0u8; 4];
+    if !read_exact_or_idle(r, &mut prefix)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::FrameTooLarge { size: len, max: MAX_FRAME_BYTES });
+    }
+    let mut body = vec![0u8; len];
+    fill(r, &mut body, 0)?;
+    Ok(Some(wire::decode_control(&body)?))
+}
+
+/// Like `read_exact`, but returns `Ok(false)` if a read timeout fires
+/// before the first byte.
+fn read_exact_or_idle<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Err(ServeError::ConnectionClosed),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) && got == 0 => return Ok(false),
+            Err(e) if is_timeout(&e) => {
+                fill(r, buf, got)?;
+                return Ok(true);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Completes `buf` from offset `got`, retrying timeouts up to the
+/// mid-frame budget.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8], mut got: usize) -> Result<()> {
+    let mut timeouts = 0u32;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Err(ServeError::ConnectionClosed),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                timeouts += 1;
+                if timeouts > MID_FRAME_TIMEOUT_BUDGET {
+                    return Err(ServeError::Io(e));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appclass_metrics::ByeReason;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let frames = [
+            ControlFrame::Hello { session: 3, model_id: 99 },
+            ControlFrame::Classify,
+            ControlFrame::Bye { reason: ByeReason::Normal },
+        ];
+        let mut pipe = Vec::new();
+        for f in &frames {
+            write_frame(&mut pipe, f).unwrap();
+        }
+        let mut r = Cursor::new(pipe);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(ServeError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocation() {
+        let mut bytes = (u32::MAX).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let mut r = Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut r), Err(ServeError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn corrupt_body_is_a_typed_wire_error() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &ControlFrame::Classify).unwrap();
+        let last = pipe.len() - 1;
+        pipe[last] ^= 0xFF; // break the checksum
+        let mut r = Cursor::new(pipe);
+        assert!(matches!(read_frame(&mut r), Err(ServeError::Wire(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_connection_closed() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &ControlFrame::Hello { session: 1, model_id: 1 }).unwrap();
+        pipe.truncate(pipe.len() - 3);
+        let mut r = Cursor::new(pipe);
+        assert!(matches!(read_frame(&mut r), Err(ServeError::ConnectionClosed)));
+    }
+}

@@ -1,0 +1,245 @@
+//! The concurrent classification server: acceptor + worker pool.
+//!
+//! One acceptor thread owns the [`TcpListener`] and applies admission
+//! control; admitted connections flow over a crossbeam channel to a
+//! fixed pool of `max_sessions` worker threads, each of which runs the
+//! [`crate::session`] state machine with its own [`OnlineClassifier`]
+//! over the shared trained pipeline. No async runtime: the paper's
+//! 5-second sampling period makes thread-per-session economics trivial,
+//! and the pool bound keeps a connection flood from becoming a thread
+//! flood.
+//!
+//! [`OnlineClassifier`]: appclass_core::OnlineClassifier
+
+use crate::error::{Result, ServeError};
+use crate::session::{refuse, run_session, SessionConfig, SessionEnd};
+use crate::stats::ServerStats;
+use appclass_core::ClassifierPipeline;
+use appclass_metrics::ByeReason;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server-wide policy, fixed at bind time.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads — the number of sessions served concurrently.
+    pub max_sessions: usize,
+    /// Connections allowed to queue beyond the active set before
+    /// admission control starts refusing with `Bye(SessionLimit)`.
+    pub backlog: usize,
+    /// Stop accepting after this many admitted sessions and let
+    /// [`Server::join`] return naturally (`None` = serve until
+    /// [`Server::shutdown`]).
+    pub accept_limit: Option<u64>,
+    /// Socket read timeout; doubles as the shutdown-poll cadence of
+    /// idle sessions.
+    pub read_timeout: Duration,
+    /// Per-session policy.
+    pub session: SessionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 8,
+            backlog: 8,
+            accept_limit: None,
+            read_timeout: Duration::from_millis(50),
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+struct Shared {
+    pipeline: Arc<ClassifierPipeline>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    /// Connections admitted to the pool and not yet finished.
+    in_flight: AtomicUsize,
+    next_session: AtomicU32,
+    stats: Mutex<ServerStats>,
+}
+
+/// A running classification server.
+///
+/// Bind, hand out [`Server::local_addr`] to clients, then either
+/// [`Server::join`] (blocks until the accept limit drains) or
+/// [`Server::shutdown`] followed by `join`.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    ///
+    /// `addr` may carry port 0 to let the OS pick an ephemeral port;
+    /// read the real one back with [`Server::local_addr`].
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        pipeline: Arc<ClassifierPipeline>,
+        config: ServerConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            pipeline,
+            config,
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            next_session: AtomicU32::new(1),
+            stats: Mutex::new(ServerStats::default()),
+        });
+
+        let (tx, rx) = unbounded::<TcpStream>();
+        // The std-backed channel shim's Receiver is not Sync, so the
+        // workers share it behind a mutex: whichever worker is idle
+        // holds the lock only for the handoff, then serves unlocked.
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.max_sessions.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+
+        Ok(Server { local_addr, shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the aggregate statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Asks every thread to wind down: in-flight sessions drain with
+    /// `Bye(Shutdown)`, queued connections are refused, the acceptor
+    /// stops. Returns immediately; [`Server::join`] observes the drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor may be parked in `accept`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+    }
+
+    /// Waits for the acceptor and every worker to exit, then returns the
+    /// final statistics. Blocks until either [`Server::shutdown`] is
+    /// called or the configured accept limit drains.
+    pub fn join(mut self) -> Result<ServerStats> {
+        let mut panicked = false;
+        if let Some(h) = self.acceptor.take() {
+            panicked |= h.join().is_err();
+        }
+        for h in self.workers.drain(..) {
+            panicked |= h.join().is_err();
+        }
+        if panicked {
+            return Err(ServeError::WorkerPanicked);
+        }
+        Ok(self.shared.stats.lock().clone())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped-without-join server must not leak parked threads.
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shutdown();
+            if let Some(h) = self.acceptor.take() {
+                let _ = h.join();
+            }
+            for h in self.workers.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<TcpStream>) {
+    let capacity = shared.config.max_sessions.max(1) + shared.config.backlog;
+    let mut admitted = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.config.accept_limit.is_some_and(|limit| admitted >= limit) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Either the shutdown wake-up connection or a client that
+            // lost the race; both get a clean refusal.
+            refuse(stream, ByeReason::Shutdown);
+            break;
+        }
+        if shared.in_flight.load(Ordering::SeqCst) >= capacity {
+            shared.stats.lock().sessions_rejected += 1;
+            refuse(stream, ByeReason::SessionLimit);
+            continue;
+        }
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        admitted += 1;
+        if tx.send(stream).is_err() {
+            break; // every worker is gone; nothing can serve
+        }
+    }
+    // Dropping `tx` (by returning) is what lets idle workers exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let rx = rx.lock();
+            match rx.recv() {
+                Ok(stream) => stream,
+                Err(_) => break, // acceptor exited and the queue drained
+            }
+        };
+        serve_one(shared, stream);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn serve_one(shared: &Shared, stream: TcpStream) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.stats.lock().sessions_rejected += 1;
+        refuse(stream, ByeReason::Shutdown);
+        return;
+    }
+    if stream.set_read_timeout(Some(shared.config.read_timeout)).is_err() {
+        shared.stats.lock().session_errors += 1;
+        return;
+    }
+    let session_id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    shared.stats.lock().sessions_started += 1;
+    let end =
+        run_session(stream, session_id, &shared.pipeline, shared.config.session, &shared.shutdown);
+    let mut stats = shared.stats.lock();
+    stats.absorb(end.outcome());
+    match end {
+        SessionEnd::Clean(_) | SessionEnd::Shutdown(_) => stats.sessions_finished += 1,
+        SessionEnd::Failed(..) => stats.session_errors += 1,
+    }
+}

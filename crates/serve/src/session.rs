@@ -1,0 +1,259 @@
+//! Server-side session: one connection, one [`OnlineClassifier`].
+//!
+//! A session is the protocol state machine that sits between a TCP
+//! stream and the classification core. The first frame must be a
+//! `Hello` (versioned handshake + model fingerprint check); after that
+//! the client streams `Snapshot` frames and interleaves `Classify`,
+//! `Health` and finally `Bye`. Every snapshot passes through the
+//! session's own [`FrameGuard`] via `push_guarded`, so a client on a
+//! degraded telemetry link degrades only its own verdicts.
+
+use crate::error::{Result, ServeError};
+use crate::proto::{read_frame_or_idle, write_frame};
+use crate::stats::SessionOutcome;
+use appclass_core::online::OnlineClassifier;
+use appclass_core::ClassifierPipeline;
+use appclass_metrics::{wire, ByeReason, ControlFrame, FrameVerdict};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Per-session policy knobs, fixed at server construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Maximum `Snapshot` frames one session may stream; beyond it the
+    /// server ends the session with `Bye(FrameBudget)`.
+    pub frame_budget: u64,
+    /// Sliding-window length handed to the online classifier
+    /// (`None` = full history).
+    pub window: Option<usize>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { frame_budget: 100_000, window: None }
+    }
+}
+
+/// How a session ended, for the server's aggregate accounting.
+#[derive(Debug)]
+pub enum SessionEnd {
+    /// The client said `Bye` (or the frame budget ran out) and the
+    /// session drained cleanly.
+    Clean(SessionOutcome),
+    /// The server is shutting down; the session was drained with
+    /// `Bye(Shutdown)`.
+    Shutdown(SessionOutcome),
+    /// The session died mid-protocol.
+    Failed(SessionOutcome, ServeError),
+}
+
+/// Runs one admitted connection to completion.
+///
+/// `session_id` is echoed back in the server's `Hello`; `shutdown` is
+/// polled whenever the stream goes idle (the stream must carry a read
+/// timeout for that poll to ever fire).
+pub fn run_session(
+    stream: TcpStream,
+    session_id: u32,
+    pipeline: &ClassifierPipeline,
+    config: SessionConfig,
+    shutdown: &AtomicBool,
+) -> SessionEnd {
+    let mut outcome = SessionOutcome::default();
+    let reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => return SessionEnd::Failed(outcome, e.into()),
+    };
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(stream);
+
+    let mut classifier = match config.window {
+        Some(w) => OnlineClassifier::with_window(pipeline, w),
+        None => OnlineClassifier::new(pipeline),
+    };
+
+    // --- handshake -------------------------------------------------------
+    match handshake(&mut reader, &mut writer, session_id, pipeline, shutdown) {
+        Ok(()) => {}
+        Err(e) => return SessionEnd::Failed(outcome, e),
+    }
+
+    // --- steady state ----------------------------------------------------
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Shutdown });
+            finish(&mut outcome, &classifier);
+            return SessionEnd::Shutdown(outcome);
+        }
+        let frame = match read_frame_or_idle(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue, // idle poll: loop re-checks the flag
+            Err(ServeError::Wire(_)) => {
+                // The session envelope itself is corrupt: the peers have
+                // lost framing sync and cannot recover.
+                let _ =
+                    write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
+                classifier.note_malformed();
+                finish(&mut outcome, &classifier);
+                return SessionEnd::Failed(
+                    outcome,
+                    ServeError::Handshake { reason: "framing lost" },
+                );
+            }
+            Err(e) => {
+                finish(&mut outcome, &classifier);
+                return SessionEnd::Failed(outcome, e);
+            }
+        };
+        match frame {
+            ControlFrame::Snapshot { wire: bytes } => {
+                outcome.frames_in += 1;
+                if outcome.frames_in > config.frame_budget {
+                    let _ = write_frame(
+                        &mut writer,
+                        &ControlFrame::Bye { reason: ByeReason::FrameBudget },
+                    );
+                    finish(&mut outcome, &classifier);
+                    return SessionEnd::Clean(outcome);
+                }
+                // The inner datagram crossed the client's (possibly
+                // faulty) telemetry channel unprotected: decode failures
+                // here are expected degradation, not protocol errors.
+                match wire::decode(&bytes) {
+                    Ok(snapshot) => match classifier.push_guarded(&snapshot) {
+                        Ok(FrameVerdict::Repaired { .. }) => outcome.frames_repaired += 1,
+                        Ok(FrameVerdict::Dropped { .. }) => outcome.frames_dropped += 1,
+                        Ok(FrameVerdict::Accepted) => {}
+                        Err(e) => {
+                            finish(&mut outcome, &classifier);
+                            return SessionEnd::Failed(outcome, e.into());
+                        }
+                    },
+                    Err(_) => {
+                        outcome.frames_malformed += 1;
+                        classifier.note_malformed();
+                    }
+                }
+            }
+            ControlFrame::Classify => {
+                let start = Instant::now();
+                let verdict = verdict_frame(&classifier);
+                let sent = write_frame(&mut writer, &verdict);
+                outcome.classify_latency.record(start.elapsed());
+                if let Err(e) = sent {
+                    finish(&mut outcome, &classifier);
+                    return SessionEnd::Failed(outcome, e);
+                }
+                outcome.verdicts += 1;
+            }
+            ControlFrame::Health(_) => {
+                // The client's payload is a placeholder; the server
+                // answers with the authoritative guard-side health.
+                let reply = ControlFrame::Health(classifier.telemetry().clone());
+                if let Err(e) = write_frame(&mut writer, &reply) {
+                    finish(&mut outcome, &classifier);
+                    return SessionEnd::Failed(outcome, e);
+                }
+            }
+            ControlFrame::Bye { .. } => {
+                let _ = write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Normal });
+                finish(&mut outcome, &classifier);
+                return SessionEnd::Clean(outcome);
+            }
+            other @ (ControlFrame::Hello { .. } | ControlFrame::Verdict { .. }) => {
+                let _ =
+                    write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
+                finish(&mut outcome, &classifier);
+                return SessionEnd::Failed(
+                    outcome,
+                    ServeError::UnexpectedFrame {
+                        expected: "Snapshot/Classify/Health/Bye",
+                        got: other.name(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Refuses a connection before any session state exists: best-effort
+/// `Bye` with the given reason, then the stream drops.
+pub fn refuse(stream: TcpStream, reason: ByeReason) {
+    let mut writer = BufWriter::new(stream);
+    let _ = write_frame(&mut writer, &ControlFrame::Bye { reason });
+}
+
+fn handshake(
+    reader: &mut impl std::io::Read,
+    writer: &mut impl std::io::Write,
+    session_id: u32,
+    pipeline: &ClassifierPipeline,
+    shutdown: &AtomicBool,
+) -> Result<()> {
+    let served = pipeline.model_id();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Shutdown });
+            return Err(ServeError::Rejected { reason: ByeReason::Shutdown });
+        }
+        match read_frame_or_idle(reader)? {
+            None => continue,
+            Some(ControlFrame::Hello { model_id, .. }) => {
+                // model_id 0 is the wildcard: "whatever you serve".
+                if model_id != 0 && model_id != served {
+                    let _ = write_frame(
+                        writer,
+                        &ControlFrame::Bye { reason: ByeReason::ModelMismatch },
+                    );
+                    return Err(ServeError::ModelMismatch { offered: model_id, served });
+                }
+                write_frame(
+                    writer,
+                    &ControlFrame::Hello { session: session_id, model_id: served },
+                )?;
+                return Ok(());
+            }
+            Some(other) => {
+                let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
+                return Err(ServeError::UnexpectedFrame { expected: "Hello", got: other.name() });
+            }
+        }
+    }
+}
+
+/// Builds the `Verdict` frame for the classifier's current state. Before
+/// the first usable snapshot the verdict is the honest "no idea":
+/// class `Idle`, confidence `0.0`, all-zero composition.
+fn verdict_frame(classifier: &OnlineClassifier<'_>) -> ControlFrame {
+    use appclass_core::AppClass;
+    let class = classifier.current_class().unwrap_or(AppClass::Idle);
+    let composition = classifier.composition();
+    let mut fractions = [0.0f64; 5];
+    if classifier.in_state() > 0 {
+        for (i, slot) in fractions.iter_mut().enumerate() {
+            *slot = composition.fraction(AppClass::from_index(i).expect("i < 5"));
+        }
+    }
+    ControlFrame::Verdict {
+        class: class.index() as u8,
+        confidence: classifier.confidence(),
+        composition: fractions,
+    }
+}
+
+/// Copies the classifier's end-of-session reports into the outcome.
+fn finish(outcome: &mut SessionOutcome, classifier: &OnlineClassifier<'_>) {
+    outcome.health = classifier.telemetry().clone();
+    outcome.stage_metrics = classifier.stage_metrics().clone();
+}
+
+impl SessionEnd {
+    /// The outcome regardless of how the session ended.
+    pub fn outcome(&self) -> &SessionOutcome {
+        match self {
+            SessionEnd::Clean(o) | SessionEnd::Shutdown(o) | SessionEnd::Failed(o, _) => o,
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Aggregate serving statistics: session/frame counters, merged
+//! telemetry health, per-stage costs, and a classify-latency histogram.
+//!
+//! Every session worker accumulates its own [`SessionOutcome`]; when the
+//! session ends the server folds it into one [`ServerStats`] under a
+//! mutex, so per-frame hot paths never contend on shared state.
+
+use appclass_metrics::{StageMetrics, TelemetryHealth};
+use std::fmt;
+use std::time::Duration;
+
+/// Power-of-two-nanosecond latency histogram.
+///
+/// Bucket `i` covers durations up to `2^i` nanoseconds; `quantile`
+/// reports the upper bound of the bucket holding the requested rank.
+/// That keeps recording allocation-free and O(1) while still giving the
+/// p50/p99 resolution the serving report needs (better than 2×).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 40; // 2^39 ns ≈ 9 minutes, far beyond any classify call
+
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; Self::BUCKETS], count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - nanos.leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or zero when nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let bound = if idx >= 63 { u64::MAX } else { (1u64 << idx) - 1 };
+                return Duration::from_nanos(bound);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// Absorbs another histogram's observations.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (s, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *s += o;
+        }
+        self.count += other.count;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What one finished session contributes to the aggregate stats.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOutcome {
+    /// Snapshot frames received (before guard admission).
+    pub frames_in: u64,
+    /// Frames the guard repaired before classification.
+    pub frames_repaired: u64,
+    /// Frames the guard dropped.
+    pub frames_dropped: u64,
+    /// Snapshot payloads that failed to decode.
+    pub frames_malformed: u64,
+    /// Verdicts served to the client.
+    pub verdicts: u64,
+    /// Final telemetry health of the session's frame guard.
+    pub health: TelemetryHealth,
+    /// Per-stage costs of the session's online classifier.
+    pub stage_metrics: StageMetrics,
+    /// Latency of each `Classify` round (guard + pipeline + encode).
+    pub classify_latency: LatencyHistogram,
+}
+
+/// Aggregate statistics for one server lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Sessions admitted past the handshake.
+    pub sessions_started: u64,
+    /// Sessions that ran to a clean end (`Bye` or drained shutdown).
+    pub sessions_finished: u64,
+    /// Connections refused by admission control.
+    pub sessions_rejected: u64,
+    /// Sessions that ended with a protocol or i/o error.
+    pub session_errors: u64,
+    /// Snapshot frames received across all sessions.
+    pub frames_in: u64,
+    /// Frames repaired by the per-session guards.
+    pub frames_repaired: u64,
+    /// Frames dropped by the per-session guards.
+    pub frames_dropped: u64,
+    /// Snapshot payloads that failed to decode.
+    pub frames_malformed: u64,
+    /// Verdicts served across all sessions.
+    pub verdicts: u64,
+    /// Merged telemetry health across all sessions.
+    pub health: TelemetryHealth,
+    /// Merged per-stage classifier costs.
+    pub stage_metrics: StageMetrics,
+    /// Merged classify-latency histogram.
+    pub classify_latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// Folds one finished session into the aggregate.
+    pub fn absorb(&mut self, outcome: &SessionOutcome) {
+        self.frames_in += outcome.frames_in;
+        self.frames_repaired += outcome.frames_repaired;
+        self.frames_dropped += outcome.frames_dropped;
+        self.frames_malformed += outcome.frames_malformed;
+        self.verdicts += outcome.verdicts;
+        self.health.merge(&outcome.health);
+        self.stage_metrics.merge(&outcome.stage_metrics);
+        self.classify_latency.merge(&outcome.classify_latency);
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sessions: {} started, {} finished, {} rejected, {} errored",
+            self.sessions_started,
+            self.sessions_finished,
+            self.sessions_rejected,
+            self.session_errors
+        )?;
+        writeln!(
+            f,
+            "frames:   {} in, {} repaired, {} dropped, {} malformed",
+            self.frames_in, self.frames_repaired, self.frames_dropped, self.frames_malformed
+        )?;
+        writeln!(f, "verdicts: {}", self.verdicts)?;
+        if self.classify_latency.count() > 0 {
+            writeln!(
+                f,
+                "classify latency: p50 < {:?}, p99 < {:?} ({} rounds)",
+                self.classify_latency.quantile(0.50),
+                self.classify_latency.quantile(0.99),
+                self.classify_latency.count()
+            )?;
+        }
+        if !self.stage_metrics.is_empty() {
+            write!(f, "{}", self.stage_metrics)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(900)); // bucket 2^10
+        }
+        h.record(Duration::from_micros(500)); // bucket 2^19
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!(p50 >= Duration::from_nanos(900) && p50 < Duration::from_nanos(2000), "{p50:?}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 < Duration::from_micros(2), "p99 ranks inside the fast bucket: {p99:?}");
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= Duration::from_micros(500), "{p100:?}");
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(1.0) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn absorb_folds_session_counters() {
+        let mut stats = ServerStats::default();
+        let mut outcome = SessionOutcome { frames_in: 10, verdicts: 3, ..Default::default() };
+        outcome.health.seen = 10;
+        outcome.health.accepted = 9;
+        outcome.classify_latency.record(Duration::from_micros(3));
+        outcome.stage_metrics.record("knn", 10, Duration::from_micros(20));
+        stats.absorb(&outcome);
+        stats.absorb(&outcome);
+        assert_eq!(stats.frames_in, 20);
+        assert_eq!(stats.verdicts, 6);
+        assert_eq!(stats.health.seen, 20);
+        assert_eq!(stats.classify_latency.count(), 2);
+        assert_eq!(stats.stage_metrics.get("knn").unwrap().samples, 20);
+    }
+
+    #[test]
+    fn display_has_a_verdict_line() {
+        let stats = ServerStats { verdicts: 7, ..Default::default() };
+        let text = stats.to_string();
+        assert!(text.contains("verdicts: 7"), "{text}");
+    }
+}

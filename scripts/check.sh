@@ -15,6 +15,30 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== server smoke test =="
+# Train a model, serve it on an ephemeral port, classify one workload
+# over TCP, and require a clean drain with a nonzero verdict count.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+./target/release/appclass train --out "$tmp/pipeline.json" --seed 42 > /dev/null
+./target/release/appclass serve --addr 127.0.0.1:0 --model "$tmp/pipeline.json" \
+    --sessions 1 > "$tmp/serve.log" &
+serve_pid=$!
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+    addr=$(sed -n 's/^listening on //p' "$tmp/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "server never announced its address"; kill "$serve_pid"; exit 1; }
+./target/release/appclass client --addr "$addr" --workload CH3D --seed 7 > "$tmp/client.log"
+wait "$serve_pid"
+grep -q "class:       CPU" "$tmp/client.log"
+grep -q "verdicts: [1-9]" "$tmp/serve.log"
+echo "server smoke OK ($addr, one session, clean drain)"
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

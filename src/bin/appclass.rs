@@ -8,12 +8,16 @@
 //! appclass fig4     [--seed N]
 //! appclass table4   [--seed N]
 //! appclass cost     --db db.json [--cpu a --mem b --io c --net d --idle e]
+//! appclass serve    --addr 127.0.0.1:0 --model pipeline.json [--sessions N]
+//! appclass client   --addr HOST:PORT --workload CH3D [--seed N] [--drop-rate R]
 //! ```
 //!
 //! Everything is seeded and file-based: `train` persists a pipeline as
 //! JSON, `classify` loads it, classifies a monitored run of a registry
 //! workload, prints the composition and (optionally) appends the run to an
-//! application-database file that `cost` can price.
+//! application-database file that `cost` can price. `serve` turns a saved
+//! pipeline into a concurrent TCP classification service; `client` replays
+//! a simulated workload's monitoring stream against it.
 
 use appclass::core::appdb::{ApplicationDb, RunRecord};
 use appclass::prelude::*;
@@ -57,6 +61,8 @@ fn main() -> ExitCode {
         "fig5" => cmd_fig5(&args[1..]),
         "table4" => cmd_table4(&args[1..]),
         "cost" => cmd_cost(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
             Ok(())
@@ -86,7 +92,12 @@ commands:
   fig5 [--seed N]              regenerate Figure 5 (per-app throughput)
   table4 [--seed N]            regenerate Table 4 (concurrent vs sequential)
   cost --db FILE [--cpu A --mem B --io C --net D --idle E]
-                               price recorded runs under a rate card";
+                               price recorded runs under a rate card
+  serve --addr HOST:PORT --model FILE [--max-sessions N] [--sessions N] [--window W]
+                               serve the pipeline to concurrent TCP clients
+                               (--sessions N exits after N sessions drain)
+  client --addr HOST:PORT --workload NAME [--seed N] [--drop-rate R] [--model-id H]
+                               replay a workload's monitoring stream and classify";
 
 /// Minimal `--key value` option extraction. A following token that is
 /// itself a flag does not count as the value, so `--out --seed 7` reports
@@ -104,6 +115,30 @@ fn opt(args: &[String], key: &str) -> Option<String> {
 /// is missing (an error, not a silent default).
 fn flag_present(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+/// Rejects any `--flag` the subcommand does not know, so a typo like
+/// `--drop-rte 0.1` fails loudly instead of silently running lossless.
+fn validate_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    for arg in args {
+        if arg.starts_with("--") && !allowed.contains(&arg.as_str()) {
+            return Err(format!(
+                "unknown flag `{arg}` (expected one of: {})\n{USAGE}",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn opt_parsed<T: std::str::FromStr>(args: &[String], key: &str) -> Result<Option<T>, String> {
+    match opt(args, key) {
+        None if !flag_present(args, key) => Ok(None),
+        None => Err(format!("{key} requires a value")),
+        Some(s) => {
+            s.parse().map(Some).map_err(|_| format!("{key} has an invalid value, got `{s}`"))
+        }
+    }
 }
 
 fn opt_seed(args: &[String]) -> Result<u64, String> {
@@ -306,6 +341,86 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
         t.sequential_ch3d,
         t.sequential_postmark,
         t.sequential_total
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use appclass::serve::{Server, ServerConfig};
+    validate_flags(args, &["--addr", "--model", "--max-sessions", "--sessions", "--window"])?;
+    let addr = opt(args, "--addr").ok_or("serve requires --addr HOST:PORT")?;
+    let model = opt(args, "--model").ok_or("serve requires --model FILE")?;
+    let json = std::fs::read_to_string(&model).map_err(|e| e.to_string())?;
+    let pipeline = ClassifierPipeline::from_json(&json).map_err(|e| e.to_string())?;
+
+    let mut config = ServerConfig::default();
+    if let Some(n) = opt_parsed::<usize>(args, "--max-sessions")? {
+        if n == 0 {
+            return Err("--max-sessions must be at least 1".to_string());
+        }
+        config.max_sessions = n;
+    }
+    config.accept_limit = opt_parsed::<u64>(args, "--sessions")?;
+    config.session.window = opt_parsed::<usize>(args, "--window")?;
+
+    let model_id = pipeline.model_id();
+    let server = Server::bind(addr.as_str(), std::sync::Arc::new(pipeline), config)
+        .map_err(|e| e.to_string())?;
+    out!("listening on {}", server.local_addr());
+    out!("serving model {model_id:#018x} from {model}");
+    // Line buffering only flushes what printing appended; make the
+    // address visible to pollers even through unusual stdout plumbing.
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    let stats = server.join().map_err(|e| e.to_string())?;
+    out!("{stats}");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use appclass::metrics::FaultPlan;
+    use appclass::serve::{ClientConfig, ServeClient};
+    validate_flags(args, &["--addr", "--workload", "--seed", "--drop-rate", "--model-id"])?;
+    let addr = opt(args, "--addr").ok_or("client requires --addr HOST:PORT")?;
+    let workload = opt(args, "--workload").ok_or("client requires --workload NAME")?;
+    let seed = opt_seed(args)?;
+    let drop_rate = opt_rate(args, "--drop-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&drop_rate) {
+        return Err(format!("--drop-rate must be in [0, 1], got {drop_rate}"));
+    }
+    let model_id = opt_parsed::<u64>(args, "--model-id")?.unwrap_or(0);
+
+    let specs = registry();
+    let spec = specs
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&workload))
+        .ok_or_else(|| format!("unknown workload `{workload}` (see `appclass list`)"))?;
+    let rec = run_spec(spec, NodeId(1), seed);
+    let snapshots: Vec<_> =
+        rec.pool.snapshots().iter().filter(|s| s.node == rec.node).cloned().collect();
+
+    let chaos = (drop_rate > 0.0).then(|| FaultPlan::lossless(seed).with_drop_rate(drop_rate));
+    let mut client = ServeClient::connect(addr.as_str(), ClientConfig { model_id, chaos })
+        .map_err(|e| e.to_string())?;
+    out!("session {} established (model {:#018x})", client.session(), client.model_id());
+    client.stream_snapshots(&snapshots).map_err(|e| e.to_string())?;
+    let verdict = client.classify().map_err(|e| e.to_string())?;
+    let health = client.health().map_err(|e| e.to_string())?;
+    client.bye().map_err(|e| e.to_string())?;
+
+    out!("workload:    {}", spec.name);
+    out!("streamed:    {} snapshots ({} delivered after faults)", snapshots.len(), health.seen);
+    out!("class:       {}", verdict.class);
+    out!("confidence:  {:.3}", verdict.confidence);
+    out!("composition: {}", verdict.composition);
+    out!(
+        "telemetry:   {} accepted, {} repaired, {} dropped, {} malformed",
+        health.accepted,
+        health.repaired,
+        health.dropped,
+        health.malformed
     );
     Ok(())
 }

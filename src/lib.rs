@@ -20,6 +20,9 @@
 //!   application classes, the application database and cost model.
 //! * [`sched`] — the class-aware scheduling experiments (Figures 4–5,
 //!   Table 4).
+//! * [`serve`] — the concurrent TCP classification service: many
+//!   monitoring clients stream snapshots to one trained pipeline and read
+//!   back live verdicts.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@ pub use appclass_core as core;
 pub use appclass_linalg as linalg;
 pub use appclass_metrics as metrics;
 pub use appclass_sched as sched;
+pub use appclass_serve as serve;
 pub use appclass_sim as sim;
 
 pub mod plot;
@@ -84,6 +88,7 @@ pub mod prelude {
     pub use appclass_linalg::Matrix;
     pub use appclass_metrics::{DataPool, MetricFrame, MetricId, NodeId, Snapshot};
     pub use appclass_metrics::{FaultPlan, FrameGuard, FrameVerdict, GuardConfig, TelemetryHealth};
+    pub use appclass_serve::{ClientConfig, ServeClient, Server, ServerConfig, ServerStats};
     pub use appclass_sim::workload::{Workload, WorkloadKind};
     pub use appclass_sim::{DiskBacking, VirtualMachine, VmConfig};
 }

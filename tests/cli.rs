@@ -145,3 +145,98 @@ fn bad_seed_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
 }
+
+#[test]
+fn usage_mentions_serve_and_client() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("serve --addr"), "{s}");
+    assert!(s.contains("client --addr"), "{s}");
+}
+
+#[test]
+fn serve_requires_model_and_addr() {
+    let out = bin().args(["serve", "--addr", "127.0.0.1:0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
+
+    let out = bin().args(["serve", "--model", "/nonexistent/p.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+}
+
+#[test]
+fn serve_rejects_unknown_flag() {
+    let out = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--model", "p.json", "--sesions", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown flag `--sesions`"), "{err}");
+    assert!(err.contains("usage"), "unknown flags must re-print usage:\n{err}");
+}
+
+#[test]
+fn client_rejects_unknown_flag_and_bad_rate() {
+    let out = bin()
+        .args(["client", "--addr", "x", "--workload", "CH3D", "--drop-rte", "0.1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--drop-rte`"));
+
+    let out = bin()
+        .args(["client", "--addr", "x", "--workload", "CH3D", "--drop-rate", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--drop-rate"));
+}
+
+/// End-to-end over a real socket: train, serve on an ephemeral port,
+/// replay one clean and one lossy client, then let the server drain.
+#[test]
+fn serve_and_client_roundtrip() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = tmpdir("serve");
+    let pipe = dir.join("pipeline.json");
+    assert!(bin().args(["train", "--out", pipe.to_str().unwrap()]).status().unwrap().success());
+
+    let mut server = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--model", pipe.to_str().unwrap()])
+        .args(["--sessions", "2", "--max-sessions", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut server_out = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    server_out.read_line(&mut line).unwrap();
+    let addr = line.trim().strip_prefix("listening on ").expect("first line announces the address");
+
+    let out = bin()
+        .args(["client", "--addr", addr, "--workload", "CH3D", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = stdout(&out);
+    assert!(s.contains("class:       CPU"), "CH3D must classify CPU over the wire:\n{s}");
+
+    let out = bin()
+        .args(["client", "--addr", addr, "--workload", "PostMark-train"])
+        .args(["--seed", "9", "--drop-rate", "0.10"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = stdout(&out);
+    assert!(s.contains("class:       IO"), "lossy PostMark must still classify IO:\n{s}");
+
+    assert!(server.wait().unwrap().success(), "server must drain cleanly after 2 sessions");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server_out, &mut rest).unwrap();
+    assert!(rest.contains("verdicts: 2"), "aggregate stats must count both verdicts:\n{rest}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,198 @@
+//! Loopback integration tests of the classification server.
+//!
+//! One trained pipeline, one server on an ephemeral port, many real TCP
+//! clients on threads: every concurrent session must classify its own
+//! workload correctly and independently, identical replays must produce
+//! bit-identical verdicts, a lossy client must still converge, admission
+//! control must refuse the overflow connection with a typed reason, and
+//! shutdown must drain every thread without panics.
+
+mod common;
+
+use appclass::expected_class;
+use appclass::metrics::{ByeReason, FaultPlan, NodeId, Snapshot};
+use appclass::serve::{ClientConfig, ServeClient, ServeError, Server, ServerConfig};
+use appclass::sim::runner::run_spec;
+use appclass::sim::workload::registry::{training_specs, WorkloadSpec};
+use std::sync::Arc;
+
+fn snapshots_of(spec: &WorkloadSpec, node: u32, seed: u64) -> Vec<Snapshot> {
+    let rec = run_spec(spec, NodeId(node), seed);
+    rec.pool.snapshots().iter().filter(|s| s.node == rec.node).cloned().collect()
+}
+
+/// The tentpole acceptance test: ≥8 concurrent sessions over one shared
+/// pipeline, each replaying its own workload and getting the right
+/// majority class back; two sessions replay the *same* stream and must
+/// read back bit-identical verdicts; one session rides a 10%-drop fault
+/// channel and must still converge. Shutdown then drains every thread
+/// and the aggregate stats must account for all of it.
+#[test]
+fn concurrent_sessions_classify_independently() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let config = ServerConfig { max_sessions: 10, ..ServerConfig::default() };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), config).unwrap();
+    let addr = server.local_addr();
+
+    // 8 clean clients cycling the training workloads on distinct
+    // node/seed pairs, plus a twin of client 0 (same workload, node and
+    // seed) for the bit-reproducibility check, plus one lossy client.
+    let specs = training_specs();
+    let clients: Vec<(usize, bool)> =
+        (0..8).map(|i| (i, false)).chain([(0, false), (2, true)]).collect();
+
+    let mut handles = Vec::new();
+    for (slot, (which, lossy)) in clients.into_iter().enumerate() {
+        let spec = &specs[which % specs.len()];
+        let name = spec.name;
+        let expected = expected_class(spec.expected);
+        // The twin (slot 8) reuses slot 0's node and seed on purpose.
+        let replay_of = if slot == 8 { 0 } else { slot };
+        let snaps = snapshots_of(spec, 60 + replay_of as u32, 1000 + replay_of as u64);
+        let chaos = lossy.then(|| FaultPlan::lossless(7 + slot as u64).with_drop_rate(0.10));
+        handles.push(std::thread::spawn(move || {
+            let mut client =
+                ServeClient::connect(addr, ClientConfig { model_id: 0, chaos }).unwrap();
+            client.stream_snapshots(&snaps).unwrap();
+            let verdict = client.classify().unwrap();
+            let health = client.health().unwrap();
+            assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+            assert_eq!(
+                verdict.class, expected,
+                "session {slot} ({name}, lossy={lossy}) got the wrong majority"
+            );
+            if lossy {
+                assert!(health.seen < snaps.len() as u64, "the fault channel must drop frames");
+                assert!(health.seen > 0, "10% drop must not silence the stream");
+            } else {
+                assert_eq!(health.accepted, snaps.len() as u64);
+            }
+            (slot, verdict, health)
+        }));
+    }
+
+    let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    results.sort_by_key(|(slot, ..)| *slot);
+
+    // Same workload + node + seed ⇒ bit-identical verdict stream.
+    let (_, v0, h0) = &results[0];
+    let (_, v8, h8) = &results[8];
+    assert_eq!(v0.class, v8.class);
+    assert_eq!(v0.confidence.to_bits(), v8.confidence.to_bits(), "confidence must be bit-equal");
+    for class in appclass::prelude::AppClass::ALL {
+        assert_eq!(
+            v0.composition.fraction(class).to_bits(),
+            v8.composition.fraction(class).to_bits(),
+            "composition must be bit-equal in every class"
+        );
+    }
+    assert_eq!(h0.accepted, h8.accepted);
+
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert_eq!(stats.sessions_started, 10);
+    assert_eq!(stats.sessions_finished, 10);
+    assert_eq!(stats.session_errors, 0);
+    assert_eq!(stats.verdicts, 10);
+    assert!(stats.frames_in > 0);
+    assert_eq!(stats.classify_latency.count(), 10);
+    assert_eq!(
+        stats.health.seen,
+        results.iter().map(|(_, _, h)| h.seen).sum::<u64>(),
+        "aggregate health must be the sum of the per-session reports"
+    );
+}
+
+/// Admission control: with one worker and no backlog, a second
+/// connection arriving while the first session is parked must be
+/// refused with `Bye(SessionLimit)` — and the refusal must be typed on
+/// the client side.
+#[test]
+fn overflow_connection_is_refused_with_session_limit() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let config = ServerConfig { max_sessions: 1, backlog: 0, ..ServerConfig::default() };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), config).unwrap();
+    let addr = server.local_addr();
+
+    let occupant = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+    // The occupant's handshake round-trip proves its session is being
+    // served, so the slot (and the whole pool) is now busy.
+    let refused = match ServeClient::connect(addr, ClientConfig::default()) {
+        Err(ServeError::Rejected { reason }) => reason,
+        Err(other) => panic!("second connection must be refused cleanly, got error {other}"),
+        Ok(_) => panic!("second connection must be refused, but was admitted"),
+    };
+    assert_eq!(refused, ByeReason::SessionLimit);
+
+    assert_eq!(occupant.bye().unwrap(), ByeReason::Normal);
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert_eq!(stats.sessions_rejected, 1);
+    assert_eq!(stats.sessions_finished, 1);
+}
+
+/// A client demanding a model the server does not serve must be turned
+/// away during the handshake with `Bye(ModelMismatch)`; the wildcard
+/// fingerprint 0 must always be accepted.
+#[test]
+fn model_fingerprint_gates_the_handshake() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let served = pipeline.model_id();
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&pipeline), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mismatched = ClientConfig { model_id: served ^ 1, ..ClientConfig::default() };
+    match ServeClient::connect(addr, mismatched) {
+        Err(ServeError::Rejected { reason }) => assert_eq!(reason, ByeReason::ModelMismatch),
+        Err(other) => panic!("mismatched model must be refused cleanly, got error {other}"),
+        Ok(_) => panic!("mismatched model must be refused, but was admitted"),
+    }
+
+    let exact = ClientConfig { model_id: served, ..ClientConfig::default() };
+    let client = ServeClient::connect(addr, exact).unwrap();
+    assert_eq!(client.model_id(), served);
+    assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert_eq!(stats.session_errors, 1, "the mismatch is accounted as a session error");
+    assert_eq!(stats.sessions_finished, 1);
+}
+
+/// A session that exceeds its frame budget is ended gracefully with
+/// `Bye(FrameBudget)` on the next announcement, not killed mid-stream.
+#[test]
+fn frame_budget_ends_the_session_gracefully() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let mut config = ServerConfig { max_sessions: 2, ..ServerConfig::default() };
+    config.session.window = Some(16);
+    config.session.frame_budget = 10;
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), config).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 70, 4242);
+    assert!(snaps.len() > 10, "fixture must overrun the 10-frame budget");
+
+    let mut client = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+    let outcome = (|| -> Result<(), ServeError> {
+        client.stream_snapshots(&snaps)?;
+        client.classify()?;
+        Ok(())
+    })();
+    match outcome {
+        Err(ServeError::Rejected { reason }) => assert_eq!(reason, ByeReason::FrameBudget),
+        Err(ServeError::ConnectionClosed) | Err(ServeError::Io(_)) => {
+            // The server hung up after its Bye; racing past it into a
+            // dead socket is an equally valid way to observe the cut.
+        }
+        Ok(()) => panic!("an over-budget stream must not classify normally"),
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert_eq!(stats.sessions_finished, 1, "a budget cut is a clean end, not an error");
+    assert!(stats.frames_in <= 11, "the server must stop counting at the budget cut");
+}
