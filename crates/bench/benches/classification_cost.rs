@@ -110,6 +110,65 @@ fn bench_cost(c: &mut Criterion) {
         b.iter(|| pipeline.classify_frame_with(&mut runner, black_box(&frame)).unwrap())
     });
     group.finish();
+
+    // Observability overhead: the same steady-state per-frame classify,
+    // with and without a span tracer attached to the runner. Span
+    // recording is designed to be lock-free and allocation-free, so the
+    // instrumented path must stay within a few percent of the bare one.
+    let frame = MetricFrame::from_values(target.row(0)).unwrap();
+    let mut bare = StagePipeline::new();
+    let mut traced = StagePipeline::new();
+    traced.set_tracer(appclass_obs::Tracer::new(4096));
+    for _ in 0..1000 {
+        // Warm both runners' scratch buffers and the tracer's interned names.
+        let _ = pipeline.classify_frame_with(&mut bare, &frame).unwrap();
+        let _ = pipeline.classify_frame_with(&mut traced, &frame).unwrap();
+    }
+    // Interleave short bare/traced batches so clock-speed drift over the
+    // measurement window hits both sides equally, then take the median
+    // per-batch time of each side: the medians shrug off scheduler bursts
+    // that a single long run would fold into whichever side they hit.
+    const OVERHEAD_ROUNDS: usize = 100;
+    const BATCH_ITERS: u32 = 2_000;
+    let mut bare_ns = Vec::with_capacity(OVERHEAD_ROUNDS);
+    let mut traced_ns = Vec::with_capacity(OVERHEAD_ROUNDS);
+    for _ in 0..OVERHEAD_ROUNDS {
+        let t = std::time::Instant::now();
+        for _ in 0..BATCH_ITERS {
+            let _ = pipeline.classify_frame_with(&mut bare, black_box(&frame)).unwrap();
+        }
+        bare_ns.push(t.elapsed().as_nanos() as u64);
+        let t = std::time::Instant::now();
+        for _ in 0..BATCH_ITERS {
+            let _ = pipeline.classify_frame_with(&mut traced, black_box(&frame)).unwrap();
+        }
+        traced_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let median = |v: &mut Vec<u64>| {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let (m_bare, m_traced) = (median(&mut bare_ns), median(&mut traced_ns));
+    let overhead_pct = (m_traced as f64 / m_bare as f64 - 1.0) * 100.0;
+    println!(
+        "  span-tracing overhead: bare {:.1?} vs traced {:.1?} per frame ({overhead_pct:+.2}%, \
+         median of {OVERHEAD_ROUNDS} interleaved batches)",
+        std::time::Duration::from_nanos(m_bare / u64::from(BATCH_ITERS)),
+        std::time::Duration::from_nanos(m_traced / u64::from(BATCH_ITERS)),
+    );
+
+    let mut group = c.benchmark_group("observability_overhead");
+    group.sample_size(10);
+    group.bench_function("classify_one_frame_untraced", |b| {
+        let mut runner = StagePipeline::new();
+        b.iter(|| pipeline.classify_frame_with(&mut runner, black_box(&frame)).unwrap())
+    });
+    group.bench_function("classify_one_frame_traced", |b| {
+        let mut runner = StagePipeline::new();
+        runner.set_tracer(appclass_obs::Tracer::new(4096));
+        b.iter(|| pipeline.classify_frame_with(&mut runner, black_box(&frame)).unwrap())
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_cost);

@@ -139,27 +139,41 @@ impl KnnClassifier {
 
         // Partial selection of the k smallest distances. k is tiny (3), so
         // a simple insertion pass over a fixed-size buffer beats sorting
-        // the whole distance vector.
-        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        // the whole distance vector. Unfilled slots hold +∞ sentinels, so
+        // real (finite) distances always sort before them and the filled
+        // entries form a sorted prefix — which keeps the per-call buffer
+        // on the stack for any reasonable k (the online hot path must not
+        // allocate).
+        const STACK_K: usize = 32;
+        let mut stack_buf = [(f64::INFINITY, usize::MAX); STACK_K];
+        let mut heap_buf: Vec<(f64, usize)>;
+        let best: &mut [(f64, usize)] = if k <= STACK_K {
+            &mut stack_buf[..k]
+        } else {
+            heap_buf = vec![(f64::INFINITY, usize::MAX); k];
+            &mut heap_buf
+        };
         for (i, row) in self.points.iter_rows().enumerate() {
             let d = self.distance.eval(point, row);
             // Insert in sorted order if it belongs in the top k. `<` keeps
             // the earliest index on exact ties → determinism.
             let pos = best.partition_point(|&(bd, _)| bd <= d);
             if pos < k {
-                best.insert(pos, (d, i));
-                best.truncate(k);
+                best[pos..].rotate_right(1);
+                best[pos] = (d, i);
             }
         }
 
-        // Vote.
+        // Vote over the filled prefix.
+        let filled = best.partition_point(|&(_, i)| i != usize::MAX);
+        let best = &best[..filled];
         let mut counts = [0usize; 5];
-        for &(_, i) in &best {
+        for &(_, i) in best {
             counts[self.labels[i].index()] += 1;
         }
         let max_count = *counts.iter().max().expect("five classes");
         // Tie-break: the nearest neighbour whose class has max_count wins.
-        for &(_, i) in &best {
+        for &(_, i) in best {
             let c = self.labels[i];
             if counts[c.index()] == max_count {
                 return Ok(c);

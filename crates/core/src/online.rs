@@ -124,6 +124,14 @@ impl<'a> OnlineClassifier<'a> {
         self.push_frame(&snapshot.frame)
     }
 
+    /// Attaches a span tracer to the classifier's runner: every pushed
+    /// frame records a `classify_frame` span with per-stage child spans.
+    /// Cheap after the first frame — span names are interned once and the
+    /// hot path stays lock-free and allocation-free.
+    pub fn set_tracer(&mut self, tracer: appclass_obs::Tracer) {
+        self.runner.set_tracer(tracer);
+    }
+
     /// Pushes a snapshot through the classifier's [`FrameGuard`] first:
     /// corrupted values are imputed, duplicates and unusable frames are
     /// rejected instead of poisoning the vote, and a cadence gap clears a

@@ -258,8 +258,16 @@ impl StreamingStage for Pca {
             }
             *o = acc;
         }
-        for (o, m) in out.iter_mut().zip(self.projected_means()) {
-            *o -= m;
+        // Subtract μᵀW per component, accumulated in the same i-ascending
+        // order as `projected_means` so batch and streaming projections
+        // stay bit-identical — but without materializing the means vector
+        // (this runs once per 5-second sample on the zero-alloc hot path).
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut pm = 0.0;
+            for (i, &mu) in self.means.iter().enumerate() {
+                pm += mu * self.components[(i, j)];
+            }
+            *o -= pm;
         }
         Ok(())
     }

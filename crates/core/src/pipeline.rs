@@ -240,6 +240,7 @@ impl ClassifierPipeline {
         if raw.rows() == 0 {
             return Err(Error::EmptyRun);
         }
+        let _span = runner.span("classify");
         runner.run_batch(&self.projection_stages(), raw)?;
         // The m×q projection is part of the result (Figure 3's raw
         // material), so it is copied out of the scratch buffer; the wide
@@ -307,7 +308,8 @@ impl ClassifierPipeline {
         runner: &mut StagePipeline,
         frame: &MetricFrame,
     ) -> Result<AppClass> {
-        let out = runner.run_row(&self.streaming_stages(), frame.as_slice())?;
+        let out =
+            runner.run_row_spanned("classify_frame", &self.streaming_stages(), frame.as_slice())?;
         decode_class(out[0])
     }
 
@@ -588,6 +590,28 @@ mod tests {
         let p = ClassifierPipeline::train(&training_runs(), &cfg).unwrap();
         assert!(p.n_components() >= 2);
         assert!(p.n_components() <= 8);
+    }
+
+    #[test]
+    fn traced_classify_emits_stage_spans_under_classify_parent() {
+        use appclass_obs::Tracer;
+        let p = trained();
+        let raw = raw_run(6, &[(MetricId::CpuUser, 85.0)]);
+        let tracer = Tracer::new(64);
+        let mut runner = StagePipeline::new();
+        runner.set_tracer(tracer.clone());
+        p.classify_with(&mut runner, &raw).unwrap();
+        let spans = tracer.recent(64);
+        let classify = spans.iter().find(|s| s.name == "classify").expect("classify span");
+        for stage in ["preprocess", "pca", "knn"] {
+            let span = spans.iter().find(|s| s.name == stage).unwrap_or_else(|| panic!("{stage}"));
+            assert_eq!(span.parent, Some(classify.id), "{stage} links to classify");
+        }
+        // Tracing must not change the verdict.
+        let untraced = p.classify(&raw).unwrap();
+        let traced = p.classify_with(&mut runner, &raw).unwrap();
+        assert_eq!(traced.class, untraced.class);
+        assert_eq!(traced.class_vector, untraced.class_vector);
     }
 
     #[test]

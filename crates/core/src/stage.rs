@@ -26,6 +26,7 @@ use crate::class::AppClass;
 use crate::error::{Error, Result};
 use appclass_linalg::Matrix;
 use appclass_metrics::StageMetrics;
+use appclass_obs::{OpenSpan, SpanGuard, SpanName, Tracer};
 use std::time::Instant;
 
 /// A batch dataflow stage: transforms an `m × a` snapshot matrix into an
@@ -91,6 +92,12 @@ pub struct StagePipeline {
     row_ping: Vec<f64>,
     row_pong: Vec<f64>,
     metrics: StageMetrics,
+    /// Optional span tracer; when set, every stage execution records a
+    /// span named after the stage.
+    tracer: Option<Tracer>,
+    /// Stage-name → interned span-name cache so the hot path never takes
+    /// the tracer's interning lock (grows once per distinct stage name).
+    span_names: Vec<(&'static str, SpanName)>,
 }
 
 impl Default for StagePipeline {
@@ -108,7 +115,56 @@ impl StagePipeline {
             row_ping: Vec::new(),
             row_pong: Vec::new(),
             metrics: StageMetrics::new(),
+            tracer: None,
+            span_names: Vec::new(),
         }
+    }
+
+    /// Attaches a span tracer: from now on every stage execution (batch,
+    /// row, and [`StagePipeline::time_stage`]) records a span named after
+    /// the stage. Span names are interned once per distinct stage name
+    /// and cached, so the per-call cost is lock-free and allocation-free
+    /// after the first encounter.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached span tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Starts a span named `name` if a tracer is attached. Used by the
+    /// pipeline/online layers to wrap whole classify calls in a parent
+    /// span that the per-stage spans link to.
+    pub fn span(&mut self, name: &'static str) -> Option<SpanGuard> {
+        let interned = self.intern(name)?;
+        Some(self.tracer.as_ref().expect("intern implies tracer").span(interned))
+    }
+
+    /// Records a completed stage execution as a leaf span, reusing the
+    /// instants the stage loop already read for the metrics accumulator
+    /// — tracing a stage adds no clock reads of its own.
+    fn leaf_span(&mut self, name: &'static str, start: Instant, end: Instant) {
+        if let Some(interned) = self.intern(name) {
+            self.tracer.as_ref().expect("intern implies tracer").leaf(interned, start, end);
+        }
+    }
+
+    /// Resolves a stage name to its interned span handle via the local
+    /// cache (`None` when no tracer is attached).
+    fn intern(&mut self, name: &'static str) -> Option<SpanName> {
+        let tracer = self.tracer.as_ref()?;
+        let interned =
+            match self.span_names.iter().find(|(n, _)| std::ptr::eq(*n, name) || *n == name) {
+                Some(&(_, id)) => id,
+                None => {
+                    let id = tracer.register(name);
+                    self.span_names.push((name, id));
+                    id
+                }
+            };
+        Some(interned)
     }
 
     /// Runs a batch chain; the result is left in [`StagePipeline::output`].
@@ -125,13 +181,19 @@ impl StagePipeline {
         let samples = input.rows() as u64;
         for (i, stage) in stages.iter().enumerate() {
             let started = Instant::now();
-            if i == 0 {
-                stage.transform_into(input, &mut self.ping)?;
+            let result = if i == 0 {
+                stage.transform_into(input, &mut self.ping)
             } else {
-                stage.transform_into(&self.ping, &mut self.pong)?;
-                std::mem::swap(&mut self.ping, &mut self.pong);
-            }
-            self.metrics.record(stage.name(), samples, started.elapsed());
+                let r = stage.transform_into(&self.ping, &mut self.pong);
+                if r.is_ok() {
+                    std::mem::swap(&mut self.ping, &mut self.pong);
+                }
+                r
+            };
+            let ended = Instant::now();
+            self.leaf_span(stage.name(), started, ended);
+            self.metrics.record(stage.name(), samples, ended.saturating_duration_since(started));
+            result?;
         }
         Ok(())
     }
@@ -149,22 +211,68 @@ impl StagePipeline {
     /// Runs a streaming chain over one snapshot row, returning the final
     /// row (borrowed from the runner's scratch; copy it out to keep it).
     pub fn run_row(&mut self, stages: &[&dyn StreamingStage], input: &[f64]) -> Result<&[f64]> {
+        self.run_row_inner(None, stages, input)
+    }
+
+    /// [`StagePipeline::run_row`] wrapped in a parent span named
+    /// `span_name` that the per-stage spans link to. This is the online
+    /// per-frame hot path, so the whole traced frame — parent span,
+    /// stage spans, and stage metrics — shares one clock read per stage
+    /// boundary: a stage's window opens exactly when its predecessor's
+    /// closes, and the parent span covers the union. Tracing therefore
+    /// adds zero clock reads over the untraced run.
+    pub fn run_row_spanned(
+        &mut self,
+        span_name: &'static str,
+        stages: &[&dyn StreamingStage],
+        input: &[f64],
+    ) -> Result<&[f64]> {
+        self.run_row_inner(Some(span_name), stages, input)
+    }
+
+    fn run_row_inner(
+        &mut self,
+        span_name: Option<&'static str>,
+        stages: &[&dyn StreamingStage],
+        input: &[f64],
+    ) -> Result<&[f64]> {
         if stages.is_empty() {
             self.row_ping.clear();
             self.row_ping.extend_from_slice(input);
             return Ok(&self.row_ping);
         }
+        let mut boundary = Instant::now();
+        let parent: Option<OpenSpan> = span_name.and_then(|name| {
+            let interned = self.intern(name)?;
+            Some(self.tracer.as_ref().expect("intern implies tracer").begin_at(interned, boundary))
+        });
+        let mut failed = None;
         for (i, stage) in stages.iter().enumerate() {
-            let started = Instant::now();
-            if i == 0 {
-                stage.transform_row_into(input, &mut self.row_ping)?;
+            let result = if i == 0 {
+                stage.transform_row_into(input, &mut self.row_ping)
             } else {
-                stage.transform_row_into(&self.row_ping, &mut self.row_pong)?;
-                std::mem::swap(&mut self.row_ping, &mut self.row_pong);
+                let r = stage.transform_row_into(&self.row_ping, &mut self.row_pong);
+                if r.is_ok() {
+                    std::mem::swap(&mut self.row_ping, &mut self.row_pong);
+                }
+                r
+            };
+            let ended = Instant::now();
+            self.leaf_span(stage.name(), boundary, ended);
+            self.metrics.record(stage.name(), 1, ended.saturating_duration_since(boundary));
+            boundary = ended;
+            if let Err(e) = result {
+                failed = Some(e);
+                break;
             }
-            self.metrics.record(stage.name(), 1, started.elapsed());
         }
-        Ok(&self.row_ping)
+        if let Some(parent) = parent {
+            self.tracer.as_ref().expect("parent implies tracer").finish_span_at(parent, boundary);
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(&self.row_ping),
+        }
     }
 
     /// Times a step that runs outside the ping-pong chain (e.g. a typed
@@ -177,7 +285,9 @@ impl StagePipeline {
     ) -> Result<T> {
         let started = Instant::now();
         let result = f();
-        self.metrics.record(name, samples, started.elapsed());
+        let ended = Instant::now();
+        self.leaf_span(name, started, ended);
+        self.metrics.record(name, samples, ended.saturating_duration_since(started));
         result
     }
 
@@ -321,6 +431,30 @@ mod tests {
         assert_eq!(runner.metrics().get("head").unwrap().samples, 7);
         runner.reset_metrics();
         assert!(runner.metrics().is_empty());
+    }
+
+    #[test]
+    fn tracer_records_stage_spans_under_a_parent() {
+        let tracer = Tracer::new(32);
+        let mut runner = StagePipeline::new();
+        runner.set_tracer(tracer.clone());
+        let parent = runner.span("classify").expect("tracer attached");
+        let parent_id = parent.id();
+        runner.run_row(&[&Widen, &Widen], &[1.0, 2.0]).unwrap();
+        drop(parent);
+        let spans = tracer.recent(10);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans.iter().filter(|s| s.name == "widen").count(), 2);
+        assert!(spans.iter().filter(|s| s.name == "widen").all(|s| s.parent == Some(parent_id)));
+        assert_eq!(spans.last().unwrap().name, "classify");
+    }
+
+    #[test]
+    fn untraced_runner_records_no_spans() {
+        let mut runner = StagePipeline::new();
+        assert!(runner.span("anything").is_none());
+        assert!(runner.tracer().is_none());
+        runner.run_row(&[&Widen], &[1.0]).unwrap();
     }
 
     #[test]

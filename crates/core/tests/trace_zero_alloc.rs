@@ -1,0 +1,141 @@
+//! The ISSUE 4 acceptance criterion: span recording on the online
+//! classify hot path adds **no heap allocation**.
+//!
+//! A counting global allocator wraps `System` (the only unsafe in the
+//! workspace, confined to this test binary), the classifier is warmed
+//! past its steady state with a tracer attached, and then a burst of
+//! traced `push_frame` calls must leave the allocation counter exactly
+//! where it was.
+
+use appclass_core::class::AppClass;
+use appclass_core::online::OnlineClassifier;
+use appclass_core::pipeline::{ClassifierPipeline, PipelineConfig};
+use appclass_linalg::Matrix;
+use appclass_metrics::{MetricFrame, MetricId, METRIC_COUNT};
+use appclass_obs::Tracer;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter is a relaxed atomic
+// increment with no other side effects, so every `GlobalAlloc` contract
+// obligation is discharged by `System` itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The counter is process-global, so tests that measure allocation
+/// windows must not run concurrently with anything that allocates;
+/// each test holds this lock for its whole body.
+static MEASURE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    MEASURE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn raw_run(rows: usize, settings: &[(MetricId, f64)]) -> Matrix {
+    let mut m = Matrix::zeros(rows, METRIC_COUNT);
+    for i in 0..rows {
+        let wiggle = 1.0 + 0.03 * ((i % 5) as f64 - 2.0);
+        for &(id, v) in settings {
+            m[(i, id.index())] = v * wiggle;
+        }
+    }
+    m
+}
+
+fn trained() -> ClassifierPipeline {
+    let runs = vec![
+        (raw_run(25, &[(MetricId::CpuUser, 90.0), (MetricId::CpuSystem, 5.0)]), AppClass::Cpu),
+        (raw_run(25, &[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)]), AppClass::Io),
+        (raw_run(25, &[(MetricId::BytesOut, 3.0e7)]), AppClass::Net),
+        (raw_run(25, &[(MetricId::CpuUser, 0.3)]), AppClass::Idle),
+    ];
+    ClassifierPipeline::train(&runs, &PipelineConfig::paper()).unwrap()
+}
+
+#[test]
+fn traced_online_classify_steady_state_never_allocates() {
+    let _serial = serialized();
+    let pipeline = trained();
+    let tracer = Tracer::new(256);
+    let mut oc = OnlineClassifier::with_window(&pipeline, 8);
+    oc.set_tracer(tracer.clone());
+
+    let mut frame = MetricFrame::zeroed();
+    frame.set(MetricId::CpuUser, 85.0);
+
+    // Warm-up: grows the runner's scratch buffers, interns the span
+    // names, fills the sliding window past its eviction steady state, and
+    // touches every thread-local the tracer uses.
+    for _ in 0..32 {
+        oc.push_frame(&frame).unwrap();
+    }
+
+    // The counter is process-global, so a harness thread wrapping up the
+    // sibling test can allocate inside the window; a burst that the
+    // classifier itself caused would repeat, so retrying distinguishes
+    // that cross-thread noise from a real hot-path allocation.
+    let mut zero_alloc_window_seen = false;
+    for _attempt in 0..3 {
+        let spans_before = tracer.recorded();
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..100 {
+            let class = oc.push_frame(&frame).unwrap();
+            assert_eq!(class, AppClass::Cpu);
+        }
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+        // The tracing actually happened: classify_frame + 3 stage spans
+        // per pushed frame.
+        assert_eq!(tracer.recorded() - spans_before, 400, "4 spans per traced frame");
+        if allocs == 0 {
+            zero_alloc_window_seen = true;
+            break;
+        }
+    }
+    assert!(zero_alloc_window_seen, "traced steady-state push_frame must not allocate");
+}
+
+#[test]
+fn untraced_steady_state_still_never_allocates() {
+    let _serial = serialized();
+    let pipeline = trained();
+    let mut oc = OnlineClassifier::with_window(&pipeline, 8);
+    let mut frame = MetricFrame::zeroed();
+    frame.set(MetricId::IoBi, 2500.0);
+    frame.set(MetricId::IoBo, 2500.0);
+    for _ in 0..32 {
+        oc.push_frame(&frame).unwrap();
+    }
+    // Retried for the same cross-thread counter noise as the traced test.
+    let mut zero_alloc_window_seen = false;
+    for _attempt in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..100 {
+            oc.push_frame(&frame).unwrap();
+        }
+        if ALLOCATIONS.load(Ordering::Relaxed) - before == 0 {
+            zero_alloc_window_seen = true;
+            break;
+        }
+    }
+    assert!(zero_alloc_window_seen, "untraced steady-state push_frame must not allocate");
+}

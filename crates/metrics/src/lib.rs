@@ -32,6 +32,9 @@
 //!   RRDtool analogue): constant-space retention with consolidation.
 //! * [`profiler`] — the performance profiler + filter of the paper's
 //!   Figure 1: start/stop sampling, target-node extraction, pool assembly.
+//! * [`selfmon`] — the self-monitoring adapter: scrapes an observability
+//!   metric registry into [`MetricFrame`]s so the classifier can profile
+//!   and classify its own resource signature.
 //! * [`instrument`] — per-stage sample/time accounting ([`StageMetrics`])
 //!   shared by the profiler and the classification dataflow, reproducing
 //!   the §5.3 cost measurement with a per-stage breakdown.
@@ -55,6 +58,7 @@ pub mod metric;
 pub mod profiler;
 pub mod repair;
 pub mod rrd;
+pub mod selfmon;
 pub mod snapshot;
 pub mod vmstat;
 pub mod wire;
@@ -67,5 +71,6 @@ pub use repair::{
     Admission, DropReason, FrameGuard, FrameVerdict, GuardConfig, SourceStatus, StalenessPolicy,
     StalenessTracker, TelemetryHealth,
 };
+pub use selfmon::SelfScraper;
 pub use snapshot::{DataPool, NodeId, Snapshot};
 pub use wire::{ByeReason, ControlFrame};

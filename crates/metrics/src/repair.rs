@@ -24,6 +24,7 @@
 
 use crate::metric::{MetricFrame, METRIC_COUNT};
 use crate::snapshot::{NodeId, Snapshot};
+use appclass_obs::{Counter, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -280,6 +281,19 @@ pub struct FrameGuard {
     config: GuardConfig,
     nodes: BTreeMap<NodeId, NodeState>,
     health: TelemetryHealth,
+    counters: Option<GuardCounters>,
+}
+
+/// Live [`Counter`] handles mirroring the guard's verdict tallies into an
+/// observability [`Registry`], so an exposition dump shows the guard's
+/// behaviour without polling [`TelemetryHealth`].
+#[derive(Debug, Clone)]
+struct GuardCounters {
+    seen: Counter,
+    accepted: Counter,
+    repaired: Counter,
+    dropped: Counter,
+    malformed: Counter,
 }
 
 impl Default for FrameGuard {
@@ -291,7 +305,27 @@ impl Default for FrameGuard {
 impl FrameGuard {
     /// A guard with the given policy.
     pub fn new(config: GuardConfig) -> Self {
-        FrameGuard { config, nodes: BTreeMap::new(), health: TelemetryHealth::default() }
+        FrameGuard {
+            config,
+            nodes: BTreeMap::new(),
+            health: TelemetryHealth::default(),
+            counters: None,
+        }
+    }
+
+    /// Mirrors verdict tallies into `registry` from this call onward:
+    /// `guard_frames_seen_total`, `guard_frames_accepted_total`,
+    /// `guard_frames_repaired_total`, `guard_frames_dropped_total` and
+    /// `guard_datagrams_malformed_total`. Counters pick up at the
+    /// registry's current values; prior history is not back-filled.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.counters = Some(GuardCounters {
+            seen: registry.counter("guard_frames_seen_total"),
+            accepted: registry.counter("guard_frames_accepted_total"),
+            repaired: registry.counter("guard_frames_repaired_total"),
+            dropped: registry.counter("guard_frames_dropped_total"),
+            malformed: registry.counter("guard_datagrams_malformed_total"),
+        });
     }
 
     /// The policy in force.
@@ -302,6 +336,9 @@ impl FrameGuard {
     /// Judges one snapshot, updating sequencing and imputation state.
     pub fn admit(&mut self, snap: &Snapshot) -> Admission {
         self.health.seen += 1;
+        if let Some(c) = &self.counters {
+            c.seen.inc();
+        }
         let max_streak = self.config.max_repair_streak;
         let interval = self.config.interval.max(1);
         let values = snap.frame.as_slice();
@@ -322,6 +359,9 @@ impl FrameGuard {
                 if snap.time == last {
                     self.health.duplicates += 1;
                     self.health.dropped += 1;
+                    if let Some(c) = &self.counters {
+                        c.dropped.inc();
+                    }
                     return Admission {
                         verdict: FrameVerdict::Dropped { reason: DropReason::Duplicate },
                         frame: None,
@@ -331,6 +371,9 @@ impl FrameGuard {
                 if snap.time < last {
                     self.health.reordered += 1;
                     self.health.dropped += 1;
+                    if let Some(c) = &self.counters {
+                        c.dropped.inc();
+                    }
                     return Admission {
                         verdict: FrameVerdict::Dropped { reason: DropReason::OutOfOrder },
                         frame: None,
@@ -399,6 +442,9 @@ impl FrameGuard {
 
         if let Some(reason) = fatal {
             self.health.dropped += 1;
+            if let Some(c) = &self.counters {
+                c.dropped.inc();
+            }
             return Admission { verdict: FrameVerdict::Dropped { reason }, frame: None, gap: None };
         }
 
@@ -409,6 +455,9 @@ impl FrameGuard {
 
         if patches.is_empty() {
             self.health.accepted += 1;
+            if let Some(c) = &self.counters {
+                c.accepted.inc();
+            }
             return Admission {
                 verdict: FrameVerdict::Accepted,
                 frame: Some(snap.frame.clone()),
@@ -422,6 +471,9 @@ impl FrameGuard {
         }
         let frame = MetricFrame::from_values(&repaired_values).expect("width preserved");
         self.health.repaired += 1;
+        if let Some(c) = &self.counters {
+            c.repaired.inc();
+        }
         self.health.values_patched += patches.len() as u64;
         Admission {
             verdict: FrameVerdict::Repaired { patched: patches.len() },
@@ -434,6 +486,9 @@ impl FrameGuard {
     /// become a snapshot.
     pub fn note_malformed(&mut self) {
         self.health.malformed += 1;
+        if let Some(c) = &self.counters {
+            c.malformed.inc();
+        }
     }
 
     /// The health report accumulated so far.
@@ -574,6 +629,28 @@ mod tests {
         let mut f = MetricFrame::zeroed();
         f.set(MetricId::CpuUser, cpu);
         Snapshot::new(NodeId(1), time, f)
+    }
+
+    #[test]
+    fn attached_registry_mirrors_health_counters() {
+        let registry = appclass_obs::Registry::default();
+        let mut g = FrameGuard::default();
+        g.attach_registry(&registry);
+
+        g.admit(&snap(0, 50.0)); // accepted
+        g.admit(&snap(0, 50.0)); // duplicate → dropped
+        let mut f = MetricFrame::zeroed();
+        f.set(MetricId::CpuUser, f64::NAN);
+        g.admit(&Snapshot::new(NodeId(1), 5, f)); // repaired
+        g.note_malformed();
+
+        let flat: std::collections::BTreeMap<String, f64> = registry.sample().into_iter().collect();
+        assert_eq!(flat["guard_frames_seen_total"], 3.0);
+        assert_eq!(flat["guard_frames_accepted_total"], 1.0);
+        assert_eq!(flat["guard_frames_dropped_total"], 1.0);
+        assert_eq!(flat["guard_frames_repaired_total"], 1.0);
+        assert_eq!(flat["guard_datagrams_malformed_total"], 1.0);
+        assert_eq!(g.health().seen, 3);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Self-monitoring: feeding the observability registry back into the
+//! monitoring substrate, so the classifier can classify **itself**.
+//!
+//! The paper's pipeline classifies an application by its resource
+//! consumption signature. `appclass` is itself an application with a
+//! signature: frames decoded per second, bytes moved over its wire
+//! protocol, classify latency. [`SelfScraper`] adapts an
+//! [`appclass_obs::Registry`] into a [`MetricSource`], mapping named
+//! registry metrics onto [`MetricId`] slots so the exposition feed becomes
+//! one more gmond-style node on the bus — and the profiler → PCA → k-NN
+//! chain runs over it unchanged.
+//!
+//! Counters are monotone, but metric frames carry *levels* (the paper's
+//! Ganglia metrics are `%` and `bytes/sec` style readings), so each
+//! counter mapping is differentiated: `sample()` reports the counter's
+//! per-second rate since the previous scrape. Gauge-like values can be
+//! passed through directly with [`SelfScraper::map_level`].
+//!
+//! # Examples
+//!
+//! ```
+//! use appclass_metrics::gmond::MetricSource;
+//! use appclass_metrics::selfmon::SelfScraper;
+//! use appclass_metrics::{MetricId, NodeId};
+//! use appclass_obs::Registry;
+//!
+//! let registry = Registry::default();
+//! let classified = registry.counter("classify_total");
+//!
+//! let mut scraper = SelfScraper::new(NodeId(9), registry);
+//! scraper.map_rate("classify_total", MetricId::CpuUser, 1.0);
+//!
+//! scraper.sample(0); // baseline scrape
+//! classified.add(40);
+//! let frame = scraper.sample(5);
+//! assert_eq!(frame.get(MetricId::CpuUser), 8.0); // 40 events / 5 s
+//! ```
+
+use crate::gmond::MetricSource;
+use crate::metric::{MetricFrame, MetricId};
+use crate::snapshot::NodeId;
+use appclass_obs::Registry;
+
+/// How a registry value is translated into a metric-frame reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reading {
+    /// Per-second first difference — for monotone counters.
+    Rate,
+    /// Direct pass-through — for gauges and histogram quantiles.
+    Level,
+}
+
+#[derive(Debug, Clone)]
+struct Mapping {
+    /// Flat sample name as produced by [`Registry::sample`] (histograms
+    /// appear as `name_count` / `name_p50_ns` / `name_p99_ns`).
+    source: String,
+    target: MetricId,
+    reading: Reading,
+    scale: f64,
+    /// Value and scrape time at the previous sample, for rate readings.
+    prev: Option<(u64, f64)>,
+}
+
+/// A [`MetricSource`] that scrapes an observability [`Registry`].
+///
+/// Unmapped [`MetricId`] slots stay at zero, exactly like an idle node's
+/// readings; mapped slots carry scaled rates or levels of the named
+/// registry metrics.
+#[derive(Debug, Clone)]
+pub struct SelfScraper {
+    node: NodeId,
+    registry: Registry,
+    mappings: Vec<Mapping>,
+}
+
+impl SelfScraper {
+    /// A scraper over `registry` announcing as `node`, with no mappings
+    /// yet (every sample is all-zero until mappings are added).
+    pub fn new(node: NodeId, registry: Registry) -> Self {
+        SelfScraper { node, registry, mappings: Vec::new() }
+    }
+
+    /// Maps the monotone counter (or any flat sample) named `source` onto
+    /// `target` as a per-second rate, multiplied by `scale`.
+    ///
+    /// The first scrape after mapping has no previous value to difference
+    /// against and reads 0.
+    pub fn map_rate(&mut self, source: &str, target: MetricId, scale: f64) -> &mut Self {
+        self.push_mapping(source, target, Reading::Rate, scale)
+    }
+
+    /// Maps the flat sample named `source` onto `target` directly,
+    /// multiplied by `scale`. Use for gauges and histogram quantiles.
+    pub fn map_level(&mut self, source: &str, target: MetricId, scale: f64) -> &mut Self {
+        self.push_mapping(source, target, Reading::Level, scale)
+    }
+
+    fn push_mapping(
+        &mut self,
+        source: &str,
+        target: MetricId,
+        reading: Reading,
+        scale: f64,
+    ) -> &mut Self {
+        // Remapping a target replaces the old mapping; one slot, one source.
+        self.mappings.retain(|m| m.target != target);
+        self.mappings.push(Mapping {
+            source: source.to_string(),
+            target,
+            reading,
+            scale,
+            prev: None,
+        });
+        self
+    }
+
+    /// Number of active mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// The registry being scraped.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl MetricSource for SelfScraper {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn sample(&mut self, time: u64) -> MetricFrame {
+        let flat = self.registry.sample();
+        let mut frame = MetricFrame::zeroed();
+        for mapping in &mut self.mappings {
+            let Some(&(_, value)) = flat.iter().find(|(name, _)| *name == mapping.source) else {
+                continue;
+            };
+            let reading = match mapping.reading {
+                Reading::Level => value * mapping.scale,
+                Reading::Rate => {
+                    let rate = match mapping.prev {
+                        Some((prev_time, prev_value)) if time > prev_time => {
+                            // Counter resets (value < prev) read as zero
+                            // rather than a huge negative rate.
+                            (value - prev_value).max(0.0) / (time - prev_time) as f64
+                        }
+                        _ => 0.0,
+                    };
+                    mapping.prev = Some((time, value));
+                    rate * mapping.scale
+                }
+            };
+            frame.set(mapping.target, reading);
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmond::MetricSource;
+
+    #[test]
+    fn unmapped_scraper_reads_all_zero() {
+        let mut scraper = SelfScraper::new(NodeId(1), Registry::default());
+        let frame = scraper.sample(0);
+        assert!(frame.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(scraper.node(), NodeId(1));
+    }
+
+    #[test]
+    fn rate_mapping_differences_counters_per_second() {
+        let registry = Registry::default();
+        let c = registry.counter("classify_total");
+        let mut scraper = SelfScraper::new(NodeId(2), registry);
+        scraper.map_rate("classify_total", MetricId::CpuUser, 1.0);
+
+        // First scrape: no baseline yet.
+        c.add(100);
+        assert_eq!(scraper.sample(0).get(MetricId::CpuUser), 0.0);
+
+        c.add(50);
+        assert_eq!(scraper.sample(10).get(MetricId::CpuUser), 5.0);
+
+        // No traffic: rate falls back to zero.
+        assert_eq!(scraper.sample(15).get(MetricId::CpuUser), 0.0);
+    }
+
+    #[test]
+    fn rate_mapping_clamps_counter_resets_to_zero() {
+        let registry = Registry::default();
+        registry.counter("events");
+        let mut scraper = SelfScraper::new(NodeId(3), registry.clone());
+        scraper.map_rate("events", MetricId::BytesIn, 1.0);
+
+        registry.counter("events").add(1000);
+        scraper.sample(0);
+        // Fresh registry entry simulating a restart: same name, lower value.
+        let reborn = Registry::default();
+        reborn.counter("events").add(10);
+        let mut restarted = SelfScraper::new(NodeId(3), reborn);
+        restarted.map_rate("events", MetricId::BytesIn, 1.0);
+        restarted.sample(5);
+
+        // Same-scraper path: a duplicate timestamp must not divide by zero.
+        registry.counter("events").add(5);
+        assert_eq!(scraper.sample(0).get(MetricId::BytesIn), 0.0);
+    }
+
+    #[test]
+    fn level_mapping_passes_gauges_through_scaled() {
+        let registry = Registry::default();
+        let g = registry.gauge("window_fill");
+        g.set(0.75);
+        let mut scraper = SelfScraper::new(NodeId(4), registry);
+        scraper.map_level("window_fill", MetricId::CpuIdle, 100.0);
+        assert_eq!(scraper.sample(0).get(MetricId::CpuIdle), 75.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_addressable_as_levels() {
+        let registry = Registry::default();
+        let h = registry.histogram("classify_latency");
+        for _ in 0..64 {
+            h.record(std::time::Duration::from_nanos(900));
+        }
+        let mut scraper = SelfScraper::new(NodeId(5), registry);
+        scraper.map_level("classify_latency_p50_ns", MetricId::CpuSystem, 1.0);
+        let v = scraper.sample(0).get(MetricId::CpuSystem);
+        assert!(v > 0.0, "p50 of recorded samples should be nonzero, got {v}");
+    }
+
+    #[test]
+    fn remapping_a_target_replaces_the_previous_source() {
+        let registry = Registry::default();
+        registry.counter("a").add(7);
+        registry.gauge("b").set(3.0);
+        let mut scraper = SelfScraper::new(NodeId(6), registry);
+        scraper.map_level("a", MetricId::SwapIn, 1.0);
+        scraper.map_level("b", MetricId::SwapIn, 1.0);
+        assert_eq!(scraper.mapping_count(), 1);
+        assert_eq!(scraper.sample(0).get(MetricId::SwapIn), 3.0);
+    }
+
+    #[test]
+    fn missing_source_names_leave_the_slot_at_zero() {
+        let mut scraper = SelfScraper::new(NodeId(7), Registry::default());
+        scraper.map_rate("never_registered", MetricId::IoBi, 1.0);
+        assert_eq!(scraper.sample(0).get(MetricId::IoBi), 0.0);
+    }
+}

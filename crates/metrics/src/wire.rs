@@ -100,9 +100,14 @@ pub const CONTROL_VERSION: u16 = 1;
 const CONTROL_HEADER: usize = 4 + 2 + 1;
 const CONTROL_TRAILER: usize = 8;
 
+/// Upper bound on a [`ControlFrame::Stats`] exposition text, in bytes.
+/// 64 KiB holds thousands of metric lines — far beyond what the registry
+/// emits — while still letting transports bound their reads.
+pub const MAX_STATS_TEXT: usize = 64 * 1024;
+
 /// Upper bound on an encoded control frame (the largest payload is a
-/// full snapshot datagram). Transport layers use this to bound reads.
-pub const MAX_CONTROL_SIZE: usize = CONTROL_HEADER + 2 + WIRE_SIZE + CONTROL_TRAILER;
+/// stats exposition dump). Transport layers use this to bound reads.
+pub const MAX_CONTROL_SIZE: usize = CONTROL_HEADER + 4 + MAX_STATS_TEXT + CONTROL_TRAILER;
 
 /// FNV-1a 64-bit hash — the control-frame checksum and the basis of
 /// deterministic model fingerprints. Flipping any single input byte
@@ -214,6 +219,13 @@ pub enum ControlFrame {
     /// Telemetry health, as a client request (payload ignored) or the
     /// server's response (the session's accumulated counters).
     Health(TelemetryHealth),
+    /// Observability exposition, as a client request (empty text) or the
+    /// server's response: the metric registry rendered as Prometheus-style
+    /// `name{label} value` lines. At most [`MAX_STATS_TEXT`] bytes.
+    Stats {
+        /// The exposition text (empty in the request direction).
+        text: String,
+    },
     /// Orderly close, with the reason the session ended.
     Bye {
         /// Why the session is over.
@@ -231,6 +243,7 @@ impl ControlFrame {
             ControlFrame::Verdict { .. } => 4,
             ControlFrame::Health(_) => 5,
             ControlFrame::Bye { .. } => 6,
+            ControlFrame::Stats { .. } => 7,
         }
     }
 
@@ -243,6 +256,7 @@ impl ControlFrame {
             ControlFrame::Verdict { .. } => "Verdict",
             ControlFrame::Health(_) => "Health",
             ControlFrame::Bye { .. } => "Bye",
+            ControlFrame::Stats { .. } => "Stats",
         }
     }
 }
@@ -298,6 +312,11 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
             }
         }
         ControlFrame::Bye { reason } => buf.put_u8(reason.code()),
+        ControlFrame::Stats { text } => {
+            assert!(text.len() <= MAX_STATS_TEXT, "stats exposition larger than MAX_STATS_TEXT");
+            buf.put_u32(text.len() as u32);
+            buf.put_slice(text.as_bytes());
+        }
     }
     let checksum = fnv1a64(&buf);
     buf.put_u64(checksum);
@@ -426,6 +445,29 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
                 .ok_or(Error::MalformedWire { reason: "bad bye reason", offset: CONTROL_HEADER })?;
             ControlFrame::Bye { reason }
         }
+        7 => {
+            if rest.len() < 4 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated stats payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let len = rest.get_u32() as usize;
+            if len > MAX_STATS_TEXT {
+                return Err(Error::MalformedWire {
+                    reason: "oversized stats payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            expect_len(rest.len(), len)?;
+            let text = std::str::from_utf8(rest)
+                .map_err(|_| Error::MalformedWire {
+                    reason: "stats payload not utf-8",
+                    offset: CONTROL_HEADER + 4,
+                })?
+                .to_string();
+            ControlFrame::Stats { text }
+        }
         _ => {
             return Err(Error::MalformedWire { reason: "unknown control kind", offset: 6 });
         }
@@ -538,6 +580,10 @@ mod tests {
                 composition: [0.0, 0.125, 0.875, 0.0, 0.0],
             },
             ControlFrame::Health(health),
+            ControlFrame::Stats { text: String::new() },
+            ControlFrame::Stats {
+                text: "classify_total 3\nlatency{quantile=\"0.5\"} 1023 µs\n".to_string(),
+            },
             ControlFrame::Bye { reason: ByeReason::FrameBudget },
         ]
     }
@@ -592,6 +638,52 @@ mod tests {
             decode_control(&buf),
             Err(Error::MalformedWire { reason: "bad verdict class code", .. })
         ));
+    }
+
+    #[test]
+    fn stats_frame_rejects_bad_utf8() {
+        // A well-checksummed Stats frame whose payload is not UTF-8.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(7); // Stats
+        buf.put_u32(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "stats payload not utf-8", .. })
+        ));
+    }
+
+    #[test]
+    fn stats_frame_rejects_oversized_declared_length() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(7);
+        buf.put_u32((MAX_STATS_TEXT + 1) as u32);
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "oversized stats payload", .. })
+        ));
+    }
+
+    #[test]
+    fn stats_frame_at_max_size_roundtrips() {
+        let frame = ControlFrame::Stats { text: "x".repeat(MAX_STATS_TEXT) };
+        let bytes = encode_control(&frame);
+        assert!(bytes.len() <= MAX_CONTROL_SIZE);
+        assert_eq!(decode_control(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_STATS_TEXT")]
+    fn stats_frame_over_max_panics_on_encode() {
+        encode_control(&ControlFrame::Stats { text: "x".repeat(MAX_STATS_TEXT + 1) });
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Power-of-two-nanosecond latency histograms.
+//!
+//! [`LatencyHistogram`] is the single-writer, mergeable form that used to
+//! live in `appclass-serve`; it moved here so every crate shares one
+//! implementation. [`AtomicHistogram`] is its lock-free sibling for
+//! registry-shared recording from many threads; `snapshot()` converts to
+//! the mergeable form for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: bucket `i` covers durations up to `2^i` ns, so
+/// the top bucket (2^39 ns ≈ 9 minutes) is far beyond any classify call.
+pub const BUCKETS: usize = 40;
+
+fn bucket_index(elapsed: Duration) -> usize {
+    let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+    (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+fn bucket_bound(idx: usize) -> u64 {
+    if idx >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// Power-of-two-nanosecond latency histogram.
+///
+/// Bucket `i` covers durations up to `2^i` nanoseconds; `quantile`
+/// reports the upper bound of the bucket holding the requested rank.
+/// That keeps recording allocation-free and O(1) while still giving the
+/// p50/p99 resolution the serving report needs (better than 2×).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; BUCKETS], count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.buckets[bucket_index(elapsed)] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or zero when nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_bound(idx));
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// Absorbs another histogram's observations.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (s, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *s += o;
+        }
+        self.count += other.count;
+    }
+
+    /// Cumulative observation count at or below each bucket's upper
+    /// bound, for buckets up to and including the highest non-empty one.
+    /// Yields `(upper_bound_ns, cumulative_count)` pairs — the shape the
+    /// text exposition needs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let last = match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(idx) => idx,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate().take(last + 1) {
+            seen += n;
+            out.push((bucket_bound(idx), seen));
+        }
+        out
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lock-free power-of-two-ns histogram for concurrent recording.
+///
+/// Same bucket layout as [`LatencyHistogram`]; every record is two
+/// relaxed atomic increments, so hot paths can share one instance via
+/// the registry without a mutex. `snapshot()` produces the mergeable
+/// single-writer form (an in-flight record may momentarily make the
+/// snapshot's bucket sum differ from its count by one — harmless for
+/// reporting, and `snapshot` clamps the count to the bucket sum).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram { buckets: [0u64; BUCKETS].map(AtomicU64::new), count: AtomicU64::new(0) }
+    }
+}
+
+impl AtomicHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram::default()
+    }
+
+    /// Records one observation (lock-free, allocation-free).
+    pub fn record(&self, elapsed: Duration) {
+        self.buckets[bucket_index(elapsed)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy as the mergeable single-writer form.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+            sum += *dst;
+        }
+        LatencyHistogram { buckets, count: sum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero_at_every_quantile() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_bucket_every_quantile_reports_that_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..7 {
+            h.record(Duration::from_nanos(900)); // bucket 10, bound 1023
+        }
+        let bound = Duration::from_nanos(1023);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), bound, "q={q}");
+        }
+        assert_eq!(h.cumulative_buckets().last(), Some(&(1023, 7)));
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(3));
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn p50_p99_split_across_buckets() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(900));
+        }
+        h.record(Duration::from_micros(500));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!(p50 >= Duration::from_nanos(900) && p50 < Duration::from_nanos(2000), "{p50:?}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 < Duration::from_micros(2), "p99 ranks inside the fast bucket: {p99:?}");
+        assert!(h.quantile(1.0) >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO); // bucket 0 bound = 2^0 - 1 = 0
+    }
+
+    #[test]
+    fn huge_duration_clamps_to_top_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), Duration::from_nanos((1u64 << 39) - 1));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(1.0) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut h = LatencyHistogram::new();
+        for n in [1u64, 50, 5000, 5000, 1_000_000] {
+            h.record(Duration::from_nanos(n));
+        }
+        let cum = h.cumulative_buckets();
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(cum.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_single_writer_form() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for n in [5u64, 900, 900, 123_456, 10_000_000] {
+            atomic.record(Duration::from_nanos(n));
+            plain.record(Duration::from_nanos(n));
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn atomic_records_from_many_threads() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(i * (t + 1)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+}

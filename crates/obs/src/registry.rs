@@ -1,0 +1,324 @@
+//! Named metric registry with Prometheus-style text exposition.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) is the cold path and
+//! takes a mutex; the returned handles are `Arc`-backed atomics, so the
+//! hot path updates them without locking or allocating. `render()`
+//! walks the registry in registration order and emits
+//! `name{label} value` lines — the format served over the wire by the
+//! `Stats` control frame and printed by `appclass stats`.
+
+use crate::hist::{AtomicHistogram, LatencyHistogram};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge handle (stores the f64 bit pattern).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        let gauge = Gauge(Arc::new(AtomicU64::new(0)));
+        gauge.set(0.0);
+        gauge
+    }
+}
+
+/// Shared latency-histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, elapsed: std::time::Duration) {
+        self.0.record(elapsed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// Mergeable copy of the current contents.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    handle: Handle,
+}
+
+/// Shared registry of named metrics. Cheap to clone; clones share the
+/// same entries.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Handle) -> Handle {
+        let mut entries = self.entries.lock().expect("metric registry poisoned");
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            return entry.handle.clone();
+        }
+        let handle = make();
+        entries.push(Entry { name: name.to_string(), handle: handle.clone() });
+        handle
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Handle::Counter(Counter::default())) {
+            Handle::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as {}", kind_name(&other)),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Handle::Gauge(Gauge::default())) {
+            Handle::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as {}", kind_name(&other)),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_insert(name, || Handle::Histogram(Histogram::default())) {
+            Handle::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as {}", kind_name(&other)),
+        }
+    }
+
+    /// Renders every metric as Prometheus-style text, one
+    /// `name{label} value` line each, in registration order.
+    ///
+    /// Counters and gauges render as `name value`; a histogram `h`
+    /// renders `h_count`, cumulative `h_bucket{le="<ns>"}` lines up to
+    /// its highest non-empty bucket, and `h{quantile="0.5"|"0.99"}`
+    /// upper bounds in nanoseconds.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("metric registry poisoned").clone();
+        let mut out = String::new();
+        for entry in &entries {
+            match &entry.handle {
+                Handle::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", entry.name, c.get());
+                }
+                Handle::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", entry.name, render_f64(g.get()));
+                }
+                Handle::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "{}_count {}", entry.name, snap.count());
+                    for (bound, cumulative) in snap.cumulative_buckets() {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            entry.name, bound, cumulative
+                        );
+                    }
+                    for q in [0.5, 0.99] {
+                        let _ = writeln!(
+                            out,
+                            "{}{{quantile=\"{}\"}} {}",
+                            entry.name,
+                            q,
+                            snap.quantile(q).as_nanos()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Flat numeric snapshot of every metric, in registration order:
+    /// counters and gauges by name, histograms as `name_count` plus
+    /// `name_p50_ns`/`name_p99_ns`. This is what the flight recorder
+    /// diffs between incidents.
+    pub fn sample(&self) -> Vec<(String, f64)> {
+        let entries = self.entries.lock().expect("metric registry poisoned").clone();
+        let mut out = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            match &entry.handle {
+                Handle::Counter(c) => out.push((entry.name.clone(), c.get() as f64)),
+                Handle::Gauge(g) => out.push((entry.name.clone(), g.get())),
+                Handle::Histogram(h) => {
+                    let snap = h.snapshot();
+                    out.push((format!("{}_count", entry.name), snap.count() as f64));
+                    out.push((
+                        format!("{}_p50_ns", entry.name),
+                        snap.quantile(0.5).as_nanos() as f64,
+                    ));
+                    out.push((
+                        format!("{}_p99_ns", entry.name),
+                        snap.quantile(0.99).as_nanos() as f64,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn kind_name(handle: &Handle) -> &'static str {
+    match handle {
+        Handle::Counter(_) => "a counter",
+        Handle::Gauge(_) => "a gauge",
+        Handle::Histogram(_) => "a histogram",
+    }
+}
+
+fn render_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counter_round_trips() {
+        let reg = Registry::new();
+        let c = reg.counter("frames_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("frames_total").get(), 5);
+    }
+
+    #[test]
+    fn gauge_round_trips() {
+        let reg = Registry::new();
+        reg.gauge("load").set(0.75);
+        assert_eq!(reg.gauge("load").get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_shares_observations() {
+        let reg = Registry::new();
+        reg.histogram("latency").record(Duration::from_micros(3));
+        assert_eq!(reg.histogram("latency").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn render_emits_one_line_per_scalar_in_registration_order() {
+        let reg = Registry::new();
+        reg.counter("b_total").add(2);
+        reg.gauge("a_gauge").set(1.5);
+        let text = reg.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["b_total 2", "a_gauge 1.5"]);
+    }
+
+    #[test]
+    fn render_histogram_has_count_buckets_and_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("classify_latency_ns");
+        h.record(Duration::from_nanos(900));
+        h.record(Duration::from_micros(100));
+        let text = reg.render();
+        assert!(text.contains("classify_latency_ns_count 2"), "{text}");
+        assert!(text.contains("classify_latency_ns_bucket{le=\"1023\"} 1"), "{text}");
+        assert!(text.contains("classify_latency_ns{quantile=\"0.5\"} 1023"), "{text}");
+        assert!(text.contains("classify_latency_ns{quantile=\"0.99\"}"), "{text}");
+    }
+
+    #[test]
+    fn every_render_line_is_name_space_value() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.gauge("g").set(2.25);
+        reg.histogram("h").record(Duration::from_nanos(5));
+        for line in reg.render().lines() {
+            let (name, value) = line.split_once(' ').expect("line has a space");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in `{line}`");
+        }
+    }
+
+    #[test]
+    fn sample_flattens_histograms() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.histogram("h").record(Duration::from_nanos(10));
+        let sample = reg.sample();
+        let get = |name: &str| sample.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("c"), Some(3.0));
+        assert_eq!(get("h_count"), Some(1.0));
+        assert!(get("h_p50_ns").is_some());
+    }
+}

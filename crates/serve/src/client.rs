@@ -145,6 +145,18 @@ impl ServeClient {
         }
     }
 
+    /// Asks the server for its metric exposition: the Prometheus-style
+    /// text dump of the shared observability registry (empty when the
+    /// server runs without observability).
+    pub fn stats(&mut self) -> Result<String> {
+        write_frame(&mut self.writer, &ControlFrame::Stats { text: String::new() })?;
+        match read_frame(&mut self.reader)? {
+            ControlFrame::Stats { text } => Ok(text),
+            ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
+            other => Err(ServeError::UnexpectedFrame { expected: "Stats", got: other.name() }),
+        }
+    }
+
     /// Asks the server for the session's telemetry health report.
     pub fn health(&mut self) -> Result<TelemetryHealth> {
         write_frame(&mut self.writer, &ControlFrame::Health(TelemetryHealth::default()))?;

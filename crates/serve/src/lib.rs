@@ -42,6 +42,7 @@ pub mod server;
 pub mod session;
 pub mod stats;
 
+pub use appclass_obs::Observability;
 pub use client::{ClientConfig, ServeClient, VerdictReport};
 pub use error::{Result, ServeError};
 pub use server::{Server, ServerConfig};

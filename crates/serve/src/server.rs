@@ -16,6 +16,7 @@ use crate::session::{refuse, run_session, SessionConfig, SessionEnd};
 use crate::stats::ServerStats;
 use appclass_core::ClassifierPipeline;
 use appclass_metrics::ByeReason;
+use appclass_obs::{Counter, Observability};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -64,6 +65,28 @@ struct Shared {
     in_flight: AtomicUsize,
     next_session: AtomicU32,
     stats: Mutex<ServerStats>,
+    obs: Observability,
+    session_counters: SessionCounters,
+}
+
+/// Registry counters mirroring the session-lifecycle fields of
+/// [`ServerStats`], so the `Stats` exposition reflects them live.
+struct SessionCounters {
+    started: Counter,
+    finished: Counter,
+    rejected: Counter,
+    errors: Counter,
+}
+
+impl SessionCounters {
+    fn new(obs: &Observability) -> Self {
+        SessionCounters {
+            started: obs.registry.counter("serve_sessions_started_total"),
+            finished: obs.registry.counter("serve_sessions_finished_total"),
+            rejected: obs.registry.counter("serve_sessions_rejected_total"),
+            errors: obs.registry.counter("serve_session_errors_total"),
+        }
+    }
 }
 
 /// A running classification server.
@@ -88,8 +111,21 @@ impl Server {
         pipeline: Arc<ClassifierPipeline>,
         config: ServerConfig,
     ) -> Result<Server> {
+        Server::bind_with_observability(addr, pipeline, config, Observability::new())
+    }
+
+    /// Like [`Server::bind`], but instrumenting into a caller-supplied
+    /// [`Observability`] bundle — the self-classification demo uses this
+    /// to scrape the server's own registry from outside.
+    pub fn bind_with_observability<A: ToSocketAddrs>(
+        addr: A,
+        pipeline: Arc<ClassifierPipeline>,
+        config: ServerConfig,
+        obs: Observability,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let session_counters = SessionCounters::new(&obs);
         let shared = Arc::new(Shared {
             pipeline,
             config,
@@ -97,6 +133,8 @@ impl Server {
             in_flight: AtomicUsize::new(0),
             next_session: AtomicU32::new(1),
             stats: Mutex::new(ServerStats::default()),
+            obs,
+            session_counters,
         });
 
         let (tx, rx) = unbounded::<TcpStream>();
@@ -129,6 +167,12 @@ impl Server {
     /// A point-in-time copy of the aggregate statistics.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats.lock().clone()
+    }
+
+    /// The observability bundle every session instruments into. Clones
+    /// share state, so a returned handle stays live while the server runs.
+    pub fn observability(&self) -> &Observability {
+        &self.shared.obs
     }
 
     /// Asks every thread to wind down: in-flight sessions drain with
@@ -196,6 +240,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<TcpStream>) 
         }
         if shared.in_flight.load(Ordering::SeqCst) >= capacity {
             shared.stats.lock().sessions_rejected += 1;
+            shared.session_counters.rejected.inc();
             refuse(stream, ByeReason::SessionLimit);
             continue;
         }
@@ -225,21 +270,36 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
 fn serve_one(shared: &Shared, stream: TcpStream) {
     if shared.shutdown.load(Ordering::SeqCst) {
         shared.stats.lock().sessions_rejected += 1;
+        shared.session_counters.rejected.inc();
         refuse(stream, ByeReason::Shutdown);
         return;
     }
     if stream.set_read_timeout(Some(shared.config.read_timeout)).is_err() {
         shared.stats.lock().session_errors += 1;
+        shared.session_counters.errors.inc();
         return;
     }
     let session_id = shared.next_session.fetch_add(1, Ordering::SeqCst);
     shared.stats.lock().sessions_started += 1;
-    let end =
-        run_session(stream, session_id, &shared.pipeline, shared.config.session, &shared.shutdown);
+    shared.session_counters.started.inc();
+    let end = run_session(
+        stream,
+        session_id,
+        &shared.pipeline,
+        shared.config.session,
+        &shared.shutdown,
+        Some(&shared.obs),
+    );
     let mut stats = shared.stats.lock();
     stats.absorb(end.outcome());
     match end {
-        SessionEnd::Clean(_) | SessionEnd::Shutdown(_) => stats.sessions_finished += 1,
-        SessionEnd::Failed(..) => stats.session_errors += 1,
+        SessionEnd::Clean(_) | SessionEnd::Shutdown(_) => {
+            stats.sessions_finished += 1;
+            shared.session_counters.finished.inc();
+        }
+        SessionEnd::Failed(..) => {
+            stats.session_errors += 1;
+            shared.session_counters.errors.inc();
+        }
     }
 }

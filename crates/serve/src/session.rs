@@ -4,7 +4,7 @@
 //! stream and the classification core. The first frame must be a
 //! `Hello` (versioned handshake + model fingerprint check); after that
 //! the client streams `Snapshot` frames and interleaves `Classify`,
-//! `Health` and finally `Bye`. Every snapshot passes through the
+//! `Health`, `Stats` and finally `Bye`. Every snapshot passes through the
 //! session's own [`FrameGuard`] via `push_guarded`, so a client on a
 //! degraded telemetry link degrades only its own verdicts.
 
@@ -14,10 +14,58 @@ use crate::stats::SessionOutcome;
 use appclass_core::online::OnlineClassifier;
 use appclass_core::ClassifierPipeline;
 use appclass_metrics::{wire, ByeReason, ControlFrame, FrameVerdict};
+use appclass_obs::{Counter, Histogram, Observability};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Live observability handles for one session: registry counters
+/// incremented as events happen (so a `Stats` exposition mid-session is
+/// current, unlike [`SessionOutcome`] which is folded in at session
+/// end), plus the degraded-once latch for flight recording.
+struct SessionObs {
+    obs: Observability,
+    session_id: u32,
+    frames_in: Counter,
+    frames_repaired: Counter,
+    frames_dropped: Counter,
+    frames_malformed: Counter,
+    classify_total: Counter,
+    classify_latency: Histogram,
+    /// The flight recorder snapshots the *first* degraded frame of a
+    /// session, not all of them — one incident per degradation episode
+    /// keeps the bounded incident log useful.
+    degraded_noted: bool,
+}
+
+impl SessionObs {
+    fn new(obs: &Observability, session_id: u32) -> Self {
+        SessionObs {
+            frames_in: obs.registry.counter("serve_frames_in_total"),
+            frames_repaired: obs.registry.counter("serve_frames_repaired_total"),
+            frames_dropped: obs.registry.counter("serve_frames_dropped_total"),
+            frames_malformed: obs.registry.counter("serve_frames_malformed_total"),
+            classify_total: obs.registry.counter("serve_classify_total"),
+            classify_latency: obs.registry.histogram("serve_classify_latency"),
+            obs: obs.clone(),
+            session_id,
+            degraded_noted: false,
+        }
+    }
+
+    fn note_degraded(&mut self, what: &str) {
+        if !self.degraded_noted {
+            self.degraded_noted = true;
+            self.obs
+                .incident(&format!("session {}: first degraded frame ({what})", self.session_id));
+        }
+    }
+
+    fn note_failure(&self, error: &ServeError) {
+        self.obs.incident(&format!("session {} failed: {error}", self.session_id));
+    }
+}
 
 /// Per-session policy knobs, fixed at server construction.
 #[derive(Debug, Clone, Copy)]
@@ -53,13 +101,33 @@ pub enum SessionEnd {
 ///
 /// `session_id` is echoed back in the server's `Hello`; `shutdown` is
 /// polled whenever the stream goes idle (the stream must carry a read
-/// timeout for that poll to ever fire).
+/// timeout for that poll to ever fire). With `obs` present the session
+/// traces its classify calls, mirrors frame/verdict counters into the
+/// registry live, answers `Stats` frames with the exposition text, and
+/// flight-records its first degraded frame and any failure.
 pub fn run_session(
     stream: TcpStream,
     session_id: u32,
     pipeline: &ClassifierPipeline,
     config: SessionConfig,
     shutdown: &AtomicBool,
+    obs: Option<&Observability>,
+) -> SessionEnd {
+    let mut sobs = obs.map(|o| SessionObs::new(o, session_id));
+    let end = run_session_inner(stream, session_id, pipeline, config, shutdown, &mut sobs);
+    if let (SessionEnd::Failed(_, e), Some(s)) = (&end, &sobs) {
+        s.note_failure(e);
+    }
+    end
+}
+
+fn run_session_inner(
+    stream: TcpStream,
+    session_id: u32,
+    pipeline: &ClassifierPipeline,
+    config: SessionConfig,
+    shutdown: &AtomicBool,
+    sobs: &mut Option<SessionObs>,
 ) -> SessionEnd {
     let mut outcome = SessionOutcome::default();
     let reader = match stream.try_clone() {
@@ -73,6 +141,9 @@ pub fn run_session(
         Some(w) => OnlineClassifier::with_window(pipeline, w),
         None => OnlineClassifier::new(pipeline),
     };
+    if let Some(s) = sobs.as_ref() {
+        classifier.set_tracer(s.obs.tracer.clone());
+    }
 
     // --- handshake -------------------------------------------------------
     match handshake(&mut reader, &mut writer, session_id, pipeline, shutdown) {
@@ -110,6 +181,9 @@ pub fn run_session(
         match frame {
             ControlFrame::Snapshot { wire: bytes } => {
                 outcome.frames_in += 1;
+                if let Some(s) = sobs.as_ref() {
+                    s.frames_in.inc();
+                }
                 if outcome.frames_in > config.frame_budget {
                     let _ = write_frame(
                         &mut writer,
@@ -123,8 +197,20 @@ pub fn run_session(
                 // here are expected degradation, not protocol errors.
                 match wire::decode(&bytes) {
                     Ok(snapshot) => match classifier.push_guarded(&snapshot) {
-                        Ok(FrameVerdict::Repaired { .. }) => outcome.frames_repaired += 1,
-                        Ok(FrameVerdict::Dropped { .. }) => outcome.frames_dropped += 1,
+                        Ok(FrameVerdict::Repaired { .. }) => {
+                            outcome.frames_repaired += 1;
+                            if let Some(s) = sobs.as_mut() {
+                                s.frames_repaired.inc();
+                                s.note_degraded("repaired");
+                            }
+                        }
+                        Ok(FrameVerdict::Dropped { .. }) => {
+                            outcome.frames_dropped += 1;
+                            if let Some(s) = sobs.as_mut() {
+                                s.frames_dropped.inc();
+                                s.note_degraded("dropped");
+                            }
+                        }
                         Ok(FrameVerdict::Accepted) => {}
                         Err(e) => {
                             finish(&mut outcome, &classifier);
@@ -134,6 +220,10 @@ pub fn run_session(
                     Err(_) => {
                         outcome.frames_malformed += 1;
                         classifier.note_malformed();
+                        if let Some(s) = sobs.as_mut() {
+                            s.frames_malformed.inc();
+                            s.note_degraded("malformed");
+                        }
                     }
                 }
             }
@@ -141,12 +231,27 @@ pub fn run_session(
                 let start = Instant::now();
                 let verdict = verdict_frame(&classifier);
                 let sent = write_frame(&mut writer, &verdict);
-                outcome.classify_latency.record(start.elapsed());
+                let elapsed = start.elapsed();
+                outcome.classify_latency.record(elapsed);
+                if let Some(s) = sobs.as_ref() {
+                    s.classify_latency.record(elapsed);
+                    s.classify_total.inc();
+                }
                 if let Err(e) = sent {
                     finish(&mut outcome, &classifier);
                     return SessionEnd::Failed(outcome, e);
                 }
                 outcome.verdicts += 1;
+            }
+            ControlFrame::Stats { .. } => {
+                // Any `Stats` frame from the client is a request; the
+                // reply carries the shared registry's exposition text
+                // (empty when the server runs without observability).
+                let text = sobs.as_ref().map(|s| s.obs.registry.render()).unwrap_or_default();
+                if let Err(e) = write_frame(&mut writer, &ControlFrame::Stats { text }) {
+                    finish(&mut outcome, &classifier);
+                    return SessionEnd::Failed(outcome, e);
+                }
             }
             ControlFrame::Health(_) => {
                 // The client's payload is a placeholder; the server

@@ -7,73 +7,13 @@
 
 use appclass_metrics::{StageMetrics, TelemetryHealth};
 use std::fmt;
-use std::time::Duration;
 
-/// Power-of-two-nanosecond latency histogram.
-///
-/// Bucket `i` covers durations up to `2^i` nanoseconds; `quantile`
-/// reports the upper bound of the bucket holding the requested rank.
-/// That keeps recording allocation-free and O(1) while still giving the
-/// p50/p99 resolution the serving report needs (better than 2×).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; Self::BUCKETS],
-    count: u64,
-}
-
-impl LatencyHistogram {
-    const BUCKETS: usize = 40; // 2^39 ns ≈ 9 minutes, far beyond any classify call
-
-    /// Empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram { buckets: [0; Self::BUCKETS], count: 0 }
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, elapsed: Duration) {
-        let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - nanos.leading_zeros() as usize).min(Self::BUCKETS - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Upper bound of the bucket holding the `q`-quantile observation
-    /// (`q` in `[0, 1]`), or zero when nothing has been recorded.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let bound = if idx >= 63 { u64::MAX } else { (1u64 << idx) - 1 };
-                return Duration::from_nanos(bound);
-            }
-        }
-        Duration::from_nanos(u64::MAX)
-    }
-
-    /// Absorbs another histogram's observations.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (s, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *s += o;
-        }
-        self.count += other.count;
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// Power-of-two-nanosecond latency histogram, re-exported from the
+/// observability layer it was extracted into ([`appclass_obs::hist`]).
+/// The serving report's semantics are unchanged: bucket `i` covers
+/// durations up to `2^i` nanoseconds and `quantile` reports the upper
+/// bound of the bucket holding the requested rank.
+pub use appclass_obs::LatencyHistogram;
 
 /// What one finished session contributes to the aggregate stats.
 #[derive(Debug, Clone, Default)]
@@ -174,12 +114,42 @@ impl fmt::Display for ServerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.quantile(0.0), Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_bucket_histogram_pins_every_quantile_to_that_bucket() {
+        // Regression for the extraction into `appclass-obs`: with every
+        // observation in one bucket, p50 and p99 must agree on its bound.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_nanos(700)); // bucket covering < 1024 ns
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert_eq!(p50, p99);
+        assert_eq!(p50, Duration::from_nanos(1023));
+    }
+
+    #[test]
+    fn quantile_bound_formula_is_bit_identical_to_the_old_local_copy() {
+        // The pre-extraction serve-local histogram computed the bucket
+        // bound as `(1 << idx) - 1`; a range of magnitudes must still
+        // land on exactly those bounds.
+        for (nanos, bound) in [(1u64, 1u64), (2, 3), (900, 1023), (1024, 2047), (500_000, 524_287)]
+        {
+            let mut h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(nanos));
+            assert_eq!(h.quantile(1.0), Duration::from_nanos(bound), "nanos={nanos}");
+        }
     }
 
     #[test]

@@ -39,6 +39,30 @@ grep -q "class:       CPU" "$tmp/client.log"
 grep -q "verdicts: [1-9]" "$tmp/serve.log"
 echo "server smoke OK ($addr, one session, clean drain)"
 
+echo "== observability smoke test =="
+# Serve again with two session slots: one real classify session, then a
+# stats fetch over the Stats control frame (the fetch occupies the
+# second slot). The exposition must be parseable "name value" lines and
+# count the classify that just happened.
+./target/release/appclass serve --addr 127.0.0.1:0 --model "$tmp/pipeline.json" \
+    --sessions 2 > "$tmp/obs_serve.log" &
+obs_pid=$!
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+    addr=$(sed -n 's/^listening on //p' "$tmp/obs_serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "observability server never announced its address"; kill "$obs_pid"; exit 1; }
+./target/release/appclass client --addr "$addr" --workload CH3D --seed 7 > /dev/null
+./target/release/appclass stats --addr "$addr" > "$tmp/stats.log"
+wait "$obs_pid"
+grep -q "^serve_classify_total [1-9]" "$tmp/stats.log"
+awk 'NF != 2 { print "unparseable exposition line: " $0; bad = 1 } END { exit bad }' "$tmp/stats.log"
+echo "observability smoke OK ($addr, nonzero classify_total, parseable dump)"
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

@@ -10,6 +10,7 @@
 //! appclass cost     --db db.json [--cpu a --mem b --io c --net d --idle e]
 //! appclass serve    --addr 127.0.0.1:0 --model pipeline.json [--sessions N]
 //! appclass client   --addr HOST:PORT --workload CH3D [--seed N] [--drop-rate R]
+//! appclass stats    --addr HOST:PORT
 //! ```
 //!
 //! Everything is seeded and file-based: `train` persists a pipeline as
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
         "cost" => cmd_cost(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "client" => cmd_client(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
             Ok(())
@@ -97,7 +99,9 @@ commands:
                                serve the pipeline to concurrent TCP clients
                                (--sessions N exits after N sessions drain)
   client --addr HOST:PORT --workload NAME [--seed N] [--drop-rate R] [--model-id H]
-                               replay a workload's monitoring stream and classify";
+                               replay a workload's monitoring stream and classify
+  stats --addr HOST:PORT       dump a running server's metric exposition
+                               (note: the fetch occupies one session slot)";
 
 /// Minimal `--key value` option extraction. A following token that is
 /// itself a flag does not count as the value, so `--out --seed 7` reports
@@ -422,6 +426,22 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         health.dropped,
         health.malformed
     );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    use appclass::serve::{ClientConfig, ServeClient};
+    validate_flags(args, &["--addr"])?;
+    let addr = opt(args, "--addr").ok_or("stats requires --addr HOST:PORT")?;
+    let mut client = ServeClient::connect(addr.as_str(), ClientConfig::default())
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let text = client.stats().map_err(|e| e.to_string())?;
+    client.bye().map_err(|e| e.to_string())?;
+    if text.is_empty() {
+        out!("(the server exposes no metrics)");
+    } else {
+        out!("{}", text.trim_end());
+    }
     Ok(())
 }
 

@@ -23,6 +23,9 @@
 //! * [`serve`] — the concurrent TCP classification service: many
 //!   monitoring clients stream snapshots to one trained pipeline and read
 //!   back live verdicts.
+//! * [`obs`] — the unified observability layer: span tracer, metric
+//!   registry with a Prometheus-style exposition, and the flight recorder
+//!   that snapshots recent spans and metric deltas on incidents.
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@
 pub use appclass_core as core;
 pub use appclass_linalg as linalg;
 pub use appclass_metrics as metrics;
+pub use appclass_obs as obs;
 pub use appclass_sched as sched;
 pub use appclass_serve as serve;
 pub use appclass_sim as sim;

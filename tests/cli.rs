@@ -195,6 +195,35 @@ fn client_rejects_unknown_flag_and_bad_rate() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--drop-rate"));
 }
 
+#[test]
+fn stats_rejects_unknown_flag() {
+    let out = bin().args(["stats", "--addr", "127.0.0.1:1", "--verbose"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--verbose`"), "{err}");
+    assert!(err.contains("usage"), "unknown flags must re-print usage:\n{err}");
+
+    let out = bin().arg("stats").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stats requires --addr"));
+}
+
+/// `appclass stats` against a dead port must exit with a typed
+/// connection error on stderr — not a panic, not a hang.
+#[test]
+fn stats_on_dead_port_is_a_typed_error() {
+    // Bind-then-drop an ephemeral port so nothing is listening on it.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let out = bin().args(["stats", "--addr", &dead.to_string()]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot reach"), "error must be typed, got:\n{err}");
+    assert!(!err.contains("panicked"), "a dead port must not panic the CLI:\n{err}");
+}
+
 /// End-to-end over a real socket: train, serve on an ephemeral port,
 /// replay one clean and one lossy client, then let the server drain.
 #[test]

@@ -103,6 +103,130 @@ fn concurrent_sessions_classify_independently() {
     );
 }
 
+/// The `Stats` control frame: a session can ask the server for its
+/// metric exposition mid-stream and gets back parseable Prometheus-style
+/// text reflecting the work done so far, the same text the server-side
+/// observability handle renders.
+#[test]
+fn stats_frame_returns_a_live_parseable_exposition() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&pipeline), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 90, 555);
+    let mut client = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+    client.stream_snapshots(&snaps).unwrap();
+    client.classify().unwrap();
+    let text = client.stats().unwrap();
+    assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+
+    // Every line is `name value` (value possibly labelled); no line is
+    // empty, and the values parse as f64.
+    assert!(!text.is_empty(), "an instrumented server must expose metrics");
+    for line in text.lines() {
+        let (name, value) = line.rsplit_once(' ').expect("line must be `name value`");
+        assert!(!name.is_empty(), "{line:?}");
+        value.parse::<f64>().unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+    }
+    let field = |name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+    };
+    assert_eq!(field("serve_classify_total"), 1.0);
+    assert_eq!(field("serve_frames_in_total"), snaps.len() as f64);
+    assert_eq!(field("serve_sessions_started_total"), 1.0);
+    assert!(field("serve_classify_latency_count") >= 1.0);
+
+    // The server-side handle sees the same registry the wire dump came
+    // from, and the session's traced classify calls landed in the ring.
+    let obs = server.observability().clone();
+    assert_eq!(obs.registry.counter("serve_classify_total").get(), 1);
+    assert!(obs.tracer.recorded() > 0, "traced sessions must record spans");
+
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// A session on a corrupting telemetry link must leave a trace in the
+/// flight recorder: the first degraded frame snapshots the recent spans
+/// and registry state into an incident, exportable as JSONL.
+#[test]
+fn degraded_session_leaves_a_flight_incident() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&pipeline), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 92, 888);
+    let mut plan = FaultPlan::lossless(99);
+    plan.truncate_rate = 0.5; // wire-level: truncated datagrams fail to decode
+    let chaos = Some(plan);
+    let mut client = ServeClient::connect(addr, ClientConfig { model_id: 0, chaos }).unwrap();
+    client.stream_snapshots(&snaps).unwrap();
+    client.classify().unwrap();
+    assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+
+    let obs = server.observability().clone();
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert!(
+        stats.frames_malformed + stats.frames_dropped + stats.frames_repaired > 0,
+        "the corrupting channel must degrade some frames"
+    );
+    assert_eq!(obs.flight.len(), 1, "exactly one incident for the first degraded frame");
+    let incident = &obs.flight.incidents()[0];
+    assert!(incident.reason.contains("degraded"), "{}", incident.reason);
+    let jsonl = obs.flight.to_jsonl();
+    assert_eq!(jsonl.lines().count(), 1);
+}
+
+/// Multi-session aggregation regression: the server folds every
+/// session's per-stage cost counters together via `StageMetrics::merge`,
+/// so after two identical sessions the aggregate must carry exactly
+/// twice one session's samples and calls for every stage.
+#[test]
+fn aggregate_stage_metrics_are_the_merge_of_all_sessions() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&pipeline), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[1], 91, 777);
+
+    // A local replica of exactly what one session does to its
+    // classifier, for the expected per-session stage counters.
+    let mut lone = appclass::prelude::OnlineClassifier::new(&pipeline);
+    for snap in &snaps {
+        lone.push_guarded(snap).unwrap();
+    }
+    let per_session = lone.stage_metrics().clone();
+    assert!(!per_session.is_empty(), "fixture must exercise the stages");
+
+    for _ in 0..2 {
+        let mut client = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+        client.stream_snapshots(&snaps).unwrap();
+        client.classify().unwrap();
+        assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+    }
+
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert_eq!(stats.sessions_finished, 2);
+    for stat in per_session.stages() {
+        let merged = stats
+            .stage_metrics
+            .get(&stat.name)
+            .unwrap_or_else(|| panic!("stage {} missing from the aggregate", stat.name));
+        assert_eq!(merged.samples, 2 * stat.samples, "stage {}", stat.name);
+        assert_eq!(merged.calls, 2 * stat.calls, "stage {}", stat.name);
+    }
+}
+
 /// Admission control: with one worker and no backlog, a second
 /// connection arriving while the first session is parked must be
 /// refused with `Bye(SessionLimit)` — and the refusal must be typed on
