@@ -48,6 +48,37 @@ fn bench_single_session(c: &mut Criterion) {
     server.join().expect("clean drain");
 }
 
+/// Batched vs single-frame streaming on one session: the same snapshot
+/// run coalesced into `SnapshotBatch` frames of increasing size. With
+/// verdicts bitwise-identical by construction, the only thing the batch
+/// size changes is throughput — `batch1` is the framing-overhead
+/// baseline the larger sizes are compared against.
+fn bench_batched_session(c: &mut Criterion) {
+    let pipeline = Arc::new(trained_pipeline(42));
+    let snaps = fixture_snapshots(62, 3000);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("serve_batch");
+    group.sample_size(20);
+    for batch in [1usize, 8, 32, 128] {
+        group.bench_function(format!("batch{batch}"), |b| {
+            b.iter(|| {
+                let mut client = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+                client.stream_batch(&snaps, batch).unwrap();
+                let verdict = client.classify().unwrap();
+                client.bye().unwrap();
+                verdict
+            })
+        });
+    }
+    group.finish();
+
+    server.shutdown();
+    server.join().expect("clean drain");
+}
+
 /// N clients streaming concurrently against one server: wall-clock per
 /// batch of N sessions, i.e. the aggregate serving throughput.
 fn bench_concurrent_sessions(c: &mut Criterion) {
@@ -85,5 +116,5 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
     server.join().expect("clean drain");
 }
 
-criterion_group!(benches, bench_single_session, bench_concurrent_sessions);
+criterion_group!(benches, bench_single_session, bench_batched_session, bench_concurrent_sessions);
 criterion_main!(benches);

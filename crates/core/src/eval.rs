@@ -97,23 +97,37 @@ impl ConfusionMatrix {
         Some(self.counts[i][i] as f64 / actual as f64)
     }
 
-    /// F1 score of one class; `None` when precision or recall is
-    /// undefined or both are zero.
+    /// F1 score of one class.
+    ///
+    /// `None` only when precision or recall is itself undefined (the
+    /// class never predicted / never occurred — there is nothing to
+    /// score). When both are defined but zero (the class occurred and
+    /// was predicted, never correctly), the harmonic-mean limit is a
+    /// genuine worst score: `Some(0.0)`.
     pub fn f1(&self, class: AppClass) -> Option<f64> {
         let p = self.precision(class)?;
         let r = self.recall(class)?;
         if p + r == 0.0 {
-            return None;
+            return Some(0.0);
         }
         Some(2.0 * p * r / (p + r))
     }
 
-    /// Macro-averaged F1 over the classes that occur in the data.
+    /// Macro-averaged F1 over the classes whose F1 is defined.
+    ///
+    /// A class present in the truth but *never predicted* has undefined
+    /// precision, hence undefined F1; scoring it `0.0` (as an
+    /// `unwrap_or(0.0)` once did here) would grade "the classifier never
+    /// emits this label" identically to "every prediction of it is
+    /// wrong", dragging the average down by an arbitrary amount. Such
+    /// classes are **skipped**: the average covers only classes with a
+    /// defined score, and genuinely-zero F1 (both precision and recall
+    /// defined but zero) still counts as `0.0`.
     pub fn macro_f1(&self) -> Option<f64> {
         let scores: Vec<f64> = AppClass::ALL
             .iter()
             .filter(|&&c| self.counts[c.index()].iter().sum::<usize>() > 0)
-            .map(|&c| self.f1(c).unwrap_or(0.0))
+            .filter_map(|&c| self.f1(c))
             .collect();
         if scores.is_empty() {
             return None;
@@ -237,7 +251,35 @@ mod tests {
         assert_eq!(m.precision(Cpu), Some(2.0 / 3.0));
         assert_eq!(m.recall(Io), Some(0.0));
         assert_eq!(m.precision(Io), Some(0.0));
-        assert_eq!(m.f1(Io), None, "0/0 F1 undefined");
+        assert_eq!(m.f1(Io), Some(0.0), "defined-but-zero precision/recall → genuine zero F1");
+    }
+
+    /// Regression: a truth class the classifier never predicts has
+    /// undefined F1 and must be *skipped* by `macro_f1`, not scored 0.0.
+    /// Pre-fix (`unwrap_or(0.0)`) this averaged in a phantom zero and
+    /// returned 0.4 here.
+    #[test]
+    fn macro_f1_skips_undefined_classes() {
+        // Io occurs in truth but is never predicted → its precision (and
+        // so F1) is undefined. Cpu: p = 2/3, r = 1, F1 = 0.8.
+        let m = ConfusionMatrix::from_pairs(&[Cpu, Cpu, Io], &[Cpu, Cpu, Cpu]).unwrap();
+        assert_eq!(m.f1(Io), None, "never predicted → undefined");
+        assert_eq!(m.macro_f1(), Some(0.8), "only Cpu's defined F1 is averaged");
+    }
+
+    /// The complement of the skip rule: a class that occurred, was
+    /// predicted, and was never right has a *defined* zero F1 that must
+    /// still drag the average down. Pre-fix `f1` returned `None` for
+    /// this case, so the zero silently matched `unwrap_or(0.0)`; now it
+    /// must survive on its own.
+    #[test]
+    fn macro_f1_keeps_genuinely_zero_classes() {
+        // Cpu↔Io fully swapped: both classes occur and are predicted,
+        // every prediction wrong → F1 genuinely 0 for both.
+        let m = ConfusionMatrix::from_pairs(&[Cpu, Io], &[Io, Cpu]).unwrap();
+        assert_eq!(m.f1(Cpu), Some(0.0));
+        assert_eq!(m.f1(Io), Some(0.0));
+        assert_eq!(m.macro_f1(), Some(0.0));
     }
 
     #[test]

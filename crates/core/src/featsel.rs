@@ -135,10 +135,23 @@ fn correlation_matrix(runs: &[(Matrix, AppClass)]) -> Vec<[f64; METRIC_COUNT]> {
             let cov = cross[i][j] / n - (sum[i] / n) * (sum[j] / n);
             let vi = cross[i][i] / n - (sum[i] / n) * (sum[i] / n);
             let vj = cross[j][j] / n - (sum[j] / n) * (sum[j] / n);
-            let c = if vi <= 0.0 || vj <= 0.0 {
+            // NaN-safe guards: huge-magnitude columns overflow `cross` to
+            // +∞, making the variance ∞ − ∞ = NaN. NaN fails every
+            // comparison, so a plain `vi <= 0.0` guard lets NaN through
+            // and `clamp` preserves it, poisoning the greedy argmax in
+            // `select_features`; a degenerate (zero/non-finite) variance
+            // must instead mean "uncorrelated", like any other constant
+            // column. The final `is_finite` catches a non-finite quotient.
+            let degenerate = |v: f64| v <= 0.0 || !v.is_finite();
+            let c = if degenerate(vi) || degenerate(vj) {
                 0.0
             } else {
-                (cov / (vi * vj).sqrt()).clamp(-1.0, 1.0)
+                let r = cov / (vi * vj).sqrt();
+                if r.is_finite() {
+                    r.clamp(-1.0, 1.0)
+                } else {
+                    0.0
+                }
             };
             corr[i][j] = c;
             corr[j][i] = c;
@@ -183,7 +196,10 @@ pub fn select_features(runs: &[(Matrix, AppClass)], count: usize) -> Result<Vec<
                 // picks so far.
                 (i, s.relevance / (0.05 + redundancy))
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            // `total_cmp` imposes a total order, so the argmax can never
+            // panic even if an unforeseen NaN slips past the correlation
+            // guards — selection degrades instead of aborting.
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty remaining");
         selected.push(remaining.remove(best_idx).metric);
     }
@@ -302,6 +318,37 @@ mod tests {
                 b.relevance
             );
         }
+    }
+
+    /// Regression: empty/degenerate inputs must surface as the typed
+    /// `NoTrainingData` error, never reach the greedy loop.
+    #[test]
+    fn empty_runs_yield_typed_error() {
+        assert!(matches!(select_features(&[], 2), Err(Error::NoTrainingData)));
+        let zero_rows = vec![(Matrix::zeros(0, METRIC_COUNT), AppClass::Cpu)];
+        assert!(matches!(select_features(&zero_rows, 2), Err(Error::NoTrainingData)));
+    }
+
+    /// Regression for the `.expect("finite scores")` panic at the greedy
+    /// argmax: a metric held constant at huge magnitude overflows the
+    /// one-pass cross-moment accumulator (`cross[i][i] = ∞`), the
+    /// variance becomes ∞ − ∞ = NaN, NaN bypassed the old `vi <= 0.0`
+    /// guard, and the NaN correlation poisoned the second greedy pick's
+    /// score. Pre-fix this call panicked; now it must select cleanly.
+    #[test]
+    fn huge_constant_metric_does_not_panic() {
+        let mk = |cpu: f64| {
+            let mut m = Matrix::zeros(8, METRIC_COUNT);
+            for i in 0..8 {
+                m[(i, MetricId::CpuUser.index())] = cpu * (1.0 + 0.1 * i as f64);
+                m[(i, MetricId::MemTotal.index())] = 1e200; // constant, overflows cross-moments
+            }
+            m
+        };
+        let runs = vec![(mk(80.0), AppClass::Cpu), (mk(0.0), AppClass::Idle)];
+        let selected = select_features(&runs, 2).unwrap();
+        assert_eq!(selected.len(), 2);
+        assert!(selected.contains(&MetricId::CpuUser), "{selected:?}");
     }
 
     #[test]

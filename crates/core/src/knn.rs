@@ -7,12 +7,20 @@
 //! training snapshot is computed in the PCA feature space, the three
 //! nearest vote, and ties break toward the class of the single nearest
 //! neighbour — deterministic, like everything in this reproduction.
+//!
+//! Batches take a blocked hot path: per-training-row squared norms are
+//! computed once at construction, a query block's distances come from the
+//! `|x|² + |t|² − 2·x·t` expansion ([`appclass_linalg::batch`]), and the
+//! candidate top-k is re-scored with the scalar kernel before voting so
+//! batch labels stay **bitwise-identical** to the streaming path
+//! (DESIGN.md §10).
 
 use crate::class::AppClass;
 use crate::error::{Error, Result};
 use crate::stage::{encode_classes, Stage, StreamingStage};
-use appclass_linalg::{vector, Matrix};
-use serde::{Deserialize, Serialize};
+use appclass_linalg::{batch, vector, Matrix};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::OnceLock;
 
 /// Distance metric for neighbour search. The paper's geometric "closest"
 /// is Euclidean; the alternatives exist for the ablation benches.
@@ -39,6 +47,14 @@ impl Distance {
     }
 }
 
+/// Worker count for large batches, looked up once per process rather
+/// than on every `classify_batch` call.
+fn knn_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1))
+}
+
 /// A trained k-NN classifier over labelled points in feature space.
 ///
 /// # Examples
@@ -61,12 +77,21 @@ impl Distance {
 /// assert_eq!(knn.classify(&[0.8, 0.0]).unwrap(), AppClass::Cpu);
 /// assert_eq!(knn.classify(&[-0.8, 0.0]).unwrap(), AppClass::Idle);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnClassifier {
     k: usize,
     points: Matrix,
     labels: Vec<AppClass>,
     distance: Distance,
+    /// Per-training-row squared norms, precomputed for the batch kernel.
+    /// Derived from `points`, so excluded from the serialized form and
+    /// rebuilt on deserialization.
+    norms: Vec<f64>,
+    /// `max(norms)`, for the expansion error margin.
+    max_norm: f64,
+    /// Column-major copy of `points` for the vectorizable expansion
+    /// kernel. Derived, like `norms`.
+    cols: batch::TrainingColumns,
 }
 
 impl KnnClassifier {
@@ -89,7 +114,10 @@ impl KnnClassifier {
         if points.rows() != labels.len() {
             return Err(Error::FeatureMismatch { expected: points.rows(), got: labels.len() });
         }
-        Ok(KnnClassifier { k, points, labels, distance })
+        let norms = batch::row_sq_norms(&points);
+        let max_norm = norms.iter().cloned().fold(0.0, f64::max);
+        let cols = batch::TrainingColumns::from_matrix(&points);
+        Ok(KnnClassifier { k, points, labels, distance, norms, max_norm, cols })
     }
 
     /// The paper's configuration: 3-NN with Euclidean distance.
@@ -122,21 +150,11 @@ impl KnnClassifier {
         &self.labels
     }
 
-    /// Classifies one point: the majority vote of its k nearest training
-    /// neighbours, ties broken by the nearest neighbour among the tied
-    /// classes.
-    ///
-    /// Non-finite coordinates are rejected: a NaN distance would silently
-    /// corrupt the nearest-neighbour selection.
-    pub fn classify(&self, point: &[f64]) -> Result<AppClass> {
-        if point.len() != self.dim() {
-            return Err(Error::FeatureMismatch { expected: self.dim(), got: point.len() });
-        }
-        if let Some(col) = point.iter().position(|v| !v.is_finite()) {
-            return Err(Error::Linalg(appclass_linalg::Error::NonFinite { row: 0, col }));
-        }
-        let k = self.k.min(self.points.rows());
-
+    /// Top-k selection and majority vote over `(distance, index)` pairs,
+    /// fed in increasing index order. This is *the* neighbour-selection
+    /// rule: both the streaming path and the batch candidate re-score
+    /// funnel through it, which is what makes them bitwise-identical.
+    fn vote(&self, k: usize, pairs: impl Iterator<Item = (f64, usize)>) -> AppClass {
         // Partial selection of the k smallest distances. k is tiny (3), so
         // a simple insertion pass over a fixed-size buffer beats sorting
         // the whole distance vector. Unfilled slots hold +∞ sentinels, so
@@ -153,8 +171,17 @@ impl KnnClassifier {
             heap_buf = vec![(f64::INFINITY, usize::MAX); k];
             &mut heap_buf
         };
-        for (i, row) in self.points.iter_rows().enumerate() {
-            let d = self.distance.eval(point, row);
+        for (d, i) in pairs {
+            // Fast reject: the buffer is sorted, so `d` belongs in the top
+            // k iff it beats the current kth entry (`partition_point`
+            // below lands at `k` exactly when `d >= best[k-1].0`, ties
+            // included). One predictable compare dismisses the vast
+            // majority of candidates; NaN fails the compare and falls
+            // through to the insertion path, where it sorts the same way
+            // it always did.
+            if d >= best[k - 1].0 {
+                continue;
+            }
             // Insert in sorted order if it belongs in the top k. `<` keeps
             // the earliest index on exact ties → determinism.
             let pos = best.partition_point(|&(bd, _)| bd <= d);
@@ -176,14 +203,133 @@ impl KnnClassifier {
         for &(_, i) in best {
             let c = self.labels[i];
             if counts[c.index()] == max_count {
-                return Ok(c);
+                return c;
             }
         }
         unreachable!("best is non-empty");
     }
 
+    /// Classifies one point: the majority vote of its k nearest training
+    /// neighbours, ties broken by the nearest neighbour among the tied
+    /// classes.
+    ///
+    /// Non-finite coordinates are rejected: a NaN distance would silently
+    /// corrupt the nearest-neighbour selection.
+    pub fn classify(&self, point: &[f64]) -> Result<AppClass> {
+        if point.len() != self.dim() {
+            return Err(Error::FeatureMismatch { expected: self.dim(), got: point.len() });
+        }
+        if let Some(col) = point.iter().position(|v| !v.is_finite()) {
+            return Err(Error::Linalg(appclass_linalg::Error::NonFinite { row: 0, col }));
+        }
+        let k = self.k.min(self.points.rows());
+        Ok(self.vote(
+            k,
+            self.points.iter_rows().enumerate().map(|(i, row)| (self.distance.eval(point, row), i)),
+        ))
+    }
+
+    /// Classifies one query row given its precomputed norm-expansion
+    /// distance row `d_exp` (one entry per training point). Selects the
+    /// candidate top-k by expansion distance, then re-scores candidates
+    /// with the scalar kernel so the result is bitwise-identical to
+    /// [`KnnClassifier::classify`].
+    fn classify_expansion_row(&self, point: &[f64], d_exp: &[f64], q_norm: f64) -> AppClass {
+        let n = self.points.rows();
+        let k = self.k.min(n);
+        // The margin argument needs finite arithmetic end to end; with
+        // norms near overflow the expansion can produce ±∞/NaN entries,
+        // so fall back to the exact full scan for this row.
+        let scale = q_norm + self.max_norm;
+        if !(4.0 * scale).is_finite() {
+            return self.vote(
+                k,
+                self.points
+                    .iter_rows()
+                    .enumerate()
+                    .map(|(i, row)| (vector::sq_euclidean(point, row), i)),
+            );
+        }
+        // τ = kth-smallest expansion distance. Any index the exact rule
+        // would select sits within twice the expansion error of τ, so the
+        // candidate cut below cannot lose a true neighbour.
+        const STACK_K: usize = 32;
+        let mut stack_buf = [f64::INFINITY; STACK_K];
+        let mut heap_buf: Vec<f64>;
+        let top: &mut [f64] = if k <= STACK_K {
+            &mut stack_buf[..k]
+        } else {
+            heap_buf = vec![f64::INFINITY; k];
+            &mut heap_buf
+        };
+        for &d in d_exp {
+            // Same fast-reject as `vote`: skip unless `d` strictly beats
+            // the current kth-smallest (NaN falls through, unchanged).
+            if d >= top[k - 1] {
+                continue;
+            }
+            let pos = top.partition_point(|&bd| bd <= d);
+            if pos < k {
+                top[pos..].rotate_right(1);
+                top[pos] = d;
+            }
+        }
+        let tau = top[k - 1];
+        let cutoff = tau + 2.0 * batch::expansion_margin(self.dim(), q_norm, self.max_norm);
+        self.vote(
+            k,
+            d_exp
+                .iter()
+                .enumerate()
+                .filter(|&(_, d)| *d <= cutoff)
+                .map(|(j, _)| (vector::sq_euclidean(point, self.points.row(j)), j)),
+        )
+    }
+
+    /// Classifies the contiguous query rows `[row0, row0 + out.len())` of
+    /// `samples` via the blocked expansion kernel, writing into `out`.
+    fn classify_block_euclidean(
+        &self,
+        samples: &Matrix,
+        row0: usize,
+        q_norms: &[f64],
+        out: &mut [AppClass],
+    ) {
+        let q = self.dim();
+        let n = self.points.rows();
+        let data = samples.as_slice();
+        // Block height balances scratch size (block × n distances) against
+        // per-block kernel dispatch; 8 rows of distances against a few
+        // thousand training rows keeps the scratch (and the re-scored
+        // candidate rows) resident in L1/L2 between the kernel pass and
+        // the selection scan.
+        const Q_BLOCK: usize = 8;
+        let end = row0 + out.len();
+        let mut scratch = Vec::new();
+        let mut r0 = row0;
+        while r0 < end {
+            let r1 = (r0 + Q_BLOCK).min(end);
+            batch::sq_distance_cols_into(
+                &data[r0 * q..r1 * q],
+                q,
+                &q_norms[r0..r1],
+                &self.cols,
+                &self.norms,
+                &mut scratch,
+            );
+            for row_idx in r0..r1 {
+                let point = &data[row_idx * q..(row_idx + 1) * q];
+                let d_exp = &scratch[(row_idx - r0) * n..(row_idx - r0 + 1) * n];
+                out[row_idx - row0] = self.classify_expansion_row(point, d_exp, q_norms[row_idx]);
+            }
+            r0 = r1;
+        }
+    }
+
     /// Classifies every row of a sample matrix — the paper's class vector
-    /// `C(1×m)`. Rows fan out over threads when the batch is large.
+    /// `C(1×m)`. Euclidean batches run the blocked norm-expansion kernel
+    /// (bitwise-identical labels to the streaming path); rows fan out
+    /// over threads when the batch is large.
     pub fn classify_batch(&self, samples: &Matrix) -> Result<Vec<AppClass>> {
         if samples.cols() != self.dim() {
             return Err(Error::FeatureMismatch { expected: self.dim(), got: samples.cols() });
@@ -192,27 +338,76 @@ impl KnnClassifier {
         // per-row error it would have to swallow.
         samples.check_finite().map_err(Error::Linalg)?;
         let m = samples.rows();
-        const PAR_THRESHOLD: usize = 512;
-        if m < PAR_THRESHOLD {
-            return samples.iter_rows().map(|r| self.classify(r)).collect();
+        if m == 0 {
+            return Ok(Vec::new());
         }
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let chunk = m.div_ceil(n_threads.max(1));
+        const PAR_THRESHOLD: usize = 512;
+        if self.distance != Distance::Euclidean {
+            if m < PAR_THRESHOLD {
+                return samples.iter_rows().map(|r| self.classify(r)).collect();
+            }
+            let chunk = m.div_ceil(knn_threads());
+            let mut out = vec![AppClass::Idle; m];
+            let rows: Vec<&[f64]> = samples.iter_rows().collect();
+            crossbeam::scope(|s| {
+                for (slot_chunk, row_chunk) in out.chunks_mut(chunk).zip(rows.chunks(chunk)) {
+                    s.spawn(move |_| {
+                        for (slot, row) in slot_chunk.iter_mut().zip(row_chunk) {
+                            // Width and finiteness were validated above, so
+                            // per-row classification cannot fail.
+                            *slot = self.classify(row).expect("validated row");
+                        }
+                    });
+                }
+            })
+            .expect("knn worker panicked");
+            return Ok(out);
+        }
+
+        let q_norms = batch::row_sq_norms(samples);
         let mut out = vec![AppClass::Idle; m];
-        let rows: Vec<&[f64]> = samples.iter_rows().collect();
+        if m < PAR_THRESHOLD {
+            self.classify_block_euclidean(samples, 0, &q_norms, &mut out);
+            return Ok(out);
+        }
+        let chunk = m.div_ceil(knn_threads());
+        let q_norms = &q_norms;
         crossbeam::scope(|s| {
-            for (slot_chunk, row_chunk) in out.chunks_mut(chunk).zip(rows.chunks(chunk)) {
+            for (ci, slot_chunk) in out.chunks_mut(chunk).enumerate() {
                 s.spawn(move |_| {
-                    for (slot, row) in slot_chunk.iter_mut().zip(row_chunk) {
-                        // Width and finiteness were validated above, so
-                        // per-row classification cannot fail.
-                        *slot = self.classify(row).expect("validated row");
-                    }
+                    self.classify_block_euclidean(samples, ci * chunk, q_norms, slot_chunk);
                 });
             }
         })
         .expect("knn worker panicked");
         Ok(out)
+    }
+}
+
+// `norms`/`max_norm` are caches derived from `points`; the wire format
+// carries only the four defining fields (same JSON shape the former
+// derive produced), and deserialization rebuilds the caches — and
+// re-runs construction validation — via `KnnClassifier::new`.
+impl Serialize for KnnClassifier {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("k".to_string(), self.k.to_value()),
+            ("points".to_string(), self.points.to_value()),
+            ("labels".to_string(), self.labels.to_value()),
+            ("distance".to_string(), self.distance.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for KnnClassifier {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let field = |name: &str| v.get(name).ok_or_else(|| DeError::missing_field(name));
+        let k = usize::from_value(field("k")?)?;
+        let points = Matrix::from_value(field("points")?)?;
+        let labels = Vec::<AppClass>::from_value(field("labels")?)?;
+        let distance = Distance::from_value(field("distance")?)?;
+        KnnClassifier::new(k, points, labels, distance)
+            .map_err(|e| DeError(format!("invalid knn classifier: {e}")))
     }
 }
 
@@ -356,6 +551,72 @@ mod tests {
         }
     }
 
+    /// The regression test for the `available_parallelism`-per-call bug
+    /// and the acceptance gate for the blocked kernel: batch output must
+    /// be bitwise-identical to the per-row streaming path, on both sides
+    /// of the parallel-dispatch threshold, whatever the thread count.
+    #[test]
+    fn batch_bitwise_identical_to_streaming() {
+        // A deliberately tie-heavy training set: duplicated points with
+        // different labels force the earliest-index tie rule to matter.
+        let points = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![-3.0, 0.5],
+            vec![-3.0, 0.5],
+            vec![0.0, 0.0],
+            vec![4.0, -4.0],
+            vec![4.0, -4.0],
+        ])
+        .unwrap();
+        let labels = vec![
+            AppClass::Cpu,
+            AppClass::Io,
+            AppClass::Net,
+            AppClass::Mem,
+            AppClass::Idle,
+            AppClass::Io,
+            AppClass::Cpu,
+        ];
+        let knn = KnnClassifier::paper(points, labels).unwrap();
+        // 1500 rows crosses PAR_THRESHOLD; many land exactly on training
+        // points or midway between duplicates (exact distance ties).
+        let rows: Vec<Vec<f64>> = (0..1500)
+            .map(|i| match i % 5 {
+                0 => vec![1.0, 2.0],
+                1 => vec![-3.0, 0.5],
+                2 => vec![-1.0, 1.25],
+                3 => vec![(i % 11) as f64 * 0.7 - 3.5, (i % 13) as f64 * 0.5 - 3.0],
+                _ => vec![2.5, -1.0],
+            })
+            .collect();
+        let big = Matrix::from_rows(&rows).unwrap();
+        let batched = knn.classify_batch(&big).unwrap();
+        for (i, row) in big.iter_rows().enumerate() {
+            assert_eq!(batched[i], knn.classify(row).unwrap(), "row {i} diverged");
+        }
+        // Sub-threshold (sequential blocked kernel) slice too.
+        let small = Matrix::from_rows(&rows[..64]).unwrap();
+        let small_batched = knn.classify_batch(&small).unwrap();
+        assert_eq!(&small_batched[..], &batched[..64]);
+    }
+
+    #[test]
+    fn huge_magnitude_batch_falls_back_exactly() {
+        // Norms near the overflow edge force the expansion fallback path;
+        // labels must still match streaming bitwise.
+        let points =
+            Matrix::from_rows(&[vec![1e155, 0.0], vec![-1e155, 1.0], vec![2e154, -0.5]]).unwrap();
+        let labels = vec![AppClass::Cpu, AppClass::Net, AppClass::Mem];
+        let knn = KnnClassifier::new(1, points, labels, Distance::Euclidean).unwrap();
+        let queries =
+            Matrix::from_rows(&[vec![9e154, 1.0], vec![-9e154, 0.0], vec![2.1e154, -0.5]]).unwrap();
+        let batched = knn.classify_batch(&queries).unwrap();
+        for (i, row) in queries.iter_rows().enumerate() {
+            assert_eq!(batched[i], knn.classify(row).unwrap(), "row {i}");
+        }
+    }
+
     #[test]
     fn dimension_checks() {
         let knn = two_clusters();
@@ -379,5 +640,15 @@ mod tests {
         let json = serde_json::to_string(&knn).unwrap();
         let back: KnnClassifier = serde_json::from_str(&json).unwrap();
         assert_eq!(knn, back);
+        // The derived caches are rebuilt, not shipped on the wire.
+        assert!(!json.contains("norms"));
+    }
+
+    #[test]
+    fn deserialize_validates() {
+        let knn = two_clusters();
+        let json = serde_json::to_string(&knn).unwrap();
+        let bad = json.replacen("\"k\":3", "\"k\":2", 1);
+        assert!(serde_json::from_str::<KnnClassifier>(&bad).is_err());
     }
 }

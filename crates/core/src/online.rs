@@ -100,6 +100,14 @@ impl<'a> OnlineClassifier<'a> {
     /// enforce the window.
     fn push_classified(&mut self, frame: &MetricFrame, was_repaired: bool) -> Result<AppClass> {
         let class = self.pipeline.classify_frame_with(&mut self.runner, frame)?;
+        self.fold_label(class, was_repaired);
+        Ok(class)
+    }
+
+    /// Folds one already-classified snapshot into the vote state and
+    /// enforces the window — the state transition both the streaming and
+    /// the batched push paths share.
+    fn fold_label(&mut self, class: AppClass, was_repaired: bool) {
         self.labels.push_back(class);
         self.counts[class.index()] += 1;
         self.repaired_flags.push_back(was_repaired);
@@ -116,7 +124,6 @@ impl<'a> OnlineClassifier<'a> {
             }
         }
         self.observed += 1;
-        Ok(class)
     }
 
     /// Convenience: push a monitoring snapshot.
@@ -153,6 +160,54 @@ impl<'a> OnlineClassifier<'a> {
             self.push_classified(&frame, repaired)?;
         }
         Ok(admission.verdict)
+    }
+
+    /// Pushes a whole batch of snapshots through the guard and the
+    /// classifier, returning one verdict per snapshot, in arrival order.
+    ///
+    /// The fold is exactly equivalent to calling
+    /// [`OnlineClassifier::push_guarded`] on each snapshot in sequence:
+    /// admissions happen in arrival order (the guard is stateful), a
+    /// cadence gap still clears a sliding window *before* that snapshot's
+    /// label lands, and the batched k-NN kernel is bitwise identical to
+    /// the streaming one — so the vote state, composition, confidence,
+    /// and telemetry all end up in the same state either way. What the
+    /// batch buys is one pass over the dataflow chain for every admitted
+    /// frame (blocked distance kernel, warm buffers) instead of one pass
+    /// per frame, which is where the serving layer's batch throughput
+    /// comes from.
+    ///
+    /// On a classification error nothing is folded; the guard has already
+    /// recorded the admissions (same as a mid-stream error in the
+    /// sequential path leaving earlier telemetry in place).
+    pub fn push_batch_guarded(&mut self, snapshots: &[Snapshot]) -> Result<Vec<FrameVerdict>> {
+        let mut verdicts = Vec::with_capacity(snapshots.len());
+        // Per admitted frame, in admission order: (was repaired, clears
+        // the window first).
+        let mut admitted: Vec<(bool, bool)> = Vec::new();
+        let mut rows: Vec<f64> = Vec::with_capacity(snapshots.len() * METRIC_COUNT);
+        for snapshot in snapshots {
+            let admission = self.guard.admit(snapshot);
+            if let Some(frame) = admission.frame {
+                let clears = admission.gap.is_some() && self.window.is_some();
+                let repaired = matches!(admission.verdict, FrameVerdict::Repaired { .. });
+                rows.extend_from_slice(frame.as_slice());
+                admitted.push((repaired, clears));
+            }
+            verdicts.push(admission.verdict);
+        }
+        if admitted.is_empty() {
+            return Ok(verdicts);
+        }
+        let raw = Matrix::from_vec(admitted.len(), METRIC_COUNT, rows)?;
+        let labels = self.pipeline.classify_rows_with(&mut self.runner, &raw)?;
+        for ((repaired, clears), class) in admitted.into_iter().zip(labels) {
+            if clears {
+                self.clear_vote_state();
+            }
+            self.fold_label(class, repaired);
+        }
+        Ok(verdicts)
     }
 
     /// Clears the vote window without touching `observed`, the stage
@@ -658,6 +713,72 @@ mod tests {
         // first frame, not an out-of-order arrival.
         let v = oc.push_guarded(&snap(0, &[(MetricId::CpuUser, 85.0)])).unwrap();
         assert_eq!(v, FrameVerdict::Accepted);
+    }
+
+    /// A messy stream exercising every guard outcome: clean frames of
+    /// three classes, a repairable corruption, a duplicate timestamp, and
+    /// a cadence gap.
+    fn messy_stream() -> Vec<appclass_metrics::Snapshot> {
+        let mut s = Vec::new();
+        for t in 0..5u64 {
+            s.push(snap(5 * t, &[(MetricId::CpuUser, 85.0 + t as f64)]));
+        }
+        s.push(snap(25, &[(MetricId::CpuUser, f64::NAN)])); // repaired
+        s.push(snap(25, &[(MetricId::CpuUser, 85.0)])); // duplicate → dropped
+                                                        // A gap (t jumps 25 → 60), then an I/O stage.
+        for t in 0..4u64 {
+            s.push(snap(60 + 5 * t, &[(MetricId::IoBi, 2500.0), (MetricId::IoBo, 2500.0)]));
+        }
+        s.push(snap(80, &[(MetricId::BytesOut, 2.8e7)]));
+        s
+    }
+
+    /// Batch push must leave the classifier in the exact state the
+    /// sequential path does — same verdicts, same vote state, same
+    /// telemetry — for both windowed and full-history classifiers.
+    #[test]
+    fn batch_push_equals_sequential_push() {
+        let p = trained();
+        for window in [None, Some(4), Some(64)] {
+            let mut seq = OnlineClassifier::with_guard(&p, window, GuardConfig::default());
+            let mut bat = OnlineClassifier::with_guard(&p, window, GuardConfig::default());
+            let stream = messy_stream();
+            let seq_verdicts: Vec<_> =
+                stream.iter().map(|s| seq.push_guarded(s).unwrap()).collect();
+            let bat_verdicts = bat.push_batch_guarded(&stream).unwrap();
+            assert_eq!(seq_verdicts, bat_verdicts, "window {window:?}");
+            assert_eq!(seq.labels, bat.labels, "window {window:?}: label deques");
+            assert_eq!(seq.current_class(), bat.current_class(), "window {window:?}");
+            assert_eq!(seq.composition(), bat.composition(), "window {window:?}");
+            assert_eq!(seq.confidence(), bat.confidence(), "window {window:?}: bitwise");
+            assert_eq!(seq.observed(), bat.observed(), "window {window:?}");
+            assert_eq!(seq.in_state(), bat.in_state(), "window {window:?}");
+            assert_eq!(seq.telemetry(), bat.telemetry(), "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn batch_push_empty_is_a_no_op() {
+        let p = trained();
+        let mut oc = OnlineClassifier::new(&p);
+        assert!(oc.push_batch_guarded(&[]).unwrap().is_empty());
+        assert_eq!(oc.observed(), 0);
+        assert_eq!(oc.current_class(), None);
+    }
+
+    #[test]
+    fn batch_push_all_rejected_folds_nothing() {
+        let p = trained();
+        let mut oc = OnlineClassifier::new(&p);
+        oc.push_guarded(&snap(0, &[(MetricId::CpuUser, 85.0)])).unwrap();
+        // Two duplicates of t=0: admitted by nothing, classified by nothing.
+        let dupes =
+            vec![snap(0, &[(MetricId::CpuUser, 85.0)]), snap(0, &[(MetricId::CpuUser, 86.0)])];
+        let verdicts = oc.push_batch_guarded(&dupes).unwrap();
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| !v.is_usable()));
+        assert_eq!(oc.observed(), 1);
+        assert_eq!(oc.telemetry().duplicates, 2);
     }
 
     // --- OnlineTrainer ----------------------------------------------------

@@ -15,7 +15,7 @@ use crate::error::{Error, Result};
 use crate::knn::{Distance, KnnClassifier};
 use crate::pca::{ComponentSelection, Pca};
 use crate::preprocess::{expert_metrics, Preprocessor};
-use crate::stage::{decode_class, Stage, StagePipeline, StreamingStage};
+use crate::stage::{decode_class, decode_classes, Stage, StagePipeline, StreamingStage};
 use appclass_linalg::Matrix;
 use appclass_metrics::{
     FrameGuard, GuardConfig, MetricFrame, MetricId, Snapshot, StageMetrics, TelemetryHealth,
@@ -311,6 +311,33 @@ impl ClassifierPipeline {
         let out =
             runner.run_row_spanned("classify_frame", &self.streaming_stages(), frame.as_slice())?;
         decode_class(out[0])
+    }
+
+    /// The full batch chain (`A → A' → B → C`) as dataflow stages —
+    /// [`ClassifierPipeline::projection_stages`] plus the k-NN head.
+    pub fn full_stages(&self) -> [&dyn Stage; 3] {
+        [&self.preprocessor, &self.pca, &self.knn]
+    }
+
+    /// Classifies every row of a raw (`m × 33`) matrix to its per-snapshot
+    /// class on a caller-owned [`StagePipeline`] — the batched analogue of
+    /// [`ClassifierPipeline::classify_frame_with`]. Runs the full chain as
+    /// batch stages over the runner's warm scratch buffers, so the k-NN
+    /// head takes the blocked-distance kernel; the labels are nevertheless
+    /// bitwise identical to pushing each row through the streaming chain
+    /// one at a time (the kernel's exactness contract — DESIGN.md §10).
+    /// An empty matrix yields an empty vector.
+    pub fn classify_rows_with(
+        &self,
+        runner: &mut StagePipeline,
+        raw: &Matrix,
+    ) -> Result<Vec<AppClass>> {
+        if raw.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let _span = runner.span("classify_batch");
+        runner.run_batch(&self.full_stages(), raw)?;
+        decode_classes(runner.output())
     }
 
     /// Serializes the trained pipeline to JSON (the form the application

@@ -1,0 +1,267 @@
+//! Blocked batch-distance kernels for nearest-neighbour search.
+//!
+//! The naive k-NN batch path rescans the training matrix once per query
+//! row, recomputing `|x − t|²` coordinate-by-coordinate. For a block of
+//! queries the same distances follow from the norm expansion
+//!
+//! ```text
+//! |x − t|² = |x|² + |t|² − 2·x·t
+//! ```
+//!
+//! where the per-row squared norms `|t|²` are computed **once** (at
+//! classifier construction for training rows, once per batch for query
+//! rows) and only the inner products vary per pair. Tiling the pair loop
+//! keeps a small block of training rows hot in cache while a block of
+//! query rows streams against it, which is where the batch speedup comes
+//! from.
+//!
+//! The expansion rounds differently than the scalar subtract-square-sum
+//! kernel ([`vector::sq_euclidean`]), so callers that need *bitwise*
+//! agreement with the scalar path (the k-NN classifier does — see
+//! DESIGN.md §10) must treat these distances as a pre-filter and
+//! recompute the scalar distance for surviving candidates.
+//! [`expansion_margin`] bounds how far the two kernels can disagree.
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Squared Euclidean norm of every row of `m`.
+pub fn row_sq_norms(m: &Matrix) -> Vec<f64> {
+    m.iter_rows().map(|r| vector::dot(r, r)).collect()
+}
+
+/// A column-major copy of a training matrix, laid out for the blocked
+/// distance kernel: coordinate `c` of every training row sits in one
+/// contiguous run, so the per-query distance row reduces to `dim`
+/// axpy-style passes over contiguous slices — the shape auto-vectorizers
+/// actually vectorize. Built once (at classifier construction), reused
+/// for every batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingColumns {
+    /// `dim` columns of `n` values each; column `c` at `[c*n, (c+1)*n)`.
+    cols: Vec<f64>,
+    n: usize,
+    dim: usize,
+}
+
+impl TrainingColumns {
+    /// Transposes `m` (`n×dim`, row-major) into column-major runs.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let (n, dim) = (m.rows(), m.cols());
+        let mut cols = vec![0.0; n * dim];
+        for (j, row) in m.iter_rows().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                cols[c * n + j] = v;
+            }
+        }
+        TrainingColumns { cols, n, dim }
+    }
+
+    /// Training-row count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coordinate count per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Column `c` as a contiguous slice of `n` values.
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.cols[c * self.n..(c + 1) * self.n]
+    }
+}
+
+/// Norm-expansion distance rows against a column-major training copy:
+/// for each query row the output row is seeded with `|x|² + |t_j|²` and
+/// then each coordinate contributes `−2·x_c·t_{j,c}` in one contiguous
+/// pass over column `c`. Same expansion as [`sq_distance_rows_into`]
+/// (and covered by the same [`expansion_margin`] bound — the summation
+/// order differs only in how the `dim` cross terms associate), but every
+/// inner loop runs over contiguous same-length slices, which vectorizes
+/// where the row-major dot-per-pair kernel cannot.
+///
+/// # Panics
+///
+/// Panics if `q_data` is not a whole number of `dim`-wide rows, `dim`
+/// disagrees with `training`, or the norm slices disagree with the row
+/// counts.
+pub fn sq_distance_cols_into(
+    q_data: &[f64],
+    dim: usize,
+    q_norms: &[f64],
+    training: &TrainingColumns,
+    t_norms: &[f64],
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(dim, training.dim, "dimension mismatch");
+    assert!(dim > 0 && q_data.len().is_multiple_of(dim), "ragged query block");
+    let m = q_data.len() / dim;
+    let n = training.n;
+    assert_eq!(q_norms.len(), m, "query norm count");
+    assert_eq!(t_norms.len(), n, "training norm count");
+    out.clear();
+    out.resize(m * n, 0.0);
+    for i in 0..m {
+        let qrow = &q_data[i * dim..(i + 1) * dim];
+        let qn = q_norms[i];
+        let row_out = &mut out[i * n..(i + 1) * n];
+        for (o, &tn) in row_out.iter_mut().zip(t_norms) {
+            *o = qn + tn;
+        }
+        for (c, &qc) in qrow.iter().enumerate() {
+            let scale = -2.0 * qc;
+            for (o, &t) in row_out.iter_mut().zip(training.col(c)) {
+                *o += scale * t;
+            }
+        }
+    }
+}
+
+/// Query rows per tile: small enough that a tile of query rows plus a
+/// tile of training rows fit in L1/L2 together for the dimensionalities
+/// this pipeline sees (q ≤ a few dozen after PCA).
+const Q_TILE: usize = 16;
+/// Training rows per tile.
+const T_TILE: usize = 64;
+
+/// Computes the squared-Euclidean distance block between `queries`
+/// (`m×q`) and `training` (`n×q`) into `out` (row-major, `out[i*n + j]`
+/// = distance from query `i` to training row `j`) via the norm
+/// expansion, with cache-friendly tiling.
+///
+/// `q_norms` / `t_norms` must be the per-row squared norms of the
+/// respective matrices (see [`row_sq_norms`]).
+///
+/// # Panics
+///
+/// Panics if the matrices disagree on column count or the norm slices
+/// on row count — callers validate shapes before dispatching here.
+pub fn sq_distance_block_into(
+    queries: &Matrix,
+    q_norms: &[f64],
+    training: &Matrix,
+    t_norms: &[f64],
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(queries.cols(), training.cols(), "dimension mismatch");
+    sq_distance_rows_into(queries.as_slice(), queries.cols(), q_norms, training, t_norms, out);
+}
+
+/// Slice-based variant of [`sq_distance_block_into`]: `q_data` is a
+/// row-major block of query rows, `dim` coordinates each. Lets callers
+/// that chunk a larger matrix across threads hand each worker its
+/// contiguous sub-block without copying.
+///
+/// # Panics
+///
+/// Panics if `q_data` is not a whole number of `dim`-wide rows, or the
+/// norm slices disagree with the row counts.
+pub fn sq_distance_rows_into(
+    q_data: &[f64],
+    dim: usize,
+    q_norms: &[f64],
+    training: &Matrix,
+    t_norms: &[f64],
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(dim, training.cols(), "dimension mismatch");
+    assert!(dim > 0 && q_data.len().is_multiple_of(dim), "ragged query block");
+    let m = q_data.len() / dim;
+    let n = training.rows();
+    assert_eq!(q_norms.len(), m, "query norm count");
+    assert_eq!(t_norms.len(), n, "training norm count");
+    out.clear();
+    out.resize(m * n, 0.0);
+    for qt in (0..m).step_by(Q_TILE) {
+        let q_end = (qt + Q_TILE).min(m);
+        for tt in (0..n).step_by(T_TILE) {
+            let t_end = (tt + T_TILE).min(n);
+            for i in qt..q_end {
+                let qrow = &q_data[i * dim..(i + 1) * dim];
+                let qn = q_norms[i];
+                let row_out = &mut out[i * n..(i + 1) * n];
+                for j in tt..t_end {
+                    row_out[j] = qn + t_norms[j] - 2.0 * vector::dot(qrow, training.row(j));
+                }
+            }
+        }
+    }
+}
+
+/// A conservative upper bound on `|d_expansion − d_scalar|` for a query
+/// row with squared norm `q_norm` against any training row with squared
+/// norm at most `t_norm_max`, in `dim` dimensions.
+///
+/// Standard floating-point error analysis gives, for each computed
+/// quantity, a relative error of at most `dim·ε` on a sum of `dim`
+/// products; the expansion combines three such sums and the scalar
+/// kernel one, and `2|x·t| ≤ |x|² + |t|²` bounds the cross term. The
+/// constant is padded well past the tight bound — the cost of a loose
+/// margin is only a few extra exact-distance recomputations, never a
+/// wrong answer.
+pub fn expansion_margin(dim: usize, q_norm: f64, t_norm_max: f64) -> f64 {
+    8.0 * (dim as f64 + 4.0) * f64::EPSILON * (q_norm + t_norm_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic LCG so tests need no RNG dependency.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        };
+        let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn norms_match_dot() {
+        let m = det_matrix(7, 5, 3);
+        let norms = row_sq_norms(&m);
+        for (i, row) in m.iter_rows().enumerate() {
+            assert_eq!(norms[i], vector::dot(row, row));
+        }
+    }
+
+    #[test]
+    fn block_distances_match_scalar_within_margin() {
+        for (rows, cols, tn) in [(1, 1, 1), (33, 7, 129), (16, 12, 64), (5, 3, 70)] {
+            let queries = det_matrix(rows, cols, 11);
+            let training = det_matrix(tn, cols, 29);
+            let qn = row_sq_norms(&queries);
+            let tns = row_sq_norms(&training);
+            let t_max = tns.iter().cloned().fold(0.0, f64::max);
+            let mut block = Vec::new();
+            sq_distance_block_into(&queries, &qn, &training, &tns, &mut block);
+            for (i, q) in queries.iter_rows().enumerate() {
+                let margin = expansion_margin(cols, qn[i], t_max);
+                for (j, t) in training.iter_rows().enumerate() {
+                    let exact = vector::sq_euclidean(q, t);
+                    let got = block[i * tn + j];
+                    assert!(
+                        (got - exact).abs() <= margin,
+                        "({i},{j}): expansion {got} vs scalar {exact}, margin {margin}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_block_is_empty() {
+        let training = det_matrix(4, 3, 5);
+        let tns = row_sq_norms(&training);
+        let queries = Matrix::zeros(0, 3);
+        let mut block = vec![1.0; 9];
+        sq_distance_block_into(&queries, &[], &training, &tns, &mut block);
+        assert!(block.is_empty());
+    }
+}

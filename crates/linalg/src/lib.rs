@@ -19,6 +19,8 @@
 //!   alternative route to PCA, used to cross-check the eigen route.
 //! * [`vector`] — small dense-vector kernels (dot, norms, axpy) shared by the
 //!   other modules and by the k-NN distance computations downstream.
+//! * [`batch`] — blocked batch-distance kernels: norm-expansion distance
+//!   blocks with cache tiling, powering the batched k-NN hot path.
 //!
 //! Everything is deterministic: no randomized algorithms are used in the
 //! numerical kernels, so a given input always produces bit-identical output,
@@ -26,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod eigen;
 pub mod error;
 pub mod matrix;

@@ -109,6 +109,17 @@ pub const MAX_STATS_TEXT: usize = 64 * 1024;
 /// stats exposition dump). Transport layers use this to bound reads.
 pub const MAX_CONTROL_SIZE: usize = CONTROL_HEADER + 4 + MAX_STATS_TEXT + CONTROL_TRAILER;
 
+/// Upper bound on the snapshots one [`ControlFrame::SnapshotBatch`] may
+/// carry. 128 datagrams of [`WIRE_SIZE`] bytes (plus per-item length
+/// prefixes) stay comfortably inside [`MAX_CONTROL_SIZE`], which the
+/// transport already uses to bound reads.
+pub const MAX_SNAPSHOT_BATCH: usize = 128;
+
+// A full batch must fit the existing read bound.
+const _: () = assert!(
+    CONTROL_HEADER + 2 + MAX_SNAPSHOT_BATCH * (2 + WIRE_SIZE) + CONTROL_TRAILER <= MAX_CONTROL_SIZE
+);
+
 /// FNV-1a 64-bit hash — the control-frame checksum and the basis of
 /// deterministic model fingerprints. Flipping any single input byte
 /// always changes the digest (every round is a bijection of the state),
@@ -180,12 +191,50 @@ impl std::fmt::Display for ByeReason {
     }
 }
 
+/// How the server disposed of one snapshot in a batch — the per-item
+/// payload of a [`ControlFrame::VerdictBatch`] acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDisposition {
+    /// The datagram decoded and the guard admitted it unchanged.
+    Accepted,
+    /// The guard admitted it after patching damaged values.
+    Repaired,
+    /// The guard discarded it (duplicate, stale, unrepairable).
+    Dropped,
+    /// The datagram did not decode at all.
+    Malformed,
+}
+
+impl FrameDisposition {
+    /// Wire code of this disposition.
+    pub fn code(self) -> u8 {
+        match self {
+            FrameDisposition::Accepted => 0,
+            FrameDisposition::Repaired => 1,
+            FrameDisposition::Dropped => 2,
+            FrameDisposition::Malformed => 3,
+        }
+    }
+
+    /// Disposition for a wire code, if valid.
+    pub fn from_code(code: u8) -> Option<FrameDisposition> {
+        match code {
+            0 => Some(FrameDisposition::Accepted),
+            1 => Some(FrameDisposition::Repaired),
+            2 => Some(FrameDisposition::Dropped),
+            3 => Some(FrameDisposition::Malformed),
+            _ => None,
+        }
+    }
+}
+
 /// One message of the classification-service session protocol.
 ///
 /// The lifecycle is `Hello` (both directions, versioned handshake) →
-/// any number of `Snapshot` / `Classify` / `Health` exchanges → `Bye`.
-/// `Verdict` and `Health` responses flow server→client; `Snapshot`,
-/// `Classify` and `Health` requests flow client→server.
+/// any number of `Snapshot` / `SnapshotBatch` / `Classify` / `Health`
+/// exchanges → `Bye`. `Verdict`, `VerdictBatch` and `Health` responses
+/// flow server→client; `Snapshot`, `SnapshotBatch`, `Classify` and
+/// `Health` requests flow client→server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ControlFrame {
     /// Session handshake. The client offers the model fingerprint it
@@ -231,6 +280,23 @@ pub enum ControlFrame {
         /// Why the session is over.
         reason: ByeReason,
     },
+    /// Up to [`MAX_SNAPSHOT_BATCH`] snapshot announcements coalesced into
+    /// one frame — the batched hot path. Each item is raw datagram bytes,
+    /// exactly as in [`ControlFrame::Snapshot`], so per-datagram fault
+    /// injection still works inside a batch.
+    SnapshotBatch {
+        /// The (possibly mangled) `wire::encode` byte strings, in
+        /// arrival order.
+        wires: Vec<Vec<u8>>,
+    },
+    /// Server acknowledgement of a [`ControlFrame::SnapshotBatch`]: how
+    /// each snapshot was disposed of, in the batch's order. The session
+    /// verdict itself is still requested via [`ControlFrame::Classify`],
+    /// so batching cannot change what a verdict says.
+    VerdictBatch {
+        /// Per-snapshot dispositions, parallel to the batch items.
+        statuses: Vec<FrameDisposition>,
+    },
 }
 
 impl ControlFrame {
@@ -244,6 +310,8 @@ impl ControlFrame {
             ControlFrame::Health(_) => 5,
             ControlFrame::Bye { .. } => 6,
             ControlFrame::Stats { .. } => 7,
+            ControlFrame::SnapshotBatch { .. } => 8,
+            ControlFrame::VerdictBatch { .. } => 9,
         }
     }
 
@@ -257,6 +325,8 @@ impl ControlFrame {
             ControlFrame::Health(_) => "Health",
             ControlFrame::Bye { .. } => "Bye",
             ControlFrame::Stats { .. } => "Stats",
+            ControlFrame::SnapshotBatch { .. } => "SnapshotBatch",
+            ControlFrame::VerdictBatch { .. } => "VerdictBatch",
         }
     }
 }
@@ -316,6 +386,22 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
             assert!(text.len() <= MAX_STATS_TEXT, "stats exposition larger than MAX_STATS_TEXT");
             buf.put_u32(text.len() as u32);
             buf.put_slice(text.as_bytes());
+        }
+        ControlFrame::SnapshotBatch { wires } => {
+            assert!(wires.len() <= MAX_SNAPSHOT_BATCH, "batch larger than MAX_SNAPSHOT_BATCH");
+            buf.put_u16(wires.len() as u16);
+            for wire in wires {
+                assert!(wire.len() <= WIRE_SIZE, "snapshot datagram larger than WIRE_SIZE");
+                buf.put_u16(wire.len() as u16);
+                buf.put_slice(wire);
+            }
+        }
+        ControlFrame::VerdictBatch { statuses } => {
+            assert!(statuses.len() <= MAX_SNAPSHOT_BATCH, "batch larger than MAX_SNAPSHOT_BATCH");
+            buf.put_u16(statuses.len() as u16);
+            for s in statuses {
+                buf.put_u8(s.code());
+            }
         }
     }
     let checksum = fnv1a64(&buf);
@@ -468,6 +554,74 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
                 .to_string();
             ControlFrame::Stats { text }
         }
+        8 => {
+            if rest.len() < 2 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated batch payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let count = rest.get_u16() as usize;
+            if count > MAX_SNAPSHOT_BATCH {
+                return Err(Error::MalformedWire {
+                    reason: "oversized snapshot batch",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let mut wires = Vec::with_capacity(count);
+            for _ in 0..count {
+                if rest.len() < 2 {
+                    return Err(Error::MalformedWire {
+                        reason: "truncated batch item",
+                        offset: CONTROL_HEADER,
+                    });
+                }
+                let len = rest.get_u16() as usize;
+                if len > WIRE_SIZE {
+                    return Err(Error::MalformedWire {
+                        reason: "oversized snapshot payload",
+                        offset: CONTROL_HEADER,
+                    });
+                }
+                if rest.len() < len {
+                    return Err(Error::MalformedWire {
+                        reason: "truncated batch item",
+                        offset: CONTROL_HEADER,
+                    });
+                }
+                let (item, tail) = rest.split_at(len);
+                wires.push(item.to_vec());
+                rest = tail;
+            }
+            expect_len(rest.len(), 0)?;
+            ControlFrame::SnapshotBatch { wires }
+        }
+        9 => {
+            if rest.len() < 2 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated batch payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let count = rest.get_u16() as usize;
+            if count > MAX_SNAPSHOT_BATCH {
+                return Err(Error::MalformedWire {
+                    reason: "oversized verdict batch",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            expect_len(rest.len(), count)?;
+            let mut statuses = Vec::with_capacity(count);
+            for _ in 0..count {
+                let code = rest.get_u8();
+                let status = FrameDisposition::from_code(code).ok_or(Error::MalformedWire {
+                    reason: "bad disposition code",
+                    offset: CONTROL_HEADER,
+                })?;
+                statuses.push(status);
+            }
+            ControlFrame::VerdictBatch { statuses }
+        }
         _ => {
             return Err(Error::MalformedWire { reason: "unknown control kind", offset: 6 });
         }
@@ -585,6 +739,23 @@ mod tests {
                 text: "classify_total 3\nlatency{quantile=\"0.5\"} 1023 µs\n".to_string(),
             },
             ControlFrame::Bye { reason: ByeReason::FrameBudget },
+            ControlFrame::SnapshotBatch { wires: Vec::new() },
+            ControlFrame::SnapshotBatch {
+                wires: vec![
+                    encode(&snapshot()).to_vec(),
+                    Vec::new(),
+                    encode(&snapshot())[..40].to_vec(),
+                ],
+            },
+            ControlFrame::VerdictBatch { statuses: Vec::new() },
+            ControlFrame::VerdictBatch {
+                statuses: vec![
+                    FrameDisposition::Accepted,
+                    FrameDisposition::Repaired,
+                    FrameDisposition::Dropped,
+                    FrameDisposition::Malformed,
+                ],
+            },
         ]
     }
 
@@ -684,6 +855,108 @@ mod tests {
     #[should_panic(expected = "MAX_STATS_TEXT")]
     fn stats_frame_over_max_panics_on_encode() {
         encode_control(&ControlFrame::Stats { text: "x".repeat(MAX_STATS_TEXT + 1) });
+    }
+
+    #[test]
+    fn full_snapshot_batch_roundtrips_within_bounds() {
+        let wires = vec![encode(&snapshot()).to_vec(); MAX_SNAPSHOT_BATCH];
+        let frame = ControlFrame::SnapshotBatch { wires };
+        let bytes = encode_control(&frame);
+        assert!(bytes.len() <= MAX_CONTROL_SIZE, "full batch exceeds transport bound");
+        assert_eq!(decode_control(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_SNAPSHOT_BATCH")]
+    fn oversized_snapshot_batch_panics_on_encode() {
+        encode_control(&ControlFrame::SnapshotBatch {
+            wires: vec![Vec::new(); MAX_SNAPSHOT_BATCH + 1],
+        });
+    }
+
+    #[test]
+    fn snapshot_batch_rejects_lying_counts() {
+        // Well-checksummed frames whose declared counts/lengths disagree
+        // with the actual payload must fail shape validation.
+        let seal = |mut buf: BytesMut| {
+            let checksum = fnv1a64(&buf);
+            buf.put_u64(checksum);
+            buf.freeze()
+        };
+        // Declares 2 items, carries 1.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(8);
+        buf.put_u16(2);
+        buf.put_u16(0);
+        assert!(matches!(
+            decode_control(&seal(buf)),
+            Err(Error::MalformedWire { reason: "truncated batch item", .. })
+        ));
+        // Declares an item longer than the frame holds.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(8);
+        buf.put_u16(1);
+        buf.put_u16(50);
+        buf.put_slice(&[0xAB; 10]);
+        assert!(matches!(
+            decode_control(&seal(buf)),
+            Err(Error::MalformedWire { reason: "truncated batch item", .. })
+        ));
+        // Declares more batch items than the protocol allows.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(8);
+        buf.put_u16((MAX_SNAPSHOT_BATCH + 1) as u16);
+        assert!(matches!(
+            decode_control(&seal(buf)),
+            Err(Error::MalformedWire { reason: "oversized snapshot batch", .. })
+        ));
+        // Trailing garbage after the declared items.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(8);
+        buf.put_u16(0);
+        buf.put_u8(0xCC);
+        assert!(matches!(
+            decode_control(&seal(buf)),
+            Err(Error::MalformedWire { reason: "control payload length mismatch", .. })
+        ));
+    }
+
+    #[test]
+    fn verdict_batch_rejects_bad_disposition() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(9);
+        buf.put_u16(2);
+        buf.put_u8(1);
+        buf.put_u8(7); // no such disposition
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "bad disposition code", .. })
+        ));
+    }
+
+    #[test]
+    fn disposition_codes_roundtrip() {
+        for d in [
+            FrameDisposition::Accepted,
+            FrameDisposition::Repaired,
+            FrameDisposition::Dropped,
+            FrameDisposition::Malformed,
+        ] {
+            assert_eq!(FrameDisposition::from_code(d.code()), Some(d));
+        }
+        assert_eq!(FrameDisposition::from_code(4), None);
     }
 
     #[test]

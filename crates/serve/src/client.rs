@@ -9,10 +9,13 @@
 //! absorbs the damage.
 
 use crate::error::{Result, ServeError};
-use crate::proto::{read_frame, write_frame};
+use crate::proto::{read_frame, write_frame, write_frame_single};
 use appclass_core::{AppClass, ClassComposition};
 use appclass_metrics::faults::{FaultPlan, FaultyChannel};
-use appclass_metrics::{wire, ByeReason, ControlFrame, Snapshot, TelemetryHealth};
+use appclass_metrics::{
+    wire, ByeReason, ControlFrame, FrameDisposition, Snapshot, TelemetryHealth,
+};
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -37,6 +40,24 @@ pub struct VerdictReport {
     pub composition: ClassComposition,
 }
 
+/// Aggregate outcome of a batched stream: the per-item dispositions the
+/// server acknowledged, folded into totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Datagrams put on the wire (after any chaos drops/duplications).
+    pub sent: u64,
+    /// `SnapshotBatch` frames those datagrams were coalesced into.
+    pub batches: u64,
+    /// Items the server's guard admitted untouched.
+    pub accepted: u64,
+    /// Items admitted after value repair.
+    pub repaired: u64,
+    /// Items the guard rejected (duplicate / unusable).
+    pub dropped: u64,
+    /// Items that failed to decode at the server.
+    pub malformed: u64,
+}
+
 /// One connected classification session.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
@@ -45,6 +66,7 @@ pub struct ServeClient {
     model_id: u64,
     chaos: Option<FaultyChannel>,
     snapshots_sent: u64,
+    batch_scratch: Vec<u8>,
 }
 
 impl ServeClient {
@@ -52,6 +74,10 @@ impl ServeClient {
     /// [`ServeError::Rejected`] when the server refuses the session.
     pub fn connect<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> Result<ServeClient> {
         let stream = TcpStream::connect(addr)?;
+        // The batch path is write-then-read per frame; Nagle holding the
+        // request back until the previous segment's (delayed) ACK would
+        // put a ~40 ms stall inside every round trip.
+        stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         let mut client = ServeClient {
             reader,
@@ -60,6 +86,7 @@ impl ServeClient {
             model_id: 0,
             chaos: config.chaos.map(FaultyChannel::new),
             snapshots_sent: 0,
+            batch_scratch: Vec::new(),
         };
         write_frame(
             &mut client.writer,
@@ -120,6 +147,127 @@ impl ServeClient {
             }
         }
         Ok(())
+    }
+
+    /// Streams a run of snapshots coalesced into `SnapshotBatch` frames
+    /// of up to `max_batch` datagrams each (clamped to
+    /// `1..=`[`wire::MAX_SNAPSHOT_BATCH`]), reading one `VerdictBatch`
+    /// acknowledgement per frame. With chaos configured every datagram
+    /// crosses the fault channel first — dropped, delayed, duplicated,
+    /// or corrupted exactly as on the single-frame path — and whatever
+    /// the channel delivers is what gets coalesced.
+    ///
+    /// Batching only changes the framing, never the classification:
+    /// a [`ServeClient::classify`] after this returns a verdict bitwise
+    /// identical to streaming the same snapshots one frame at a time.
+    pub fn stream_batch(
+        &mut self,
+        snapshots: &[Snapshot],
+        max_batch: usize,
+    ) -> Result<BatchReport> {
+        let cap = max_batch.clamp(1, wire::MAX_SNAPSHOT_BATCH);
+        let mut report = BatchReport::default();
+        let mut pending: Vec<Vec<u8>> = Vec::with_capacity(cap);
+        let mut outstanding: VecDeque<u64> = VecDeque::new();
+        for snap in snapshots {
+            let datagram = wire::encode(snap).to_vec();
+            match &mut self.chaos {
+                Some(chan) => {
+                    for delivered in chan.transmit(&datagram) {
+                        pending.push(delivered);
+                        if pending.len() == cap {
+                            self.send_batch(&mut pending, &mut outstanding, &mut report)?;
+                        }
+                    }
+                }
+                None => {
+                    pending.push(datagram);
+                    if pending.len() == cap {
+                        self.send_batch(&mut pending, &mut outstanding, &mut report)?;
+                    }
+                }
+            }
+        }
+        if let Some(chan) = &mut self.chaos {
+            for delivered in chan.drain() {
+                pending.push(delivered);
+                if pending.len() == cap {
+                    self.send_batch(&mut pending, &mut outstanding, &mut report)?;
+                }
+            }
+        }
+        if !pending.is_empty() {
+            self.send_batch(&mut pending, &mut outstanding, &mut report)?;
+        }
+        while !outstanding.is_empty() {
+            self.read_batch_ack(&mut outstanding, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    /// How many batch frames may be in flight before the client blocks
+    /// on the oldest acknowledgement. A small window keeps the server
+    /// busy while the client encodes the next batch (one synchronous
+    /// round trip per batch would spend most of the wall clock on
+    /// scheduler ping-pong), yet bounds both sides' socket buffering so
+    /// the two directions cannot deadlock against each other.
+    const BATCH_WINDOW: usize = 4;
+
+    /// Sends one coalesced batch (a single contiguous write) and records
+    /// it as outstanding, collecting the oldest acknowledgement first if
+    /// the pipeline window is full. Leaves `pending` empty for the next
+    /// batch.
+    fn send_batch(
+        &mut self,
+        pending: &mut Vec<Vec<u8>>,
+        outstanding: &mut VecDeque<u64>,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        if outstanding.len() >= Self::BATCH_WINDOW {
+            self.read_batch_ack(outstanding, report)?;
+        }
+        let wires = std::mem::take(pending);
+        let count = wires.len() as u64;
+        write_frame_single(
+            &mut self.writer,
+            &ControlFrame::SnapshotBatch { wires },
+            &mut self.batch_scratch,
+        )?;
+        self.snapshots_sent += count;
+        report.sent += count;
+        report.batches += 1;
+        outstanding.push_back(count);
+        Ok(())
+    }
+
+    /// Reads the acknowledgement for the oldest outstanding batch and
+    /// folds its dispositions into the report.
+    fn read_batch_ack(
+        &mut self,
+        outstanding: &mut VecDeque<u64>,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        let count = outstanding.pop_front().unwrap_or(0);
+        match read_frame(&mut self.reader)? {
+            ControlFrame::VerdictBatch { statuses } => {
+                if statuses.len() as u64 != count {
+                    return Err(ServeError::Handshake { reason: "batch ack count mismatch" });
+                }
+                for status in statuses {
+                    match status {
+                        FrameDisposition::Accepted => report.accepted += 1,
+                        FrameDisposition::Repaired => report.repaired += 1,
+                        FrameDisposition::Dropped => report.dropped += 1,
+                        FrameDisposition::Malformed => report.malformed += 1,
+                    }
+                }
+                Ok(())
+            }
+            ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
+            other => {
+                Err(ServeError::UnexpectedFrame { expected: "VerdictBatch", got: other.name() })
+            }
+        }
     }
 
     fn send_wire(&mut self, bytes: Vec<u8>) -> Result<()> {

@@ -43,7 +43,7 @@ pub mod session;
 pub mod stats;
 
 pub use appclass_obs::Observability;
-pub use client::{ClientConfig, ServeClient, VerdictReport};
+pub use client::{BatchReport, ClientConfig, ServeClient, VerdictReport};
 pub use error::{Result, ServeError};
 pub use server::{Server, ServerConfig};
 pub use session::SessionConfig;

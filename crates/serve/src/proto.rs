@@ -30,6 +30,27 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &ControlFrame) -> Result<()> {
     Ok(())
 }
 
+/// Like [`write_frame`], but assembles the length prefix and the encoded
+/// body into one contiguous caller-owned scratch buffer and hands the
+/// transport a single `write_all` — the batch reply path, where one
+/// write per *batch* rather than two per frame is the point. The scratch
+/// buffer keeps its allocation across calls, so the steady state writes
+/// without allocating beyond the encoder itself.
+pub fn write_frame_single<W: Write>(
+    w: &mut W,
+    frame: &ControlFrame,
+    scratch: &mut Vec<u8>,
+) -> Result<()> {
+    let bytes = wire::encode_control(frame);
+    scratch.clear();
+    scratch.reserve(4 + bytes.len());
+    scratch.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    scratch.extend_from_slice(&bytes);
+    w.write_all(scratch)?;
+    w.flush()?;
+    Ok(())
+}
+
 /// Reads one control frame, blocking until it arrives.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<ControlFrame> {
     match read_frame_or_idle(r)? {

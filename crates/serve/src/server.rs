@@ -274,6 +274,9 @@ fn serve_one(shared: &Shared, stream: TcpStream) {
         refuse(stream, ByeReason::Shutdown);
         return;
     }
+    // Replies are small and latency-bound (the batch path blocks on its
+    // `VerdictBatch` ack); never let Nagle sit on them.
+    let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(shared.config.read_timeout)).is_err() {
         shared.stats.lock().session_errors += 1;
         shared.session_counters.errors.inc();

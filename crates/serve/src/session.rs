@@ -9,11 +9,11 @@
 //! degraded telemetry link degrades only its own verdicts.
 
 use crate::error::{Result, ServeError};
-use crate::proto::{read_frame_or_idle, write_frame};
+use crate::proto::{read_frame_or_idle, write_frame, write_frame_single};
 use crate::stats::SessionOutcome;
 use appclass_core::online::OnlineClassifier;
 use appclass_core::ClassifierPipeline;
-use appclass_metrics::{wire, ByeReason, ControlFrame, FrameVerdict};
+use appclass_metrics::{wire, ByeReason, ControlFrame, FrameDisposition, FrameVerdict};
 use appclass_obs::{Counter, Histogram, Observability};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
@@ -152,6 +152,9 @@ fn run_session_inner(
     }
 
     // --- steady state ----------------------------------------------------
+    // Reply-assembly scratch for the batch path: prefix + body become one
+    // contiguous write, and the buffer stays warm across batches.
+    let mut reply_scratch: Vec<u8> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             let _ = write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Shutdown });
@@ -227,6 +230,93 @@ fn run_session_inner(
                     }
                 }
             }
+            ControlFrame::SnapshotBatch { wires } => {
+                // Every item counts toward the frame budget exactly as if
+                // it had been streamed alone; a batch that would cross
+                // the budget ends the session before any of it is
+                // processed, mirroring the single-frame refusal.
+                let n = wires.len() as u64;
+                outcome.frames_in += n;
+                if let Some(s) = sobs.as_ref() {
+                    s.frames_in.add(n);
+                }
+                if outcome.frames_in > config.frame_budget {
+                    let _ = write_frame(
+                        &mut writer,
+                        &ControlFrame::Bye { reason: ByeReason::FrameBudget },
+                    );
+                    finish(&mut outcome, &classifier);
+                    return SessionEnd::Clean(outcome);
+                }
+                // Decode every datagram; failures become per-item
+                // `Malformed` dispositions (expected degradation on a
+                // faulty telemetry link, exactly like the single path).
+                let mut statuses = vec![FrameDisposition::Malformed; wires.len()];
+                let mut snapshots = Vec::with_capacity(wires.len());
+                let mut decoded_slots = Vec::with_capacity(wires.len());
+                let mut malformed = 0u64;
+                for (i, bytes) in wires.iter().enumerate() {
+                    match wire::decode(bytes) {
+                        Ok(snapshot) => {
+                            decoded_slots.push(i);
+                            snapshots.push(snapshot);
+                        }
+                        Err(_) => {
+                            malformed += 1;
+                            classifier.note_malformed();
+                        }
+                    }
+                }
+                // One batched pass through guard + dataflow chain; the
+                // fold is bitwise-equivalent to pushing each snapshot
+                // alone, so batching can never change a verdict.
+                let verdicts = match classifier.push_batch_guarded(&snapshots) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        finish(&mut outcome, &classifier);
+                        return SessionEnd::Failed(outcome, e.into());
+                    }
+                };
+                let (mut repaired, mut dropped) = (0u64, 0u64);
+                for (slot, verdict) in decoded_slots.into_iter().zip(&verdicts) {
+                    statuses[slot] = match verdict {
+                        FrameVerdict::Accepted => FrameDisposition::Accepted,
+                        FrameVerdict::Repaired { .. } => {
+                            repaired += 1;
+                            FrameDisposition::Repaired
+                        }
+                        FrameVerdict::Dropped { .. } => {
+                            dropped += 1;
+                            FrameDisposition::Dropped
+                        }
+                    };
+                }
+                outcome.frames_repaired += repaired;
+                outcome.frames_dropped += dropped;
+                outcome.frames_malformed += malformed;
+                if let Some(s) = sobs.as_mut() {
+                    if repaired > 0 {
+                        s.frames_repaired.add(repaired);
+                        s.note_degraded("repaired");
+                    }
+                    if dropped > 0 {
+                        s.frames_dropped.add(dropped);
+                        s.note_degraded("dropped");
+                    }
+                    if malformed > 0 {
+                        s.frames_malformed.add(malformed);
+                        s.note_degraded("malformed");
+                    }
+                }
+                // Unlike lone snapshots (fire-and-forget), a batch is
+                // acknowledged: one `VerdictBatch` of per-item
+                // dispositions, assembled and sent as a single write.
+                let reply = ControlFrame::VerdictBatch { statuses };
+                if let Err(e) = write_frame_single(&mut writer, &reply, &mut reply_scratch) {
+                    finish(&mut outcome, &classifier);
+                    return SessionEnd::Failed(outcome, e);
+                }
+            }
             ControlFrame::Classify => {
                 let start = Instant::now();
                 let verdict = verdict_frame(&classifier);
@@ -267,14 +357,16 @@ fn run_session_inner(
                 finish(&mut outcome, &classifier);
                 return SessionEnd::Clean(outcome);
             }
-            other @ (ControlFrame::Hello { .. } | ControlFrame::Verdict { .. }) => {
+            other @ (ControlFrame::Hello { .. }
+            | ControlFrame::Verdict { .. }
+            | ControlFrame::VerdictBatch { .. }) => {
                 let _ =
                     write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
                 finish(&mut outcome, &classifier);
                 return SessionEnd::Failed(
                     outcome,
                     ServeError::UnexpectedFrame {
-                        expected: "Snapshot/Classify/Health/Bye",
+                        expected: "Snapshot/SnapshotBatch/Classify/Health/Bye",
                         got: other.name(),
                     },
                 );

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Short calibrated serving benchmark: measures the single-frame and
+# batched classification paths over loopback TCP and records the numbers
+# in BENCH_classify.json (frames/sec plus p50/p99 per-frame latency for
+# each path) so later PRs can regress against them.
+#
+#   ./scripts/bench_smoke.sh [out.json]
+#
+# Environment knobs: BENCH_FRAMES (default 1024), BENCH_BATCH (32),
+# BENCH_SEED (42). Fails if the result file is missing, empty, not JSON,
+# or lacks any expected section.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_classify.json}"
+frames="${BENCH_FRAMES:-1024}"
+batch="${BENCH_BATCH:-32}"
+seed="${BENCH_SEED:-42}"
+
+cargo build --release --quiet
+./target/release/appclass bench-classify \
+    --frames "$frames" --batch "$batch" --seed "$seed" --out "$out"
+
+[ -s "$out" ] || { echo "bench_smoke: $out missing or empty" >&2; exit 1; }
+
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for section in ("single", "batch1", "batch"):
+    block = doc[section]
+    for key in ("frames_per_sec", "p50_ns", "p99_ns"):
+        float(block[key])
+float(doc["batch_speedup"])
+print(f"bench_smoke: batch {doc['batch_size']} speedup {doc['batch_speedup']}x "
+      f"({doc['batch']['frames_per_sec']:.0f} vs {doc['batch1']['frames_per_sec']:.0f} frames/s)")
+EOF
+else
+    # No python3: still require every expected section to be present.
+    for key in '"schema"' '"single"' '"batch1"' '"batch"' '"batch_speedup"' '"frames_per_sec"'; do
+        grep -q "$key" "$out" || { echo "bench_smoke: $out lacks $key" >&2; exit 1; }
+    done
+    echo "bench_smoke: $out written (python3 unavailable, key check only)"
+fi

@@ -63,6 +63,11 @@ grep -q "^serve_classify_total [1-9]" "$tmp/stats.log"
 awk 'NF != 2 { print "unparseable exposition line: " $0; bad = 1 } END { exit bad }' "$tmp/stats.log"
 echo "observability smoke OK ($addr, nonzero classify_total, parseable dump)"
 
+echo "== bench smoke (BENCH_classify.json) =="
+# Short calibrated measurement of the single-frame vs batched serving
+# paths; fails if BENCH_classify.json is missing or non-parseable.
+BENCH_FRAMES="${BENCH_FRAMES:-512}" ./scripts/bench_smoke.sh
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

@@ -65,6 +65,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "client" => cmd_client(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "bench-classify" => cmd_bench_classify(&args[1..]),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
             Ok(())
@@ -99,9 +100,14 @@ commands:
                                serve the pipeline to concurrent TCP clients
                                (--sessions N exits after N sessions drain)
   client --addr HOST:PORT --workload NAME [--seed N] [--drop-rate R] [--model-id H]
-                               replay a workload's monitoring stream and classify
+         [--batch N]           replay a workload's monitoring stream and classify
+                               (--batch N coalesces N snapshots per frame)
   stats --addr HOST:PORT       dump a running server's metric exposition
-                               (note: the fetch occupies one session slot)";
+                               (note: the fetch occupies one session slot)
+  bench-classify [--seed N] [--frames N] [--batch N] [--out FILE]
+                               measure single vs batched serving throughput over
+                               loopback and write the numbers as JSON
+                               (default --out BENCH_classify.json)";
 
 /// Minimal `--key value` option extraction. A following token that is
 /// itself a flag does not count as the value, so `--out --seed 7` reports
@@ -386,7 +392,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 fn cmd_client(args: &[String]) -> Result<(), String> {
     use appclass::metrics::FaultPlan;
     use appclass::serve::{ClientConfig, ServeClient};
-    validate_flags(args, &["--addr", "--workload", "--seed", "--drop-rate", "--model-id"])?;
+    validate_flags(
+        args,
+        &["--addr", "--workload", "--seed", "--drop-rate", "--model-id", "--batch"],
+    )?;
     let addr = opt(args, "--addr").ok_or("client requires --addr HOST:PORT")?;
     let workload = opt(args, "--workload").ok_or("client requires --workload NAME")?;
     let seed = opt_seed(args)?;
@@ -395,6 +404,10 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         return Err(format!("--drop-rate must be in [0, 1], got {drop_rate}"));
     }
     let model_id = opt_parsed::<u64>(args, "--model-id")?.unwrap_or(0);
+    let batch = opt_parsed::<usize>(args, "--batch")?;
+    if batch == Some(0) {
+        return Err("--batch must be at least 1".to_string());
+    }
 
     let specs = registry();
     let spec = specs
@@ -409,7 +422,13 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let mut client = ServeClient::connect(addr.as_str(), ClientConfig { model_id, chaos })
         .map_err(|e| e.to_string())?;
     out!("session {} established (model {:#018x})", client.session(), client.model_id());
-    client.stream_snapshots(&snapshots).map_err(|e| e.to_string())?;
+    match batch {
+        Some(n) => {
+            let report = client.stream_batch(&snapshots, n).map_err(|e| e.to_string())?;
+            out!("batched:     {} items in {} frames (batch {n})", report.sent, report.batches);
+        }
+        None => client.stream_snapshots(&snapshots).map_err(|e| e.to_string())?,
+    }
     let verdict = client.classify().map_err(|e| e.to_string())?;
     let health = client.health().map_err(|e| e.to_string())?;
     client.bye().map_err(|e| e.to_string())?;
@@ -442,6 +461,155 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     } else {
         out!("{}", text.trim_end());
     }
+    Ok(())
+}
+
+/// Builds a long, cleanly-cadenced snapshot stream for the serving
+/// bench by cycling a simulated training run with rewritten timestamps,
+/// so the frame guard sees one uninterrupted session regardless of the
+/// requested length.
+fn bench_stream(frames: usize, seed: u64) -> Vec<appclass::metrics::Snapshot> {
+    let specs = training_specs();
+    let rec = run_spec(&specs[0], NodeId(1), seed);
+    let base: Vec<_> =
+        rec.pool.snapshots().iter().filter(|s| s.node == rec.node).cloned().collect();
+    (0..frames)
+        .map(|i| {
+            let mut s = base[i % base.len()].clone();
+            s.time = 5 * i as u64;
+            s
+        })
+        .collect()
+}
+
+/// `p`-th percentile (nearest-rank on the sorted slice) in nanoseconds.
+fn percentile_ns(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
+    use appclass::serve::{ClientConfig, ServeClient, Server, ServerConfig};
+    use std::time::Instant;
+    validate_flags(args, &["--seed", "--frames", "--batch", "--out"])?;
+    let seed = opt_seed(args)?;
+    let frames = opt_parsed::<usize>(args, "--frames")?.unwrap_or(512).max(1);
+    let batch = opt_parsed::<usize>(args, "--batch")?.unwrap_or(32).max(1);
+    let out_path = opt(args, "--out").unwrap_or_else(|| "BENCH_classify.json".to_string());
+
+    let pipeline = train_pipeline(seed)?;
+    let server =
+        Server::bind("127.0.0.1:0", std::sync::Arc::new(pipeline), ServerConfig::default())
+            .map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let snaps = bench_stream(frames, seed);
+
+    // Single-frame path: one `Snapshot` control frame per sample; the
+    // closing `Classify` round trip serializes against the server having
+    // processed the whole stream, so the wall clock covers the work.
+    let mut client =
+        ServeClient::connect(addr, ClientConfig::default()).map_err(|e| e.to_string())?;
+    let mut single_lat: Vec<u64> = Vec::with_capacity(frames);
+    let t0 = Instant::now();
+    for s in &snaps {
+        let t = Instant::now();
+        client.send_snapshot(s).map_err(|e| e.to_string())?;
+        single_lat.push(t.elapsed().as_nanos() as u64);
+    }
+    let verdict_single = client.classify().map_err(|e| e.to_string())?;
+    let single_elapsed = t0.elapsed();
+    client.bye().map_err(|e| e.to_string())?;
+
+    // Acknowledged passes, one per coalescing width. Latency pass: one
+    // `SnapshotBatch` per call means a synchronous round trip through
+    // the `VerdictBatch` ack, so the per-item figure is true request
+    // latency including the server-side batch processing. Throughput
+    // pass: the whole stream in one call, so the client's pipeline
+    // window keeps batches in flight while the server works — the
+    // steady-state shape a monitoring relay would use. `cap = 1` is the
+    // single-frame baseline the batch speedup is measured against
+    // (identical protocol and ack semantics, only the coalescing
+    // differs).
+    let measure_acked = |cap: usize| -> Result<(Vec<u64>, std::time::Duration, _), String> {
+        let mut client =
+            ServeClient::connect(addr, ClientConfig::default()).map_err(|e| e.to_string())?;
+        let mut lat: Vec<u64> = Vec::with_capacity(frames);
+        for chunk in snaps.chunks(cap) {
+            let t = Instant::now();
+            client.stream_batch(chunk, cap).map_err(|e| e.to_string())?;
+            let per_item = t.elapsed().as_nanos() as u64 / chunk.len() as u64;
+            lat.extend(std::iter::repeat_n(per_item, chunk.len()));
+        }
+        client.bye().map_err(|e| e.to_string())?;
+        let mut client =
+            ServeClient::connect(addr, ClientConfig::default()).map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        client.stream_batch(&snaps, cap).map_err(|e| e.to_string())?;
+        let verdict = client.classify().map_err(|e| e.to_string())?;
+        let elapsed = t0.elapsed();
+        client.bye().map_err(|e| e.to_string())?;
+        lat.sort_unstable();
+        Ok((lat, elapsed, verdict))
+    };
+    let (one_lat, one_elapsed, verdict_one) = measure_acked(1)?;
+    let (batch_lat, batch_elapsed, verdict_batch) = measure_acked(batch)?;
+
+    server.shutdown();
+    server.join().map_err(|e| e.to_string())?;
+
+    // The measurement doubles as a correctness check: all sessions saw
+    // the identical stream, so the verdicts must be bit-equal.
+    for (name, v) in [("single-frame batch", &verdict_one), ("batched", &verdict_batch)] {
+        if verdict_single.class != v.class
+            || verdict_single.confidence.to_bits() != v.confidence.to_bits()
+        {
+            return Err(format!("{name} verdict diverged from the fire-and-forget verdict"));
+        }
+    }
+
+    single_lat.sort_unstable();
+    let single_fps = frames as f64 / single_elapsed.as_secs_f64();
+    let one_fps = frames as f64 / one_elapsed.as_secs_f64();
+    let batch_fps = frames as f64 / batch_elapsed.as_secs_f64();
+    // Speedup is batch-N over batch-1: identical protocol, ack semantics
+    // and pipelining on both sides, so the ratio isolates what coalescing
+    // buys (the fire-and-forget "single" row has no acknowledgements at
+    // all and is recorded as context, not as the baseline).
+    let speedup = batch_fps / one_fps;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"bench_classify/v1\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"frames\": {frames},\n",
+            "  \"batch_size\": {batch},\n",
+            "  \"single\": {{ \"frames_per_sec\": {sfps:.1}, \"p50_ns\": {sp50}, \"p99_ns\": {sp99} }},\n",
+            "  \"batch1\": {{ \"frames_per_sec\": {ofps:.1}, \"p50_ns\": {op50}, \"p99_ns\": {op99} }},\n",
+            "  \"batch\": {{ \"frames_per_sec\": {bfps:.1}, \"p50_ns\": {bp50}, \"p99_ns\": {bp99} }},\n",
+            "  \"batch_speedup\": {speedup:.2}\n",
+            "}}\n"
+        ),
+        seed = seed,
+        frames = frames,
+        batch = batch,
+        sfps = single_fps,
+        sp50 = percentile_ns(&single_lat, 50),
+        sp99 = percentile_ns(&single_lat, 99),
+        ofps = one_fps,
+        op50 = percentile_ns(&one_lat, 50),
+        op99 = percentile_ns(&one_lat, 99),
+        bfps = batch_fps,
+        bp50 = percentile_ns(&batch_lat, 50),
+        bp99 = percentile_ns(&batch_lat, 99),
+        speedup = speedup,
+    );
+    std::fs::write(&out_path, &json).map_err(|e| e.to_string())?;
+    out!(
+        "single(no-ack): {single_fps:.0} f/s   batch1: {one_fps:.0} f/s   batch{batch}: {batch_fps:.0} f/s   speedup: {speedup:.2}x"
+    );
+    out!("wrote {out_path}");
     Ok(())
 }
 

@@ -196,6 +196,46 @@ fn client_rejects_unknown_flag_and_bad_rate() {
 }
 
 #[test]
+fn client_rejects_bad_batch() {
+    // --batch 0 can never coalesce anything; reject it before connecting.
+    let out = bin()
+        .args(["client", "--addr", "127.0.0.1:1", "--workload", "CH3D", "--batch", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--batch"));
+
+    let out = bin()
+        .args(["client", "--addr", "127.0.0.1:1", "--workload", "CH3D", "--bacth", "8"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--bacth`"));
+}
+
+#[test]
+fn bench_classify_writes_validated_json() {
+    let dir = tmpdir("bench_classify");
+    let out_path = dir.join("BENCH_classify.json");
+    let out = bin()
+        .args(["bench-classify", "--frames", "64", "--batch", "8"])
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    for key in
+        ["\"schema\"", "\"single\"", "\"batch1\"", "\"batch\"", "\"batch_speedup\"", "\"p99_ns\""]
+    {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let out = bin().args(["bench-classify", "--frames", "0x"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--frames"));
+}
+
+#[test]
 fn stats_rejects_unknown_flag() {
     let out = bin().args(["stats", "--addr", "127.0.0.1:1", "--verbose"]).output().unwrap();
     assert!(!out.status.success());

@@ -122,6 +122,57 @@ proptest! {
         prop_assert!(CostModel::new(rates).unit_cost(&more_idle) <= base + 1e-9);
     }
 
+    /// The blocked norm-expansion k-NN kernel must agree bitwise (same
+    /// label, same tie-breaks) with the scalar streaming path for any
+    /// training set — including grids dense with exact ties and
+    /// midpoints that sit numerically between neighbours, where the
+    /// expansion's different rounding would flip a naive argmin.
+    #[test]
+    fn blocked_knn_batch_matches_scalar_streaming(
+        dim in 1usize..5,
+        n_train in 4usize..24,
+        k_half in 0usize..3,
+        seed in 0u64..1000,
+        scale_idx in 0usize..4,
+    ) {
+        use appclass::core::knn::{Distance, KnnClassifier};
+        let scale = [1.0f64, 1e-3, 1e3, 1e6][scale_idx];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Coarse integer grid: duplicate coordinates and tied distances
+        // are the common case, not the exception.
+        let mut grid = move || ((next() % 5) as f64 - 2.0) * scale;
+        let points: Vec<Vec<f64>> =
+            (0..n_train).map(|_| (0..dim).map(|_| grid()).collect()).collect();
+        let labels: Vec<AppClass> = (0..n_train).map(|i| AppClass::ALL[i % 5]).collect();
+        let knn = KnnClassifier::new(
+            2 * k_half + 1, // k must be odd
+            Matrix::from_rows(&points).unwrap(),
+            labels,
+            Distance::Euclidean,
+        )
+        .unwrap();
+        // Queries: every training point (exact zero distances), each
+        // adjacent midpoint (near-ties), and off-grid points.
+        let mut queries: Vec<Vec<f64>> = points.clone();
+        for w in points.windows(2) {
+            queries.push(w[0].iter().zip(&w[1]).map(|(a, b)| 0.5 * (a + b)).collect());
+        }
+        for _ in 0..8 {
+            queries.push((0..dim).map(|_| grid() + 0.5 * scale).collect());
+        }
+        let qm = Matrix::from_rows(&queries).unwrap();
+        let batch = knn.classify_batch(&qm).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(knn.classify(q).unwrap(), batch[i], "query row {}", i);
+        }
+    }
+
     #[test]
     fn frame_and_batch_paths_agree(
         cpu in 0.0f64..100.0,

@@ -227,6 +227,128 @@ fn aggregate_stage_metrics_are_the_merge_of_all_sessions() {
     }
 }
 
+/// The batched hot path must be invisible in the answers: the same
+/// snapshot stream sent as coalesced `SnapshotBatch` frames and as
+/// individual `Snapshot` frames must produce bit-identical verdicts and
+/// identical health reports, while every item's disposition comes back
+/// in the batch acknowledgements.
+#[test]
+fn batched_stream_matches_single_frame_verdicts_bitwise() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let config = ServerConfig { max_sessions: 4, ..ServerConfig::default() };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), config).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    for (which, batch) in [(0usize, 32usize), (1, 7), (2, 1)] {
+        let snaps = snapshots_of(&specs[which], 80, 2024 + which as u64);
+
+        let mut single = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+        single.stream_snapshots(&snaps).unwrap();
+        let v_single = single.classify().unwrap();
+        let h_single = single.health().unwrap();
+        assert_eq!(single.bye().unwrap(), ByeReason::Normal);
+
+        let mut batched = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+        let report = batched.stream_batch(&snaps, batch).unwrap();
+        let v_batch = batched.classify().unwrap();
+        let h_batch = batched.health().unwrap();
+        assert_eq!(batched.bye().unwrap(), ByeReason::Normal);
+
+        assert_eq!(report.sent, snaps.len() as u64);
+        assert_eq!(report.accepted, snaps.len() as u64, "clean link: all accepted");
+        assert_eq!(report.batches, snaps.len().div_ceil(batch) as u64);
+
+        assert_eq!(v_single.class, v_batch.class, "spec {which} batch {batch}");
+        assert_eq!(
+            v_single.confidence.to_bits(),
+            v_batch.confidence.to_bits(),
+            "spec {which} batch {batch}: confidence must be bit-equal"
+        );
+        for class in appclass::prelude::AppClass::ALL {
+            assert_eq!(
+                v_single.composition.fraction(class).to_bits(),
+                v_batch.composition.fraction(class).to_bits(),
+                "spec {which} batch {batch}: composition must be bit-equal"
+            );
+        }
+        assert_eq!(h_single, h_batch, "spec {which} batch {batch}: same health");
+    }
+
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// A batched stream over a corrupting channel: the per-item dispositions
+/// in the acknowledgements must account for every datagram put on the
+/// wire, and degradation must be visible in them.
+#[test]
+fn lossy_batched_stream_reports_dispositions() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&pipeline), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 81, 31337);
+    let mut plan = FaultPlan::lossless(5);
+    plan.truncate_rate = 0.2;
+    plan.corrupt_rate = 0.1;
+    let chaos = Some(plan);
+    let mut client = ServeClient::connect(addr, ClientConfig { model_id: 0, chaos }).unwrap();
+    let report = client.stream_batch(&snaps, 16).unwrap();
+    let verdict = client.classify().unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+
+    assert_eq!(
+        report.accepted + report.repaired + report.dropped + report.malformed,
+        report.sent,
+        "every item must come back with exactly one disposition"
+    );
+    assert!(
+        report.repaired + report.dropped + report.malformed > 0,
+        "the corrupting channel must degrade some items: {report:?}"
+    );
+    assert_eq!(health.seen + report.malformed, report.sent, "guard sees all decodable items");
+    assert_eq!(
+        verdict.class,
+        expected_class(specs[0].expected),
+        "classification must survive the degradation"
+    );
+
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// The frame budget counts batched items exactly like single frames: a
+/// batch that would cross the budget ends the session with
+/// `Bye(FrameBudget)` before any of it is classified.
+#[test]
+fn frame_budget_applies_to_batched_items() {
+    let pipeline = Arc::new(common::trained_pipeline());
+    let mut config = ServerConfig { max_sessions: 2, ..ServerConfig::default() };
+    config.session.frame_budget = 10;
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), config).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 82, 9090);
+    assert!(snaps.len() > 10, "fixture must overrun the 10-frame budget");
+
+    let mut client = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+    match client.stream_batch(&snaps, 8) {
+        Err(ServeError::Rejected { reason }) => assert_eq!(reason, ByeReason::FrameBudget),
+        Err(ServeError::ConnectionClosed) | Err(ServeError::Io(_)) => {}
+        Ok(report) => panic!("an over-budget batched stream must be cut, got {report:?}"),
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert_eq!(stats.sessions_finished, 1, "a budget cut is a clean end, not an error");
+}
+
 /// Admission control: with one worker and no backlog, a second
 /// connection arriving while the first session is parked must be
 /// refused with `Bye(SessionLimit)` — and the refusal must be typed on
