@@ -54,6 +54,29 @@ pub enum Error {
     },
     /// The application database file could not be read or written.
     Storage(String),
+    /// A persisted record failed integrity checks — the log holds a
+    /// *complete* record whose checksum or payload is wrong (as opposed to
+    /// a torn tail, which recovery silently truncates).
+    CorruptDb {
+        /// Zero-based index of the bad record in the log.
+        record: usize,
+        /// Byte offset of the record's frame within the file.
+        offset: u64,
+        /// What failed: checksum, framing or payload decode.
+        reason: String,
+    },
+    /// A model version was requested that the store does not hold.
+    ModelNotFound {
+        /// The missing model fingerprint.
+        id: u64,
+    },
+    /// A stored model version failed its checksum or identity check.
+    ModelCorrupt {
+        /// The fingerprint of the damaged version.
+        id: u64,
+        /// What failed: checksum, decode or fingerprint mismatch.
+        reason: String,
+    },
     /// A guarded classification had every frame rejected by the
     /// [`FrameGuard`](appclass_metrics::FrameGuard): nothing usable
     /// survived to vote on.
@@ -87,6 +110,15 @@ impl fmt::Display for Error {
                 write!(f, "{value} is not a valid class index")
             }
             Error::Storage(msg) => write!(f, "storage error: {msg}"),
+            Error::CorruptDb { record, offset, reason } => {
+                write!(f, "corrupt db record {record} at byte offset {offset}: {reason}")
+            }
+            Error::ModelNotFound { id } => {
+                write!(f, "model version {id:#018x} not found in store")
+            }
+            Error::ModelCorrupt { id, reason } => {
+                write!(f, "model version {id:#018x} is corrupt: {reason}")
+            }
             Error::NoUsableFrames { seen, dropped } => {
                 write!(f, "no usable frames: guard rejected {dropped} of {seen}")
             }
@@ -126,6 +158,14 @@ mod tests {
         assert!(Error::NotTrained.to_string().contains("trained"));
         assert!(Error::FeatureMismatch { expected: 8, got: 3 }.to_string().contains('8'));
         assert!(Error::NoUsableFrames { seen: 9, dropped: 9 }.to_string().contains('9'));
+        let corrupt =
+            Error::CorruptDb { record: 3, offset: 124, reason: "checksum mismatch".into() };
+        assert!(corrupt.to_string().contains("record 3"));
+        assert!(corrupt.to_string().contains("124"));
+        assert!(Error::ModelNotFound { id: 0xAB }.to_string().contains("0x00000000000000ab"));
+        assert!(Error::ModelCorrupt { id: 1, reason: "bad trailer".into() }
+            .to_string()
+            .contains("bad trailer"));
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //!   used by the cost model.
 //! * [`class`] — the five application classes and composition arithmetic.
 //! * [`appdb`] — the application database: per-run records (composition +
-//!   execution time) persisted as JSON, with per-application statistics
-//!   for schedulers.
+//!   execution time) persisted in a checksummed, crash-recoverable
+//!   append log (with legacy JSON snapshots still readable), plus
+//!   per-application statistics for schedulers.
+//! * [`modelstore`] — content-addressed version chain for trained
+//!   pipelines: checksummed entries keyed by `model_id()`, parent links,
+//!   and an atomically-updated `HEAD`.
 //! * [`cost`] — §4.4's cost-based scheduling model: unit application cost
 //!   as a provider-priced weighted mix of the composition.
 //! * [`online`] — the paper's stated future work, implemented: streaming
@@ -46,6 +50,7 @@ pub mod error;
 pub mod eval;
 pub mod featsel;
 pub mod knn;
+pub mod modelstore;
 pub mod online;
 pub mod pca;
 pub mod pipeline;

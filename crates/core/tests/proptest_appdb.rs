@@ -1,0 +1,129 @@
+//! Property test of the appdb crash-recovery contract, mirroring the
+//! wire-truncation proptests: truncate the append log at EVERY byte
+//! boundary and `open()` must recover exactly the prefix of
+//! fully-checksummed records — never an error, never a partial record,
+//! never a record the torn tail had already lost.
+
+use appclass_core::appdb::{AppDbWriter, ApplicationDb, RunRecord};
+use appclass_core::class::{AppClass, ClassComposition};
+use proptest::prelude::*;
+
+const DB_HEADER: usize = 8;
+
+fn rec(i: usize, class_idx: u8, secs: u64, samples: usize) -> RunRecord {
+    let class = AppClass::ALL[class_idx as usize % 5];
+    let mut fr = [0.0; 5];
+    fr[class.index()] = 1.0;
+    RunRecord {
+        app: format!("job-{i}"),
+        class,
+        composition: ClassComposition::from_fractions(fr[0], fr[1], fr[2], fr[3], fr[4]).unwrap(),
+        exec_secs: secs,
+        samples,
+    }
+}
+
+/// Byte offsets at which each log frame ends, scanned structurally (the
+/// length prefixes alone — no checksum or payload interpretation, so the
+/// expectation is independent of the recovery code under test).
+fn frame_ends(bytes: &[u8]) -> Vec<usize> {
+    let mut ends = Vec::new();
+    let mut off = DB_HEADER;
+    while off + 4 <= bytes.len() {
+        let len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4 + len + 8;
+        assert!(off <= bytes.len(), "writer produced a torn frame");
+        ends.push(off);
+    }
+    ends
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("appclass_pt_appdb_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn truncation_at_every_byte_recovers_the_checksummed_prefix(
+        count in 1usize..5,
+        specs in prop::collection::vec((0u8..5, 1u64..10_000, 1usize..200), 4),
+    ) {
+        let path = scratch("every_byte.db");
+        std::fs::remove_file(&path).ok();
+        let mut writer = AppDbWriter::open(&path).unwrap();
+        let mut all = Vec::new();
+        for (i, &(class_idx, secs, samples)) in specs[..count].iter().enumerate() {
+            let r = rec(i, class_idx, secs, samples);
+            writer.append(r.clone()).unwrap();
+            all.push(r);
+        }
+        drop(writer);
+        let bytes = std::fs::read(&path).unwrap();
+        let ends = frame_ends(&bytes);
+        prop_assert_eq!(ends.len(), all.len());
+
+        for cut in 0..=bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let db = match ApplicationDb::open(&path) {
+                Ok(db) => db,
+                Err(e) => {
+                    prop_assert!(false, "cut {}: truncation must recover, got {}", cut, e);
+                    unreachable!()
+                }
+            };
+            let expect = ends.iter().filter(|&&end| end <= cut).count();
+            prop_assert_eq!(
+                db.records(), &all[..expect],
+                "cut={} must recover exactly {} records", cut, expect
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Same exhaustive-truncation contract across a compaction boundary: the
+/// log is checkpoint + tail, and a cut inside the checkpoint loses
+/// everything while a cut in the tail keeps the checkpoint's records.
+#[test]
+fn truncation_across_a_checkpoint_recovers_prefix_records() {
+    let path = scratch("checkpointed.db");
+    std::fs::remove_file(&path).ok();
+    let mut writer = AppDbWriter::open(&path).unwrap();
+    let mut all = Vec::new();
+    for i in 0..4 {
+        let r = rec(i, i as u8, 100 + i as u64, 10);
+        writer.append(r.clone()).unwrap();
+        all.push(r);
+    }
+    writer.compact().unwrap();
+    for i in 4..6 {
+        let r = rec(i, i as u8, 100 + i as u64, 10);
+        writer.append(r.clone()).unwrap();
+        all.push(r);
+    }
+    drop(writer);
+
+    let bytes = std::fs::read(&path).unwrap();
+    let ends = frame_ends(&bytes);
+    assert_eq!(ends.len(), 3, "expected checkpoint + two tail frames");
+    // Records visible once each frame is complete: checkpoint carries 4.
+    let cumulative = [4usize, 5, 6];
+
+    for cut in 0..=bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let db = ApplicationDb::open(&path).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        let expect = ends
+            .iter()
+            .zip(cumulative)
+            .filter(|&(&end, _)| end <= cut)
+            .map(|(_, c)| c)
+            .next_back()
+            .unwrap_or(0);
+        assert_eq!(db.records(), &all[..expect], "cut={cut}");
+    }
+    std::fs::remove_file(&path).ok();
+}

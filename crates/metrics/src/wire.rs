@@ -105,9 +105,20 @@ const CONTROL_TRAILER: usize = 8;
 /// emits — while still letting transports bound their reads.
 pub const MAX_STATS_TEXT: usize = 64 * 1024;
 
+/// Upper bound on the serialized pipeline JSON a [`ControlFrame::SwapModel`]
+/// may carry. A paper-config pipeline (33-metric preprocessor, 8-component
+/// PCA basis, ~150 projected training points) serializes to well under
+/// 64 KiB; 256 KiB leaves headroom for larger training pools without
+/// letting a hostile peer demand unbounded allocations.
+pub const MAX_MODEL_JSON: usize = 256 * 1024;
+
 /// Upper bound on an encoded control frame (the largest payload is a
-/// stats exposition dump). Transport layers use this to bound reads.
-pub const MAX_CONTROL_SIZE: usize = CONTROL_HEADER + 4 + MAX_STATS_TEXT + CONTROL_TRAILER;
+/// [`ControlFrame::SwapModel`] pipeline dump). Transport layers use this
+/// to bound reads.
+pub const MAX_CONTROL_SIZE: usize = CONTROL_HEADER + 4 + MAX_MODEL_JSON + CONTROL_TRAILER;
+
+// The stats exposition must also fit the read bound.
+const _: () = assert!(CONTROL_HEADER + 4 + MAX_STATS_TEXT + CONTROL_TRAILER <= MAX_CONTROL_SIZE);
 
 /// Upper bound on the snapshots one [`ControlFrame::SnapshotBatch`] may
 /// carry. 128 datagrams of [`WIRE_SIZE`] bytes (plus per-item length
@@ -264,6 +275,10 @@ pub enum ControlFrame {
         confidence: f64,
         /// Class-fraction vector in `AppClass` index order.
         composition: [f64; 5],
+        /// Fingerprint of the model version that produced this verdict,
+        /// so clients can tell which side of a hot swap a verdict
+        /// belongs to.
+        model: u64,
     },
     /// Telemetry health, as a client request (payload ignored) or the
     /// server's response (the session's accumulated counters).
@@ -297,6 +312,24 @@ pub enum ControlFrame {
         /// Per-snapshot dispositions, parallel to the batch items.
         statuses: Vec<FrameDisposition>,
     },
+    /// Admin request to hot-swap the served model: the payload is the
+    /// serialized `ClassifierPipeline` JSON of the replacement. The server
+    /// installs it atomically; in-flight sessions drain onto the new
+    /// fingerprint without dropping their connections. At most
+    /// [`MAX_MODEL_JSON`] bytes.
+    SwapModel {
+        /// Serialized pipeline JSON of the replacement model.
+        json: String,
+    },
+    /// Server acknowledgement of a [`ControlFrame::SwapModel`]: the
+    /// fingerprints on both sides of the swap. The old fingerprint stays
+    /// valid for `Hello` gating until the *next* swap (the drain window).
+    SwapAck {
+        /// Fingerprint that was being served before the swap.
+        old_model: u64,
+        /// Fingerprint now being served.
+        new_model: u64,
+    },
 }
 
 impl ControlFrame {
@@ -312,6 +345,8 @@ impl ControlFrame {
             ControlFrame::Stats { .. } => 7,
             ControlFrame::SnapshotBatch { .. } => 8,
             ControlFrame::VerdictBatch { .. } => 9,
+            ControlFrame::SwapModel { .. } => 10,
+            ControlFrame::SwapAck { .. } => 11,
         }
     }
 
@@ -327,6 +362,8 @@ impl ControlFrame {
             ControlFrame::Stats { .. } => "Stats",
             ControlFrame::SnapshotBatch { .. } => "SnapshotBatch",
             ControlFrame::VerdictBatch { .. } => "VerdictBatch",
+            ControlFrame::SwapModel { .. } => "SwapModel",
+            ControlFrame::SwapAck { .. } => "SwapAck",
         }
     }
 }
@@ -353,12 +390,13 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
             buf.put_slice(wire);
         }
         ControlFrame::Classify => {}
-        ControlFrame::Verdict { class, confidence, composition } => {
+        ControlFrame::Verdict { class, confidence, composition, model } => {
             buf.put_u8(*class);
             buf.put_f64(*confidence);
             for &f in composition {
                 buf.put_f64(f);
             }
+            buf.put_u64(*model);
         }
         ControlFrame::Health(h) => {
             for v in [
@@ -402,6 +440,15 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
             for s in statuses {
                 buf.put_u8(s.code());
             }
+        }
+        ControlFrame::SwapModel { json } => {
+            assert!(json.len() <= MAX_MODEL_JSON, "model json larger than MAX_MODEL_JSON");
+            buf.put_u32(json.len() as u32);
+            buf.put_slice(json.as_bytes());
+        }
+        ControlFrame::SwapAck { old_model, new_model } => {
+            buf.put_u64(*old_model);
+            buf.put_u64(*new_model);
         }
     }
     let checksum = fnv1a64(&buf);
@@ -461,7 +508,7 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
             ControlFrame::Classify
         }
         4 => {
-            expect_len(rest.len(), 1 + 8 + 5 * 8)?;
+            expect_len(rest.len(), 1 + 8 + 5 * 8 + 8)?;
             let class = rest.get_u8();
             if class >= 5 {
                 return Err(Error::MalformedWire {
@@ -480,7 +527,8 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
                     offset: CONTROL_HEADER + 1,
                 });
             }
-            ControlFrame::Verdict { class, confidence, composition }
+            let model = rest.get_u64();
+            ControlFrame::Verdict { class, confidence, composition, model }
         }
         5 => {
             if rest.len() < 10 * 8 + 4 + 2 {
@@ -622,6 +670,33 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
             }
             ControlFrame::VerdictBatch { statuses }
         }
+        10 => {
+            if rest.len() < 4 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated swap payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let len = rest.get_u32() as usize;
+            if len > MAX_MODEL_JSON {
+                return Err(Error::MalformedWire {
+                    reason: "oversized swap payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            expect_len(rest.len(), len)?;
+            let json = std::str::from_utf8(rest)
+                .map_err(|_| Error::MalformedWire {
+                    reason: "swap payload not utf-8",
+                    offset: CONTROL_HEADER + 4,
+                })?
+                .to_string();
+            ControlFrame::SwapModel { json }
+        }
+        11 => {
+            expect_len(rest.len(), 16)?;
+            ControlFrame::SwapAck { old_model: rest.get_u64(), new_model: rest.get_u64() }
+        }
         _ => {
             return Err(Error::MalformedWire { reason: "unknown control kind", offset: 6 });
         }
@@ -732,6 +807,7 @@ mod tests {
                 class: 2,
                 confidence: 0.875,
                 composition: [0.0, 0.125, 0.875, 0.0, 0.0],
+                model: 0x1234_5678_9ABC_DEF0,
             },
             ControlFrame::Health(health),
             ControlFrame::Stats { text: String::new() },
@@ -756,6 +832,9 @@ mod tests {
                     FrameDisposition::Malformed,
                 ],
             },
+            ControlFrame::SwapModel { json: String::new() },
+            ControlFrame::SwapModel { json: "{\"preprocessor\":{},\"knn\":{}}".to_string() },
+            ControlFrame::SwapAck { old_model: 0xDEAD_BEEF, new_model: 0xFEED_FACE },
         ]
     }
 
@@ -803,6 +882,7 @@ mod tests {
         for _ in 0..5 {
             buf.put_f64(0.2);
         }
+        buf.put_u64(1); // model tag
         let checksum = fnv1a64(&buf);
         buf.put_u64(checksum);
         assert!(matches!(
@@ -927,6 +1007,43 @@ mod tests {
             decode_control(&seal(buf)),
             Err(Error::MalformedWire { reason: "control payload length mismatch", .. })
         ));
+    }
+
+    #[test]
+    fn swap_frame_rejects_oversized_declared_length() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(10); // SwapModel
+        buf.put_u32((MAX_MODEL_JSON + 1) as u32);
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "oversized swap payload", .. })
+        ));
+    }
+
+    #[test]
+    fn swap_frame_rejects_bad_utf8() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(10); // SwapModel
+        buf.put_u32(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "swap payload not utf-8", .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_MODEL_JSON")]
+    fn swap_frame_over_max_panics_on_encode() {
+        encode_control(&ControlFrame::SwapModel { json: "x".repeat(MAX_MODEL_JSON + 1) });
     }
 
     #[test]

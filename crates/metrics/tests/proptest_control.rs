@@ -8,12 +8,12 @@ use appclass_metrics::wire::{decode_control, encode_control, MAX_CONTROL_SIZE, W
 use appclass_metrics::{ByeReason, ControlFrame, Error, TelemetryHealth, METRIC_COUNT};
 use proptest::prelude::*;
 
-/// One strategy covering all six frame kinds. The vendored proptest shim
+/// One strategy covering all the frame kinds. The vendored proptest shim
 /// has no `prop_oneof`, so a kind selector plus a pool of generic fields
 /// is mapped into whichever variant the selector picks.
 fn arb_frame() -> impl Strategy<Value = ControlFrame> {
     (
-        (0u8..6, any::<u32>(), any::<u64>(), 0usize..=WIRE_SIZE),
+        (0u8..8, any::<u32>(), any::<u64>(), 0usize..=WIRE_SIZE),
         prop::collection::vec(any::<u8>(), WIRE_SIZE),
         (0u8..5, 0.0f64..1.0, prop::collection::vec(0.0f64..0.2, 5)),
         (prop::collection::vec(0u64..1_000_000, 10), 0u32..1000, 0u64..(1u64 << METRIC_COUNT)),
@@ -30,7 +30,12 @@ fn arb_frame() -> impl Strategy<Value = ControlFrame> {
                     class,
                     confidence,
                     composition: [comp[0], comp[1], comp[2], comp[3], comp[4]],
+                    model: model_id,
                 },
+                6 => ControlFrame::SwapModel {
+                    json: String::from_utf8_lossy(&snap_bytes[..snap_len]).into_owned(),
+                },
+                7 => ControlFrame::SwapAck { old_model: model_id, new_model: counters[0] },
                 4 => ControlFrame::Health(TelemetryHealth {
                     seen: counters[0],
                     accepted: counters[1],

@@ -38,6 +38,9 @@ pub struct VerdictReport {
     pub confidence: f64,
     /// The full composition behind the majority.
     pub composition: ClassComposition,
+    /// Fingerprint of the model version that produced this verdict —
+    /// watching it flip is how a client observes a hot swap completing.
+    pub model: u64,
 }
 
 /// Aggregate outcome of a batched stream: the per-item dispositions the
@@ -280,16 +283,34 @@ impl ServeClient {
     pub fn classify(&mut self) -> Result<VerdictReport> {
         write_frame(&mut self.writer, &ControlFrame::Classify)?;
         match read_frame(&mut self.reader)? {
-            ControlFrame::Verdict { class, confidence, composition } => {
+            ControlFrame::Verdict { class, confidence, composition, model } => {
                 let class = AppClass::from_index(class as usize)
                     .ok_or(ServeError::Handshake { reason: "verdict class out of range" })?;
                 let [idle, io, cpu, net, mem] = composition;
                 let composition = ClassComposition::from_fractions(idle, io, cpu, net, mem)
                     .ok_or(ServeError::Handshake { reason: "verdict composition invalid" })?;
-                Ok(VerdictReport { class, confidence, composition })
+                Ok(VerdictReport { class, confidence, composition, model })
             }
             ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
             other => Err(ServeError::UnexpectedFrame { expected: "Verdict", got: other.name() }),
+        }
+    }
+
+    /// Asks the server to hot-swap its served model for the pipeline
+    /// serialized in `json` (a `ClassifierPipeline::to_json` dump).
+    /// Returns `(old_id, new_id)` from the server's acknowledgement;
+    /// they are equal when the server already serves that model. On
+    /// success the client adopts the new fingerprint as its own
+    /// expectation.
+    pub fn swap_model(&mut self, json: &str) -> Result<(u64, u64)> {
+        write_frame(&mut self.writer, &ControlFrame::SwapModel { json: json.to_string() })?;
+        match read_frame(&mut self.reader)? {
+            ControlFrame::SwapAck { old_model, new_model } => {
+                self.model_id = new_model;
+                Ok((old_model, new_model))
+            }
+            ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
+            other => Err(ServeError::UnexpectedFrame { expected: "SwapAck", got: other.name() }),
         }
     }
 

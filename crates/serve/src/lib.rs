@@ -3,11 +3,15 @@
 //!
 //! The paper's deployment story (§6) is a monitoring daemon per node
 //! feeding a central learner. This crate is that central end: a TCP
-//! server that holds one trained [`ClassifierPipeline`] and serves many
-//! monitoring clients concurrently, each session running its own
+//! server that holds one trained [`ClassifierPipeline`] in a
+//! hot-swappable [`ModelSlot`] and serves many monitoring clients
+//! concurrently, each session running its own
 //! [`OnlineClassifier`](appclass_core::OnlineClassifier) behind a
 //! [`FrameGuard`](appclass_metrics::FrameGuard) so a degraded client
-//! degrades only its own verdicts.
+//! degrades only its own verdicts. A `SwapModel` frame (or
+//! [`Server::swap_model`]) installs a retrained pipeline while
+//! established sessions drain onto the new fingerprint without
+//! dropping their connections.
 //!
 //! The protocol is deliberately plain: length-prefixed, checksummed
 //! [`ControlFrame`]s ([`appclass_metrics::wire`]) over plain
@@ -37,6 +41,7 @@
 
 pub mod client;
 pub mod error;
+pub mod model;
 pub mod proto;
 pub mod server;
 pub mod session;
@@ -45,6 +50,7 @@ pub mod stats;
 pub use appclass_obs::Observability;
 pub use client::{BatchReport, ClientConfig, ServeClient, VerdictReport};
 pub use error::{Result, ServeError};
+pub use model::ModelSlot;
 pub use server::{Server, ServerConfig};
 pub use session::SessionConfig;
 pub use stats::{LatencyHistogram, ServerStats, SessionOutcome};

@@ -12,11 +12,12 @@
 //! [`OnlineClassifier`]: appclass_core::OnlineClassifier
 
 use crate::error::{Result, ServeError};
+use crate::model::ModelSlot;
 use crate::session::{refuse, run_session, SessionConfig, SessionEnd};
 use crate::stats::ServerStats;
 use appclass_core::ClassifierPipeline;
 use appclass_metrics::ByeReason;
-use appclass_obs::{Counter, Observability};
+use appclass_obs::{Counter, Histogram, Observability};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -58,7 +59,7 @@ impl Default for ServerConfig {
 
 /// State shared by the acceptor, the workers, and the [`Server`] handle.
 struct Shared {
-    pipeline: Arc<ClassifierPipeline>,
+    slot: Arc<ModelSlot>,
     config: ServerConfig,
     shutdown: AtomicBool,
     /// Connections admitted to the pool and not yet finished.
@@ -76,6 +77,11 @@ struct SessionCounters {
     finished: Counter,
     rejected: Counter,
     errors: Counter,
+    /// Pre-registered at bind (the session path registers the same
+    /// names), so `model_swap_total` and its latency histogram appear in
+    /// the `Stats` exposition even before the first swap.
+    swap_total: Counter,
+    swap_latency: Histogram,
 }
 
 impl SessionCounters {
@@ -85,6 +91,8 @@ impl SessionCounters {
             finished: obs.registry.counter("serve_sessions_finished_total"),
             rejected: obs.registry.counter("serve_sessions_rejected_total"),
             errors: obs.registry.counter("serve_session_errors_total"),
+            swap_total: obs.registry.counter("serve_model_swap_total"),
+            swap_latency: obs.registry.histogram("serve_model_swap_latency"),
         }
     }
 }
@@ -127,7 +135,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let session_counters = SessionCounters::new(&obs);
         let shared = Arc::new(Shared {
-            pipeline,
+            slot: Arc::new(ModelSlot::new(pipeline)),
             config,
             shutdown: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -173,6 +181,34 @@ impl Server {
     /// share state, so a returned handle stays live while the server runs.
     pub fn observability(&self) -> &Observability {
         &self.shared.obs
+    }
+
+    /// Fingerprint of the model currently served.
+    pub fn model_id(&self) -> u64 {
+        self.shared.slot.current_id()
+    }
+
+    /// The shared model slot — the same one sessions poll, so a swap
+    /// through a cloned handle behaves exactly like [`Server::swap_model`]
+    /// minus the metrics.
+    pub fn model_slot(&self) -> Arc<ModelSlot> {
+        Arc::clone(&self.shared.slot)
+    }
+
+    /// Hot-swaps the served model. Established sessions drain onto the
+    /// new pipeline at their next frame without dropping the connection;
+    /// clients pinned to the old fingerprint stay admissible through the
+    /// drain window. Returns `(old_id, new_id)` — equal when the offered
+    /// model is already the one served (a no-op).
+    pub fn swap_model(&self, pipeline: Arc<ClassifierPipeline>) -> (u64, u64) {
+        let start = std::time::Instant::now();
+        let (old, new) = self.shared.slot.swap(pipeline);
+        if old != new {
+            self.shared.session_counters.swap_total.inc();
+            self.shared.session_counters.swap_latency.record(start.elapsed());
+            self.shared.obs.incident(&format!("server: model swap {old:#018x} -> {new:#018x}"));
+        }
+        (old, new)
     }
 
     /// Asks every thread to wind down: in-flight sessions drain with
@@ -288,7 +324,7 @@ fn serve_one(shared: &Shared, stream: TcpStream) {
     let end = run_session(
         stream,
         session_id,
-        &shared.pipeline,
+        &shared.slot,
         shared.config.session,
         &shared.shutdown,
         Some(&shared.obs),

@@ -1,14 +1,26 @@
-//! Server-side session: one connection, one [`OnlineClassifier`].
+//! Server-side session: one connection, one [`OnlineClassifier`] per
+//! model *generation*.
 //!
 //! A session is the protocol state machine that sits between a TCP
 //! stream and the classification core. The first frame must be a
-//! `Hello` (versioned handshake + model fingerprint check); after that
-//! the client streams `Snapshot` frames and interleaves `Classify`,
-//! `Health`, `Stats` and finally `Bye`. Every snapshot passes through the
-//! session's own [`FrameGuard`] via `push_guarded`, so a client on a
-//! degraded telemetry link degrades only its own verdicts.
+//! `Hello` (versioned handshake + model fingerprint check against the
+//! shared [`ModelSlot`]); after that the client streams `Snapshot`
+//! frames and interleaves `Classify`, `Health`, `Stats`, `SwapModel`
+//! and finally `Bye`. Every snapshot passes through the session's own
+//! [`FrameGuard`] via `push_guarded`, so a client on a degraded
+//! telemetry link degrades only its own verdicts.
+//!
+//! Sessions survive hot model swaps: the classifier is scoped to one
+//! generation, the slot's epoch is polled between frames, and when the
+//! served model changes the session folds the old generation's
+//! telemetry into its outcome and rebuilds against the new pipeline on
+//! the same connection. Verdicts carry the fingerprint of the model
+//! that produced them, so a client watches its tags flip old → new.
+//!
+//! [`FrameGuard`]: appclass_metrics::FrameGuard
 
 use crate::error::{Result, ServeError};
+use crate::model::ModelSlot;
 use crate::proto::{read_frame_or_idle, write_frame, write_frame_single};
 use crate::stats::SessionOutcome;
 use appclass_core::online::OnlineClassifier;
@@ -18,6 +30,7 @@ use appclass_obs::{Counter, Histogram, Observability};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Live observability handles for one session: registry counters
@@ -33,6 +46,8 @@ struct SessionObs {
     frames_malformed: Counter,
     classify_total: Counter,
     classify_latency: Histogram,
+    swap_total: Counter,
+    swap_latency: Histogram,
     /// The flight recorder snapshots the *first* degraded frame of a
     /// session, not all of them — one incident per degradation episode
     /// keeps the bounded incident log useful.
@@ -48,6 +63,8 @@ impl SessionObs {
             frames_malformed: obs.registry.counter("serve_frames_malformed_total"),
             classify_total: obs.registry.counter("serve_classify_total"),
             classify_latency: obs.registry.histogram("serve_classify_latency"),
+            swap_total: obs.registry.counter("serve_model_swap_total"),
+            swap_latency: obs.registry.histogram("serve_model_swap_latency"),
             obs: obs.clone(),
             session_id,
             degraded_noted: false,
@@ -60,6 +77,18 @@ impl SessionObs {
             self.obs
                 .incident(&format!("session {}: first degraded frame ({what})", self.session_id));
         }
+    }
+
+    fn note_swap(&mut self, old: u64, new: u64, elapsed: std::time::Duration) {
+        self.swap_total.inc();
+        self.swap_latency.record(elapsed);
+        // A swap opens a degradation window: every generation rebuild
+        // discards windowed classifier state, so verdicts right after it
+        // start from the honest "no idea" again. Flight-record it.
+        self.obs.incident(&format!(
+            "session {}: model swap {old:#018x} -> {new:#018x}",
+            self.session_id
+        ));
     }
 
     fn note_failure(&self, error: &ServeError) {
@@ -97,6 +126,16 @@ pub enum SessionEnd {
     Failed(SessionOutcome, ServeError),
 }
 
+/// How one model generation of a session ended: either the session is
+/// over (mapping onto a [`SessionEnd`] arm), or the served model changed
+/// and the caller should rebuild the classifier and keep going.
+enum GenExit {
+    Clean,
+    Shutdown,
+    Failed(ServeError),
+    Rebuild,
+}
+
 /// Runs one admitted connection to completion.
 ///
 /// `session_id` is echoed back in the server's `Hello`; `shutdown` is
@@ -104,17 +143,18 @@ pub enum SessionEnd {
 /// timeout for that poll to ever fire). With `obs` present the session
 /// traces its classify calls, mirrors frame/verdict counters into the
 /// registry live, answers `Stats` frames with the exposition text, and
-/// flight-records its first degraded frame and any failure.
+/// flight-records its first degraded frame, any model swap, and any
+/// failure.
 pub fn run_session(
     stream: TcpStream,
     session_id: u32,
-    pipeline: &ClassifierPipeline,
+    slot: &ModelSlot,
     config: SessionConfig,
     shutdown: &AtomicBool,
     obs: Option<&Observability>,
 ) -> SessionEnd {
     let mut sobs = obs.map(|o| SessionObs::new(o, session_id));
-    let end = run_session_inner(stream, session_id, pipeline, config, shutdown, &mut sobs);
+    let end = run_session_inner(stream, session_id, slot, config, shutdown, &mut sobs);
     if let (SessionEnd::Failed(_, e), Some(s)) = (&end, &sobs) {
         s.note_failure(e);
     }
@@ -124,7 +164,7 @@ pub fn run_session(
 fn run_session_inner(
     stream: TcpStream,
     session_id: u32,
-    pipeline: &ClassifierPipeline,
+    slot: &ModelSlot,
     config: SessionConfig,
     shutdown: &AtomicBool,
     sobs: &mut Option<SessionObs>,
@@ -137,6 +177,60 @@ fn run_session_inner(
     let mut reader = BufReader::new(reader);
     let mut writer = BufWriter::new(stream);
 
+    // --- handshake -------------------------------------------------------
+    match handshake(&mut reader, &mut writer, session_id, slot, shutdown) {
+        Ok(()) => {}
+        Err(e) => return SessionEnd::Failed(outcome, e),
+    }
+
+    // --- steady state, one classifier per model generation ---------------
+    // Reply-assembly scratch for the batch path: prefix + body become one
+    // contiguous write, and the buffer stays warm across batches and
+    // across generations.
+    let mut reply_scratch: Vec<u8> = Vec::new();
+    loop {
+        // Pin the served pipeline for this generation; a concurrent swap
+        // bumps the epoch, which the frame loop polls.
+        let epoch = slot.epoch();
+        let current = slot.current();
+        let exit = run_generation(
+            &mut reader,
+            &mut writer,
+            &current,
+            epoch,
+            slot,
+            config,
+            shutdown,
+            sobs,
+            &mut outcome,
+            &mut reply_scratch,
+        );
+        match exit {
+            GenExit::Clean => return SessionEnd::Clean(outcome),
+            GenExit::Shutdown => return SessionEnd::Shutdown(outcome),
+            GenExit::Failed(e) => return SessionEnd::Failed(outcome, e),
+            GenExit::Rebuild => continue,
+        }
+    }
+}
+
+/// Runs the frame loop against one pinned pipeline until the session
+/// ends or the served model changes. The classifier lives only here;
+/// every exit path folds its telemetry into `outcome` first.
+#[allow(clippy::too_many_arguments)]
+fn run_generation(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    pipeline: &Arc<ClassifierPipeline>,
+    epoch: u64,
+    slot: &ModelSlot,
+    config: SessionConfig,
+    shutdown: &AtomicBool,
+    sobs: &mut Option<SessionObs>,
+    outcome: &mut SessionOutcome,
+    reply_scratch: &mut Vec<u8>,
+) -> GenExit {
+    let model_id = pipeline.model_id();
     let mut classifier = match config.window {
         Some(w) => OnlineClassifier::with_window(pipeline, w),
         None => OnlineClassifier::new(pipeline),
@@ -145,40 +239,32 @@ fn run_session_inner(
         classifier.set_tracer(s.obs.tracer.clone());
     }
 
-    // --- handshake -------------------------------------------------------
-    match handshake(&mut reader, &mut writer, session_id, pipeline, shutdown) {
-        Ok(()) => {}
-        Err(e) => return SessionEnd::Failed(outcome, e),
-    }
-
-    // --- steady state ----------------------------------------------------
-    // Reply-assembly scratch for the batch path: prefix + body become one
-    // contiguous write, and the buffer stays warm across batches.
-    let mut reply_scratch: Vec<u8> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            let _ = write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Shutdown });
-            finish(&mut outcome, &classifier);
-            return SessionEnd::Shutdown(outcome);
+            let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Shutdown });
+            finish(outcome, &classifier);
+            return GenExit::Shutdown;
         }
-        let frame = match read_frame_or_idle(&mut reader) {
+        if slot.epoch() != epoch {
+            // Another session swapped the model out from under us; drain
+            // this generation and rebuild on the same connection.
+            finish(outcome, &classifier);
+            return GenExit::Rebuild;
+        }
+        let frame = match read_frame_or_idle(reader) {
             Ok(Some(frame)) => frame,
-            Ok(None) => continue, // idle poll: loop re-checks the flag
+            Ok(None) => continue, // idle poll: loop re-checks the flags
             Err(ServeError::Wire(_)) => {
                 // The session envelope itself is corrupt: the peers have
                 // lost framing sync and cannot recover.
-                let _ =
-                    write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
+                let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
                 classifier.note_malformed();
-                finish(&mut outcome, &classifier);
-                return SessionEnd::Failed(
-                    outcome,
-                    ServeError::Handshake { reason: "framing lost" },
-                );
+                finish(outcome, &classifier);
+                return GenExit::Failed(ServeError::Handshake { reason: "framing lost" });
             }
             Err(e) => {
-                finish(&mut outcome, &classifier);
-                return SessionEnd::Failed(outcome, e);
+                finish(outcome, &classifier);
+                return GenExit::Failed(e);
             }
         };
         match frame {
@@ -188,12 +274,10 @@ fn run_session_inner(
                     s.frames_in.inc();
                 }
                 if outcome.frames_in > config.frame_budget {
-                    let _ = write_frame(
-                        &mut writer,
-                        &ControlFrame::Bye { reason: ByeReason::FrameBudget },
-                    );
-                    finish(&mut outcome, &classifier);
-                    return SessionEnd::Clean(outcome);
+                    let _ =
+                        write_frame(writer, &ControlFrame::Bye { reason: ByeReason::FrameBudget });
+                    finish(outcome, &classifier);
+                    return GenExit::Clean;
                 }
                 // The inner datagram crossed the client's (possibly
                 // faulty) telemetry channel unprotected: decode failures
@@ -216,8 +300,8 @@ fn run_session_inner(
                         }
                         Ok(FrameVerdict::Accepted) => {}
                         Err(e) => {
-                            finish(&mut outcome, &classifier);
-                            return SessionEnd::Failed(outcome, e.into());
+                            finish(outcome, &classifier);
+                            return GenExit::Failed(e.into());
                         }
                     },
                     Err(_) => {
@@ -241,12 +325,10 @@ fn run_session_inner(
                     s.frames_in.add(n);
                 }
                 if outcome.frames_in > config.frame_budget {
-                    let _ = write_frame(
-                        &mut writer,
-                        &ControlFrame::Bye { reason: ByeReason::FrameBudget },
-                    );
-                    finish(&mut outcome, &classifier);
-                    return SessionEnd::Clean(outcome);
+                    let _ =
+                        write_frame(writer, &ControlFrame::Bye { reason: ByeReason::FrameBudget });
+                    finish(outcome, &classifier);
+                    return GenExit::Clean;
                 }
                 // Decode every datagram; failures become per-item
                 // `Malformed` dispositions (expected degradation on a
@@ -273,8 +355,8 @@ fn run_session_inner(
                 let verdicts = match classifier.push_batch_guarded(&snapshots) {
                     Ok(v) => v,
                     Err(e) => {
-                        finish(&mut outcome, &classifier);
-                        return SessionEnd::Failed(outcome, e.into());
+                        finish(outcome, &classifier);
+                        return GenExit::Failed(e.into());
                     }
                 };
                 let (mut repaired, mut dropped) = (0u64, 0u64);
@@ -312,15 +394,15 @@ fn run_session_inner(
                 // acknowledged: one `VerdictBatch` of per-item
                 // dispositions, assembled and sent as a single write.
                 let reply = ControlFrame::VerdictBatch { statuses };
-                if let Err(e) = write_frame_single(&mut writer, &reply, &mut reply_scratch) {
-                    finish(&mut outcome, &classifier);
-                    return SessionEnd::Failed(outcome, e);
+                if let Err(e) = write_frame_single(writer, &reply, reply_scratch) {
+                    finish(outcome, &classifier);
+                    return GenExit::Failed(e);
                 }
             }
             ControlFrame::Classify => {
                 let start = Instant::now();
-                let verdict = verdict_frame(&classifier);
-                let sent = write_frame(&mut writer, &verdict);
+                let verdict = verdict_frame(&classifier, model_id);
+                let sent = write_frame(writer, &verdict);
                 let elapsed = start.elapsed();
                 outcome.classify_latency.record(elapsed);
                 if let Some(s) = sobs.as_ref() {
@@ -328,48 +410,77 @@ fn run_session_inner(
                     s.classify_total.inc();
                 }
                 if let Err(e) = sent {
-                    finish(&mut outcome, &classifier);
-                    return SessionEnd::Failed(outcome, e);
+                    finish(outcome, &classifier);
+                    return GenExit::Failed(e);
                 }
                 outcome.verdicts += 1;
+            }
+            ControlFrame::SwapModel { json } => {
+                // The client supplies the replacement pipeline inline.
+                // Install it in the shared slot (every session, not just
+                // this one, drains onto it), acknowledge with both
+                // fingerprints, then rebuild our own classifier.
+                let start = Instant::now();
+                let new = match ClassifierPipeline::from_json(&json) {
+                    Ok(p) => Arc::new(p),
+                    Err(e) => {
+                        // An undecodable model is a protocol-level
+                        // failure: nothing was installed, and the typed
+                        // core error says why.
+                        let _ =
+                            write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
+                        finish(outcome, &classifier);
+                        return GenExit::Failed(e.into());
+                    }
+                };
+                let (old, new_id) = slot.swap(new);
+                if let Some(s) = sobs.as_mut() {
+                    s.note_swap(old, new_id, start.elapsed());
+                }
+                let ack = ControlFrame::SwapAck { old_model: old, new_model: new_id };
+                if let Err(e) = write_frame(writer, &ack) {
+                    finish(outcome, &classifier);
+                    return GenExit::Failed(e);
+                }
+                if old != new_id {
+                    finish(outcome, &classifier);
+                    return GenExit::Rebuild;
+                }
             }
             ControlFrame::Stats { .. } => {
                 // Any `Stats` frame from the client is a request; the
                 // reply carries the shared registry's exposition text
                 // (empty when the server runs without observability).
                 let text = sobs.as_ref().map(|s| s.obs.registry.render()).unwrap_or_default();
-                if let Err(e) = write_frame(&mut writer, &ControlFrame::Stats { text }) {
-                    finish(&mut outcome, &classifier);
-                    return SessionEnd::Failed(outcome, e);
+                if let Err(e) = write_frame(writer, &ControlFrame::Stats { text }) {
+                    finish(outcome, &classifier);
+                    return GenExit::Failed(e);
                 }
             }
             ControlFrame::Health(_) => {
                 // The client's payload is a placeholder; the server
                 // answers with the authoritative guard-side health.
                 let reply = ControlFrame::Health(classifier.telemetry().clone());
-                if let Err(e) = write_frame(&mut writer, &reply) {
-                    finish(&mut outcome, &classifier);
-                    return SessionEnd::Failed(outcome, e);
+                if let Err(e) = write_frame(writer, &reply) {
+                    finish(outcome, &classifier);
+                    return GenExit::Failed(e);
                 }
             }
             ControlFrame::Bye { .. } => {
-                let _ = write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Normal });
-                finish(&mut outcome, &classifier);
-                return SessionEnd::Clean(outcome);
+                let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Normal });
+                finish(outcome, &classifier);
+                return GenExit::Clean;
             }
             other @ (ControlFrame::Hello { .. }
             | ControlFrame::Verdict { .. }
-            | ControlFrame::VerdictBatch { .. }) => {
-                let _ =
-                    write_frame(&mut writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
-                finish(&mut outcome, &classifier);
-                return SessionEnd::Failed(
-                    outcome,
-                    ServeError::UnexpectedFrame {
-                        expected: "Snapshot/SnapshotBatch/Classify/Health/Bye",
-                        got: other.name(),
-                    },
-                );
+            | ControlFrame::VerdictBatch { .. }
+            | ControlFrame::SwapAck { .. }) => {
+                let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
+                finish(outcome, &classifier);
+                return GenExit::Failed(ServeError::UnexpectedFrame {
+                    expected: "Snapshot/SnapshotBatch/Classify/SwapModel/Health/Bye",
+                    got: other.name(),
+                });
             }
         }
     }
@@ -386,10 +497,9 @@ fn handshake(
     reader: &mut impl std::io::Read,
     writer: &mut impl std::io::Write,
     session_id: u32,
-    pipeline: &ClassifierPipeline,
+    slot: &ModelSlot,
     shutdown: &AtomicBool,
 ) -> Result<()> {
-    let served = pipeline.model_id();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Shutdown });
@@ -398,8 +508,12 @@ fn handshake(
         match read_frame_or_idle(reader)? {
             None => continue,
             Some(ControlFrame::Hello { model_id, .. }) => {
-                // model_id 0 is the wildcard: "whatever you serve".
-                if model_id != 0 && model_id != served {
+                // model_id 0 is the wildcard: "whatever you serve". The
+                // model retired by the last swap stays admissible through
+                // the drain window — such a client is served the current
+                // model, whose id the reply carries.
+                let served = slot.current_id();
+                if !slot.accepts(model_id) {
                     let _ = write_frame(
                         writer,
                         &ControlFrame::Bye { reason: ByeReason::ModelMismatch },
@@ -420,10 +534,11 @@ fn handshake(
     }
 }
 
-/// Builds the `Verdict` frame for the classifier's current state. Before
+/// Builds the `Verdict` frame for the classifier's current state, tagged
+/// with the fingerprint of the model generation that produced it. Before
 /// the first usable snapshot the verdict is the honest "no idea":
 /// class `Idle`, confidence `0.0`, all-zero composition.
-fn verdict_frame(classifier: &OnlineClassifier<'_>) -> ControlFrame {
+fn verdict_frame(classifier: &OnlineClassifier<'_>, model_id: u64) -> ControlFrame {
     use appclass_core::AppClass;
     let class = classifier.current_class().unwrap_or(AppClass::Idle);
     let composition = classifier.composition();
@@ -437,13 +552,16 @@ fn verdict_frame(classifier: &OnlineClassifier<'_>) -> ControlFrame {
         class: class.index() as u8,
         confidence: classifier.confidence(),
         composition: fractions,
+        model: model_id,
     }
 }
 
-/// Copies the classifier's end-of-session reports into the outcome.
+/// Folds the classifier's end-of-generation reports into the outcome.
+/// Merging (not replacing) is what lets a session's telemetry survive a
+/// hot swap: every generation contributes its counts.
 fn finish(outcome: &mut SessionOutcome, classifier: &OnlineClassifier<'_>) {
-    outcome.health = classifier.telemetry().clone();
-    outcome.stage_metrics = classifier.stage_metrics().clone();
+    outcome.health.merge(classifier.telemetry());
+    outcome.stage_metrics.merge(classifier.stage_metrics());
 }
 
 impl SessionEnd {

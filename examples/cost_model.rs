@@ -10,7 +10,7 @@
 //! cargo run --release --example cost_model
 //! ```
 
-use appclass::core::appdb::{ApplicationDb, RunRecord};
+use appclass::core::appdb::{AppDbWriter, ApplicationDb, RunRecord};
 use appclass::prelude::*;
 use appclass::sim::runner::{run_batch, run_spec};
 use appclass::sim::workload::registry::{test_specs, training_specs};
@@ -66,10 +66,17 @@ fn main() {
         );
     }
 
-    // Persist the DB like the paper's Figure 1 post-processing stage.
-    let path = std::env::temp_dir().join("appclass_demo_db.json");
-    db.save(&path).expect("save DB");
-    let reloaded = ApplicationDb::load(&path).expect("load DB");
+    // Persist the DB like the paper's Figure 1 post-processing stage —
+    // through the durable append-only log, so a crash mid-run loses at
+    // most the torn tail record.
+    let path = std::env::temp_dir().join("appclass_demo_db.log");
+    std::fs::remove_file(&path).ok();
+    let mut writer = AppDbWriter::open(&path).expect("open DB log");
+    for rec in db.records() {
+        writer.append(rec.clone()).expect("append run");
+    }
+    drop(writer);
+    let reloaded = ApplicationDb::open(&path).expect("reopen DB log");
     println!(
         "\napplication DB with {} runs persisted to {} and reloaded intact: {}",
         reloaded.records().len(),

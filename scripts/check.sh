@@ -63,6 +63,62 @@ grep -q "^serve_classify_total [1-9]" "$tmp/stats.log"
 awk 'NF != 2 { print "unparseable exposition line: " $0; bad = 1 } END { exit bad }' "$tmp/stats.log"
 echo "observability smoke OK ($addr, nonzero classify_total, parseable dump)"
 
+echo "== persistence & hot-swap smoke test =="
+# Commit a trained model to the version store, serve it, classify, then
+# restart the server from disk: the fingerprint must be identical and a
+# client pinned to the old fingerprint must still be admitted. Finally
+# retrain, hot-swap the running server, and require the swap in the
+# stats exposition with zero errored sessions.
+wait_addr() {
+    j=0
+    while [ "$j" -lt 100 ]; do
+        a=$(sed -n 's/^listening on //p' "$1")
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        sleep 0.1
+        j=$((j + 1))
+    done
+    return 1
+}
+./target/release/appclass train --out "$tmp/v1.json" --seed 42 --store "$tmp/store" > /dev/null
+./target/release/appclass models --store "$tmp/store" | grep -q '^\*0x'
+
+# First lifetime: serve the store's HEAD and classify once.
+./target/release/appclass serve --addr 127.0.0.1:0 --store "$tmp/store" \
+    --sessions 1 > "$tmp/persist_a.log" &
+pa_pid=$!
+addr=$(wait_addr "$tmp/persist_a.log") \
+    || { echo "store-backed server never announced its address"; kill "$pa_pid"; exit 1; }
+fp1=$(sed -n 's/^serving model \(0x[0-9a-f]*\) from.*/\1/p' "$tmp/persist_a.log")
+[ -n "$fp1" ] || { echo "server never printed its model fingerprint"; kill "$pa_pid"; exit 1; }
+./target/release/appclass client --addr "$addr" --workload CH3D --seed 7 > /dev/null
+wait "$pa_pid"
+
+# Second lifetime: restart from disk. Same fingerprint, and a client
+# pinned to the pre-restart fingerprint is still admitted.
+./target/release/appclass serve --addr 127.0.0.1:0 --store "$tmp/store" \
+    --sessions 4 > "$tmp/persist_b.log" &
+pb_pid=$!
+addr=$(wait_addr "$tmp/persist_b.log") \
+    || { echo "restarted server never announced its address"; kill "$pb_pid"; exit 1; }
+fp2=$(sed -n 's/^serving model \(0x[0-9a-f]*\) from.*/\1/p' "$tmp/persist_b.log")
+[ "$fp1" = "$fp2" ] \
+    || { echo "restart changed the model fingerprint: $fp1 -> $fp2"; kill "$pb_pid"; exit 1; }
+./target/release/appclass client --addr "$addr" --workload CH3D --seed 7 \
+    --model-id "$fp1" > "$tmp/pinned.log"
+grep -q "class:       CPU" "$tmp/pinned.log"
+
+# Hot swap: retrain under another seed, install on the running server,
+# and keep classifying.
+./target/release/appclass train --out "$tmp/v2.json" --seed 1042 --store "$tmp/store" > /dev/null
+./target/release/appclass swap --addr "$addr" --store "$tmp/store" > "$tmp/swap.log"
+grep -q "swapped model $fp1 -> 0x" "$tmp/swap.log"
+./target/release/appclass client --addr "$addr" --workload CH3D --seed 7 > /dev/null
+./target/release/appclass stats --addr "$addr" > "$tmp/swap_stats.log"
+grep -q "^serve_model_swap_total 1" "$tmp/swap_stats.log"
+wait "$pb_pid"
+grep -q ", 0 errored" "$tmp/persist_b.log"
+echo "persistence smoke OK ($fp1 restored, hot swap observed, zero errored sessions)"
+
 echo "== bench smoke (BENCH_classify.json) =="
 # Short calibrated measurement of the single-frame vs batched serving
 # paths; fails if BENCH_classify.json is missing or non-parseable.

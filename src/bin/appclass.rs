@@ -2,25 +2,30 @@
 //!
 //! ```text
 //! appclass list                                  # Table 2 registry
-//! appclass train  --out pipeline.json [--seed N]
-//! appclass classify --pipeline pipeline.json --workload CH3D [--seed N] [--db db.json]
+//! appclass train  --out pipeline.json [--seed N] [--store DIR]
+//! appclass classify --pipeline pipeline.json --workload CH3D [--seed N] [--db db.log]
 //! appclass table3   [--seed N]
 //! appclass fig4     [--seed N]
 //! appclass table4   [--seed N]
-//! appclass cost     --db db.json [--cpu a --mem b --io c --net d --idle e]
-//! appclass serve    --addr 127.0.0.1:0 --model pipeline.json [--sessions N]
+//! appclass cost     --db db.log [--cpu a --mem b --io c --net d --idle e]
+//! appclass serve    --addr 127.0.0.1:0 (--model pipeline.json | --store DIR) [--sessions N]
 //! appclass client   --addr HOST:PORT --workload CH3D [--seed N] [--drop-rate R]
+//! appclass models   --store DIR
+//! appclass swap     --addr HOST:PORT (--model FILE | --store DIR [--id HEX])
 //! appclass stats    --addr HOST:PORT
 //! ```
 //!
 //! Everything is seeded and file-based: `train` persists a pipeline as
-//! JSON, `classify` loads it, classifies a monitored run of a registry
-//! workload, prints the composition and (optionally) appends the run to an
-//! application-database file that `cost` can price. `serve` turns a saved
+//! JSON (and optionally commits it to a versioned model store), `classify`
+//! loads it, classifies a monitored run of a registry workload, prints the
+//! composition and (optionally) appends the run to a crash-recoverable
+//! application-database log that `cost` can price. `serve` turns a saved
 //! pipeline into a concurrent TCP classification service; `client` replays
-//! a simulated workload's monitoring stream against it.
+//! a simulated workload's monitoring stream against it; `swap` hot-swaps
+//! the served model without dropping established sessions.
 
-use appclass::core::appdb::{ApplicationDb, RunRecord};
+use appclass::core::appdb::{AppDbWriter, ApplicationDb, RunRecord};
+use appclass::core::modelstore::ModelStore;
 use appclass::prelude::*;
 
 /// Writes a line to stdout, exiting quietly when the reader went away
@@ -64,6 +69,8 @@ fn main() -> ExitCode {
         "cost" => cmd_cost(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "client" => cmd_client(&args[1..]),
+        "models" => cmd_models(&args[1..]),
+        "swap" => cmd_swap(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "bench-classify" => cmd_bench_classify(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -85,9 +92,12 @@ const USAGE: &str = "usage: appclass <command> [options]
 
 commands:
   list                         print the workload registry (Table 2)
-  train --out FILE [--seed N]  train the paper pipeline, save as JSON
+  train --out FILE [--seed N] [--store DIR]
+                               train the paper pipeline, save as JSON; with
+                               --store also commit it to the versioned model store
   classify --pipeline FILE --workload NAME [--seed N] [--db FILE]
                                classify a monitored run; optionally record it
+                               in a crash-recoverable append log
   export --workload NAME --out FILE [--seed N]
                                run a workload and export its metric series as CSV
   table3 [--seed N]            regenerate Table 3 (class compositions)
@@ -96,12 +106,18 @@ commands:
   table4 [--seed N]            regenerate Table 4 (concurrent vs sequential)
   cost --db FILE [--cpu A --mem B --io C --net D --idle E]
                                price recorded runs under a rate card
-  serve --addr HOST:PORT --model FILE [--max-sessions N] [--sessions N] [--window W]
-                               serve the pipeline to concurrent TCP clients
+  serve --addr HOST:PORT (--model FILE | --store DIR) [--max-sessions N] [--sessions N]
+        [--window W]           serve the pipeline (or the store's HEAD version)
+                               to concurrent TCP clients
                                (--sessions N exits after N sessions drain)
   client --addr HOST:PORT --workload NAME [--seed N] [--drop-rate R] [--model-id H]
          [--batch N]           replay a workload's monitoring stream and classify
-                               (--batch N coalesces N snapshots per frame)
+                               (--batch N coalesces N snapshots per frame;
+                               --model-id takes 0x-prefixed hex or decimal)
+  models --store DIR           list the store's model version chain, newest first
+  swap --addr HOST:PORT (--model FILE | --store DIR [--id HEX])
+                               hot-swap the served model; established sessions
+                               drain onto the new version without disconnecting
   stats --addr HOST:PORT       dump a running server's metric exposition
                                (note: the fetch occupies one session slot)
   bench-classify [--seed N] [--frames N] [--batch N] [--out FILE]
@@ -159,6 +175,20 @@ fn opt_seed(args: &[String]) -> Result<u64, String> {
     }
 }
 
+/// Parses a model fingerprint as printed by `serve`/`models`
+/// (`0x`-prefixed hex), as stored in a `HEAD` file (bare hex), or as a
+/// plain decimal.
+fn parse_model_id(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16)
+            .map_err(|_| format!("invalid model fingerprint `{s}`"));
+    }
+    t.parse::<u64>()
+        .or_else(|_| u64::from_str_radix(t, 16))
+        .map_err(|_| format!("invalid model fingerprint `{s}`"))
+}
+
 fn opt_rate(args: &[String], key: &str, default: f64) -> Result<f64, String> {
     match opt(args, key) {
         None if !flag_present(args, key) => Ok(default),
@@ -198,6 +228,7 @@ fn cmd_list() -> Result<(), String> {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
+    validate_flags(args, &["--out", "--seed", "--store"])?;
     let out = opt(args, "--out").ok_or("train requires --out FILE")?;
     let seed = opt_seed(args)?;
     let pipeline = train_pipeline(seed)?;
@@ -209,6 +240,15 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         pipeline.n_components(),
         pipeline.knn().n_training()
     );
+    if let Some(dir) = opt(args, "--store") {
+        let store = ModelStore::open(Path::new(&dir)).map_err(|e| e.to_string())?;
+        let meta = store.commit(&pipeline).map_err(|e| e.to_string())?;
+        if meta.parent == 0 {
+            out!("committed model {:#018x} to {dir} (chain root)", meta.id);
+        } else {
+            out!("committed model {:#018x} to {dir} (parent {:#018x})", meta.id, meta.parent);
+        }
+    }
     Ok(())
 }
 
@@ -235,21 +275,25 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     out!("composition: {}", result.composition);
 
     if let Some(db_path) = opt(args, "--db") {
-        let path = Path::new(&db_path);
-        let mut db = if path.exists() {
-            ApplicationDb::load(path).map_err(|e| e.to_string())?
-        } else {
-            ApplicationDb::new()
-        };
-        db.record(RunRecord {
-            app: spec.name.to_string(),
-            class: result.class,
-            composition: result.composition,
-            exec_secs: rec.wall_secs,
-            samples: rec.samples,
-        });
-        db.save(path).map_err(|e| e.to_string())?;
-        out!("recorded run #{} for {} in {db_path}", db.runs_of(spec.name).len(), spec.name);
+        // The writer recovers whatever the log already holds (including a
+        // legacy JSON snapshot, migrated in place) and appends one
+        // checksummed record — a crash mid-append costs at most that
+        // record, never the database.
+        let mut writer = AppDbWriter::open(Path::new(&db_path)).map_err(|e| e.to_string())?;
+        writer
+            .append(RunRecord {
+                app: spec.name.to_string(),
+                class: result.class,
+                composition: result.composition,
+                exec_secs: rec.wall_secs,
+                samples: rec.samples,
+            })
+            .map_err(|e| e.to_string())?;
+        out!(
+            "recorded run #{} for {} in {db_path}",
+            writer.db().runs_of(spec.name).len(),
+            spec.name
+        );
     }
     Ok(())
 }
@@ -357,11 +401,29 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use appclass::serve::{Server, ServerConfig};
-    validate_flags(args, &["--addr", "--model", "--max-sessions", "--sessions", "--window"])?;
+    validate_flags(
+        args,
+        &["--addr", "--model", "--store", "--max-sessions", "--sessions", "--window"],
+    )?;
     let addr = opt(args, "--addr").ok_or("serve requires --addr HOST:PORT")?;
-    let model = opt(args, "--model").ok_or("serve requires --model FILE")?;
-    let json = std::fs::read_to_string(&model).map_err(|e| e.to_string())?;
-    let pipeline = ClassifierPipeline::from_json(&json).map_err(|e| e.to_string())?;
+    let (pipeline, origin) = match (opt(args, "--model"), opt(args, "--store")) {
+        (Some(_), Some(_)) => {
+            return Err("serve takes --model FILE or --store DIR, not both".to_string());
+        }
+        (Some(model), None) => {
+            let json = std::fs::read_to_string(&model).map_err(|e| e.to_string())?;
+            (ClassifierPipeline::from_json(&json).map_err(|e| e.to_string())?, model)
+        }
+        (None, Some(dir)) => {
+            let store = ModelStore::open(Path::new(&dir)).map_err(|e| e.to_string())?;
+            let (pipeline, _) = store
+                .load_head()
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("model store {dir} holds no versions"))?;
+            (pipeline, format!("{dir} (HEAD)"))
+        }
+        (None, None) => return Err("serve requires --model FILE or --store DIR".to_string()),
+    };
 
     let mut config = ServerConfig::default();
     if let Some(n) = opt_parsed::<usize>(args, "--max-sessions")? {
@@ -377,7 +439,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = Server::bind(addr.as_str(), std::sync::Arc::new(pipeline), config)
         .map_err(|e| e.to_string())?;
     out!("listening on {}", server.local_addr());
-    out!("serving model {model_id:#018x} from {model}");
+    out!("serving model {model_id:#018x} from {origin}");
     // Line buffering only flushes what printing appended; make the
     // address visible to pollers even through unusual stdout plumbing.
     {
@@ -403,7 +465,11 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     if !(0.0..=1.0).contains(&drop_rate) {
         return Err(format!("--drop-rate must be in [0, 1], got {drop_rate}"));
     }
-    let model_id = opt_parsed::<u64>(args, "--model-id")?.unwrap_or(0);
+    let model_id = match opt(args, "--model-id") {
+        None if !flag_present(args, "--model-id") => 0,
+        None => return Err("--model-id requires a value".to_string()),
+        Some(s) => parse_model_id(&s)?,
+    };
     let batch = opt_parsed::<usize>(args, "--batch")?;
     if batch == Some(0) {
         return Err("--batch must be at least 1".to_string());
@@ -445,6 +511,77 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         health.dropped,
         health.malformed
     );
+    Ok(())
+}
+
+fn cmd_models(args: &[String]) -> Result<(), String> {
+    validate_flags(args, &["--store"])?;
+    let dir = opt(args, "--store").ok_or("models requires --store DIR")?;
+    let store = ModelStore::open(Path::new(&dir)).map_err(|e| e.to_string())?;
+    let chain = store.versions().map_err(|e| e.to_string())?;
+    if chain.is_empty() {
+        out!("(no model versions committed in {dir})");
+        return Ok(());
+    }
+    let head = store.head().map_err(|e| e.to_string())?.unwrap_or(0);
+    out!("{:<19} {:<19} {:>8} {:>5} {:>3}  features", "model", "parent", "samples", "dims", "k");
+    for meta in chain {
+        let mark = if meta.id == head { "*" } else { " " };
+        let parent =
+            if meta.parent == 0 { "-".to_string() } else { format!("{:#018x}", meta.parent) };
+        out!(
+            "{mark}{:#018x} {:<19} {:>8} {:>5} {:>3}  {}",
+            meta.id,
+            parent,
+            meta.samples,
+            meta.n_components,
+            meta.k,
+            meta.features.join(",")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_swap(args: &[String]) -> Result<(), String> {
+    use appclass::serve::{ClientConfig, ServeClient};
+    validate_flags(args, &["--addr", "--model", "--store", "--id"])?;
+    let addr = opt(args, "--addr").ok_or("swap requires --addr HOST:PORT")?;
+    let json = match (opt(args, "--model"), opt(args, "--store")) {
+        (Some(_), Some(_)) => {
+            return Err("swap takes --model FILE or --store DIR, not both".to_string());
+        }
+        (Some(file), None) => {
+            if flag_present(args, "--id") {
+                return Err("--id selects a store version; it needs --store DIR".to_string());
+            }
+            std::fs::read_to_string(&file).map_err(|e| e.to_string())?
+        }
+        (None, Some(dir)) => {
+            let store = ModelStore::open(Path::new(&dir)).map_err(|e| e.to_string())?;
+            let id = match opt(args, "--id") {
+                Some(s) => parse_model_id(&s)?,
+                None if flag_present(args, "--id") => {
+                    return Err("--id requires a value".to_string());
+                }
+                None => store
+                    .head()
+                    .map_err(|e| e.to_string())?
+                    .ok_or_else(|| format!("model store {dir} holds no versions"))?,
+            };
+            let (pipeline, _) = store.load(id).map_err(|e| e.to_string())?;
+            pipeline.to_json().map_err(|e| e.to_string())?
+        }
+        (None, None) => return Err("swap requires --model FILE or --store DIR".to_string()),
+    };
+    let mut client = ServeClient::connect(addr.as_str(), ClientConfig::default())
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let (old, new) = client.swap_model(&json).map_err(|e| e.to_string())?;
+    client.bye().map_err(|e| e.to_string())?;
+    if old == new {
+        out!("server already serves model {new:#018x} (no-op)");
+    } else {
+        out!("swapped model {old:#018x} -> {new:#018x}");
+    }
     Ok(())
 }
 
@@ -615,7 +752,7 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
 
 fn cmd_cost(args: &[String]) -> Result<(), String> {
     let db_path = opt(args, "--db").ok_or("cost requires --db FILE")?;
-    let db = ApplicationDb::load(Path::new(&db_path)).map_err(|e| e.to_string())?;
+    let db = ApplicationDb::open(Path::new(&db_path)).map_err(|e| e.to_string())?;
     let rates = ResourceRates {
         cpu: opt_rate(args, "--cpu", 10.0)?,
         mem: opt_rate(args, "--mem", 8.0)?,

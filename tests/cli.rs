@@ -248,6 +248,88 @@ fn stats_rejects_unknown_flag() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("stats requires --addr"));
 }
 
+#[test]
+fn models_and_swap_validate_flags() {
+    // models: a typo'd flag fails loudly, and --store is required.
+    let out = bin().args(["models", "--stor", "/tmp/x"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown flag `--stor`"), "{err}");
+    assert!(err.contains("usage"), "unknown flags must re-print usage:\n{err}");
+
+    let out = bin().arg("models").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("models requires --store"));
+
+    // swap: unknown flag, missing --addr, source conflicts, orphan --id.
+    let out = bin().args(["swap", "--addr", "x", "--model", "p.json", "--force"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--force`"));
+
+    let out = bin().args(["swap", "--model", "p.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("swap requires --addr"));
+
+    let out = bin().args(["swap", "--addr", "x"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model FILE or --store DIR"));
+
+    let out = bin()
+        .args(["swap", "--addr", "x", "--model", "p.json", "--store", "/tmp/s"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not both"));
+
+    let out =
+        bin().args(["swap", "--addr", "x", "--model", "p.json", "--id", "12ab"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--id"), "orphan --id must be rejected");
+
+    // train grew --store, so its flag validation must catch typos too.
+    let out = bin().args(["train", "--oot", "p.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--oot`"));
+}
+
+/// `train --store` commits versions; `models` walks the chain newest
+/// first with the head starred and parents linked.
+#[test]
+fn train_store_builds_a_version_chain_models_can_list() {
+    let dir = tmpdir("store_chain");
+    let store = dir.join("store");
+    let pipe_a = dir.join("a.json");
+    let pipe_b = dir.join("b.json");
+
+    let out = bin()
+        .args(["train", "--out", pipe_a.to_str().unwrap(), "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = stdout(&out);
+    assert!(s.contains("committed model 0x"), "{s}");
+    assert!(s.contains("chain root"), "first commit parents on nothing:\n{s}");
+
+    let out = bin()
+        .args(["train", "--out", pipe_b.to_str().unwrap(), "--seed", "1042"])
+        .args(["--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("parent 0x"), "second commit links its parent");
+
+    let out = bin().args(["models", "--store", store.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = stdout(&out);
+    let lines: Vec<&str> = s.lines().collect();
+    assert_eq!(lines.len(), 3, "header + two versions:\n{s}");
+    assert!(lines[1].starts_with('*'), "the head is starred:\n{s}");
+    assert!(lines[2].trim_start().starts_with("0x"), "ancestors are unstarred:\n{s}");
+    assert!(lines[2].contains(" - "), "the chain root has no parent:\n{s}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `appclass stats` against a dead port must exit with a typed
 /// connection error on stderr — not a panic, not a hang.
 #[test]

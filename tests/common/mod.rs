@@ -9,8 +9,16 @@ use appclass::sim::workload::registry::training_specs;
 /// paper-configured pipeline — the fixture nearly every integration test
 /// starts from.
 pub fn trained_pipeline() -> ClassifierPipeline {
+    trained_pipeline_seeded(42)
+}
+
+/// Same training procedure under a caller-chosen simulation seed —
+/// different seeds give distinct (differently-fingerprinted) models, the
+/// fixture the hot-swap tests need.
+#[allow(dead_code)] // not every integration binary swaps models
+pub fn trained_pipeline_seeded(seed: u64) -> ClassifierPipeline {
     let training = training_specs();
-    let runs = run_batch(&training, 42);
+    let runs = run_batch(&training, seed);
     let labelled: Vec<(Matrix, AppClass)> = runs
         .iter()
         .zip(&training)

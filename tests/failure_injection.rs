@@ -95,10 +95,57 @@ fn bad_pipeline_configs_are_typed() {
 #[test]
 fn corrupt_persisted_state_is_typed() {
     assert!(matches!(ClassifierPipeline::from_json("{ not json"), Err(CoreError::Storage(_))));
-    assert!(matches!(
-        appclass::core::appdb::ApplicationDb::from_json("[1,2,3]"),
-        Err(CoreError::Storage(_))
-    ));
+    // A malformed appdb snapshot is CorruptDb: record 0 (nothing decoded
+    // yet) with the parse failure's byte offset and reason.
+    match appclass::core::appdb::ApplicationDb::from_json("[1,2,3]") {
+        Err(CoreError::CorruptDb { record: 0, reason, .. }) => {
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected CorruptDb for a malformed snapshot, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_log_record_names_record_index_and_byte_offset() {
+    use appclass::core::appdb::{AppDbWriter, ApplicationDb, RunRecord};
+
+    let dir = std::env::temp_dir().join(format!("appclass_fi_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.log");
+    std::fs::remove_file(&path).ok();
+
+    let mut writer = AppDbWriter::open(&path).unwrap();
+    for i in 0..2 {
+        writer
+            .append(RunRecord {
+                app: format!("job-{i}"),
+                class: AppClass::Cpu,
+                composition: ClassComposition::from_fractions(0.0, 0.0, 1.0, 0.0, 0.0).unwrap(),
+                exec_secs: 100 + i,
+                samples: 10,
+            })
+            .unwrap();
+    }
+    drop(writer);
+
+    // Damage the *second* record's checksum trailer: a complete frame
+    // that fails integrity, not a torn tail (which recovery truncates).
+    let mut bytes = std::fs::read(&path).unwrap();
+    let len0 = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let second_frame = 8 + 4 + len0 + 8;
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    match ApplicationDb::open(&path) {
+        Err(CoreError::CorruptDb { record, offset, reason }) => {
+            assert_eq!(record, 1, "the first record is intact");
+            assert_eq!(offset, second_frame as u64, "offset must name the bad frame's start");
+            assert!(reason.contains("checksum"), "{reason}");
+        }
+        other => panic!("expected CorruptDb naming the record, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

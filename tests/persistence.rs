@@ -1,8 +1,12 @@
 //! Integration test: trained pipelines and the application DB survive
 //! serialization — the paper's Figure 1 stores classification state in a
-//! database for future scheduling decisions.
+//! database for future scheduling decisions. The database is an
+//! append-only checksummed log (legacy JSON snapshots migrate on open),
+//! and trained pipelines version into a content-addressed model store,
+//! so everything here also survives a process restart.
 
-use appclass::core::appdb::{ApplicationDb, RunRecord};
+use appclass::core::appdb::{AppDbWriter, ApplicationDb, RunRecord};
+use appclass::core::modelstore::ModelStore;
 use appclass::metrics::NodeId;
 use appclass::prelude::*;
 use appclass::sim::runner::run_spec;
@@ -66,6 +70,85 @@ fn appdb_file_roundtrip_preserves_stats() {
     assert_eq!(stats.class, AppClass::Cpu);
     assert!(stats.mean_exec_secs > 0.0);
     assert!(stats.min_exec_secs <= stats.max_exec_secs);
+}
+
+#[test]
+fn appdb_log_survives_restart_and_migrates_legacy_snapshots() {
+    let dir = std::env::temp_dir().join(format!("appclass_it_log_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.log");
+    std::fs::remove_file(&path).ok();
+
+    let rec = |i: u64| RunRecord {
+        app: format!("job-{i}"),
+        class: AppClass::Io,
+        composition: ClassComposition::from_fractions(0.2, 0.8, 0.0, 0.0, 0.0).unwrap(),
+        exec_secs: 100 + i,
+        samples: 12,
+    };
+
+    // First "process": append two runs through the durable writer.
+    let mut writer = AppDbWriter::open(&path).unwrap();
+    writer.append(rec(0)).unwrap();
+    writer.append(rec(1)).unwrap();
+    drop(writer);
+
+    // Restart: a fresh writer recovers both and appends a third.
+    let mut writer = AppDbWriter::open(&path).unwrap();
+    assert_eq!(writer.db().records().len(), 2);
+    writer.append(rec(2)).unwrap();
+    drop(writer);
+    let restored = ApplicationDb::open(&path).unwrap();
+    assert_eq!(restored.records().len(), 3);
+    assert_eq!(restored.stats("job-0").unwrap().class, AppClass::Io);
+
+    // A legacy whole-file JSON snapshot opens through the same API and
+    // is migrated to the log format by the first writer that touches it.
+    let legacy = dir.join("legacy.json");
+    restored.save(&legacy).unwrap();
+    assert_eq!(ApplicationDb::open(&legacy).unwrap(), restored);
+    let writer = AppDbWriter::open(&legacy).unwrap();
+    assert_eq!(writer.db(), &restored);
+    drop(writer);
+    let header = std::fs::read(&legacy).unwrap();
+    assert_eq!(&header[..4], b"APDB", "the writer must migrate legacy files to the log format");
+    assert_eq!(ApplicationDb::open(&legacy).unwrap(), restored);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&legacy).ok();
+}
+
+#[test]
+fn model_store_restart_serves_bit_identical_verdicts() {
+    let pipeline = trained();
+    let dir = std::env::temp_dir().join(format!("appclass_it_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let meta = ModelStore::open(&dir).unwrap().commit(&pipeline).unwrap();
+    assert_eq!(meta.id, pipeline.model_id());
+
+    // Restart: a fresh store handle loads HEAD; fingerprint and every
+    // classification must be bit-equal to the original's.
+    let (restored, head_meta) = ModelStore::open(&dir).unwrap().load_head().unwrap().unwrap();
+    assert_eq!(head_meta.id, pipeline.model_id());
+    assert_eq!(restored, pipeline);
+
+    let specs = test_specs();
+    let spec = specs.iter().find(|s| s.name == "CH3D").unwrap();
+    let rec = run_spec(spec, NodeId(4), 77);
+    let raw = rec.pool.sample_matrix(NodeId(4)).unwrap();
+    let a = pipeline.classify(&raw).unwrap();
+    let b = restored.classify(&raw).unwrap();
+    assert_eq!(a.class, b.class);
+    assert_eq!(a.class_vector, b.class_vector);
+    for class in AppClass::ALL {
+        assert_eq!(
+            a.composition.fraction(class).to_bits(),
+            b.composition.fraction(class).to_bits(),
+            "restart must not perturb a single bit of the composition"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

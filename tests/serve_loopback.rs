@@ -9,6 +9,7 @@
 
 mod common;
 
+use appclass::core::modelstore::ModelStore;
 use appclass::expected_class;
 use appclass::metrics::{ByeReason, FaultPlan, NodeId, Snapshot};
 use appclass::serve::{ClientConfig, ServeClient, ServeError, Server, ServerConfig};
@@ -404,6 +405,153 @@ fn model_fingerprint_gates_the_handshake() {
     let stats = server.join().unwrap();
     assert_eq!(stats.session_errors, 1, "the mismatch is accounted as a session error");
     assert_eq!(stats.sessions_finished, 1);
+}
+
+/// The hot-swap acceptance test: an established session must survive a
+/// model swap performed by *another* session — its verdict model tags
+/// flip old → new, it keeps classifying correctly on the same TCP
+/// connection, a client pinned to the retired fingerprint is still
+/// admitted through the drain window, the swap shows up in the metric
+/// exposition, and the server accounts zero session errors.
+#[test]
+fn hot_swap_drains_sessions_without_dropping_connections() {
+    let old_pipeline = Arc::new(common::trained_pipeline());
+    let new_pipeline = common::trained_pipeline_seeded(1042);
+    let (old_id, new_id) = (old_pipeline.model_id(), new_pipeline.model_id());
+    assert_ne!(old_id, new_id, "distinct seeds must fingerprint differently");
+
+    let config = ServerConfig { max_sessions: 4, ..ServerConfig::default() };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&old_pipeline), config).unwrap();
+    let addr = server.local_addr();
+    assert_eq!(server.model_id(), old_id);
+
+    let specs = training_specs();
+    let spec = &specs[1];
+    let snaps = snapshots_of(spec, 64, 6464);
+
+    // The long-lived session: established before the swap, streaming on
+    // the old model.
+    let mut streaming = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+    assert_eq!(streaming.model_id(), old_id);
+    streaming.stream_snapshots(&snaps).unwrap();
+    let before = streaming.classify().unwrap();
+    assert_eq!(before.model, old_id, "pre-swap verdicts carry the old fingerprint");
+    assert_eq!(before.class, expected_class(spec.expected));
+
+    // A second session performs the swap; its ack names both versions.
+    let mut swapper = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+    let json = new_pipeline.to_json().unwrap();
+    assert_eq!(swapper.swap_model(&json).unwrap(), (old_id, new_id));
+    assert_eq!(swapper.model_id(), new_id);
+    assert_eq!(server.model_id(), new_id);
+
+    // The streaming session drains onto the new model at its next frame:
+    // the first classify may still land in the old generation (the epoch
+    // is polled between frames), but the tag must flip within a couple.
+    let mut flipped = streaming.classify().unwrap();
+    for _ in 0..10 {
+        if flipped.model == new_id {
+            break;
+        }
+        assert_eq!(flipped.model, old_id, "tags are only ever old or new");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        flipped = streaming.classify().unwrap();
+    }
+    assert_eq!(flipped.model, new_id, "the session must rebuild onto the swapped model");
+
+    // Same connection, new generation: streaming continues and the
+    // verdict is produced by (and tagged with) the new model.
+    streaming.stream_snapshots(&snaps).unwrap();
+    let after = streaming.classify().unwrap();
+    assert_eq!(after.model, new_id);
+    assert_eq!(after.class, expected_class(spec.expected));
+
+    // The drain window: a client still pinned to the retired fingerprint
+    // is admitted and told the current one; an unknown fingerprint is not.
+    let pinned = ClientConfig { model_id: old_id, ..ClientConfig::default() };
+    let drained = ServeClient::connect(addr, pinned).unwrap();
+    assert_eq!(drained.model_id(), new_id);
+    assert_eq!(drained.bye().unwrap(), ByeReason::Normal);
+    match ServeClient::connect(addr, ClientConfig { model_id: 0x1234, ..ClientConfig::default() }) {
+        Err(ServeError::Rejected { reason }) => assert_eq!(reason, ByeReason::ModelMismatch),
+        Err(other) => panic!("unknown fingerprint must be refused cleanly, got error {other}"),
+        Ok(_) => panic!("unknown fingerprint must still be refused, but was admitted"),
+    }
+
+    // The swap is visible in the exposition: the counter and its latency
+    // histogram both recorded exactly one swap.
+    let text = swapper.stats().unwrap();
+    let field = |name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+    };
+    assert_eq!(field("serve_model_swap_total"), 1.0);
+    assert!(field("serve_model_swap_latency_count") >= 1.0);
+
+    // And in the flight recorder: the swap opened a (recorded)
+    // degradation window.
+    let obs = server.observability().clone();
+    assert!(
+        obs.flight.incidents().iter().any(|i| i.reason.contains("model swap")),
+        "the swap must be flight-recorded"
+    );
+
+    assert_eq!(streaming.bye().unwrap(), ByeReason::Normal);
+    assert_eq!(swapper.bye().unwrap(), ByeReason::Normal);
+    server.shutdown();
+    let stats = server.join().unwrap();
+    assert_eq!(
+        stats.session_errors, 1,
+        "only the deliberate unknown-fingerprint probe errs; the swap itself costs nothing"
+    );
+    assert_eq!(stats.sessions_finished, 3, "all established sessions drain cleanly");
+}
+
+/// Restart contract: a server rebuilt from the model store's durable
+/// HEAD serves the identical fingerprint, admits a client pinned to it,
+/// and returns bit-equal verdicts for the same snapshot stream.
+#[test]
+fn restarted_server_serves_identical_fingerprint_and_verdicts() {
+    let dir = std::env::temp_dir().join(format!("appclass_it_swap_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let pipeline = common::trained_pipeline();
+    let served = pipeline.model_id();
+    ModelStore::open(&dir).unwrap().commit(&pipeline).unwrap();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 65, 6565);
+
+    let run_once = |pipeline: Arc<appclass::prelude::ClassifierPipeline>| {
+        let server = Server::bind("127.0.0.1:0", pipeline, ServerConfig::default()).unwrap();
+        let pinned = ClientConfig { model_id: served, ..ClientConfig::default() };
+        let mut client = ServeClient::connect(server.local_addr(), pinned).unwrap();
+        client.stream_snapshots(&snaps).unwrap();
+        let verdict = client.classify().unwrap();
+        assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+        server.shutdown();
+        server.join().unwrap();
+        verdict
+    };
+
+    let first = run_once(Arc::new(pipeline));
+    // "Restart": everything rebuilt from disk.
+    let (restored, meta) = ModelStore::open(&dir).unwrap().load_head().unwrap().unwrap();
+    assert_eq!(meta.id, served);
+    let second = run_once(Arc::new(restored));
+
+    assert_eq!(first.model, served);
+    assert_eq!(second.model, served, "the restarted server serves the same fingerprint");
+    assert_eq!(first.class, second.class);
+    assert_eq!(first.confidence.to_bits(), second.confidence.to_bits());
+    for class in appclass::prelude::AppClass::ALL {
+        assert_eq!(
+            first.composition.fraction(class).to_bits(),
+            second.composition.fraction(class).to_bits(),
+            "restart must reproduce verdicts bit-for-bit"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A session that exceeds its frame budget is ended gracefully with
