@@ -214,6 +214,10 @@ pub enum FrameDisposition {
     Dropped,
     /// The datagram did not decode at all.
     Malformed,
+    /// The item arrived after its per-frame deadline budget and was shed
+    /// before classification — a verdict-less acknowledgement, not an
+    /// error.
+    Expired,
 }
 
 impl FrameDisposition {
@@ -224,6 +228,7 @@ impl FrameDisposition {
             FrameDisposition::Repaired => 1,
             FrameDisposition::Dropped => 2,
             FrameDisposition::Malformed => 3,
+            FrameDisposition::Expired => 4,
         }
     }
 
@@ -234,6 +239,7 @@ impl FrameDisposition {
             1 => Some(FrameDisposition::Repaired),
             2 => Some(FrameDisposition::Dropped),
             3 => Some(FrameDisposition::Malformed),
+            4 => Some(FrameDisposition::Expired),
             _ => None,
         }
     }
@@ -330,6 +336,15 @@ pub enum ControlFrame {
         /// Fingerprint now being served.
         new_model: u64,
     },
+    /// Soft refusal under load: the server is alive but shedding. Unlike
+    /// the hard `Bye(SessionLimit)` rejection, a `Busy` carries a
+    /// retry-after hint and invites the client to come back — at
+    /// admission time it refuses the whole connection, mid-session it
+    /// acknowledges a deadline-shed snapshot without a verdict.
+    Busy {
+        /// How long the server suggests the client wait before retrying.
+        retry_after_ms: u32,
+    },
 }
 
 impl ControlFrame {
@@ -347,6 +362,7 @@ impl ControlFrame {
             ControlFrame::VerdictBatch { .. } => 9,
             ControlFrame::SwapModel { .. } => 10,
             ControlFrame::SwapAck { .. } => 11,
+            ControlFrame::Busy { .. } => 12,
         }
     }
 
@@ -364,6 +380,7 @@ impl ControlFrame {
             ControlFrame::VerdictBatch { .. } => "VerdictBatch",
             ControlFrame::SwapModel { .. } => "SwapModel",
             ControlFrame::SwapAck { .. } => "SwapAck",
+            ControlFrame::Busy { .. } => "Busy",
         }
     }
 }
@@ -450,6 +467,7 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
             buf.put_u64(*old_model);
             buf.put_u64(*new_model);
         }
+        ControlFrame::Busy { retry_after_ms } => buf.put_u32(*retry_after_ms),
     }
     let checksum = fnv1a64(&buf);
     buf.put_u64(checksum);
@@ -697,6 +715,10 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
             expect_len(rest.len(), 16)?;
             ControlFrame::SwapAck { old_model: rest.get_u64(), new_model: rest.get_u64() }
         }
+        12 => {
+            expect_len(rest.len(), 4)?;
+            ControlFrame::Busy { retry_after_ms: rest.get_u32() }
+        }
         _ => {
             return Err(Error::MalformedWire { reason: "unknown control kind", offset: 6 });
         }
@@ -830,11 +852,15 @@ mod tests {
                     FrameDisposition::Repaired,
                     FrameDisposition::Dropped,
                     FrameDisposition::Malformed,
+                    FrameDisposition::Expired,
                 ],
             },
             ControlFrame::SwapModel { json: String::new() },
             ControlFrame::SwapModel { json: "{\"preprocessor\":{},\"knn\":{}}".to_string() },
             ControlFrame::SwapAck { old_model: 0xDEAD_BEEF, new_model: 0xFEED_FACE },
+            ControlFrame::Busy { retry_after_ms: 0 },
+            ControlFrame::Busy { retry_after_ms: 250 },
+            ControlFrame::Busy { retry_after_ms: u32::MAX },
         ]
     }
 
@@ -1070,10 +1096,37 @@ mod tests {
             FrameDisposition::Repaired,
             FrameDisposition::Dropped,
             FrameDisposition::Malformed,
+            FrameDisposition::Expired,
         ] {
             assert_eq!(FrameDisposition::from_code(d.code()), Some(d));
         }
-        assert_eq!(FrameDisposition::from_code(4), None);
+        assert_eq!(FrameDisposition::from_code(5), None);
+    }
+
+    #[test]
+    fn busy_frame_truncation_at_every_byte_is_detected() {
+        let bytes = encode_control(&ControlFrame::Busy { retry_after_ms: 1500 });
+        for cut in 0..bytes.len() {
+            assert!(decode_control(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn busy_frame_rejects_padded_payload() {
+        // A well-checksummed Busy whose payload is longer than the u32
+        // hint must fail shape validation, not decode loosely.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(12); // Busy
+        buf.put_u32(100);
+        buf.put_u8(0); // trailing garbage
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "control payload length mismatch", .. })
+        ));
     }
 
     #[test]

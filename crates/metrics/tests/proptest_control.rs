@@ -13,7 +13,7 @@ use proptest::prelude::*;
 /// is mapped into whichever variant the selector picks.
 fn arb_frame() -> impl Strategy<Value = ControlFrame> {
     (
-        (0u8..8, any::<u32>(), any::<u64>(), 0usize..=WIRE_SIZE),
+        (0u8..9, any::<u32>(), any::<u64>(), 0usize..=WIRE_SIZE),
         prop::collection::vec(any::<u8>(), WIRE_SIZE),
         (0u8..5, 0.0f64..1.0, prop::collection::vec(0.0f64..0.2, 5)),
         (prop::collection::vec(0u64..1_000_000, 10), 0u32..1000, 0u64..(1u64 << METRIC_COUNT)),
@@ -36,6 +36,7 @@ fn arb_frame() -> impl Strategy<Value = ControlFrame> {
                     json: String::from_utf8_lossy(&snap_bytes[..snap_len]).into_owned(),
                 },
                 7 => ControlFrame::SwapAck { old_model: model_id, new_model: counters[0] },
+                8 => ControlFrame::Busy { retry_after_ms: session },
                 4 => ControlFrame::Health(TelemetryHealth {
                     seen: counters[0],
                     accepted: counters[1],

@@ -59,6 +59,9 @@ pub struct BatchReport {
     pub dropped: u64,
     /// Items that failed to decode at the server.
     pub malformed: u64,
+    /// Items the server shed unclassified because the batch overran its
+    /// per-frame deadline budget.
+    pub expired: u64,
 }
 
 /// One connected classification session.
@@ -69,6 +72,7 @@ pub struct ServeClient {
     model_id: u64,
     chaos: Option<FaultyChannel>,
     snapshots_sent: u64,
+    busy_notices: u64,
     batch_scratch: Vec<u8>,
 }
 
@@ -89,6 +93,7 @@ impl ServeClient {
             model_id: 0,
             chaos: config.chaos.map(FaultyChannel::new),
             snapshots_sent: 0,
+            busy_notices: 0,
             batch_scratch: Vec::new(),
         };
         write_frame(
@@ -102,6 +107,10 @@ impl ServeClient {
                 Ok(client)
             }
             ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
+            // A `Busy` in place of the `Hello` is the server shedding
+            // load: a soft, retryable refusal carrying its own backoff
+            // hint — [`crate::retry::connect_with_retry`] honors it.
+            ControlFrame::Busy { retry_after_ms } => Err(ServeError::Busy { retry_after_ms }),
             other => Err(ServeError::UnexpectedFrame { expected: "Hello", got: other.name() }),
         }
     }
@@ -120,6 +129,26 @@ impl ServeClient {
     /// drops).
     pub fn snapshots_sent(&self) -> u64 {
         self.snapshots_sent
+    }
+
+    /// Unsolicited `Busy` notices absorbed so far — one per snapshot the
+    /// server shed past its deadline budget. A rising count is the
+    /// client-side signal to slow its send rate.
+    pub fn busy_notices(&self) -> u64 {
+        self.busy_notices
+    }
+
+    /// Reads the next reply frame, absorbing (and counting) any
+    /// unsolicited `Busy` notices the server interleaved — the deadline
+    /// shed path acknowledges stale snapshots with them, and they are
+    /// advisory, not the reply the caller is waiting for.
+    fn read_reply(&mut self) -> Result<ControlFrame> {
+        loop {
+            match read_frame(&mut self.reader)? {
+                ControlFrame::Busy { .. } => self.busy_notices += 1,
+                other => return Ok(other),
+            }
+        }
     }
 
     /// Sends one snapshot. With chaos configured the encoded datagram
@@ -251,7 +280,7 @@ impl ServeClient {
         report: &mut BatchReport,
     ) -> Result<()> {
         let count = outstanding.pop_front().unwrap_or(0);
-        match read_frame(&mut self.reader)? {
+        match self.read_reply()? {
             ControlFrame::VerdictBatch { statuses } => {
                 if statuses.len() as u64 != count {
                     return Err(ServeError::Handshake { reason: "batch ack count mismatch" });
@@ -262,6 +291,7 @@ impl ServeClient {
                         FrameDisposition::Repaired => report.repaired += 1,
                         FrameDisposition::Dropped => report.dropped += 1,
                         FrameDisposition::Malformed => report.malformed += 1,
+                        FrameDisposition::Expired => report.expired += 1,
                     }
                 }
                 Ok(())
@@ -282,7 +312,7 @@ impl ServeClient {
     /// Asks the server for its current verdict.
     pub fn classify(&mut self) -> Result<VerdictReport> {
         write_frame(&mut self.writer, &ControlFrame::Classify)?;
-        match read_frame(&mut self.reader)? {
+        match self.read_reply()? {
             ControlFrame::Verdict { class, confidence, composition, model } => {
                 let class = AppClass::from_index(class as usize)
                     .ok_or(ServeError::Handshake { reason: "verdict class out of range" })?;
@@ -304,7 +334,7 @@ impl ServeClient {
     /// expectation.
     pub fn swap_model(&mut self, json: &str) -> Result<(u64, u64)> {
         write_frame(&mut self.writer, &ControlFrame::SwapModel { json: json.to_string() })?;
-        match read_frame(&mut self.reader)? {
+        match self.read_reply()? {
             ControlFrame::SwapAck { old_model, new_model } => {
                 self.model_id = new_model;
                 Ok((old_model, new_model))
@@ -319,7 +349,7 @@ impl ServeClient {
     /// server runs without observability).
     pub fn stats(&mut self) -> Result<String> {
         write_frame(&mut self.writer, &ControlFrame::Stats { text: String::new() })?;
-        match read_frame(&mut self.reader)? {
+        match self.read_reply()? {
             ControlFrame::Stats { text } => Ok(text),
             ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
             other => Err(ServeError::UnexpectedFrame { expected: "Stats", got: other.name() }),
@@ -329,7 +359,7 @@ impl ServeClient {
     /// Asks the server for the session's telemetry health report.
     pub fn health(&mut self) -> Result<TelemetryHealth> {
         write_frame(&mut self.writer, &ControlFrame::Health(TelemetryHealth::default()))?;
-        match read_frame(&mut self.reader)? {
+        match self.read_reply()? {
             ControlFrame::Health(health) => Ok(health),
             ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
             other => Err(ServeError::UnexpectedFrame { expected: "Health", got: other.name() }),
@@ -339,7 +369,7 @@ impl ServeClient {
     /// Ends the session cleanly; returns the server's farewell reason.
     pub fn bye(mut self) -> Result<ByeReason> {
         write_frame(&mut self.writer, &ControlFrame::Bye { reason: ByeReason::Normal })?;
-        match read_frame(&mut self.reader)? {
+        match self.read_reply()? {
             ControlFrame::Bye { reason } => Ok(reason),
             other => Err(ServeError::UnexpectedFrame { expected: "Bye", got: other.name() }),
         }

@@ -56,6 +56,20 @@ pub enum ServeError {
     },
     /// A server worker thread panicked (observed at join time).
     WorkerPanicked,
+    /// The server refused the connection because it is shedding load.
+    /// Unlike [`ServeError::Rejected`] with `SessionLimit` this is a soft
+    /// refusal: the server asked the client to come back.
+    Busy {
+        /// The server's retry-after hint, in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The client-side circuit breaker is open: recent attempts against
+    /// this endpoint failed hard, and the cooldown has not elapsed. No
+    /// connection was attempted.
+    CircuitOpen {
+        /// Milliseconds left until the breaker half-opens for a probe.
+        cooldown_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -77,6 +91,12 @@ impl fmt::Display for ServeError {
                 write!(f, "protocol violation: expected {expected}, got {got}")
             }
             ServeError::WorkerPanicked => write!(f, "a server worker thread panicked"),
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
+            ServeError::CircuitOpen { cooldown_ms } => {
+                write!(f, "circuit breaker open: next probe in {cooldown_ms} ms")
+            }
         }
     }
 }
@@ -132,6 +152,8 @@ mod tests {
         assert!(ServeError::UnexpectedFrame { expected: "Hello", got: "Bye" }
             .to_string()
             .contains("Hello"));
+        assert!(ServeError::Busy { retry_after_ms: 75 }.to_string().contains("75"));
+        assert!(ServeError::CircuitOpen { cooldown_ms: 320 }.to_string().contains("320"));
     }
 
     #[test]

@@ -39,18 +39,24 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod model;
+pub mod overload;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod session;
 pub mod stats;
 
 pub use appclass_obs::Observability;
+pub use chaos::{ChaosPlan, ChaosProxy, FaultEvent};
 pub use client::{BatchReport, ClientConfig, ServeClient, VerdictReport};
 pub use error::{Result, ServeError};
 pub use model::ModelSlot;
+pub use overload::{OverloadMachine, OverloadState};
+pub use retry::{connect_with_retry, BreakerState, CircuitBreaker, RetryPolicy, RetryReport};
 pub use server::{Server, ServerConfig};
 pub use session::SessionConfig;
 pub use stats::{LatencyHistogram, ServerStats, SessionOutcome};

@@ -13,11 +13,12 @@
 
 use crate::error::{Result, ServeError};
 use crate::model::ModelSlot;
-use crate::session::{refuse, run_session, SessionConfig, SessionEnd};
+use crate::overload::{OverloadMachine, OverloadState};
+use crate::session::{refuse, refuse_busy, run_session, SessionConfig, SessionEnd};
 use crate::stats::ServerStats;
 use appclass_core::ClassifierPipeline;
 use appclass_metrics::ByeReason;
-use appclass_obs::{Counter, Histogram, Observability};
+use appclass_obs::{Counter, Gauge, Histogram, Observability};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -41,6 +42,17 @@ pub struct ServerConfig {
     /// Socket read timeout; doubles as the shutdown-poll cadence of
     /// idle sessions.
     pub read_timeout: Duration,
+    /// Low watermark of the overload state machine: queue depth at or
+    /// above it marks the server `Degraded`, and an active shedding
+    /// episode does not end until the queue drains back to it.
+    pub shed_low_watermark: usize,
+    /// High watermark: queue depth at or above it flips the server into
+    /// `Shedding`, where new connections get a soft `Busy` refusal
+    /// instead of being queued. Kept below `backlog` by default so soft
+    /// refusals engage before the hard `SessionLimit` cap.
+    pub shed_high_watermark: usize,
+    /// The `retry_after_ms` hint carried by `Busy` refusals.
+    pub busy_retry_after: Duration,
     /// Per-session policy.
     pub session: SessionConfig,
 }
@@ -52,6 +64,9 @@ impl Default for ServerConfig {
             backlog: 8,
             accept_limit: None,
             read_timeout: Duration::from_millis(50),
+            shed_low_watermark: 4,
+            shed_high_watermark: 6,
+            busy_retry_after: Duration::from_millis(100),
             session: SessionConfig::default(),
         }
     }
@@ -62,10 +77,17 @@ struct Shared {
     slot: Arc<ModelSlot>,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// Set by the acceptor as it exits, so [`Server::shutdown`] can stop
+    /// poking a listener nobody is accepting on.
+    acceptor_done: AtomicBool,
     /// Connections admitted to the pool and not yet finished.
     in_flight: AtomicUsize,
     next_session: AtomicU32,
     stats: Mutex<ServerStats>,
+    /// Watermark-driven overload state over the admission-queue depth.
+    overload: Mutex<OverloadMachine>,
+    overload_gauge: Gauge,
+    queue_depth_gauge: Gauge,
     obs: Observability,
     session_counters: SessionCounters,
 }
@@ -76,6 +98,8 @@ struct SessionCounters {
     started: Counter,
     finished: Counter,
     rejected: Counter,
+    /// Soft `Busy` refusals while shedding (`serve_shed_total`).
+    shed: Counter,
     errors: Counter,
     /// Pre-registered at bind (the session path registers the same
     /// names), so `model_swap_total` and its latency histogram appear in
@@ -90,6 +114,7 @@ impl SessionCounters {
             started: obs.registry.counter("serve_sessions_started_total"),
             finished: obs.registry.counter("serve_sessions_finished_total"),
             rejected: obs.registry.counter("serve_sessions_rejected_total"),
+            shed: obs.registry.counter("serve_shed_total"),
             errors: obs.registry.counter("serve_session_errors_total"),
             swap_total: obs.registry.counter("serve_model_swap_total"),
             swap_latency: obs.registry.histogram("serve_model_swap_latency"),
@@ -134,13 +159,25 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let session_counters = SessionCounters::new(&obs);
+        // Pre-register so the exposition names the deadline counter even
+        // before the first session sheds a frame.
+        let _ = obs.registry.counter("serve_deadline_shed_total");
+        let overload_gauge = obs.registry.gauge("serve_overload_state");
+        let queue_depth_gauge = obs.registry.gauge("serve_queue_depth");
         let shared = Arc::new(Shared {
             slot: Arc::new(ModelSlot::new(pipeline)),
             config,
             shutdown: AtomicBool::new(false),
+            acceptor_done: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             next_session: AtomicU32::new(1),
             stats: Mutex::new(ServerStats::default()),
+            overload: Mutex::new(OverloadMachine::new(
+                config.shed_low_watermark,
+                config.shed_high_watermark,
+            )),
+            overload_gauge,
+            queue_depth_gauge,
             obs,
             session_counters,
         });
@@ -217,8 +254,20 @@ impl Server {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // The acceptor may be parked in `accept`; a throwaway connection
-        // wakes it so it can observe the flag.
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        // wakes it so it can observe the flag. One poke is not enough
+        // under load or kernel backlog pressure — the connect can time
+        // out while the acceptor stays parked — so retry until the
+        // acceptor reports it has exited.
+        for _ in 0..50 {
+            if self.shared.acceptor_done.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(100));
+            if self.shared.acceptor_done.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Waits for the acceptor and every worker to exit, then returns the
@@ -254,6 +303,21 @@ impl Drop for Server {
     }
 }
 
+/// Recomputes the admission-queue depth, feeds it through the overload
+/// state machine, and mirrors both into the registry gauges. Entering
+/// `Shedding` latches one flight-recorder incident per episode.
+fn update_overload(shared: &Shared) -> OverloadState {
+    let depth =
+        shared.in_flight.load(Ordering::SeqCst).saturating_sub(shared.config.max_sessions.max(1));
+    let (state, entered_shedding) = shared.overload.lock().update(depth);
+    shared.queue_depth_gauge.set(depth as f64);
+    shared.overload_gauge.set(state.gauge_value());
+    if entered_shedding {
+        shared.obs.incident(&format!("server: load shedding engaged (queue depth {depth})"));
+    }
+    state
+}
+
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<TcpStream>) {
     let capacity = shared.config.max_sessions.max(1) + shared.config.backlog;
     let mut admitted = 0u64;
@@ -274,10 +338,19 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<TcpStream>) 
             refuse(stream, ByeReason::Shutdown);
             break;
         }
+        // Admission control, hard cap first: a full queue is a hard
+        // `SessionLimit` refusal; a queue past the shed high watermark
+        // (but not yet full) is a soft `Busy` with a retry hint.
         if shared.in_flight.load(Ordering::SeqCst) >= capacity {
             shared.stats.lock().sessions_rejected += 1;
             shared.session_counters.rejected.inc();
             refuse(stream, ByeReason::SessionLimit);
+            continue;
+        }
+        if update_overload(shared) == OverloadState::Shedding {
+            shared.stats.lock().sessions_busy += 1;
+            shared.session_counters.shed.inc();
+            refuse_busy(stream, shared.config.busy_retry_after);
             continue;
         }
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -286,6 +359,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<TcpStream>) 
             break; // every worker is gone; nothing can serve
         }
     }
+    shared.acceptor_done.store(true, Ordering::SeqCst);
     // Dropping `tx` (by returning) is what lets idle workers exit.
 }
 
@@ -300,6 +374,10 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
         };
         serve_one(shared, stream);
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        // Drains move the state machine too — this is what ends a
+        // shedding episode once the queue empties back past the low
+        // watermark.
+        update_overload(shared);
     }
 }
 

@@ -21,7 +21,7 @@
 
 use crate::error::{Result, ServeError};
 use crate::model::ModelSlot;
-use crate::proto::{read_frame_or_idle, write_frame, write_frame_single};
+use crate::proto::{read_frame_or_idle, read_frame_or_idle_timed, write_frame, write_frame_single};
 use crate::stats::SessionOutcome;
 use appclass_core::online::OnlineClassifier;
 use appclass_core::ClassifierPipeline;
@@ -31,7 +31,7 @@ use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Live observability handles for one session: registry counters
 /// incremented as events happen (so a `Stats` exposition mid-session is
@@ -44,6 +44,7 @@ struct SessionObs {
     frames_repaired: Counter,
     frames_dropped: Counter,
     frames_malformed: Counter,
+    frames_deadline_shed: Counter,
     classify_total: Counter,
     classify_latency: Histogram,
     swap_total: Counter,
@@ -61,6 +62,7 @@ impl SessionObs {
             frames_repaired: obs.registry.counter("serve_frames_repaired_total"),
             frames_dropped: obs.registry.counter("serve_frames_dropped_total"),
             frames_malformed: obs.registry.counter("serve_frames_malformed_total"),
+            frames_deadline_shed: obs.registry.counter("serve_deadline_shed_total"),
             classify_total: obs.registry.counter("serve_classify_total"),
             classify_latency: obs.registry.histogram("serve_classify_latency"),
             swap_total: obs.registry.counter("serve_model_swap_total"),
@@ -105,11 +107,28 @@ pub struct SessionConfig {
     /// Sliding-window length handed to the online classifier
     /// (`None` = full history).
     pub window: Option<usize>,
+    /// Per-frame deadline budget, measured from the arrival of a
+    /// snapshot frame's first envelope byte. A frame that is already
+    /// older than this when fully read (trickled writes, mid-frame
+    /// stalls, a queue the worker fell behind on) is *shed*: the server
+    /// skips classification and acknowledges with a verdict-less
+    /// `Busy` notice (single snapshots) or `Expired` dispositions
+    /// (batches) instead of classifying stale telemetry. `None`
+    /// disables shedding.
+    pub deadline: Option<Duration>,
+    /// The `retry_after_ms` hint carried by every `Busy` frame this
+    /// session emits.
+    pub busy_retry_after: Duration,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        SessionConfig { frame_budget: 100_000, window: None }
+        SessionConfig {
+            frame_budget: 100_000,
+            window: None,
+            deadline: None,
+            busy_retry_after: Duration::from_millis(100),
+        }
     }
 }
 
@@ -251,8 +270,8 @@ fn run_generation(
             finish(outcome, &classifier);
             return GenExit::Rebuild;
         }
-        let frame = match read_frame_or_idle(reader) {
-            Ok(Some(frame)) => frame,
+        let (frame, arrival) = match read_frame_or_idle_timed(reader) {
+            Ok(Some(pair)) => pair,
             Ok(None) => continue, // idle poll: loop re-checks the flags
             Err(ServeError::Wire(_)) => {
                 // The session envelope itself is corrupt: the peers have
@@ -278,6 +297,26 @@ fn run_generation(
                         write_frame(writer, &ControlFrame::Bye { reason: ByeReason::FrameBudget });
                     finish(outcome, &classifier);
                     return GenExit::Clean;
+                }
+                // Deadline budget: a snapshot whose envelope took longer
+                // than the per-frame deadline to arrive (trickle writes,
+                // mid-frame stalls) is stale telemetry — shed it before
+                // classification and tell the client with a verdict-less
+                // `Busy` notice. Lone snapshots are fire-and-forget, so
+                // the notice is unsolicited; the client read paths skip
+                // and count it.
+                if deadline_exceeded(&config, arrival) {
+                    outcome.frames_deadline_shed += 1;
+                    if let Some(s) = sobs.as_mut() {
+                        s.frames_deadline_shed.inc();
+                        s.note_degraded("deadline shed");
+                    }
+                    let notice = busy_frame(&config);
+                    if let Err(e) = write_frame(writer, &notice) {
+                        finish(outcome, &classifier);
+                        return GenExit::Failed(e);
+                    }
+                    continue;
                 }
                 // The inner datagram crossed the client's (possibly
                 // faulty) telemetry channel unprotected: decode failures
@@ -329,6 +368,24 @@ fn run_generation(
                         write_frame(writer, &ControlFrame::Bye { reason: ByeReason::FrameBudget });
                     finish(outcome, &classifier);
                     return GenExit::Clean;
+                }
+                // A batch past its deadline is shed whole: every item is
+                // acknowledged `Expired` (the batch path already owes the
+                // client one `VerdictBatch`, so the refusal rides the
+                // normal ack) and nothing reaches the classifier.
+                if deadline_exceeded(&config, arrival) {
+                    outcome.frames_deadline_shed += n;
+                    if let Some(s) = sobs.as_mut() {
+                        s.frames_deadline_shed.add(n);
+                        s.note_degraded("deadline shed");
+                    }
+                    let statuses = vec![FrameDisposition::Expired; wires.len()];
+                    let reply = ControlFrame::VerdictBatch { statuses };
+                    if let Err(e) = write_frame_single(writer, &reply, reply_scratch) {
+                        finish(outcome, &classifier);
+                        return GenExit::Failed(e);
+                    }
+                    continue;
                 }
                 // Decode every datagram; failures become per-item
                 // `Malformed` dispositions (expected degradation on a
@@ -474,7 +531,8 @@ fn run_generation(
             other @ (ControlFrame::Hello { .. }
             | ControlFrame::Verdict { .. }
             | ControlFrame::VerdictBatch { .. }
-            | ControlFrame::SwapAck { .. }) => {
+            | ControlFrame::SwapAck { .. }
+            | ControlFrame::Busy { .. }) => {
                 let _ = write_frame(writer, &ControlFrame::Bye { reason: ByeReason::Protocol });
                 finish(outcome, &classifier);
                 return GenExit::Failed(ServeError::UnexpectedFrame {
@@ -491,6 +549,28 @@ fn run_generation(
 pub fn refuse(stream: TcpStream, reason: ByeReason) {
     let mut writer = BufWriter::new(stream);
     let _ = write_frame(&mut writer, &ControlFrame::Bye { reason });
+}
+
+/// Soft-refuses a connection the server is shedding: best-effort `Busy`
+/// with a retry hint, then the stream drops. Unlike [`refuse`] with
+/// `SessionLimit`, this tells the client the server is alive and worth
+/// retrying after a backoff.
+pub fn refuse_busy(stream: TcpStream, retry_after: Duration) {
+    let mut writer = BufWriter::new(stream);
+    let retry_after_ms = retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
+    let _ = write_frame(&mut writer, &ControlFrame::Busy { retry_after_ms });
+}
+
+/// Whether a frame that arrived at `arrival` has overrun the session's
+/// per-frame deadline budget.
+fn deadline_exceeded(config: &SessionConfig, arrival: Instant) -> bool {
+    config.deadline.is_some_and(|d| arrival.elapsed() > d)
+}
+
+/// The `Busy` frame this session sends, with the configured retry hint.
+fn busy_frame(config: &SessionConfig) -> ControlFrame {
+    let retry_after_ms = config.busy_retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
+    ControlFrame::Busy { retry_after_ms }
 }
 
 fn handshake(

@@ -26,6 +26,9 @@ pub struct SessionOutcome {
     pub frames_dropped: u64,
     /// Snapshot payloads that failed to decode.
     pub frames_malformed: u64,
+    /// Frames shed because they overran the per-frame deadline budget
+    /// (acknowledged with `Busy` or `Expired`, never classified).
+    pub frames_deadline_shed: u64,
     /// Verdicts served to the client.
     pub verdicts: u64,
     /// Final telemetry health of the session's frame guard.
@@ -45,6 +48,9 @@ pub struct ServerStats {
     pub sessions_finished: u64,
     /// Connections refused by admission control.
     pub sessions_rejected: u64,
+    /// Connections soft-refused with `Busy` while the server was
+    /// shedding load (distinct from the hard `sessions_rejected`).
+    pub sessions_busy: u64,
     /// Sessions that ended with a protocol or i/o error.
     pub session_errors: u64,
     /// Snapshot frames received across all sessions.
@@ -55,6 +61,8 @@ pub struct ServerStats {
     pub frames_dropped: u64,
     /// Snapshot payloads that failed to decode.
     pub frames_malformed: u64,
+    /// Frames shed past their deadline budget across all sessions.
+    pub frames_deadline_shed: u64,
     /// Verdicts served across all sessions.
     pub verdicts: u64,
     /// Merged telemetry health across all sessions.
@@ -72,6 +80,7 @@ impl ServerStats {
         self.frames_repaired += outcome.frames_repaired;
         self.frames_dropped += outcome.frames_dropped;
         self.frames_malformed += outcome.frames_malformed;
+        self.frames_deadline_shed += outcome.frames_deadline_shed;
         self.verdicts += outcome.verdicts;
         self.health.merge(&outcome.health);
         self.stage_metrics.merge(&outcome.stage_metrics);
@@ -89,11 +98,25 @@ impl fmt::Display for ServerStats {
             self.sessions_rejected,
             self.session_errors
         )?;
+        if self.sessions_busy > 0 {
+            writeln!(
+                f,
+                "busy:     {} connections soft-refused while shedding",
+                self.sessions_busy
+            )?;
+        }
         writeln!(
             f,
             "frames:   {} in, {} repaired, {} dropped, {} malformed",
             self.frames_in, self.frames_repaired, self.frames_dropped, self.frames_malformed
         )?;
+        if self.frames_deadline_shed > 0 {
+            writeln!(
+                f,
+                "shed:     {} frames past their deadline budget",
+                self.frames_deadline_shed
+            )?;
+        }
         writeln!(f, "verdicts: {}", self.verdicts)?;
         if self.classify_latency.count() > 0 {
             writeln!(

@@ -34,12 +34,24 @@ for section in ("single", "batch1", "batch"):
     for key in ("frames_per_sec", "p50_ns", "p99_ns"):
         float(block[key])
 float(doc["batch_speedup"])
+ov = doc["overload"]
+for key in ("workers", "sessions", "goodput_frames_per_sec", "goodput_ratio",
+            "p50_ns", "p99_ns", "busy_refusals"):
+    float(ov[key])
+# The overload contract: at ~2x offered load the server sheds instead of
+# collapsing, so goodput stays at least half the single-session batched
+# saturation throughput.
+if ov["goodput_ratio"] < 0.5:
+    sys.exit(f"bench_smoke: overload goodput collapsed "
+             f"(ratio {ov['goodput_ratio']} < 0.5)")
 print(f"bench_smoke: batch {doc['batch_size']} speedup {doc['batch_speedup']}x "
       f"({doc['batch']['frames_per_sec']:.0f} vs {doc['batch1']['frames_per_sec']:.0f} frames/s)")
+print(f"bench_smoke: overload goodput ratio {ov['goodput_ratio']} "
+      f"({ov['busy_refusals']:.0f} busy refusals, p99 {ov['p99_ns']:.0f} ns)")
 EOF
 else
     # No python3: still require every expected section to be present.
-    for key in '"schema"' '"single"' '"batch1"' '"batch"' '"batch_speedup"' '"frames_per_sec"'; do
+    for key in '"schema"' '"single"' '"batch1"' '"batch"' '"batch_speedup"' '"frames_per_sec"' '"overload"' '"goodput_ratio"'; do
         grep -q "$key" "$out" || { echo "bench_smoke: $out lacks $key" >&2; exit 1; }
     done
     echo "bench_smoke: $out written (python3 unavailable, key check only)"

@@ -119,6 +119,38 @@ wait "$pb_pid"
 grep -q ", 0 errored" "$tmp/persist_b.log"
 echo "persistence smoke OK ($fp1 restored, hot swap observed, zero errored sessions)"
 
+echo "== overload shedding smoke test =="
+# A single-worker server with a tiny shedding queue, flooded by four
+# concurrent Busy-aware clients: at least one connection must be
+# soft-refused (serve_shed_total > 0 in the exposition, which must stay
+# parseable), and every refused client must still classify successfully
+# after backing off. The generous --frame-deadline-ms exercises the
+# deadline plumbing without shedding anything over loopback.
+./target/release/appclass serve --addr 127.0.0.1:0 --model "$tmp/pipeline.json" \
+    --sessions 5 --max-sessions 1 --backlog 4 --shed-high 1 --shed-low 0 \
+    --retry-after-ms 25 --frame-deadline-ms 5000 > "$tmp/overload_serve.log" &
+ov_pid=$!
+addr=$(wait_addr "$tmp/overload_serve.log") \
+    || { echo "overload server never announced its address"; kill "$ov_pid"; exit 1; }
+cpids=""
+for i in 1 2 3 4; do
+    ./target/release/appclass client --addr "$addr" --workload CH3D --seed 7 \
+        --retries 50 --backoff-ms 20 > "$tmp/overload_c$i.log" &
+    cpids="$cpids $!"
+done
+for pid in $cpids; do
+    wait "$pid" || { echo "a flooded client failed instead of retrying"; kill "$ov_pid"; exit 1; }
+done
+./target/release/appclass stats --addr "$addr" > "$tmp/overload_stats.log"
+wait "$ov_pid"
+grep -q "^serve_shed_total [1-9]" "$tmp/overload_stats.log" \
+    || { echo "flood never tripped the shedder (serve_shed_total == 0)"; exit 1; }
+awk 'NF != 2 { print "unparseable exposition line: " $0; bad = 1 } END { exit bad }' \
+    "$tmp/overload_stats.log"
+for i in 1 2 3 4; do grep -q "class:       CPU" "$tmp/overload_c$i.log"; done
+shed=$(sed -n 's/^serve_shed_total //p' "$tmp/overload_stats.log")
+echo "overload smoke OK ($shed connections shed, all four clients classified)"
+
 echo "== bench smoke (BENCH_classify.json) =="
 # Short calibrated measurement of the single-frame vs batched serving
 # paths; fails if BENCH_classify.json is missing or non-parseable.

@@ -107,13 +107,22 @@ commands:
   cost --db FILE [--cpu A --mem B --io C --net D --idle E]
                                price recorded runs under a rate card
   serve --addr HOST:PORT (--model FILE | --store DIR) [--max-sessions N] [--sessions N]
-        [--window W]           serve the pipeline (or the store's HEAD version)
+        [--window W] [--backlog N] [--shed-high N] [--shed-low N]
+        [--retry-after-ms N] [--frame-deadline-ms N]
+                               serve the pipeline (or the store's HEAD version)
                                to concurrent TCP clients
-                               (--sessions N exits after N sessions drain)
+                               (--sessions N exits after N sessions drain;
+                               --shed-high/--shed-low set the queue watermarks
+                               for Busy load shedding; --frame-deadline-ms sheds
+                               snapshot frames older than the budget)
   client --addr HOST:PORT --workload NAME [--seed N] [--drop-rate R] [--model-id H]
-         [--batch N]           replay a workload's monitoring stream and classify
+         [--batch N] [--retries N] [--backoff-ms N] [--deadline-ms N]
+                               replay a workload's monitoring stream and classify
                                (--batch N coalesces N snapshots per frame;
-                               --model-id takes 0x-prefixed hex or decimal)
+                               --model-id takes 0x-prefixed hex or decimal;
+                               --retries enables Busy-aware reconnects with
+                               jittered exponential backoff, --deadline-ms bounds
+                               the whole retry budget)
   models --store DIR           list the store's model version chain, newest first
   swap --addr HOST:PORT (--model FILE | --store DIR [--id HEX])
                                hot-swap the served model; established sessions
@@ -403,9 +412,62 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     use appclass::serve::{Server, ServerConfig};
     validate_flags(
         args,
-        &["--addr", "--model", "--store", "--max-sessions", "--sessions", "--window"],
+        &[
+            "--addr",
+            "--model",
+            "--store",
+            "--max-sessions",
+            "--sessions",
+            "--window",
+            "--backlog",
+            "--shed-high",
+            "--shed-low",
+            "--retry-after-ms",
+            "--frame-deadline-ms",
+        ],
     )?;
     let addr = opt(args, "--addr").ok_or("serve requires --addr HOST:PORT")?;
+
+    // Validate the whole flag set before touching the filesystem, so a
+    // bad knob is reported even when the model path is also wrong.
+    let mut config = ServerConfig::default();
+    if let Some(n) = opt_parsed::<usize>(args, "--max-sessions")? {
+        if n == 0 {
+            return Err("--max-sessions must be at least 1".to_string());
+        }
+        config.max_sessions = n;
+    }
+    config.accept_limit = opt_parsed::<u64>(args, "--sessions")?;
+    config.session.window = opt_parsed::<usize>(args, "--window")?;
+    if let Some(n) = opt_parsed::<usize>(args, "--backlog")? {
+        config.backlog = n;
+    }
+    if let Some(n) = opt_parsed::<usize>(args, "--shed-high")? {
+        if n == 0 {
+            return Err("--shed-high must be at least 1".to_string());
+        }
+        config.shed_high_watermark = n;
+    }
+    if let Some(n) = opt_parsed::<usize>(args, "--shed-low")? {
+        config.shed_low_watermark = n;
+    }
+    if config.shed_low_watermark >= config.shed_high_watermark {
+        return Err(format!(
+            "--shed-low ({}) must be below --shed-high ({})",
+            config.shed_low_watermark, config.shed_high_watermark
+        ));
+    }
+    if let Some(ms) = opt_parsed::<u64>(args, "--retry-after-ms")? {
+        config.busy_retry_after = std::time::Duration::from_millis(ms);
+        config.session.busy_retry_after = config.busy_retry_after;
+    }
+    if let Some(ms) = opt_parsed::<u64>(args, "--frame-deadline-ms")? {
+        if ms == 0 {
+            return Err("--frame-deadline-ms must be at least 1".to_string());
+        }
+        config.session.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+
     let (pipeline, origin) = match (opt(args, "--model"), opt(args, "--store")) {
         (Some(_), Some(_)) => {
             return Err("serve takes --model FILE or --store DIR, not both".to_string());
@@ -425,16 +487,6 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         (None, None) => return Err("serve requires --model FILE or --store DIR".to_string()),
     };
 
-    let mut config = ServerConfig::default();
-    if let Some(n) = opt_parsed::<usize>(args, "--max-sessions")? {
-        if n == 0 {
-            return Err("--max-sessions must be at least 1".to_string());
-        }
-        config.max_sessions = n;
-    }
-    config.accept_limit = opt_parsed::<u64>(args, "--sessions")?;
-    config.session.window = opt_parsed::<usize>(args, "--window")?;
-
     let model_id = pipeline.model_id();
     let server = Server::bind(addr.as_str(), std::sync::Arc::new(pipeline), config)
         .map_err(|e| e.to_string())?;
@@ -453,10 +505,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_client(args: &[String]) -> Result<(), String> {
     use appclass::metrics::FaultPlan;
+    use appclass::serve::retry::{connect_with_retry, CircuitBreaker, RetryPolicy};
     use appclass::serve::{ClientConfig, ServeClient};
     validate_flags(
         args,
-        &["--addr", "--workload", "--seed", "--drop-rate", "--model-id", "--batch"],
+        &[
+            "--addr",
+            "--workload",
+            "--seed",
+            "--drop-rate",
+            "--model-id",
+            "--batch",
+            "--retries",
+            "--backoff-ms",
+            "--deadline-ms",
+        ],
     )?;
     let addr = opt(args, "--addr").ok_or("client requires --addr HOST:PORT")?;
     let workload = opt(args, "--workload").ok_or("client requires --workload NAME")?;
@@ -474,6 +537,12 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     if batch == Some(0) {
         return Err("--batch must be at least 1".to_string());
     }
+    let retries = opt_parsed::<u32>(args, "--retries")?;
+    let backoff_ms = opt_parsed::<u64>(args, "--backoff-ms")?;
+    let deadline_ms = opt_parsed::<u64>(args, "--deadline-ms")?;
+    if deadline_ms == Some(0) {
+        return Err("--deadline-ms must be at least 1".to_string());
+    }
 
     let specs = registry();
     let spec = specs
@@ -485,8 +554,34 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         rec.pool.snapshots().iter().filter(|s| s.node == rec.node).cloned().collect();
 
     let chaos = (drop_rate > 0.0).then(|| FaultPlan::lossless(seed).with_drop_rate(drop_rate));
-    let mut client = ServeClient::connect(addr.as_str(), ClientConfig { model_id, chaos })
-        .map_err(|e| e.to_string())?;
+    let client_config = ClientConfig { model_id, chaos };
+    // Any retry flag switches connect to the Busy-aware retry loop with
+    // jittered exponential backoff behind a circuit breaker.
+    let with_retry = retries.is_some() || backoff_ms.is_some() || deadline_ms.is_some();
+    let mut client = if with_retry {
+        let policy = RetryPolicy {
+            max_retries: retries.unwrap_or(5),
+            base_backoff: std::time::Duration::from_millis(backoff_ms.unwrap_or(50)),
+            deadline: deadline_ms.map(std::time::Duration::from_millis),
+            seed,
+            ..RetryPolicy::default()
+        };
+        let mut breaker = CircuitBreaker::new(3, std::time::Duration::from_millis(500));
+        let (client, report) =
+            connect_with_retry(addr.as_str(), &client_config, &policy, &mut breaker)
+                .map_err(|e| e.to_string())?;
+        if report.attempts > 1 {
+            out!(
+                "connected after {} attempts ({} busy refusals, {} ms backing off)",
+                report.attempts,
+                report.busy_refusals,
+                report.backoff_ms
+            );
+        }
+        client
+    } else {
+        ServeClient::connect(addr.as_str(), client_config).map_err(|e| e.to_string())?
+    };
     out!("session {} established (model {:#018x})", client.session(), client.model_id());
     match batch {
         Some(n) => {
@@ -497,6 +592,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     }
     let verdict = client.classify().map_err(|e| e.to_string())?;
     let health = client.health().map_err(|e| e.to_string())?;
+    let busy_notices = client.busy_notices();
     client.bye().map_err(|e| e.to_string())?;
 
     out!("workload:    {}", spec.name);
@@ -511,6 +607,9 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         health.dropped,
         health.malformed
     );
+    if busy_notices > 0 {
+        out!("shed:        {busy_notices} snapshots refused stale by the server's deadline budget");
+    }
     Ok(())
 }
 
@@ -628,17 +727,18 @@ fn percentile_ns(sorted: &[u64], p: usize) -> u64 {
 }
 
 fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
+    use appclass::serve::retry::{connect_with_retry, CircuitBreaker, RetryPolicy};
     use appclass::serve::{ClientConfig, ServeClient, Server, ServerConfig};
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
     validate_flags(args, &["--seed", "--frames", "--batch", "--out"])?;
     let seed = opt_seed(args)?;
     let frames = opt_parsed::<usize>(args, "--frames")?.unwrap_or(512).max(1);
     let batch = opt_parsed::<usize>(args, "--batch")?.unwrap_or(32).max(1);
     let out_path = opt(args, "--out").unwrap_or_else(|| "BENCH_classify.json".to_string());
 
-    let pipeline = train_pipeline(seed)?;
+    let pipeline = std::sync::Arc::new(train_pipeline(seed)?);
     let server =
-        Server::bind("127.0.0.1:0", std::sync::Arc::new(pipeline), ServerConfig::default())
+        Server::bind("127.0.0.1:0", std::sync::Arc::clone(&pipeline), ServerConfig::default())
             .map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     let snaps = bench_stream(frames, seed);
@@ -696,6 +796,79 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
     server.shutdown();
     server.join().map_err(|e| e.to_string())?;
 
+    // Overload saturation row: twice as many concurrent retrying
+    // sessions as workers, against a deliberately tiny shedding queue.
+    // The refused sessions back off on the server's Busy hint and get in
+    // as workers drain; goodput is total classified frames over the
+    // whole pile-up's wall clock, reported as a ratio against the
+    // single-session batched saturation above — the no-collapse number
+    // CI regresses against.
+    let ov_workers = 2usize;
+    let ov_sessions = 2 * ov_workers;
+    let ov_config = ServerConfig {
+        max_sessions: ov_workers,
+        backlog: 2,
+        shed_low_watermark: 0,
+        shed_high_watermark: 1,
+        busy_retry_after: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let ov_server = Server::bind("127.0.0.1:0", std::sync::Arc::clone(&pipeline), ov_config)
+        .map_err(|e| e.to_string())?;
+    let ov_addr = ov_server.local_addr();
+    let snaps_shared = std::sync::Arc::new(snaps);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..ov_sessions)
+        .map(|i| {
+            let snaps = std::sync::Arc::clone(&snaps_shared);
+            std::thread::spawn(move || -> Result<(Vec<u64>, u32, u32), String> {
+                let policy = RetryPolicy {
+                    max_retries: 1000,
+                    base_backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(50),
+                    deadline: Some(Duration::from_secs(60)),
+                    seed: 0xB05F + i as u64,
+                };
+                let mut breaker = CircuitBreaker::new(16, Duration::from_millis(100));
+                let (mut client, report) =
+                    connect_with_retry(ov_addr, &ClientConfig::default(), &policy, &mut breaker)
+                        .map_err(|e| format!("overload session {i}: {e}"))?;
+                // Chunked acknowledged streaming: each call pipelines a
+                // few batches, and its wall clock over the chunk gives
+                // the admitted-session per-frame latency samples.
+                let mut lat = Vec::with_capacity(snaps.len());
+                for chunk in snaps.chunks(batch * 4) {
+                    let t = Instant::now();
+                    client.stream_batch(chunk, batch).map_err(|e| e.to_string())?;
+                    let per_item = t.elapsed().as_nanos() as u64 / chunk.len() as u64;
+                    lat.extend(std::iter::repeat_n(per_item, chunk.len()));
+                }
+                client.classify().map_err(|e| e.to_string())?;
+                client.bye().map_err(|e| e.to_string())?;
+                Ok((lat, report.attempts, report.busy_refusals))
+            })
+        })
+        .collect();
+    let mut ov_lat: Vec<u64> = Vec::with_capacity(ov_sessions * frames);
+    let mut ov_busy = 0u64;
+    for h in handles {
+        let (lat, _attempts, busy) =
+            h.join().map_err(|_| "overload session thread panicked".to_string())??;
+        ov_lat.extend(lat);
+        ov_busy += u64::from(busy);
+    }
+    let ov_elapsed = t0.elapsed();
+    ov_server.shutdown();
+    let ov_stats = ov_server.join().map_err(|e| e.to_string())?;
+    if ov_stats.sessions_busy != ov_busy {
+        return Err(format!(
+            "busy accounting mismatch: server refused {} but clients saw {}",
+            ov_stats.sessions_busy, ov_busy
+        ));
+    }
+    ov_lat.sort_unstable();
+    let ov_goodput = (ov_sessions * frames) as f64 / ov_elapsed.as_secs_f64();
+
     // The measurement doubles as a correctness check: all sessions saw
     // the identical stream, so the verdicts must be bit-equal.
     for (name, v) in [("single-frame batch", &verdict_one), ("batched", &verdict_batch)] {
@@ -715,6 +888,10 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
     // buys (the fire-and-forget "single" row has no acknowledgements at
     // all and is recorded as context, not as the baseline).
     let speedup = batch_fps / one_fps;
+    // Goodput under ~2x offered load, relative to the single-session
+    // batched saturation throughput. Below 0.5 the server is collapsing
+    // under overload instead of shedding it.
+    let ov_ratio = ov_goodput / batch_fps;
     let json = format!(
         concat!(
             "{{\n",
@@ -725,6 +902,7 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
             "  \"single\": {{ \"frames_per_sec\": {sfps:.1}, \"p50_ns\": {sp50}, \"p99_ns\": {sp99} }},\n",
             "  \"batch1\": {{ \"frames_per_sec\": {ofps:.1}, \"p50_ns\": {op50}, \"p99_ns\": {op99} }},\n",
             "  \"batch\": {{ \"frames_per_sec\": {bfps:.1}, \"p50_ns\": {bp50}, \"p99_ns\": {bp99} }},\n",
+            "  \"overload\": {{ \"workers\": {ovw}, \"sessions\": {ovs}, \"goodput_frames_per_sec\": {ovfps:.1}, \"goodput_ratio\": {ovr:.3}, \"p50_ns\": {ovp50}, \"p99_ns\": {ovp99}, \"busy_refusals\": {ovbusy} }},\n",
             "  \"batch_speedup\": {speedup:.2}\n",
             "}}\n"
         ),
@@ -740,11 +918,26 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
         bfps = batch_fps,
         bp50 = percentile_ns(&batch_lat, 50),
         bp99 = percentile_ns(&batch_lat, 99),
+        ovw = ov_workers,
+        ovs = ov_sessions,
+        ovfps = ov_goodput,
+        ovr = ov_ratio,
+        ovp50 = percentile_ns(&ov_lat, 50),
+        ovp99 = percentile_ns(&ov_lat, 99),
+        ovbusy = ov_busy,
         speedup = speedup,
     );
     std::fs::write(&out_path, &json).map_err(|e| e.to_string())?;
     out!(
         "single(no-ack): {single_fps:.0} f/s   batch1: {one_fps:.0} f/s   batch{batch}: {batch_fps:.0} f/s   speedup: {speedup:.2}x"
+    );
+    out!(
+        "overload({ovs}x/{ovw}w): {ovfps:.0} f/s goodput ({ovr:.2} of saturation), {ovbusy} busy refusals",
+        ovs = ov_sessions,
+        ovw = ov_workers,
+        ovfps = ov_goodput,
+        ovr = ov_ratio,
+        ovbusy = ov_busy,
     );
     out!("wrote {out_path}");
     Ok(())

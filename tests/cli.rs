@@ -214,6 +214,79 @@ fn client_rejects_bad_batch() {
 }
 
 #[test]
+fn client_validates_retry_flags() {
+    // --deadline-ms 0 would make every retry budget already expired.
+    let out = bin()
+        .args(["client", "--addr", "127.0.0.1:1", "--workload", "CH3D", "--deadline-ms", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deadline-ms"));
+
+    // A typo'd retry flag fails loudly instead of being ignored.
+    let out = bin()
+        .args(["client", "--addr", "127.0.0.1:1", "--workload", "CH3D", "--retrys", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown flag `--retrys`"), "{err}");
+    assert!(err.contains("usage"), "unknown flags must re-print usage:\n{err}");
+
+    let out = bin()
+        .args(["client", "--addr", "127.0.0.1:1", "--workload", "CH3D", "--backoff-ms", "x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--backoff-ms"));
+}
+
+#[test]
+fn serve_validates_shedding_flags() {
+    // Inverted watermarks can never drain: rejected before binding.
+    let out = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:1",
+            "--model",
+            "x",
+            "--shed-low",
+            "9",
+            "--shed-high",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--shed-low (9) must be below --shed-high (2)"), "{err}");
+
+    // A zero high watermark would shed every connection.
+    let out = bin()
+        .args(["serve", "--addr", "127.0.0.1:1", "--model", "x", "--shed-high", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shed-high"));
+
+    // A zero frame deadline would shed every snapshot.
+    let out = bin()
+        .args(["serve", "--addr", "127.0.0.1:1", "--model", "x", "--frame-deadline-ms", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--frame-deadline-ms"));
+
+    let out = bin()
+        .args(["serve", "--addr", "127.0.0.1:1", "--model", "x", "--retry-after", "10"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--retry-after`"));
+}
+
+#[test]
 fn bench_classify_writes_validated_json() {
     let dir = tmpdir("bench_classify");
     let out_path = dir.join("BENCH_classify.json");
@@ -225,9 +298,16 @@ fn bench_classify_writes_validated_json() {
         .unwrap();
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&out_path).unwrap();
-    for key in
-        ["\"schema\"", "\"single\"", "\"batch1\"", "\"batch\"", "\"batch_speedup\"", "\"p99_ns\""]
-    {
+    for key in [
+        "\"schema\"",
+        "\"single\"",
+        "\"batch1\"",
+        "\"batch\"",
+        "\"batch_speedup\"",
+        "\"p99_ns\"",
+        "\"overload\"",
+        "\"goodput_ratio\"",
+    ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
     let out = bin().args(["bench-classify", "--frames", "0x"]).output().unwrap();
