@@ -1,0 +1,178 @@
+//! Property tests of the placement layer: capacity safety, seeded
+//! determinism, and the core economic claim — greedy class-aware
+//! placement is at least as good as random placement *in expectation*
+//! under the engine's own cost model.
+
+use appclass_cluster::{
+    placement_order, ClassAwarePolicy, HostSpec, PlacementEngine, PlacementPolicy, RandomPolicy,
+};
+use appclass_core::{AppClass, ClassComposition};
+use proptest::prelude::*;
+
+fn pure(idx: u8) -> ClassComposition {
+    ClassComposition::from_labels(&[AppClass::ALL[idx as usize % 5]])
+}
+
+/// Drives `policy` over the whole job sequence, maintaining occupancy,
+/// and returns the final cluster plus the chosen host per job.
+fn drive(
+    policy: &mut dyn PlacementPolicy,
+    jobs: &[u8],
+    n_hosts: usize,
+    spec: &HostSpec,
+) -> (Vec<Vec<ClassComposition>>, Vec<Option<usize>>) {
+    let mut hosts: Vec<Vec<ClassComposition>> = vec![Vec::new(); n_hosts];
+    let mut picks = Vec::with_capacity(jobs.len());
+    for &j in jobs {
+        let comp = pure(j);
+        let pick = policy.place(comp, &hosts, spec);
+        if let Some(i) = pick {
+            hosts[i].push(comp);
+        }
+        picks.push(pick);
+    }
+    (hosts, picks)
+}
+
+/// Total predicted rate-weighted slowdown over the whole cluster: the
+/// quantity the greedy policy is trying to keep low (and the model-level
+/// proxy for the daily-completions metric the experiments report).
+fn cluster_cost(hosts: &[Vec<ClassComposition>], spec: &HostSpec) -> f64 {
+    let engine = PlacementEngine::new();
+    hosts.iter().map(|h| engine.weighted_cost(h, &spec.capacity)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Neither policy ever over-packs a host, and as long as a slot is
+    /// free somewhere every job is placed.
+    #[test]
+    fn placement_never_exceeds_capacity(
+        pool in prop::collection::vec(0u8..5, 30),
+        len in 1usize..30,
+        n_hosts in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let jobs = &pool[..len];
+        let spec = HostSpec::paper();
+        let cap = n_hosts * spec.slots;
+        for policy in [
+            &mut ClassAwarePolicy::default() as &mut dyn PlacementPolicy,
+            &mut RandomPolicy::new(seed),
+        ] {
+            let (hosts, picks) = drive(policy, jobs, n_hosts, &spec);
+            for h in &hosts {
+                prop_assert!(h.len() <= spec.slots, "host over slot limit: {}", h.len());
+            }
+            let placed = picks.iter().filter(|p| p.is_some()).count();
+            prop_assert_eq!(placed, jobs.len().min(cap));
+            // Refusals happen exactly when the cluster is full.
+            for (k, pick) in picks.iter().enumerate() {
+                prop_assert_eq!(pick.is_none(), k >= cap);
+            }
+        }
+    }
+
+    /// The same seed replays the same random placements; the greedy
+    /// policy is deterministic with no seed at all.
+    #[test]
+    fn placement_is_deterministic_per_seed(
+        pool in prop::collection::vec(0u8..5, 24),
+        len in 1usize..24,
+        n_hosts in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let jobs = &pool[..len];
+        let spec = HostSpec::paper();
+        let (_, r1) = drive(&mut RandomPolicy::new(seed), jobs, n_hosts, &spec);
+        let (_, r2) = drive(&mut RandomPolicy::new(seed), jobs, n_hosts, &spec);
+        prop_assert_eq!(r1, r2);
+        let (_, a1) = drive(&mut ClassAwarePolicy::default(), jobs, n_hosts, &spec);
+        let (_, a2) = drive(&mut ClassAwarePolicy::default(), jobs, n_hosts, &spec);
+        prop_assert_eq!(a1, a2);
+    }
+
+    /// Slot limits hold for arbitrary mixed compositions too, not just
+    /// pure classes: the greedy policy never over-packs a host no matter
+    /// what fraction vector the online classifier hands it.
+    #[test]
+    fn mixed_compositions_respect_slots(
+        fractions in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10),
+        n_hosts in 2usize..4,
+    ) {
+        let spec = HostSpec::paper();
+        let mut policy = ClassAwarePolicy::default();
+        let mut hosts: Vec<Vec<ClassComposition>> = vec![Vec::new(); n_hosts];
+        for (io, cpu) in &fractions {
+            // A plausible online-classifier output: IO/CPU split with the
+            // remainder idle.
+            let scale = 1.0 / (1.0 + io + cpu);
+            let comp = ClassComposition::from_fractions(
+                scale, io * scale, cpu * scale, 0.0, 0.0,
+            ).expect("fractions in range");
+            if let Some(i) = policy.place(comp, &hosts, &spec) {
+                prop_assert!(hosts[i].len() < spec.slots);
+                hosts[i].push(comp);
+            } else {
+                prop_assert!(hosts.iter().all(|h| h.len() == spec.slots));
+            }
+        }
+    }
+}
+
+/// Greedy class-aware placement, driven hardest-first the way the
+/// experiment driver places its batch, beats random placement *in
+/// expectation* — over both the random draws and the distribution of job
+/// mixes — measured by the engine's predicted rate-weighted cluster
+/// cost. Individual multisets exist where greedy loses a few percent
+/// (marginal greedy never builds a deliberate sacrifice pile), so the
+/// claim is statistical: aggregated over many sampled mixes the greedy
+/// total must come in strictly below the random total, and greedy must
+/// win far more mixes than it loses. Fully deterministic via fixed
+/// seeds.
+#[test]
+fn class_aware_beats_random_in_expectation() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let spec = HostSpec::paper();
+    let mut rng = StdRng::seed_from_u64(0xC1A5);
+    const MIXES: usize = 60;
+    const DRAWS: u64 = 8;
+    let (mut aware_total, mut random_total) = (0.0, 0.0);
+    let mut wins = 0usize;
+    let mut losses = 0usize;
+    for _ in 0..MIXES {
+        let n_hosts = rng.gen_range(2..8);
+        let n_jobs = rng.gen_range(4..n_hosts * spec.slots + 1);
+        let jobs: Vec<u8> = (0..n_jobs).map(|_| rng.gen_range(0..5) as u8).collect();
+        let comps: Vec<_> = jobs.iter().map(|&j| pure(j)).collect();
+        let ordered: Vec<u8> =
+            placement_order(&comps, &spec.capacity).into_iter().map(|i| jobs[i]).collect();
+        let (aware_hosts, _) = drive(&mut ClassAwarePolicy::default(), &ordered, n_hosts, &spec);
+        let aware_cost = cluster_cost(&aware_hosts, &spec);
+        let mut random_cost = 0.0;
+        for t in 0..DRAWS {
+            let (hosts, _) =
+                drive(&mut RandomPolicy::new(rng.gen::<u64>() ^ t), &jobs, n_hosts, &spec);
+            random_cost += cluster_cost(&hosts, &spec);
+        }
+        random_cost /= DRAWS as f64;
+        aware_total += aware_cost;
+        random_total += random_cost;
+        if aware_cost < random_cost - 1e-9 {
+            wins += 1;
+        } else if aware_cost > random_cost + 1e-9 {
+            losses += 1;
+        }
+    }
+    assert!(
+        aware_total < random_total,
+        "greedy total {aware_total} must beat expected random total {random_total}"
+    );
+    assert!(
+        wins > 2 * losses,
+        "greedy must win far more mixes than it loses: {wins} wins / {losses} losses"
+    );
+}

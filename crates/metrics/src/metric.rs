@@ -237,6 +237,13 @@ impl MetricFrame {
         MetricFrame { values: vec![0.0; METRIC_COUNT] }
     }
 
+    /// Resets every metric to zero in place, reusing the existing
+    /// allocation (and restoring full width if the frame was moved from).
+    pub fn reset_zero(&mut self) {
+        self.values.clear();
+        self.values.resize(METRIC_COUNT, 0.0);
+    }
+
     /// Builds a frame from a full-width value slice.
     pub fn from_values(values: &[f64]) -> Option<Self> {
         if values.len() != METRIC_COUNT {

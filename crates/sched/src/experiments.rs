@@ -4,7 +4,7 @@
 //! and returns typed rows, so the examples and benches print exactly the
 //! series the paper reports.
 
-use crate::schedule::{enumerate_schedules, JobType, MachineMix, Schedule};
+use crate::schedule::{all_schedules, JobType, MachineMix, Schedule};
 use appclass_metrics::NodeId;
 use appclass_sim::host::Host;
 use appclass_sim::vm::{VirtualMachine, VmConfig};
@@ -164,11 +164,7 @@ impl Fig4Result {
 /// Runs every schedule once — the measurement both figures are derived
 /// from.
 pub fn run_all_schedules(seed: u64) -> Vec<ScheduleOutcome> {
-    enumerate_schedules()
-        .iter()
-        .enumerate()
-        .map(|(i, s)| run_schedule(s, seed + i as u64 * 17))
-        .collect()
+    all_schedules().iter().enumerate().map(|(i, s)| run_schedule(s, seed + i as u64 * 17)).collect()
 }
 
 /// Assembles Figure 4 from schedule outcomes.

@@ -33,4 +33,4 @@ pub mod search;
 
 pub use experiments::{figure4, figure5, table4, Fig4Row, Fig5Row, Table4Result};
 pub use policy::{ClassAwarePolicy, OraclePolicy, RandomPolicy, SchedulingPolicy};
-pub use schedule::{enumerate_schedules, JobType, MachineMix, Schedule};
+pub use schedule::{all_schedules, enumerate_schedules, JobType, MachineMix, Schedule};

@@ -11,7 +11,7 @@
 //! ties among equally diverse placements.
 
 use crate::contention::predict_schedule_throughput;
-use crate::schedule::{enumerate_schedules, Schedule};
+use crate::schedule::{all_schedules, Schedule};
 use appclass_sim::resources::Capacity;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,9 +101,11 @@ impl SchedulingPolicy for OraclePolicy {
     }
 }
 
-/// Convenience: the standard candidate set of the §5.2 experiment.
-pub fn standard_candidates() -> Vec<Schedule> {
-    enumerate_schedules()
+/// Convenience: the standard candidate set of the §5.2 experiment, served
+/// from the process-wide cache so repeated policy evaluations never
+/// re-enumerate.
+pub fn standard_candidates() -> &'static [Schedule] {
+    all_schedules()
 }
 
 #[cfg(test)]
@@ -113,7 +115,7 @@ mod tests {
     #[test]
     fn class_aware_picks_full_diversity() {
         let candidates = standard_candidates();
-        let chosen = ClassAwarePolicy.choose(&candidates);
+        let chosen = ClassAwarePolicy.choose(candidates);
         assert!(chosen.is_fully_diverse());
         assert_eq!(chosen.to_string(), "{(SPN),(SPN),(SPN)}");
     }
@@ -122,7 +124,7 @@ mod tests {
     fn oracle_agrees_with_class_aware_here() {
         let candidates = standard_candidates();
         let mut oracle = OraclePolicy::new(Capacity::paper_host());
-        assert!(oracle.choose(&candidates).is_fully_diverse());
+        assert!(oracle.choose(candidates).is_fully_diverse());
     }
 
     #[test]
@@ -131,13 +133,13 @@ mod tests {
         let mut a = RandomPolicy::new(5);
         let mut b = RandomPolicy::new(5);
         for _ in 0..20 {
-            assert_eq!(a.choose(&candidates), b.choose(&candidates));
+            assert_eq!(a.choose(candidates), b.choose(candidates));
         }
         // Over many draws, a random policy should explore several schedules.
         let mut seen = std::collections::HashSet::new();
         let mut c = RandomPolicy::new(11);
         for _ in 0..200 {
-            seen.insert(c.choose(&candidates));
+            seen.insert(c.choose(candidates));
         }
         assert!(seen.len() >= 8, "random policy explored only {} schedules", seen.len());
     }

@@ -76,6 +76,17 @@ pub struct ServeClient {
     batch_scratch: Vec<u8>,
 }
 
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("session", &self.session)
+            .field("model_id", &self.model_id)
+            .field("snapshots_sent", &self.snapshots_sent)
+            .field("busy_notices", &self.busy_notices)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ServeClient {
     /// Connects and runs the handshake; fails with
     /// [`ServeError::Rejected`] when the server refuses the session.

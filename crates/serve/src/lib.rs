@@ -42,6 +42,7 @@
 pub mod chaos;
 pub mod client;
 pub mod error;
+pub mod feed;
 pub mod model;
 pub mod overload;
 pub mod proto;
@@ -54,6 +55,7 @@ pub use appclass_obs::Observability;
 pub use chaos::{ChaosPlan, ChaosProxy, FaultEvent};
 pub use client::{BatchReport, ClientConfig, ServeClient, VerdictReport};
 pub use error::{Result, ServeError};
+pub use feed::{CompositionFeed, FeedEntry};
 pub use model::ModelSlot;
 pub use overload::{OverloadMachine, OverloadState};
 pub use retry::{connect_with_retry, BreakerState, CircuitBreaker, RetryPolicy, RetryReport};

@@ -100,6 +100,7 @@ pub fn read_frame_or_idle_timed<R: Read>(
 fn read_exact_or_idle<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<Option<std::time::Instant>> {
     let mut got = 0usize;
     let mut arrival = None;
+    let mut timeouts = 0u32;
     while got < buf.len() {
         match r.read(&mut buf[got..]) {
             Ok(0) => return Err(ServeError::ConnectionClosed),
@@ -111,8 +112,12 @@ fn read_exact_or_idle<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<Option<std::
             }
             Err(e) if is_timeout(&e) && got == 0 => return Ok(None),
             Err(e) if is_timeout(&e) => {
-                fill(r, buf, got)?;
-                return Ok(arrival);
+                // Mid-prefix stalls draw on the same budget as mid-body
+                // ones: every timeout after the first byte counts.
+                timeouts += 1;
+                if timeouts > MID_FRAME_TIMEOUT_BUDGET {
+                    return Err(ServeError::Io(e));
+                }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(e.into()),

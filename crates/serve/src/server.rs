@@ -12,6 +12,7 @@
 //! [`OnlineClassifier`]: appclass_core::OnlineClassifier
 
 use crate::error::{Result, ServeError};
+use crate::feed::CompositionFeed;
 use crate::model::ModelSlot;
 use crate::overload::{OverloadMachine, OverloadState};
 use crate::session::{refuse, refuse_busy, run_session, SessionConfig, SessionEnd};
@@ -90,6 +91,9 @@ struct Shared {
     queue_depth_gauge: Gauge,
     obs: Observability,
     session_counters: SessionCounters,
+    /// Latest per-session classification observations, for the cluster
+    /// controller (see [`crate::feed`]).
+    feed: CompositionFeed,
 }
 
 /// Registry counters mirroring the session-lifecycle fields of
@@ -180,6 +184,7 @@ impl Server {
             queue_depth_gauge,
             obs,
             session_counters,
+            feed: CompositionFeed::new(),
         });
 
         let (tx, rx) = unbounded::<TcpStream>();
@@ -218,6 +223,14 @@ impl Server {
     /// share state, so a returned handle stays live while the server runs.
     pub fn observability(&self) -> &Observability {
         &self.shared.obs
+    }
+
+    /// The serve→cluster composition feed every session publishes into:
+    /// the latest observed class/composition per session, the input a
+    /// class-aware placement controller consumes. Clones share state, so
+    /// a returned handle stays live while the server runs.
+    pub fn composition_feed(&self) -> CompositionFeed {
+        self.shared.feed.clone()
     }
 
     /// Fingerprint of the model currently served.
@@ -406,6 +419,7 @@ fn serve_one(shared: &Shared, stream: TcpStream) {
         shared.config.session,
         &shared.shutdown,
         Some(&shared.obs),
+        Some(&shared.feed),
     );
     let mut stats = shared.stats.lock();
     stats.absorb(end.outcome());

@@ -20,6 +20,7 @@
 //! [`FrameGuard`]: appclass_metrics::FrameGuard
 
 use crate::error::{Result, ServeError};
+use crate::feed::{CompositionFeed, FeedEntry};
 use crate::model::ModelSlot;
 use crate::proto::{read_frame_or_idle, read_frame_or_idle_timed, write_frame, write_frame_single};
 use crate::stats::SessionOutcome;
@@ -163,7 +164,8 @@ enum GenExit {
 /// traces its classify calls, mirrors frame/verdict counters into the
 /// registry live, answers `Stats` frames with the exposition text, and
 /// flight-records its first degraded frame, any model swap, and any
-/// failure.
+/// failure. With `feed` present the session publishes its classifier's
+/// running verdict after every snapshot, for the cluster controller.
 pub fn run_session(
     stream: TcpStream,
     session_id: u32,
@@ -171,15 +173,17 @@ pub fn run_session(
     config: SessionConfig,
     shutdown: &AtomicBool,
     obs: Option<&Observability>,
+    feed: Option<&CompositionFeed>,
 ) -> SessionEnd {
     let mut sobs = obs.map(|o| SessionObs::new(o, session_id));
-    let end = run_session_inner(stream, session_id, slot, config, shutdown, &mut sobs);
+    let end = run_session_inner(stream, session_id, slot, config, shutdown, &mut sobs, feed);
     if let (SessionEnd::Failed(_, e), Some(s)) = (&end, &sobs) {
         s.note_failure(e);
     }
     end
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_session_inner(
     stream: TcpStream,
     session_id: u32,
@@ -187,6 +191,7 @@ fn run_session_inner(
     config: SessionConfig,
     shutdown: &AtomicBool,
     sobs: &mut Option<SessionObs>,
+    feed: Option<&CompositionFeed>,
 ) -> SessionEnd {
     let mut outcome = SessionOutcome::default();
     let reader = match stream.try_clone() {
@@ -223,6 +228,8 @@ fn run_session_inner(
             sobs,
             &mut outcome,
             &mut reply_scratch,
+            session_id,
+            feed,
         );
         match exit {
             GenExit::Clean => return SessionEnd::Clean(outcome),
@@ -248,6 +255,8 @@ fn run_generation(
     sobs: &mut Option<SessionObs>,
     outcome: &mut SessionOutcome,
     reply_scratch: &mut Vec<u8>,
+    session_id: u32,
+    feed: Option<&CompositionFeed>,
 ) -> GenExit {
     let model_id = pipeline.model_id();
     let mut classifier = match config.window {
@@ -352,6 +361,7 @@ fn run_generation(
                         }
                     }
                 }
+                publish_feed(feed, session_id, &classifier, model_id);
             }
             ControlFrame::SnapshotBatch { wires } => {
                 // Every item counts toward the frame budget exactly as if
@@ -455,6 +465,7 @@ fn run_generation(
                     finish(outcome, &classifier);
                     return GenExit::Failed(e);
                 }
+                publish_feed(feed, session_id, &classifier, model_id);
             }
             ControlFrame::Classify => {
                 let start = Instant::now();
@@ -471,6 +482,7 @@ fn run_generation(
                     return GenExit::Failed(e);
                 }
                 outcome.verdicts += 1;
+                publish_feed(feed, session_id, &classifier, model_id);
             }
             ControlFrame::SwapModel { json } => {
                 // The client supplies the replacement pipeline inline.
@@ -634,6 +646,27 @@ fn verdict_frame(classifier: &OnlineClassifier<'_>, model_id: u64) -> ControlFra
         composition: fractions,
         model: model_id,
     }
+}
+
+/// Publishes the classifier's running verdict to the serve→cluster feed
+/// (no-op before the first usable snapshot, so the controller never sees
+/// the all-zero "no idea" state as an observation).
+fn publish_feed(
+    feed: Option<&CompositionFeed>,
+    session_id: u32,
+    classifier: &OnlineClassifier<'_>,
+    model_id: u64,
+) {
+    let Some(feed) = feed else { return };
+    let Some(class) = classifier.current_class() else { return };
+    feed.publish(FeedEntry {
+        session: session_id,
+        class,
+        composition: classifier.composition(),
+        confidence: classifier.confidence(),
+        frames: classifier.in_state() as u64,
+        model: model_id,
+    });
 }
 
 /// Folds the classifier's end-of-generation reports into the outcome.

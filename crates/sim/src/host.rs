@@ -74,12 +74,22 @@ pub struct Host {
     vms: Vec<VirtualMachine>,
     wall_secs: u64,
     completions: Vec<Option<u64>>,
+    /// Per-tick demand scratch, reused so the steady-state tick is
+    /// allocation-free (the cluster controller ticks hundreds of hosts
+    /// every simulated second).
+    demand_scratch: Vec<Option<crate::resources::ResourceDemand>>,
 }
 
 impl Host {
     /// Creates an empty host with the given capacity.
     pub fn new(capacity: Capacity) -> Self {
-        Host { capacity, vms: Vec::new(), wall_secs: 0, completions: Vec::new() }
+        Host {
+            capacity,
+            vms: Vec::new(),
+            wall_secs: 0,
+            completions: Vec::new(),
+            demand_scratch: Vec::new(),
+        }
     }
 
     /// A host with the paper's testbed capacity.
@@ -125,11 +135,15 @@ impl Host {
 
     /// Simulates one wall-clock second of contended execution.
     pub fn tick(&mut self) {
-        let demands: Vec<_> = self
-            .vms
-            .iter_mut()
-            .map(|vm| if vm.finished() { None } else { Some(vm.peek_demand()) })
-            .collect();
+        let mut demands = std::mem::take(&mut self.demand_scratch);
+        demands.clear();
+        demands.extend(self.vms.iter_mut().map(|vm| {
+            if vm.finished() {
+                None
+            } else {
+                Some(vm.peek_demand())
+            }
+        }));
 
         // Aggregate the *physical* demand of active VMs per resource: an
         // NFS-backed neighbour loads the network, a paging neighbour loads
@@ -162,14 +176,15 @@ impl Host {
         };
 
         self.wall_secs += 1;
-        for (i, (vm, demand)) in self.vms.iter_mut().zip(demands).enumerate() {
+        for (i, (vm, demand)) in self.vms.iter_mut().zip(&demands).enumerate() {
             if let Some(d) = demand {
-                vm.tick(d, share);
+                vm.tick(*d, share);
                 if vm.finished() && self.completions[i].is_none() {
                     self.completions[i] = Some(self.wall_secs);
                 }
             }
         }
+        self.demand_scratch = demands;
     }
 
     /// Runs until every job finishes or `max_secs` elapses; returns per-job
@@ -184,8 +199,43 @@ impl Host {
     /// Takes a monitoring snapshot of every VM at the current wall time
     /// (each VM's frame covers the window since its previous snapshot).
     pub fn sample_all(&mut self) -> Vec<Snapshot> {
+        let mut out = Vec::with_capacity(self.vms.len());
+        self.sample_all_into(&mut out);
+        out
+    }
+
+    /// Like [`Host::sample_all`], but clearing and refilling a
+    /// caller-provided buffer. Once the buffer has grown to the host's VM
+    /// count, the steady-state sampling tick performs no heap allocation —
+    /// the cluster controller reuses one buffer across hundreds of hosts.
+    pub fn sample_all_into(&mut self, out: &mut Vec<Snapshot>) {
         let t = self.wall_secs;
-        self.vms.iter_mut().map(|vm| Snapshot::new(vm.node(), t, vm.metric_frame())).collect()
+        // Reuse the buffer's existing snapshots — each carries a
+        // heap-backed `MetricFrame` that `metric_frame_into` refills in
+        // place — and only allocate for VMs beyond the buffer's length.
+        let reused = out.len().min(self.vms.len());
+        out.truncate(self.vms.len());
+        for (vm, slot) in self.vms[..reused].iter_mut().zip(out.iter_mut()) {
+            slot.node = vm.node();
+            slot.time = t;
+            vm.metric_frame_into(&mut slot.frame);
+        }
+        for vm in self.vms[reused..].iter_mut() {
+            out.push(Snapshot::new(vm.node(), t, vm.metric_frame()));
+        }
+    }
+
+    /// Evicts the VM at `index` (for migration), returning it so the
+    /// destination host can boot it with its progress intact. The
+    /// completion record travels out with the VM; records of the remaining
+    /// VMs stay aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove_vm(&mut self, index: usize) -> VirtualMachine {
+        self.completions.remove(index);
+        self.vms.remove(index)
     }
 
     /// Runs to completion while monitoring every VM at `interval` seconds —
@@ -197,10 +247,12 @@ impl Host {
     pub fn run_monitored(&mut self, max_secs: u64, interval: u64) -> (Vec<JobResult>, DataPool) {
         let interval = interval.max(1);
         let mut pool = DataPool::new();
+        let mut snaps = Vec::with_capacity(self.vms.len());
         while !self.all_finished() && self.wall_secs < max_secs {
             self.tick();
             if self.wall_secs.is_multiple_of(interval) {
-                for snap in self.sample_all() {
+                self.sample_all_into(&mut snaps);
+                for snap in snaps.drain(..) {
                     pool.push(snap);
                 }
             }
@@ -333,5 +385,45 @@ mod tests {
     fn empty_host_is_finished() {
         let host = Host::paper_host();
         assert!(host.all_finished());
+    }
+
+    #[test]
+    fn sample_all_into_reuses_buffer_and_matches() {
+        let mut host = Host::paper_host();
+        host.add_vm(vm(1, cpu_job()));
+        host.add_vm(vm(2, io_job()));
+        host.tick();
+        let mut buf = Vec::new();
+        host.sample_all_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        let cap = buf.capacity();
+        host.tick();
+        host.sample_all_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.capacity(), cap, "refill must not regrow the buffer");
+        assert_eq!(buf[0].node, NodeId(1));
+        assert_eq!(buf[1].node, NodeId(2));
+        assert_eq!(buf[0].time, host.wall_secs());
+    }
+
+    #[test]
+    fn remove_vm_keeps_completions_aligned() {
+        let mut host = Host::paper_host();
+        host.add_vm(vm(1, io_job()));
+        host.add_vm(vm(2, cpu_job()));
+        // Run until the I/O job (shorter) finishes, then evict it.
+        while !host.vms()[0].finished() {
+            host.tick();
+        }
+        let done_at = host.wall_secs();
+        let evicted = host.remove_vm(0);
+        assert!(evicted.finished());
+        assert_eq!(host.vm_count(), 1);
+        assert_eq!(host.vms()[0].node(), NodeId(2));
+        // The remaining VM's completion record still tracks *it*.
+        let results = host.run_to_completion(10_000);
+        assert_eq!(results.len(), 1);
+        let t = results[0].completion_secs.unwrap();
+        assert!(t > done_at, "cpu job outlives the evicted io job: {t} vs {done_at}");
     }
 }

@@ -457,6 +457,16 @@ impl VirtualMachine {
     /// since the previous frame, then resets the accumulator. Call at the
     /// monitoring frequency (the paper's 5 s).
     pub fn metric_frame(&mut self) -> MetricFrame {
+        let mut f = MetricFrame::zeroed();
+        self.metric_frame_into(&mut f);
+        f
+    }
+
+    /// Like [`VirtualMachine::metric_frame`], but writing into a
+    /// caller-provided frame so the steady-state monitoring tick reuses
+    /// one allocation per VM slot (the cluster controller samples
+    /// hundreds of hosts every second).
+    pub fn metric_frame_into(&mut self, f: &mut MetricFrame) {
         let n = self.acc_secs.max(1) as f64;
         let a = std::mem::take(&mut self.acc);
         self.acc_secs = 0;
@@ -467,7 +477,7 @@ impl VirtualMachine {
         let cpu_idle_pct = (100.0 - cpu_user_pct - cpu_system_pct - cpu_wio_pct).max(0.0);
 
         let rng = &mut self.rng;
-        let mut f = MetricFrame::zeroed();
+        f.reset_zero();
         // --- CPU ---
         let user_j = noise::jitter(rng, cpu_user_pct, 0.03);
         f.set(MetricId::CpuUser, noise::noise_floor(rng, user_j, 0.3).min(100.0));
@@ -526,7 +536,6 @@ impl VirtualMachine {
         f.set(MetricId::IoBo, noise::noise_floor(rng, bo_j, 2.0));
         f.set(MetricId::SwapIn, noise::jitter(rng, a.swap_in / n, 0.08));
         f.set(MetricId::SwapOut, noise::jitter(rng, a.swap_out / n, 0.08));
-        f
     }
 }
 

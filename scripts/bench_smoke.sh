@@ -6,9 +6,15 @@
 #
 #   ./scripts/bench_smoke.sh [out.json]
 #
+# Also runs the at-scale placement experiment and records it in
+# BENCH_sched.json: class-aware vs random vs oracle placement across a
+# simulated fleet, with the class-aware gain over random required to be
+# strictly above 1.0.
+#
 # Environment knobs: BENCH_FRAMES (default 1024), BENCH_BATCH (32),
-# BENCH_SEED (42). Fails if the result file is missing, empty, not JSON,
-# or lacks any expected section.
+# BENCH_SEED (42), BENCH_SCHED_HOSTS (64), BENCH_SCHED_OUT
+# (BENCH_sched.json). Fails if a result file is missing, empty, not
+# JSON, or lacks any expected section.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -55,4 +61,42 @@ else
         grep -q "$key" "$out" || { echo "bench_smoke: $out lacks $key" >&2; exit 1; }
     done
     echo "bench_smoke: $out written (python3 unavailable, key check only)"
+fi
+
+sched_out="${BENCH_SCHED_OUT:-BENCH_sched.json}"
+sched_hosts="${BENCH_SCHED_HOSTS:-64}"
+./target/release/appclass sched-cluster \
+    --hosts "$sched_hosts" --seed "$seed" --out "$sched_out"
+
+[ -s "$sched_out" ] || { echo "bench_smoke: $sched_out missing or empty" >&2; exit 1; }
+
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$sched_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "sched_cluster/v1", doc["schema"]
+for section in ("random", "class_aware", "oracle"):
+    block = doc[section]
+    for key in ("jobs_per_day", "makespan_secs", "migrations", "unfinished"):
+        float(block[key])
+gain = float(doc["gain_over_random"])
+float(doc["regret_vs_oracle"])
+# The placement contract: at fleet scale the class-aware scheduler must
+# strictly beat the averaged random baseline using only what the
+# pipeline observed, never ground truth.
+if gain <= 1.0:
+    sys.exit(f"bench_smoke: class-aware placement lost to random (gain {gain} <= 1.0)")
+print(f"bench_smoke: sched {doc['hosts']} hosts, class-aware {gain}x over random "
+      f"(regret {doc['regret_vs_oracle']} vs oracle, "
+      f"{doc['misclassified']} misclassified of {doc['vms']})")
+EOF
+else
+    for key in '"schema": "sched_cluster/v1"' '"random"' '"class_aware"' '"oracle"' '"gain_over_random"'; do
+        grep -q "$key" "$sched_out" || { echo "bench_smoke: $sched_out lacks $key" >&2; exit 1; }
+    done
+    gain=$(sed -n 's/.*"gain_over_random": \([0-9.]*\).*/\1/p' "$sched_out")
+    awk "BEGIN { exit !($gain > 1.0) }" \
+        || { echo "bench_smoke: class-aware placement lost to random (gain $gain <= 1.0)" >&2; exit 1; }
+    echo "bench_smoke: $sched_out written (python3 unavailable, key check only)"
 fi

@@ -151,6 +151,19 @@ for i in 1 2 3 4; do grep -q "class:       CPU" "$tmp/overload_c$i.log"; done
 shed=$(sed -n 's/^serve_shed_total //p' "$tmp/overload_stats.log")
 echo "overload smoke OK ($shed connections shed, all four clients classified)"
 
+echo "== cluster scheduling smoke test =="
+# Class-aware placement across a 16-host fleet, driven entirely by
+# pipeline-observed compositions: it must not lose to the averaged
+# random baseline.
+./target/release/appclass sched-cluster --hosts 16 --seed 42 \
+    --out "$tmp/sched.json" > "$tmp/sched.log"
+grep -q "verdict: class-aware" "$tmp/sched.log"
+gain=$(sed -n 's/.*"gain_over_random": \([0-9.]*\).*/\1/p' "$tmp/sched.json")
+[ -n "$gain" ] || { echo "sched-cluster JSON lacks gain_over_random"; exit 1; }
+awk "BEGIN { exit !($gain >= 1.0) }" \
+    || { echo "class-aware placement lost to random (gain $gain < 1.0)"; exit 1; }
+echo "cluster smoke OK (16 hosts, class-aware ${gain}x over random)"
+
 echo "== bench smoke (BENCH_classify.json) =="
 # Short calibrated measurement of the single-frame vs batched serving
 # paths; fails if BENCH_classify.json is missing or non-parseable.

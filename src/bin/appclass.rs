@@ -73,6 +73,7 @@ fn main() -> ExitCode {
         "swap" => cmd_swap(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "bench-classify" => cmd_bench_classify(&args[1..]),
+        "sched-cluster" => cmd_sched_cluster(&args[1..]),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
             Ok(())
@@ -132,7 +133,13 @@ commands:
   bench-classify [--seed N] [--frames N] [--batch N] [--out FILE]
                                measure single vs batched serving throughput over
                                loopback and write the numbers as JSON
-                               (default --out BENCH_classify.json)";
+                               (default --out BENCH_classify.json)
+  sched-cluster [--hosts N] [--seed N] [--trials N] [--energy W] [--out FILE]
+                               class-aware vs random vs oracle placement across a
+                               simulated fleet; compositions come from the trained
+                               pipeline, never ground truth (--trials averages N
+                               random-placement draws; --out writes the rows as
+                               JSON)";
 
 /// Minimal `--key value` option extraction. A following token that is
 /// itself a flag does not count as the value, so `--out --seed 7` reports
@@ -940,6 +947,100 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
         ovbusy = ov_busy,
     );
     out!("wrote {out_path}");
+    Ok(())
+}
+
+fn cmd_sched_cluster(args: &[String]) -> Result<(), String> {
+    use appclass::cluster::{sched_cluster, ExperimentConfig, PolicyOutcome};
+    validate_flags(args, &["--hosts", "--seed", "--trials", "--energy", "--out"])?;
+    let seed = opt_seed(args)?;
+    let cfg = ExperimentConfig {
+        hosts: opt_parsed::<usize>(args, "--hosts")?.unwrap_or(16).max(1),
+        seed,
+        random_trials: opt_parsed::<usize>(args, "--trials")?.unwrap_or(5).max(1),
+        energy_weight: opt_parsed::<f64>(args, "--energy")?.unwrap_or(0.0),
+        ..ExperimentConfig::default()
+    };
+    let out_path = opt(args, "--out");
+    if flag_present(args, "--out") && out_path.is_none() {
+        return Err("--out requires a value".to_string());
+    }
+
+    let pipeline = train_pipeline(seed)?;
+    let result = sched_cluster(&pipeline, &cfg);
+
+    out!(
+        "fleet: {} hosts x {} slots = {} jobs   seed {}   misclassified {}",
+        result.hosts,
+        cfg.spec.slots,
+        result.vms,
+        seed,
+        result.misclassified
+    );
+    out!(
+        "{:<12} {:>14} {:>14} {:>12} {:>11}",
+        "policy",
+        "jobs/day",
+        "makespan (s)",
+        "migrations",
+        "unfinished"
+    );
+    let row = |o: &PolicyOutcome| {
+        out!(
+            "{:<12} {:>14.1} {:>14} {:>12} {:>11}",
+            o.policy,
+            o.jobs_per_day,
+            o.makespan_secs,
+            o.migrations,
+            o.unfinished
+        );
+    };
+    row(&result.random);
+    row(&result.class_aware);
+    row(&result.oracle);
+    out!(
+        "verdict: class-aware {:.3}x over random, regret {:.3} vs oracle",
+        result.gain_over_random,
+        result.regret_vs_oracle
+    );
+
+    if let Some(path) = out_path {
+        let outcome_json = |o: &PolicyOutcome| {
+            format!(
+                "{{ \"policy\": \"{}\", \"jobs_per_day\": {:.3}, \"makespan_secs\": {}, \"migrations\": {}, \"unfinished\": {} }}",
+                o.policy, o.jobs_per_day, o.makespan_secs, o.migrations, o.unfinished
+            )
+        };
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"sched_cluster/v1\",\n",
+                "  \"seed\": {seed},\n",
+                "  \"hosts\": {hosts},\n",
+                "  \"vms\": {vms},\n",
+                "  \"random_trials\": {trials},\n",
+                "  \"misclassified\": {mis},\n",
+                "  \"random\": {random},\n",
+                "  \"class_aware\": {aware},\n",
+                "  \"oracle\": {oracle},\n",
+                "  \"gain_over_random\": {gain:.4},\n",
+                "  \"regret_vs_oracle\": {regret:.4}\n",
+                "}}\n"
+            ),
+            seed = seed,
+            hosts = result.hosts,
+            vms = result.vms,
+            trials = cfg.random_trials,
+            mis = result.misclassified,
+            random = outcome_json(&result.random),
+            aware = outcome_json(&result.class_aware),
+            oracle = outcome_json(&result.oracle),
+            gain = result.gain_over_random,
+            regret = result.regret_vs_oracle,
+        );
+        std::fs::write(&path, &json).map_err(|e| e.to_string())?;
+        out!("wrote {path}");
+    }
     Ok(())
 }
 

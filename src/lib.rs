@@ -23,6 +23,10 @@
 //! * [`serve`] — the concurrent TCP classification service: many
 //!   monitoring clients stream snapshots to one trained pipeline and read
 //!   back live verdicts.
+//! * [`cluster`] — the class-aware placement engine and cluster control
+//!   loop: §4.4's cost model generalized to N-core hosts, placements and
+//!   threshold migrations across a simulated fleet, driven by observed
+//!   (not ground-truth) compositions.
 //! * [`obs`] — the unified observability layer: span tracer, metric
 //!   registry with a Prometheus-style exposition, and the flight recorder
 //!   that snapshots recent spans and metric deltas on incidents.
@@ -55,6 +59,7 @@
 //! assert_eq!(result.class, AppClass::Cpu);
 //! ```
 
+pub use appclass_cluster as cluster;
 pub use appclass_core as core;
 pub use appclass_linalg as linalg;
 pub use appclass_metrics as metrics;

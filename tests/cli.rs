@@ -316,6 +316,71 @@ fn bench_classify_writes_validated_json() {
 }
 
 #[test]
+fn sched_cluster_validates_flags() {
+    // A typo'd flag fails loudly with the usual usage reminder.
+    let out = bin().args(["sched-cluster", "--host", "4"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--host`"), "{err}");
+    assert!(err.contains("usage"), "unknown flags must re-print usage:\n{err}");
+
+    // Flags with missing or unparseable values are errors, not defaults.
+    let out = bin().args(["sched-cluster", "--hosts"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--hosts"));
+
+    let out = bin().args(["sched-cluster", "--hosts", "many"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--hosts"));
+
+    let out = bin().args(["sched-cluster", "--trials", "-3"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trials"));
+
+    let out = bin().args(["sched-cluster", "--energy", "warm"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--energy"));
+
+    let out = bin().args(["sched-cluster", "--seed", "7.5"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+
+    // `--out --seed 7` is a missing value, not a file named `--seed`.
+    let out = bin().args(["sched-cluster", "--out", "--seed", "7"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out requires a value"));
+}
+
+#[test]
+fn sched_cluster_runs_a_small_fleet_and_writes_json() {
+    let dir = tmpdir("sched_cluster");
+    let out_path = dir.join("sched.json");
+    let out = bin()
+        .args(["sched-cluster", "--hosts", "2", "--trials", "2", "--seed", "7"])
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let s = stdout(&out);
+    for needle in ["policy", "random", "class-aware", "oracle", "verdict:"] {
+        assert!(s.contains(needle), "missing {needle} in:\n{s}");
+    }
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    for key in [
+        "\"schema\": \"sched_cluster/v1\"",
+        "\"random\"",
+        "\"class_aware\"",
+        "\"oracle\"",
+        "\"gain_over_random\"",
+        "\"regret_vs_oracle\"",
+        "\"misclassified\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
 fn stats_rejects_unknown_flag() {
     let out = bin().args(["stats", "--addr", "127.0.0.1:1", "--verbose"]).output().unwrap();
     assert!(!out.status.success());
