@@ -81,7 +81,14 @@ pub struct ClusterController {
     migrations: u64,
     snap_buf: Vec<Snapshot>,
     comp_buf: Vec<ClassComposition>,
-    obs: Option<Observability>,
+    /// Wall-clock second each VM's belief was last refreshed, for the
+    /// `cluster_belief_staleness` gauge.
+    belief_updated: BTreeMap<u32, u64>,
+    /// Trace id last attached to each VM's belief (from the serve feed),
+    /// linking a placement decision back to the distributed trace of the
+    /// telemetry that motivated it.
+    traces: BTreeMap<u32, u64>,
+    obs: Observability,
 }
 
 impl ClusterController {
@@ -92,6 +99,8 @@ impl ClusterController {
         engine: PlacementEngine,
         config: ControllerConfig,
     ) -> Self {
+        let obs = Observability::new();
+        Self::register_metrics(&obs);
         ClusterController {
             hosts: (0..n_hosts).map(|_| Host::new(spec.capacity)).collect(),
             spec,
@@ -104,15 +113,36 @@ impl ClusterController {
             migrations: 0,
             snap_buf: Vec::new(),
             comp_buf: Vec::new(),
-            obs: None,
+            belief_updated: BTreeMap::new(),
+            traces: BTreeMap::new(),
+            obs,
         }
     }
 
-    /// Attaches an observability bundle: controller gauges, the migration
-    /// counter, and storm incidents report through it.
+    /// Attaches an observability bundle (replacing the controller's own
+    /// default one): controller gauges, the placement/migration counters,
+    /// and storm incidents report through it. Pre-registers the cluster
+    /// metrics so a scrape before the first event still sees them.
     pub fn with_observability(mut self, obs: Observability) -> Self {
-        self.obs = Some(obs);
+        Self::register_metrics(&obs);
+        self.obs = obs;
         self
+    }
+
+    /// The controller's observability bundle — same shape as
+    /// `Server::observability()`, so a fleet monitor can scrape serving
+    /// and scheduling through one code path.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Pre-registers every metric the controller exports, so they appear
+    /// in expositions (and TsStore scrapes discover their series) before
+    /// the first placement or migration happens.
+    fn register_metrics(obs: &Observability) {
+        obs.registry.counter("cluster_placements_total");
+        obs.registry.counter("cluster_migrations_total");
+        obs.registry.gauge("cluster_belief_staleness");
     }
 
     /// Number of hosts.
@@ -144,6 +174,13 @@ impl ClusterController {
     /// profiling path).
     pub fn set_belief(&mut self, node: u32, comp: ClassComposition) {
         self.beliefs.insert(node, comp);
+        self.belief_updated.insert(node, self.wall_secs);
+    }
+
+    /// The trace id last attached to a VM's belief by the serve feed,
+    /// when that telemetry stream was traced.
+    pub fn trace_of(&self, node: u32) -> Option<u64> {
+        self.traces.get(&node).copied().filter(|&t| t != 0)
     }
 
     /// Wall-clock completion second of one VM's job, once finished.
@@ -170,6 +207,10 @@ impl ClusterController {
         for entry in feed.entries() {
             if let Some(&node) = session_to_node.get(&entry.session) {
                 self.beliefs.insert(node, entry.composition);
+                self.belief_updated.insert(node, self.wall_secs);
+                if entry.trace != 0 {
+                    self.traces.insert(node, entry.trace);
+                }
                 updated += 1;
             }
         }
@@ -209,7 +250,9 @@ impl ClusterController {
         let idx = policy.place(comp, &views, &self.spec)?;
         debug_assert!(self.hosts[idx].vm_count() < self.spec.slots, "policy overfilled a host");
         self.beliefs.insert(vm.node().0, comp);
+        self.belief_updated.insert(vm.node().0, self.wall_secs);
         self.hosts[idx].add_vm(vm);
+        self.obs.registry.counter("cluster_placements_total").inc();
         Some(idx)
     }
 
@@ -269,7 +312,7 @@ impl ClusterController {
     }
 
     fn monitor(&mut self) {
-        let Some(obs) = &self.obs else { return };
+        let obs = &self.obs;
         let active: usize = self.hosts.iter().map(Host::active_count).sum();
         let overloaded = (0..self.hosts.len())
             .filter(|&i| self.host_score(i) > self.config.migration_threshold)
@@ -278,6 +321,22 @@ impl ClusterController {
         obs.registry.gauge("cluster_active_vms").set(active as f64);
         obs.registry.gauge("cluster_overloaded_hosts").set(overloaded as f64);
         obs.registry.gauge("cluster_wall_secs").set(self.wall_secs as f64);
+        // Oldest belief among still-active VMs, in cluster seconds: the
+        // scheduling loop acting on week-old classifications is exactly
+        // the failure an SLO on this gauge catches.
+        let staleness = self
+            .hosts
+            .iter()
+            .flat_map(|h| h.vms().iter())
+            .filter(|vm| !vm.finished())
+            .map(|vm| {
+                self.belief_updated
+                    .get(&vm.node().0)
+                    .map_or(self.wall_secs, |&at| self.wall_secs.saturating_sub(at))
+            })
+            .max()
+            .unwrap_or(0);
+        obs.registry.gauge("cluster_belief_staleness").set(staleness as f64);
     }
 
     fn rebalance(&mut self) {
@@ -295,11 +354,9 @@ impl ClusterController {
         }
         if moved_this_check > 0 {
             self.migrations += moved_this_check as u64;
-            if let Some(obs) = &self.obs {
-                obs.registry.counter("cluster_migrations_total").add(moved_this_check as u64);
-                if moved_this_check >= self.config.storm_threshold {
-                    obs.incident("cluster migration storm");
-                }
+            self.obs.registry.counter("cluster_migrations_total").add(moved_this_check as u64);
+            if moved_this_check >= self.config.storm_threshold {
+                self.obs.incident("cluster migration storm");
             }
         }
     }
@@ -488,6 +545,7 @@ mod tests {
             confidence: 0.9,
             frames: 12,
             model: 1,
+            trace: 0xFACE,
         });
         feed.publish(FeedEntry {
             session: 8,
@@ -496,11 +554,54 @@ mod tests {
             confidence: 0.8,
             frames: 9,
             model: 1,
+            trace: 0,
         });
         let map = BTreeMap::from([(7u32, 41u32)]); // session 8 is not ours
         assert_eq!(ctl.ingest_feed(&feed, &map), 1);
         assert_eq!(ctl.belief(41), Some(pure(AppClass::Net)));
         assert_eq!(ctl.belief(8), None);
+        // The traced feed entry links the VM's belief to its trace; an
+        // untraced entry (trace 0) never would.
+        assert_eq!(ctl.trace_of(41), Some(0xFACE));
+        assert_eq!(ctl.trace_of(8), None);
+    }
+
+    #[test]
+    fn controller_owns_a_registry_with_preregistered_metrics() {
+        let mut ctl = controller(2, false);
+        let text = ctl.observability().registry.render();
+        for metric in
+            ["cluster_placements_total", "cluster_migrations_total", "cluster_belief_staleness"]
+        {
+            assert!(text.contains(metric), "{metric} must be pre-registered:\n{text}");
+        }
+        let mut policy = ClassAwarePolicy::default();
+        ctl.place(cpu_vm(1), pure(AppClass::Cpu), &mut policy).unwrap();
+        assert_eq!(ctl.observability().registry.counter("cluster_placements_total").get(), 1);
+    }
+
+    #[test]
+    fn belief_staleness_gauge_tracks_the_oldest_active_belief() {
+        let obs = Observability::new();
+        let mut ctl = controller(2, false).with_observability(obs.clone());
+        let mut policy = ClassAwarePolicy::default();
+        ctl.place(cpu_vm(1), pure(AppClass::Cpu), &mut policy).unwrap();
+        let interval = ControllerConfig::default().check_interval_secs;
+        for _ in 0..interval {
+            ctl.tick();
+        }
+        let stale = obs.registry.gauge("cluster_belief_staleness").get();
+        assert_eq!(stale, interval as f64, "belief placed at t=0, checked at t={interval}");
+        // A refreshed belief resets the age on the next check.
+        ctl.set_belief(1, pure(AppClass::Cpu));
+        for _ in 0..interval {
+            ctl.tick();
+        }
+        let refreshed = obs.registry.gauge("cluster_belief_staleness").get();
+        assert!(
+            refreshed <= interval as f64,
+            "refresh at t={interval} must cap staleness at {interval}, got {refreshed}"
+        );
     }
 
     #[test]

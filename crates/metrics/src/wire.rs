@@ -25,6 +25,8 @@ use crate::error::{Error, Result};
 use crate::metric::{MetricFrame, METRIC_COUNT};
 use crate::repair::TelemetryHealth;
 use crate::snapshot::{NodeId, Snapshot};
+use appclass_obs::trace::TRACE_EXT_LEN;
+use appclass_obs::TraceContext;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes opening every announcement ("GMON").
@@ -126,9 +128,10 @@ const _: () = assert!(CONTROL_HEADER + 4 + MAX_STATS_TEXT + CONTROL_TRAILER <= M
 /// transport already uses to bound reads.
 pub const MAX_SNAPSHOT_BATCH: usize = 128;
 
-// A full batch must fit the existing read bound.
+// A full batch (plus a trace extension) must fit the existing read bound.
 const _: () = assert!(
-    CONTROL_HEADER + 2 + MAX_SNAPSHOT_BATCH * (2 + WIRE_SIZE) + CONTROL_TRAILER <= MAX_CONTROL_SIZE
+    CONTROL_HEADER + 2 + MAX_SNAPSHOT_BATCH * (2 + WIRE_SIZE) + TRACE_EXT_LEN + CONTROL_TRAILER
+        <= MAX_CONTROL_SIZE
 );
 
 /// FNV-1a 64-bit hash — the control-frame checksum and the basis of
@@ -270,9 +273,16 @@ pub enum ControlFrame {
     Snapshot {
         /// The (possibly mangled) `wire::encode` bytes.
         wire: Vec<u8>,
+        /// Optional distributed trace context, carried as a
+        /// trailer-checksummed extension. Absent from old peers.
+        ctx: Option<TraceContext>,
     },
     /// Client request for the session's current verdict.
-    Classify,
+    Classify {
+        /// Optional distributed trace context (see
+        /// [`ControlFrame::Snapshot::ctx`]).
+        ctx: Option<TraceContext>,
+    },
     /// Server response to [`ControlFrame::Classify`].
     Verdict {
         /// Majority class code (an `AppClass` index, `< 5`).
@@ -285,6 +295,10 @@ pub enum ControlFrame {
         /// so clients can tell which side of a hot swap a verdict
         /// belongs to.
         model: u64,
+        /// The trace context of the `Classify` request this verdict
+        /// answers, echoed back so the client can confirm trace
+        /// continuity end to end.
+        ctx: Option<TraceContext>,
     },
     /// Telemetry health, as a client request (payload ignored) or the
     /// server's response (the session's accumulated counters).
@@ -309,6 +323,9 @@ pub enum ControlFrame {
         /// The (possibly mangled) `wire::encode` byte strings, in
         /// arrival order.
         wires: Vec<Vec<u8>>,
+        /// Optional distributed trace context covering the whole batch
+        /// (see [`ControlFrame::Snapshot::ctx`]).
+        ctx: Option<TraceContext>,
     },
     /// Server acknowledgement of a [`ControlFrame::SnapshotBatch`]: how
     /// each snapshot was disposed of, in the batch's order. The session
@@ -353,7 +370,7 @@ impl ControlFrame {
         match self {
             ControlFrame::Hello { .. } => 1,
             ControlFrame::Snapshot { .. } => 2,
-            ControlFrame::Classify => 3,
+            ControlFrame::Classify { .. } => 3,
             ControlFrame::Verdict { .. } => 4,
             ControlFrame::Health(_) => 5,
             ControlFrame::Bye { .. } => 6,
@@ -371,7 +388,7 @@ impl ControlFrame {
         match self {
             ControlFrame::Hello { .. } => "Hello",
             ControlFrame::Snapshot { .. } => "Snapshot",
-            ControlFrame::Classify => "Classify",
+            ControlFrame::Classify { .. } => "Classify",
             ControlFrame::Verdict { .. } => "Verdict",
             ControlFrame::Health(_) => "Health",
             ControlFrame::Bye { .. } => "Bye",
@@ -401,19 +418,21 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
             buf.put_u32(*session);
             buf.put_u64(*model_id);
         }
-        ControlFrame::Snapshot { wire } => {
+        ControlFrame::Snapshot { wire, ctx } => {
             assert!(wire.len() <= WIRE_SIZE, "snapshot datagram larger than WIRE_SIZE");
             buf.put_u16(wire.len() as u16);
             buf.put_slice(wire);
+            put_trace_ext(&mut buf, ctx);
         }
-        ControlFrame::Classify => {}
-        ControlFrame::Verdict { class, confidence, composition, model } => {
+        ControlFrame::Classify { ctx } => put_trace_ext(&mut buf, ctx),
+        ControlFrame::Verdict { class, confidence, composition, model, ctx } => {
             buf.put_u8(*class);
             buf.put_f64(*confidence);
             for &f in composition {
                 buf.put_f64(f);
             }
             buf.put_u64(*model);
+            put_trace_ext(&mut buf, ctx);
         }
         ControlFrame::Health(h) => {
             for v in [
@@ -442,7 +461,7 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
             buf.put_u32(text.len() as u32);
             buf.put_slice(text.as_bytes());
         }
-        ControlFrame::SnapshotBatch { wires } => {
+        ControlFrame::SnapshotBatch { wires, ctx } => {
             assert!(wires.len() <= MAX_SNAPSHOT_BATCH, "batch larger than MAX_SNAPSHOT_BATCH");
             buf.put_u16(wires.len() as u16);
             for wire in wires {
@@ -450,6 +469,7 @@ pub fn encode_control(frame: &ControlFrame) -> Bytes {
                 buf.put_u16(wire.len() as u16);
                 buf.put_slice(wire);
             }
+            put_trace_ext(&mut buf, ctx);
         }
         ControlFrame::VerdictBatch { statuses } => {
             assert!(statuses.len() <= MAX_SNAPSHOT_BATCH, "batch larger than MAX_SNAPSHOT_BATCH");
@@ -518,15 +538,23 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
                     offset: CONTROL_HEADER,
                 });
             }
-            expect_len(rest.len(), len)?;
-            ControlFrame::Snapshot { wire: rest.to_vec() }
+            if rest.len() < len {
+                return Err(Error::MalformedWire {
+                    reason: "truncated snapshot payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let (wire, tail) = rest.split_at(len);
+            ControlFrame::Snapshot { wire: wire.to_vec(), ctx: decode_trace_ext(tail)? }
         }
-        3 => {
-            expect_len(rest.len(), 0)?;
-            ControlFrame::Classify
-        }
+        3 => ControlFrame::Classify { ctx: decode_trace_ext(rest)? },
         4 => {
-            expect_len(rest.len(), 1 + 8 + 5 * 8 + 8)?;
+            if rest.len() < 1 + 8 + 5 * 8 + 8 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated verdict payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
             let class = rest.get_u8();
             if class >= 5 {
                 return Err(Error::MalformedWire {
@@ -546,7 +574,13 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
                 });
             }
             let model = rest.get_u64();
-            ControlFrame::Verdict { class, confidence, composition, model }
+            ControlFrame::Verdict {
+                class,
+                confidence,
+                composition,
+                model,
+                ctx: decode_trace_ext(rest)?,
+            }
         }
         5 => {
             if rest.len() < 10 * 8 + 4 + 2 {
@@ -659,8 +693,7 @@ pub fn decode_control(data: &[u8]) -> Result<ControlFrame> {
                 wires.push(item.to_vec());
                 rest = tail;
             }
-            expect_len(rest.len(), 0)?;
-            ControlFrame::SnapshotBatch { wires }
+            ControlFrame::SnapshotBatch { wires, ctx: decode_trace_ext(rest)? }
         }
         9 => {
             if rest.len() < 2 {
@@ -732,6 +765,25 @@ fn expect_len(got: usize, want: usize) -> Result<()> {
     } else {
         Err(Error::MalformedWire { reason: "control payload length mismatch", offset: got })
     }
+}
+
+/// Appends the optional [`TraceContext`] extension after the payload
+/// proper. An absent context appends nothing, so untraced frames are
+/// byte-identical to the pre-extension encoding.
+fn put_trace_ext(buf: &mut BytesMut, ctx: &Option<TraceContext>) {
+    if let Some(ctx) = ctx {
+        let mut ext = Vec::with_capacity(TRACE_EXT_LEN);
+        ctx.encode(&mut ext);
+        buf.put_slice(&ext);
+    }
+}
+
+/// Parses the optional trace extension from the bytes remaining after a
+/// frame's fixed payload. Empty tail (an old peer) decodes to `None`;
+/// anything else must be one well-formed extension.
+fn decode_trace_ext(tail: &[u8]) -> Result<Option<TraceContext>> {
+    TraceContext::decode_tail(tail)
+        .map_err(|reason| Error::MalformedWire { reason, offset: CONTROL_HEADER })
 }
 
 #[cfg(test)]
@@ -820,16 +872,30 @@ mod tests {
             max_repair_streak: 4,
             ..TelemetryHealth::default()
         };
+        let traced = TraceContext { trace_id: 0xAB54_A98C_EB1F_0AD2, parent_span: 7, flags: 1 };
         vec![
             ControlFrame::Hello { session: 7, model_id: 0xDEAD_BEEF },
-            ControlFrame::Snapshot { wire: encode(&snapshot()).to_vec() },
-            ControlFrame::Snapshot { wire: Vec::new() },
-            ControlFrame::Classify,
+            ControlFrame::Snapshot { wire: encode(&snapshot()).to_vec(), ctx: None },
+            ControlFrame::Snapshot { wire: Vec::new(), ctx: None },
+            ControlFrame::Snapshot { wire: encode(&snapshot()).to_vec(), ctx: Some(traced) },
+            ControlFrame::Classify { ctx: None },
+            ControlFrame::Classify { ctx: Some(traced) },
+            ControlFrame::Classify {
+                ctx: Some(TraceContext { trace_id: u64::MAX, parent_span: 0, flags: 0 }),
+            },
             ControlFrame::Verdict {
                 class: 2,
                 confidence: 0.875,
                 composition: [0.0, 0.125, 0.875, 0.0, 0.0],
                 model: 0x1234_5678_9ABC_DEF0,
+                ctx: None,
+            },
+            ControlFrame::Verdict {
+                class: 2,
+                confidence: 0.875,
+                composition: [0.0, 0.125, 0.875, 0.0, 0.0],
+                model: 0x1234_5678_9ABC_DEF0,
+                ctx: Some(traced),
             },
             ControlFrame::Health(health),
             ControlFrame::Stats { text: String::new() },
@@ -837,13 +903,18 @@ mod tests {
                 text: "classify_total 3\nlatency{quantile=\"0.5\"} 1023 µs\n".to_string(),
             },
             ControlFrame::Bye { reason: ByeReason::FrameBudget },
-            ControlFrame::SnapshotBatch { wires: Vec::new() },
+            ControlFrame::SnapshotBatch { wires: Vec::new(), ctx: None },
             ControlFrame::SnapshotBatch {
                 wires: vec![
                     encode(&snapshot()).to_vec(),
                     Vec::new(),
                     encode(&snapshot())[..40].to_vec(),
                 ],
+                ctx: None,
+            },
+            ControlFrame::SnapshotBatch {
+                wires: vec![encode(&snapshot()).to_vec()],
+                ctx: Some(traced),
             },
             ControlFrame::VerdictBatch { statuses: Vec::new() },
             ControlFrame::VerdictBatch {
@@ -966,7 +1037,10 @@ mod tests {
     #[test]
     fn full_snapshot_batch_roundtrips_within_bounds() {
         let wires = vec![encode(&snapshot()).to_vec(); MAX_SNAPSHOT_BATCH];
-        let frame = ControlFrame::SnapshotBatch { wires };
+        let frame = ControlFrame::SnapshotBatch {
+            wires,
+            ctx: Some(TraceContext { trace_id: 1, parent_span: 2, flags: 1 }),
+        };
         let bytes = encode_control(&frame);
         assert!(bytes.len() <= MAX_CONTROL_SIZE, "full batch exceeds transport bound");
         assert_eq!(decode_control(&bytes).unwrap(), frame);
@@ -977,7 +1051,42 @@ mod tests {
     fn oversized_snapshot_batch_panics_on_encode() {
         encode_control(&ControlFrame::SnapshotBatch {
             wires: vec![Vec::new(); MAX_SNAPSHOT_BATCH + 1],
+            ctx: None,
         });
+    }
+
+    #[test]
+    fn traced_and_untraced_classify_differ_only_by_extension() {
+        // An untraced frame is byte-identical to the pre-extension
+        // encoding, so old peers keep decoding it; a traced one just
+        // appends the extension before the trailer.
+        let plain = encode_control(&ControlFrame::Classify { ctx: None });
+        let traced = encode_control(&ControlFrame::Classify {
+            ctx: Some(TraceContext { trace_id: 9, parent_span: 3, flags: 1 }),
+        });
+        assert_eq!(traced.len(), plain.len() + TRACE_EXT_LEN);
+        assert_eq!(
+            &traced[..plain.len() - CONTROL_TRAILER],
+            &plain[..plain.len() - CONTROL_TRAILER]
+        );
+    }
+
+    #[test]
+    fn trace_extension_with_zero_trace_id_is_rejected() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        buf.put_u16(CONTROL_VERSION);
+        buf.put_u8(3); // Classify
+        let mut ext = Vec::new();
+        TraceContext { trace_id: 7, parent_span: 0, flags: 0 }.encode(&mut ext);
+        ext[1..9].copy_from_slice(&0u64.to_le_bytes()); // forge trace_id = 0
+        buf.put_slice(&ext);
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        assert!(matches!(
+            decode_control(&buf),
+            Err(Error::MalformedWire { reason: "trace extension zero trace id", .. })
+        ));
     }
 
     #[test]
@@ -1022,7 +1131,8 @@ mod tests {
             decode_control(&seal(buf)),
             Err(Error::MalformedWire { reason: "oversized snapshot batch", .. })
         ));
-        // Trailing garbage after the declared items.
+        // Trailing garbage after the declared items: too short to be a
+        // trace extension, so the extension parser rejects it.
         let mut buf = BytesMut::with_capacity(64);
         buf.put_u32(CONTROL_MAGIC);
         buf.put_u16(CONTROL_VERSION);
@@ -1031,7 +1141,7 @@ mod tests {
         buf.put_u8(0xCC);
         assert!(matches!(
             decode_control(&seal(buf)),
-            Err(Error::MalformedWire { reason: "control payload length mismatch", .. })
+            Err(Error::MalformedWire { reason: "trace extension length mismatch", .. })
         ));
     }
 

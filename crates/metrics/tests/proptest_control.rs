@@ -6,6 +6,8 @@
 
 use appclass_metrics::wire::{decode_control, encode_control, MAX_CONTROL_SIZE, WIRE_SIZE};
 use appclass_metrics::{ByeReason, ControlFrame, Error, TelemetryHealth, METRIC_COUNT};
+use appclass_obs::trace::TRACE_EXT_LEN;
+use appclass_obs::TraceContext;
 use proptest::prelude::*;
 
 /// One strategy covering all the frame kinds. The vendored proptest shim
@@ -13,30 +15,42 @@ use proptest::prelude::*;
 /// is mapped into whichever variant the selector picks.
 fn arb_frame() -> impl Strategy<Value = ControlFrame> {
     (
-        (0u8..9, any::<u32>(), any::<u64>(), 0usize..=WIRE_SIZE),
+        (0u8..10, any::<u32>(), any::<u64>(), 0usize..=WIRE_SIZE),
         prop::collection::vec(any::<u8>(), WIRE_SIZE),
         (0u8..5, 0.0f64..1.0, prop::collection::vec(0.0f64..0.2, 5)),
         (prop::collection::vec(0u64..1_000_000, 10), 0u32..1000, 0u64..(1u64 << METRIC_COUNT)),
+        (any::<bool>(), any::<u64>(), any::<u64>(), any::<u8>()),
     )
-        .prop_map(|(head, snap_bytes, verdict, health)| {
+        .prop_map(|(head, snap_bytes, verdict, health, trace)| {
             let (kind, session, model_id, snap_len) = head;
             let (class, confidence, comp) = verdict;
             let (counters, streak, dead_mask) = health;
+            let (traced, trace_id, parent_span, flags) = trace;
+            // Old peers send no extension at all, so ctx stays optional
+            // in the strategy; zero is the wire sentinel for "absent"
+            // and never a valid id.
+            let ctx =
+                traced.then_some(TraceContext { trace_id: trace_id.max(1), parent_span, flags });
             match kind {
                 0 => ControlFrame::Hello { session, model_id },
-                1 => ControlFrame::Snapshot { wire: snap_bytes[..snap_len].to_vec() },
-                2 => ControlFrame::Classify,
+                1 => ControlFrame::Snapshot { wire: snap_bytes[..snap_len].to_vec(), ctx },
+                2 => ControlFrame::Classify { ctx },
                 3 => ControlFrame::Verdict {
                     class,
                     confidence,
                     composition: [comp[0], comp[1], comp[2], comp[3], comp[4]],
                     model: model_id,
+                    ctx,
                 },
                 6 => ControlFrame::SwapModel {
                     json: String::from_utf8_lossy(&snap_bytes[..snap_len]).into_owned(),
                 },
                 7 => ControlFrame::SwapAck { old_model: model_id, new_model: counters[0] },
                 8 => ControlFrame::Busy { retry_after_ms: session },
+                9 => ControlFrame::SnapshotBatch {
+                    wires: snap_bytes.chunks(97).take(4).map(<[u8]>::to_vec).collect(),
+                    ctx,
+                },
                 4 => ControlFrame::Health(TelemetryHealth {
                     seen: counters[0],
                     accepted: counters[1],
@@ -56,6 +70,19 @@ fn arb_frame() -> impl Strategy<Value = ControlFrame> {
                 },
             }
         })
+}
+
+/// The same frame as an old (pre-extension) peer would send it.
+fn strip_ctx(frame: &ControlFrame) -> ControlFrame {
+    let mut bare = frame.clone();
+    match &mut bare {
+        ControlFrame::Snapshot { ctx, .. }
+        | ControlFrame::Classify { ctx }
+        | ControlFrame::Verdict { ctx, .. }
+        | ControlFrame::SnapshotBatch { ctx, .. } => *ctx = None,
+        _ => {}
+    }
+    bare
 }
 
 proptest! {
@@ -123,6 +150,26 @@ proptest! {
             Err(Error::MalformedWire { .. }) => {}
             Err(other) => prop_assert!(false, "wrong error class: {}", other),
         }
+    }
+
+    #[test]
+    fn trace_extension_is_backward_compatible(frame in arb_frame()) {
+        // Old-peer compatibility, both directions: an untraced frame is
+        // byte-identical to the pre-extension encoding (so old peers
+        // keep decoding it), and a traced frame is exactly that
+        // encoding plus one fixed-size extension before the trailer
+        // (so stripping the context loses nothing else). An untraced
+        // encoding always decodes with `ctx = None`.
+        let bare = strip_ctx(&frame);
+        let bare_bytes = encode_control(&bare);
+        let bytes = encode_control(&frame);
+        if bare == frame {
+            prop_assert_eq!(&bytes[..], &bare_bytes[..]);
+        } else {
+            prop_assert_eq!(bytes.len(), bare_bytes.len() + TRACE_EXT_LEN);
+        }
+        let back = decode_control(&bare_bytes).unwrap();
+        prop_assert_eq!(back, bare);
     }
 
     #[test]

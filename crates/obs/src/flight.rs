@@ -23,6 +23,11 @@ pub struct Incident {
     pub reason: String,
     /// Tracer time of the snapshot, ns since the tracer's epoch.
     pub at_ns: u64,
+    /// Wall-clock time of the snapshot, ns since `UNIX_EPOCH` (the
+    /// tracer's wall-clock epoch plus `at_ns`). Unlike `at_ns`, which is
+    /// relative to one process's tracer, this orders incidents *across*
+    /// processes — see [`merge_by_wall_clock`].
+    pub wall_ns: u64,
     /// The most recent spans at snapshot time, oldest first.
     pub spans: Vec<Span>,
     /// Registry values as deltas since the previous incident (gauges
@@ -85,8 +90,15 @@ impl FlightRecorder {
         inner.baseline = sample;
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        let incident =
-            Incident { seq, reason: reason.to_string(), at_ns: tracer.now_ns(), spans, metrics };
+        let at_ns = tracer.now_ns();
+        let incident = Incident {
+            seq,
+            reason: reason.to_string(),
+            at_ns,
+            wall_ns: tracer.epoch_unix_ns().saturating_add(at_ns),
+            spans,
+            metrics,
+        };
         if inner.incidents.len() == inner.max_incidents {
             inner.incidents.pop_front();
         }
@@ -117,7 +129,7 @@ impl FlightRecorder {
         for inc in &incidents {
             let _ = write!(out, "{{\"seq\":{},\"reason\":", inc.seq);
             write_json_string(&mut out, &inc.reason);
-            let _ = write!(out, ",\"at_ns\":{},\"spans\":[", inc.at_ns);
+            let _ = write!(out, ",\"at_ns\":{},\"wall_ns\":{},\"spans\":[", inc.at_ns, inc.wall_ns);
             for (i, span) in inc.spans.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -133,9 +145,16 @@ impl FlightRecorder {
                 write_json_string(&mut out, span.name);
                 let _ = write!(
                     out,
-                    ",\"start_ns\":{},\"end_ns\":{},\"thread\":{}}}",
+                    ",\"start_ns\":{},\"end_ns\":{},\"thread\":{},\"trace\":",
                     span.start_ns, span.end_ns, span.thread
                 );
+                match span.trace {
+                    Some(t) => {
+                        let _ = write!(out, "{t}");
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push('}');
             }
             out.push_str("],\"metrics\":{");
             for (i, (name, value)) in inc.metrics.iter().enumerate() {
@@ -152,7 +171,18 @@ impl FlightRecorder {
     }
 }
 
-fn json_number(value: f64) -> String {
+/// Merges incident logs from several processes into one timeline,
+/// ordered by each incident's wall-clock stamp. `at_ns` alone cannot do
+/// this — it is relative to each process's own tracer epoch — which is
+/// exactly the gap `wall_ns` closes. The sort is stable, so incidents
+/// with identical stamps keep their per-process order.
+pub fn merge_by_wall_clock(logs: Vec<Vec<Incident>>) -> Vec<Incident> {
+    let mut merged: Vec<Incident> = logs.into_iter().flatten().collect();
+    merged.sort_by_key(|inc| inc.wall_ns);
+    merged
+}
+
+pub(crate) fn json_number(value: f64) -> String {
     if value.is_finite() {
         format!("{value}")
     } else {
@@ -160,7 +190,7 @@ fn json_number(value: f64) -> String {
     }
 }
 
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -264,5 +294,38 @@ mod tests {
         let (_, _, flight) = setup();
         assert!(flight.is_empty());
         assert_eq!(flight.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_carries_the_wall_clock_stamp() {
+        let (tracer, registry, flight) = setup();
+        flight.record("stamped", &tracer, &registry);
+        let jsonl = flight.to_jsonl();
+        let value: serde::Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        let wall = value.get("wall_ns").and_then(|v| v.as_f64()).expect("wall_ns present");
+        assert!(wall > 1.5e18, "wall_ns must be unix-epoch scale, got {wall}");
+    }
+
+    /// Regression test for cross-process ordering: two recorders with
+    /// their own tracers stand in for two processes whose tracer epochs
+    /// differ, so `at_ns` values are incomparable between them — only
+    /// `wall_ns` can interleave their incidents correctly.
+    #[test]
+    fn incidents_from_two_processes_merge_in_wall_clock_order() {
+        let pause = std::time::Duration::from_millis(3);
+        let (tracer_a, reg_a, flight_a) = setup();
+        std::thread::sleep(pause);
+        let (tracer_b, reg_b, flight_b) = setup();
+        flight_a.record("a1", &tracer_a, &reg_a);
+        std::thread::sleep(pause);
+        flight_b.record("b1", &tracer_b, &reg_b);
+        std::thread::sleep(pause);
+        flight_a.record("a2", &tracer_a, &reg_a);
+        std::thread::sleep(pause);
+        flight_b.record("b2", &tracer_b, &reg_b);
+        let merged = merge_by_wall_clock(vec![flight_a.incidents(), flight_b.incidents()]);
+        let reasons: Vec<&str> = merged.iter().map(|i| i.reason.as_str()).collect();
+        assert_eq!(reasons, ["a1", "b1", "a2", "b2"], "merged order must match real time");
+        assert!(merged.windows(2).all(|w| w[0].wall_ns <= w[1].wall_ns), "wall_ns is monotone");
     }
 }

@@ -80,6 +80,22 @@ impl LatencyHistogram {
         self.count += other.count;
     }
 
+    /// The observations recorded since `earlier` was snapshotted from
+    /// the same histogram: bucket-wise saturating difference. This is
+    /// what turns two cumulative scrapes of a live histogram into the
+    /// per-interval distribution a time-series store keeps.
+    pub fn delta_since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for ((d, now), was) in
+            buckets.iter_mut().zip(self.buckets.iter()).zip(earlier.buckets.iter())
+        {
+            *d = now.saturating_sub(*was);
+            count += *d;
+        }
+        LatencyHistogram { buckets, count }
+    }
+
     /// Cumulative observation count at or below each bucket's upper
     /// bound, for buckets up to and including the highest non-empty one.
     /// Yields `(upper_bound_ns, cumulative_count)` pairs — the shape the
@@ -218,6 +234,23 @@ mod tests {
         h.record(Duration::from_secs(3600));
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile(1.0), Duration::from_nanos((1u64 << 39) - 1));
+    }
+
+    #[test]
+    fn delta_since_subtracts_bucketwise() {
+        let mut earlier = LatencyHistogram::new();
+        earlier.record(Duration::from_nanos(10));
+        let mut later = earlier.clone();
+        later.record(Duration::from_nanos(10));
+        later.record(Duration::from_millis(1));
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.count(), 2);
+        let mut expected = LatencyHistogram::new();
+        expected.record(Duration::from_nanos(10));
+        expected.record(Duration::from_millis(1));
+        assert_eq!(delta, expected);
+        // A reset histogram (later < earlier) saturates instead of wrapping.
+        assert_eq!(LatencyHistogram::new().delta_since(&earlier).count(), 0);
     }
 
     #[test]

@@ -20,21 +20,40 @@
 //! * [`flight`] — the [`FlightRecorder`]: on any typed error or degraded
 //!   verdict, snapshot the last N spans plus registry deltas into a
 //!   bounded incident log, exportable as JSONL for post-mortem replay.
+//! * [`trace`] — cross-process trace propagation: the [`TraceContext`]
+//!   frames carry over the wire, per-thread trace adoption
+//!   ([`TraceScope`]), and the [`TraceAssembler`] that merges span
+//!   dumps from several processes into one tree.
+//! * [`tsdb`] — the fixed-capacity ring time-series store ([`TsStore`])
+//!   scraped from the registry on a caller-driven tick, with windowed
+//!   rate/quantile queries.
+//! * [`slo`] — declarative objectives ([`Slo`]) with multi-window
+//!   burn-rate alerting ([`SloMonitor`]) and an optional background
+//!   tick ([`FleetMonitor`]).
 //!
-//! [`Observability`] bundles one of each for components (like the serving
-//! stack) that want the whole layer in one handle.
+//! [`Observability`] bundles a tracer, registry and flight recorder for
+//! components (like the serving stack) that want the whole layer in one
+//! handle.
 
 #![warn(missing_docs)]
 
 pub mod flight;
 pub mod hist;
 pub mod registry;
+pub mod slo;
 pub mod span;
+pub mod trace;
+pub mod tsdb;
 
-pub use flight::{FlightRecorder, Incident};
+pub use flight::{merge_by_wall_clock, FlightRecorder, Incident};
 pub use hist::{AtomicHistogram, LatencyHistogram};
-pub use registry::{Counter, Gauge, Histogram, Registry};
-pub use span::{OpenSpan, Span, SpanGuard, SpanName, Tracer};
+pub use registry::{Counter, Gauge, Histogram, MetricView, Registry};
+pub use slo::{FleetMonitor, Slo, SloConfig, SloKind, SloMonitor, SloStatus};
+pub use span::{
+    current_trace, set_current_trace, OpenSpan, Span, SpanGuard, SpanName, TraceScope, Tracer,
+};
+pub use trace::{fresh_trace_id, SpanDump, TraceAssembler, TraceContext};
+pub use tsdb::TsStore;
 
 /// One handle bundling the three observability facilities a component
 /// needs: a span [`Tracer`], a metric [`Registry`], and a

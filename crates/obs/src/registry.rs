@@ -85,6 +85,21 @@ enum Handle {
     Histogram(Histogram),
 }
 
+/// One metric's current value as seen by [`Registry::visit`].
+// The histogram variant is large but deliberately inline: views are
+// short-lived stack values on the scrape path, and boxing would
+// allocate per visited histogram (tsdb_zero_alloc.rs forbids that).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum MetricView {
+    /// A counter's cumulative value.
+    Counter(u64),
+    /// A gauge's last-set value.
+    Gauge(f64),
+    /// A histogram's cumulative contents (stack-only snapshot).
+    Histogram(LatencyHistogram),
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     name: String,
@@ -191,6 +206,25 @@ impl Registry {
             }
         }
         out
+    }
+
+    /// Visits every metric in registration order without allocating:
+    /// the callback receives the name and a by-value [`MetricView`]
+    /// (histograms come as stack-only [`LatencyHistogram`] snapshots).
+    /// This is the scrape path for the time-series store, which must
+    /// stay allocation-free once its rings are warm. The registry's
+    /// mutex is held for the duration of the walk, so callbacks must
+    /// not register metrics on the same registry.
+    pub fn visit(&self, mut f: impl FnMut(&str, MetricView)) {
+        let entries = self.entries.lock().expect("metric registry poisoned");
+        for entry in entries.iter() {
+            let view = match &entry.handle {
+                Handle::Counter(c) => MetricView::Counter(c.get()),
+                Handle::Gauge(g) => MetricView::Gauge(g.get()),
+                Handle::Histogram(h) => MetricView::Histogram(h.snapshot()),
+            };
+            f(&entry.name, view);
+        }
     }
 
     /// Flat numeric snapshot of every metric, in registration order:
@@ -308,6 +342,24 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "unparseable value in `{line}`");
         }
+    }
+
+    #[test]
+    fn visit_walks_every_metric_in_registration_order() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(1.5);
+        reg.histogram("h").record(Duration::from_nanos(10));
+        let mut seen = Vec::new();
+        reg.visit(|name, view| {
+            let tag = match view {
+                MetricView::Counter(v) => format!("counter={v}"),
+                MetricView::Gauge(v) => format!("gauge={v}"),
+                MetricView::Histogram(h) => format!("hist_count={}", h.count()),
+            };
+            seen.push(format!("{name}:{tag}"));
+        });
+        assert_eq!(seen, ["c:counter=3", "g:gauge=1.5", "h:hist_count=1"]);
     }
 
     #[test]

@@ -32,13 +32,17 @@ use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-/// Words per ring record: ticket, id, parent, name, start, end, thread.
-const WORDS: usize = 7;
+/// Words per ring record: ticket, id, parent, name, start, end, thread,
+/// trace.
+const WORDS: usize = 8;
 
 /// Sentinel id meaning "no parent span".
 const NO_PARENT: u64 = 0;
+
+/// Sentinel meaning "no distributed trace" in the per-thread trace cell.
+const NO_TRACE: u64 = 0;
 
 /// Interned span-name handle returned by [`Tracer::register`].
 ///
@@ -63,6 +67,10 @@ pub struct Span {
     pub end_ns: u64,
     /// Small process-unique id of the recording thread.
     pub thread: u64,
+    /// Distributed trace id this span belongs to, if the recording
+    /// thread had one adopted via [`set_current_trace`] when the span
+    /// was committed. `None` for purely local spans.
+    pub trace: Option<u64>,
 }
 
 impl Span {
@@ -72,9 +80,10 @@ impl Span {
     }
 }
 
-/// One ring slot: the seqlock word plus the seven record words. Exactly
-/// one cache line, and aligned to it so adjacent tickets never share a
-/// line (writers stream through the ring without false sharing).
+/// One ring slot: the seqlock word plus the eight record words (72
+/// bytes, padded to two cache lines by the alignment). Cache-line
+/// aligned so adjacent tickets never share a line (writers stream
+/// through the ring without false sharing).
 #[repr(align(64))]
 struct Slot {
     seq: AtomicU64,
@@ -89,6 +98,7 @@ impl Slot {
 
 struct TracerInner {
     epoch: Instant,
+    epoch_unix_ns: u64,
     next_id: AtomicU64,
     cursor: AtomicU64,
     slots: Box<[Slot]>,
@@ -108,6 +118,7 @@ impl fmt::Debug for TracerInner {
 thread_local! {
     static CURRENT_SPAN: Cell<u64> = const { Cell::new(NO_PARENT) };
     static THREAD_TAG: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(NO_TRACE) };
 }
 
 static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
@@ -123,6 +134,47 @@ fn thread_tag() -> u64 {
     })
 }
 
+/// Adopts a distributed trace id on the calling thread (or clears it
+/// with `None`). Every span committed by this thread afterwards carries
+/// the id in [`Span::trace`] until it is cleared or replaced, so a
+/// server worker that adopts the trace id from an incoming frame tags
+/// all the classify/stage spans it records while handling it. Returns
+/// the previously current trace id so callers can restore it (see
+/// [`TraceScope`] for the RAII form). A trace id of 0 is reserved and
+/// treated as `None`.
+pub fn set_current_trace(trace: Option<u64>) -> Option<u64> {
+    let prev = CURRENT_TRACE.with(|cur| cur.replace(trace.unwrap_or(NO_TRACE)));
+    (prev != NO_TRACE).then_some(prev)
+}
+
+/// The trace id currently adopted on the calling thread, if any.
+pub fn current_trace() -> Option<u64> {
+    let t = CURRENT_TRACE.with(|cur| cur.get());
+    (t != NO_TRACE).then_some(t)
+}
+
+/// RAII guard that adopts a trace id on the current thread for its
+/// lifetime and restores the previous one on drop. Worker threads that
+/// are reused across sessions lean on this so a trace id never leaks
+/// from one session's frames into the next session's spans.
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: Option<u64>,
+}
+
+impl TraceScope {
+    /// Adopts `trace` (or clears the cell for `None`) until dropped.
+    pub fn enter(trace: Option<u64>) -> Self {
+        TraceScope { prev: set_current_trace(trace) }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        set_current_trace(self.prev);
+    }
+}
+
 /// Lock-free bounded span recorder. Cheap to clone; clones share the
 /// ring, the id counter, and the name table.
 #[derive(Debug, Clone)]
@@ -136,9 +188,18 @@ impl Tracer {
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.max(8).next_power_of_two();
         let slots: Vec<Slot> = (0..cap).map(|_| Slot::empty()).collect();
+        let epoch_unix_ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| {
+                d.as_secs()
+                    .saturating_mul(1_000_000_000)
+                    .saturating_add(u64::from(d.subsec_nanos()))
+            })
+            .unwrap_or(0);
         Tracer {
             inner: Arc::new(TracerInner {
                 epoch: Instant::now(),
+                epoch_unix_ns,
                 next_id: AtomicU64::new(1),
                 cursor: AtomicU64::new(0),
                 slots: slots.into_boxed_slice(),
@@ -235,6 +296,14 @@ impl Tracer {
         self.ns_of(Instant::now())
     }
 
+    /// The tracer's epoch as nanoseconds since `UNIX_EPOCH`, captured at
+    /// construction. Adding it to a span's `start_ns`/`end_ns` yields an
+    /// approximate wall-clock time, which is what lets span dumps from
+    /// different processes be merged onto one timeline.
+    pub fn epoch_unix_ns(&self) -> u64 {
+        self.inner.epoch_unix_ns
+    }
+
     /// Converts an instant to nanoseconds since this tracer's epoch
     /// (pure arithmetic; instants before the epoch clamp to 0, and the
     /// count saturates after ~584 years).
@@ -257,7 +326,8 @@ impl Tracer {
         let inner = &*self.inner;
         let ticket = inner.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = &inner.slots[(ticket & inner.mask) as usize];
-        let words = [id, parent, u64::from(name.0), start_ns, end_ns, thread_tag()];
+        let trace = CURRENT_TRACE.with(|cur| cur.get());
+        let words = [id, parent, u64::from(name.0), start_ns, end_ns, thread_tag(), trace];
         // Standard seqlock writer fences: the Release fence after the odd
         // store pairs with the reader's Acquire fence, so any reader whose
         // word copy observed one of the stores below is guaranteed to see
@@ -297,7 +367,7 @@ impl Tracer {
             if after != before || words[0] != ticket {
                 continue;
             }
-            let [_, id, parent, name_idx, start_ns, end_ns, thread] = words;
+            let [_, id, parent, name_idx, start_ns, end_ns, thread, trace] = words;
             let Some(&name) = names.get(name_idx as usize) else { continue };
             out.push(Span {
                 id,
@@ -306,6 +376,7 @@ impl Tracer {
                 start_ns,
                 end_ns,
                 thread,
+                trace: (trace != NO_TRACE).then_some(trace),
             });
         }
         out
@@ -498,6 +569,42 @@ mod tests {
         }
         assert_eq!(tracer.recent(3).len(), 3);
         assert_eq!(tracer.recent(3).last().unwrap().id, tracer.recent(100).last().unwrap().id);
+    }
+
+    #[test]
+    fn adopted_trace_tags_spans_until_cleared() {
+        let tracer = Tracer::new(16);
+        let name = tracer.register("traced");
+        drop(tracer.span(name));
+        {
+            let _scope = TraceScope::enter(Some(0xABCD));
+            assert_eq!(current_trace(), Some(0xABCD));
+            drop(tracer.span(name));
+        }
+        assert_eq!(current_trace(), None);
+        drop(tracer.span(name));
+        let spans = tracer.recent(10);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].trace, None, "span before adoption is untraced");
+        assert_eq!(spans[1].trace, Some(0xABCD), "span inside the scope carries the trace id");
+        assert_eq!(spans[2].trace, None, "the scope restores the previous (empty) trace");
+    }
+
+    #[test]
+    fn trace_scopes_nest_and_restore() {
+        let _outer = TraceScope::enter(Some(7));
+        {
+            let _inner = TraceScope::enter(Some(9));
+            assert_eq!(current_trace(), Some(9));
+        }
+        assert_eq!(current_trace(), Some(7));
+    }
+
+    #[test]
+    fn epoch_unix_ns_is_plausible_wall_clock() {
+        let tracer = Tracer::new(8);
+        // 2020-01-01 in unix ns — any sane clock is past this.
+        assert!(tracer.epoch_unix_ns() > 1_577_836_800_000_000_000);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! The ISSUE 9 acceptance criterion: once every series has been seen
+//! and its ring allocated, a `TsStore` scrape tick touches the heap
+//! **zero** times — eviction overwrites in place, histogram deltas are
+//! stack-only, and series lookup compares names without allocating.
+//! That is what keeps a monitor that ticks forever memory-bounded.
+
+use appclass_obs::{Registry, TsStore};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter is a relaxed atomic
+// increment with no other side effects, so every `GlobalAlloc` contract
+// obligation is discharged by `System` itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn scrape_tick_is_allocation_free_after_warm_up() {
+    let registry = Registry::new();
+    let frames = registry.counter("frames_total");
+    let load = registry.gauge("load");
+    let latency = registry.histogram("classify_latency");
+
+    let mut store = TsStore::new(64);
+
+    // Warm-up: the first scrape discovers every series and allocates
+    // its ring; a second pass proves steady state before measuring.
+    for tick in 0..2u64 {
+        frames.add(10);
+        load.set(tick as f64);
+        latency.record(Duration::from_nanos(500 + tick));
+        store.scrape_at(&registry, tick * 1_000_000);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for tick in 2..130u64 {
+        // 128 ticks: enough to wrap the 64-point rings twice, so
+        // eviction itself is inside the measured window.
+        frames.add(10);
+        load.set(tick as f64);
+        latency.record(Duration::from_nanos(500 + tick));
+        store.scrape_at(&registry, tick * 1_000_000);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "scrape ticks after warm-up must not allocate (got {} allocations over 128 ticks)",
+        after - before
+    );
+
+    // Windowed queries on the warm store are also allocation-free.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let rate = store.rate("frames_total", Duration::from_millis(100));
+    let q = store.quantile("classify_latency", 0.99, Duration::from_millis(100));
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(rate.is_some() && q.is_some());
+    assert_eq!(after - before, 0, "windowed rate/quantile queries must not allocate");
+}

@@ -15,6 +15,8 @@ use appclass_metrics::faults::{FaultPlan, FaultyChannel};
 use appclass_metrics::{
     wire, ByeReason, ControlFrame, FrameDisposition, Snapshot, TelemetryHealth,
 };
+use appclass_obs::span::SpanName;
+use appclass_obs::{fresh_trace_id, TraceContext, TraceScope, Tracer};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -27,6 +29,13 @@ pub struct ClientConfig {
     pub model_id: u64,
     /// Optional fault plan applied to every outgoing snapshot datagram.
     pub chaos: Option<FaultPlan>,
+    /// Optional span tracer. When set, the client mints a fresh trace id
+    /// for the session, records `client_send` / `client_classify` spans
+    /// under it, and stamps a [`TraceContext`] onto every outgoing
+    /// snapshot / classify frame so the server's spans join the same
+    /// trace. When `None`, frames are byte-identical to a pre-tracing
+    /// client.
+    pub tracer: Option<Tracer>,
 }
 
 /// A verdict as the client sees it, decoded back into core types.
@@ -41,6 +50,30 @@ pub struct VerdictReport {
     /// Fingerprint of the model version that produced this verdict —
     /// watching it flip is how a client observes a hot swap completing.
     pub model: u64,
+    /// Trace id the server echoed back, when the request was traced and
+    /// the server speaks the trace extension.
+    pub trace: Option<u64>,
+}
+
+/// The client half of trace propagation: a tracer, the session's trace
+/// id, and the pre-registered span names the hot paths stamp.
+struct ClientTracing {
+    tracer: Tracer,
+    trace_id: u64,
+    send_name: SpanName,
+    classify_name: SpanName,
+}
+
+impl ClientTracing {
+    /// Opens a span under the session's trace and returns the wire
+    /// context stamped with it. Tuple order is load-bearing: the
+    /// [`SpanGuard`](appclass_obs::SpanGuard) must drop *before* the
+    /// [`TraceScope`] so the committed span still carries the trace id.
+    fn stamp(&self, name: SpanName) -> (TraceContext, appclass_obs::SpanGuard, TraceScope) {
+        let scope = TraceScope::enter(Some(self.trace_id));
+        let guard = self.tracer.span(name);
+        (TraceContext::new(self.trace_id).with_parent(guard.id()), guard, scope)
+    }
 }
 
 /// Aggregate outcome of a batched stream: the per-item dispositions the
@@ -71,6 +104,7 @@ pub struct ServeClient {
     session: u32,
     model_id: u64,
     chaos: Option<FaultyChannel>,
+    tracing: Option<ClientTracing>,
     snapshots_sent: u64,
     busy_notices: u64,
     batch_scratch: Vec<u8>,
@@ -103,6 +137,12 @@ impl ServeClient {
             session: 0,
             model_id: 0,
             chaos: config.chaos.map(FaultyChannel::new),
+            tracing: config.tracer.map(|tracer| ClientTracing {
+                trace_id: fresh_trace_id(),
+                send_name: tracer.register("client_send"),
+                classify_name: tracer.register("client_classify"),
+                tracer,
+            }),
             snapshots_sent: 0,
             busy_notices: 0,
             batch_scratch: Vec::new(),
@@ -134,6 +174,12 @@ impl ServeClient {
     /// The model fingerprint the server reported in its `Hello`.
     pub fn model_id(&self) -> u64 {
         self.model_id
+    }
+
+    /// The trace id this session stamps on outgoing frames, when the
+    /// client was configured with a tracer.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.tracing.as_ref().map(|t| t.trace_id)
     }
 
     /// Snapshot frames actually put on the wire so far (after any chaos
@@ -271,9 +317,11 @@ impl ServeClient {
         }
         let wires = std::mem::take(pending);
         let count = wires.len() as u64;
+        let stamped = self.tracing.as_ref().map(|t| t.stamp(t.send_name));
+        let ctx = stamped.as_ref().map(|s| s.0);
         write_frame_single(
             &mut self.writer,
-            &ControlFrame::SnapshotBatch { wires },
+            &ControlFrame::SnapshotBatch { wires, ctx },
             &mut self.batch_scratch,
         )?;
         self.snapshots_sent += count;
@@ -315,22 +363,29 @@ impl ServeClient {
     }
 
     fn send_wire(&mut self, bytes: Vec<u8>) -> Result<()> {
-        write_frame(&mut self.writer, &ControlFrame::Snapshot { wire: bytes })?;
+        let stamped = self.tracing.as_ref().map(|t| t.stamp(t.send_name));
+        let ctx = stamped.as_ref().map(|s| s.0);
+        write_frame(&mut self.writer, &ControlFrame::Snapshot { wire: bytes, ctx })?;
         self.snapshots_sent += 1;
         Ok(())
     }
 
-    /// Asks the server for its current verdict.
+    /// Asks the server for its current verdict. With tracing enabled the
+    /// whole round trip is one `client_classify` span and the request
+    /// carries its id, so the server's `classify` span parents under it.
     pub fn classify(&mut self) -> Result<VerdictReport> {
-        write_frame(&mut self.writer, &ControlFrame::Classify)?;
+        let stamped = self.tracing.as_ref().map(|t| t.stamp(t.classify_name));
+        let ctx = stamped.as_ref().map(|s| s.0);
+        write_frame(&mut self.writer, &ControlFrame::Classify { ctx })?;
         match self.read_reply()? {
-            ControlFrame::Verdict { class, confidence, composition, model } => {
+            ControlFrame::Verdict { class, confidence, composition, model, ctx } => {
                 let class = AppClass::from_index(class as usize)
                     .ok_or(ServeError::Handshake { reason: "verdict class out of range" })?;
                 let [idle, io, cpu, net, mem] = composition;
                 let composition = ClassComposition::from_fractions(idle, io, cpu, net, mem)
                     .ok_or(ServeError::Handshake { reason: "verdict composition invalid" })?;
-                Ok(VerdictReport { class, confidence, composition, model })
+                let trace = ctx.map(|c| c.trace_id);
+                Ok(VerdictReport { class, confidence, composition, model, trace })
             }
             ControlFrame::Bye { reason } => Err(ServeError::Rejected { reason }),
             other => Err(ServeError::UnexpectedFrame { expected: "Verdict", got: other.name() }),

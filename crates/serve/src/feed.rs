@@ -31,6 +31,10 @@ pub struct FeedEntry {
     pub frames: u64,
     /// Fingerprint of the model generation that produced the verdict.
     pub model: u64,
+    /// Trace id the publishing session last saw on its telemetry stream
+    /// (`0` = untraced). Lets a cluster placement decision link back to
+    /// the distributed trace of the telemetry that motivated it.
+    pub trace: u64,
 }
 
 /// Shared, cheaply clonable map of the latest observation per session.
@@ -98,6 +102,7 @@ mod tests {
             confidence: 1.0,
             frames: 1,
             model: 7,
+            trace: 0,
         }
     }
 

@@ -51,7 +51,7 @@ pub mod server;
 pub mod session;
 pub mod stats;
 
-pub use appclass_obs::Observability;
+pub use appclass_obs::{Observability, SpanDump, TraceAssembler, TraceContext, Tracer};
 pub use chaos::{ChaosPlan, ChaosProxy, FaultEvent};
 pub use client::{BatchReport, ClientConfig, ServeClient, VerdictReport};
 pub use error::{Result, ServeError};

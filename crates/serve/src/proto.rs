@@ -161,7 +161,7 @@ mod tests {
     fn frames_roundtrip_over_a_byte_stream() {
         let frames = [
             ControlFrame::Hello { session: 3, model_id: 99 },
-            ControlFrame::Classify,
+            ControlFrame::Classify { ctx: None },
             ControlFrame::Bye { reason: ByeReason::Normal },
         ];
         let mut pipe = Vec::new();
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn corrupt_body_is_a_typed_wire_error() {
         let mut pipe = Vec::new();
-        write_frame(&mut pipe, &ControlFrame::Classify).unwrap();
+        write_frame(&mut pipe, &ControlFrame::Classify { ctx: None }).unwrap();
         let last = pipe.len() - 1;
         pipe[last] ^= 0xFF; // break the checksum
         let mut r = Cursor::new(pipe);
@@ -299,7 +299,7 @@ mod tests {
         // The stall lands inside the 4-byte prefix (after byte 0, so the
         // idle path is already past): same typed failure.
         let mut pipe = Vec::new();
-        write_frame(&mut pipe, &ControlFrame::Classify).unwrap();
+        write_frame(&mut pipe, &ControlFrame::Classify { ctx: None }).unwrap();
         let mut r = StutterReader::new(pipe, 0).with_stall(2, MID_FRAME_TIMEOUT_BUDGET + 1);
         let err = read_frame_or_idle(&mut r).expect_err("prefix stall past budget");
         assert!(matches!(err, ServeError::Io(_)), "typed Io expected, got {err}");
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn timed_reader_reports_an_arrival_instant() {
         let mut pipe = Vec::new();
-        let frame = ControlFrame::Classify;
+        let frame = ControlFrame::Classify { ctx: None };
         write_frame(&mut pipe, &frame).unwrap();
         let before = std::time::Instant::now();
         let mut r = Cursor::new(pipe);

@@ -27,7 +27,8 @@ use crate::stats::SessionOutcome;
 use appclass_core::online::OnlineClassifier;
 use appclass_core::ClassifierPipeline;
 use appclass_metrics::{wire, ByeReason, ControlFrame, FrameDisposition, FrameVerdict};
-use appclass_obs::{Counter, Histogram, Observability};
+use appclass_obs::span::SpanName;
+use appclass_obs::{Counter, Histogram, Observability, TraceContext, TraceScope};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +51,9 @@ struct SessionObs {
     classify_latency: Histogram,
     swap_total: Counter,
     swap_latency: Histogram,
+    /// Span stamped on every `Classify` round; when the request carried
+    /// a [`TraceContext`] the span joins the client's trace.
+    classify_span: SpanName,
     /// The flight recorder snapshots the *first* degraded frame of a
     /// session, not all of them — one incident per degradation episode
     /// keeps the bounded incident log useful.
@@ -68,6 +72,7 @@ impl SessionObs {
             classify_latency: obs.registry.histogram("serve_classify_latency"),
             swap_total: obs.registry.counter("serve_model_swap_total"),
             swap_latency: obs.registry.histogram("serve_model_swap_latency"),
+            classify_span: obs.tracer.register("classify"),
             obs: obs.clone(),
             session_id,
             degraded_noted: false,
@@ -266,6 +271,10 @@ fn run_generation(
     if let Some(s) = sobs.as_ref() {
         classifier.set_tracer(s.obs.tracer.clone());
     }
+    // Trace id last seen on this generation's telemetry stream (0 =
+    // untraced), published with every feed entry so placement decisions
+    // can link back to the originating trace.
+    let mut last_trace: u64 = 0;
 
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -296,7 +305,16 @@ fn run_generation(
             }
         };
         match frame {
-            ControlFrame::Snapshot { wire: bytes } => {
+            ControlFrame::Snapshot { wire: bytes, ctx } => {
+                // Adopt the propagated trace for this frame's processing:
+                // every span the classifier records while the scope is
+                // alive carries the client's trace id. The scope restores
+                // the previous (no-trace) state on every exit from the
+                // arm, so pooled worker threads never leak a trace.
+                let _scope = TraceScope::enter(ctx.map(|c| c.trace_id));
+                if let Some(c) = ctx {
+                    last_trace = c.trace_id;
+                }
                 outcome.frames_in += 1;
                 if let Some(s) = sobs.as_ref() {
                     s.frames_in.inc();
@@ -361,9 +379,13 @@ fn run_generation(
                         }
                     }
                 }
-                publish_feed(feed, session_id, &classifier, model_id);
+                publish_feed(feed, session_id, &classifier, model_id, last_trace);
             }
-            ControlFrame::SnapshotBatch { wires } => {
+            ControlFrame::SnapshotBatch { wires, ctx } => {
+                let _scope = TraceScope::enter(ctx.map(|c| c.trace_id));
+                if let Some(c) = ctx {
+                    last_trace = c.trace_id;
+                }
                 // Every item counts toward the frame budget exactly as if
                 // it had been streamed alone; a batch that would cross
                 // the budget ends the session before any of it is
@@ -465,12 +487,21 @@ fn run_generation(
                     finish(outcome, &classifier);
                     return GenExit::Failed(e);
                 }
-                publish_feed(feed, session_id, &classifier, model_id);
+                publish_feed(feed, session_id, &classifier, model_id, last_trace);
             }
-            ControlFrame::Classify => {
+            ControlFrame::Classify { ctx } => {
+                // Adopt the request's trace and answer under a server-side
+                // `classify` span, so the client's `client_classify` span
+                // and this one assemble into a single cross-process trace.
+                let _scope = TraceScope::enter(ctx.map(|c| c.trace_id));
+                if let Some(c) = ctx {
+                    last_trace = c.trace_id;
+                }
+                let span = sobs.as_ref().map(|s| s.obs.tracer.span(s.classify_span));
                 let start = Instant::now();
-                let verdict = verdict_frame(&classifier, model_id);
+                let verdict = verdict_frame(&classifier, model_id, ctx);
                 let sent = write_frame(writer, &verdict);
+                drop(span);
                 let elapsed = start.elapsed();
                 outcome.classify_latency.record(elapsed);
                 if let Some(s) = sobs.as_ref() {
@@ -482,7 +513,7 @@ fn run_generation(
                     return GenExit::Failed(e);
                 }
                 outcome.verdicts += 1;
-                publish_feed(feed, session_id, &classifier, model_id);
+                publish_feed(feed, session_id, &classifier, model_id, last_trace);
             }
             ControlFrame::SwapModel { json } => {
                 // The client supplies the replacement pipeline inline.
@@ -627,10 +658,16 @@ fn handshake(
 }
 
 /// Builds the `Verdict` frame for the classifier's current state, tagged
-/// with the fingerprint of the model generation that produced it. Before
-/// the first usable snapshot the verdict is the honest "no idea":
-/// class `Idle`, confidence `0.0`, all-zero composition.
-fn verdict_frame(classifier: &OnlineClassifier<'_>, model_id: u64) -> ControlFrame {
+/// with the fingerprint of the model generation that produced it and
+/// echoing the request's [`TraceContext`] so the client can tie the
+/// verdict to its trace. Before the first usable snapshot the verdict is
+/// the honest "no idea": class `Idle`, confidence `0.0`, all-zero
+/// composition.
+fn verdict_frame(
+    classifier: &OnlineClassifier<'_>,
+    model_id: u64,
+    ctx: Option<TraceContext>,
+) -> ControlFrame {
     use appclass_core::AppClass;
     let class = classifier.current_class().unwrap_or(AppClass::Idle);
     let composition = classifier.composition();
@@ -645,6 +682,7 @@ fn verdict_frame(classifier: &OnlineClassifier<'_>, model_id: u64) -> ControlFra
         confidence: classifier.confidence(),
         composition: fractions,
         model: model_id,
+        ctx,
     }
 }
 
@@ -656,6 +694,7 @@ fn publish_feed(
     session_id: u32,
     classifier: &OnlineClassifier<'_>,
     model_id: u64,
+    trace: u64,
 ) {
     let Some(feed) = feed else { return };
     let Some(class) = classifier.current_class() else { return };
@@ -666,6 +705,7 @@ fn publish_feed(
         confidence: classifier.confidence(),
         frames: classifier.in_state() as u64,
         model: model_id,
+        trace,
     });
 }
 

@@ -49,8 +49,9 @@ fn main() {
             let chaos = (i == 1).then(|| FaultPlan::lossless(7).with_drop_rate(0.10));
             std::thread::spawn(move || {
                 let lossy = chaos.is_some();
-                let mut client = ServeClient::connect(addr, ClientConfig { model_id: 0, chaos })
-                    .expect("connect");
+                let mut client =
+                    ServeClient::connect(addr, ClientConfig { model_id: 0, chaos, tracer: None })
+                        .expect("connect");
                 client.stream_snapshots(&snaps).expect("stream");
                 let verdict = client.classify().expect("classify");
                 let health = client.health().expect("health");

@@ -2,7 +2,9 @@
 # Short calibrated serving benchmark: measures the single-frame and
 # batched classification paths over loopback TCP and records the numbers
 # in BENCH_classify.json (frames/sec plus p50/p99 per-frame latency for
-# each path) so later PRs can regress against them.
+# each path) so later PRs can regress against them. Also records the
+# observability tax (traced+scraped vs untraced single-frame p50) and
+# fails if it reaches 5%.
 #
 #   ./scripts/bench_smoke.sh [out.json]
 #
@@ -44,6 +46,15 @@ ov = doc["overload"]
 for key in ("workers", "sessions", "goodput_frames_per_sec", "goodput_ratio",
             "p50_ns", "p99_ns", "busy_refusals"):
     float(ov[key])
+tr = doc["tracing"]
+for key in ("untraced_p50_ns", "traced_p50_ns", "overhead_pct"):
+    float(tr[key])
+# The observability contract: stamping every frame with a trace
+# extension while the tsdb scrapes the registry costs under 5% on the
+# single-frame p50.
+if tr["overhead_pct"] >= 5.0:
+    sys.exit(f"bench_smoke: tracing overhead too high "
+             f"({tr['overhead_pct']}% >= 5%)")
 # The overload contract: at ~2x offered load the server sheds instead of
 # collapsing, so goodput stays at least half the single-session batched
 # saturation throughput.
@@ -54,10 +65,12 @@ print(f"bench_smoke: batch {doc['batch_size']} speedup {doc['batch_speedup']}x "
       f"({doc['batch']['frames_per_sec']:.0f} vs {doc['batch1']['frames_per_sec']:.0f} frames/s)")
 print(f"bench_smoke: overload goodput ratio {ov['goodput_ratio']} "
       f"({ov['busy_refusals']:.0f} busy refusals, p99 {ov['p99_ns']:.0f} ns)")
+print(f"bench_smoke: tracing overhead {tr['overhead_pct']}% "
+      f"({tr['traced_p50_ns']:.0f} vs {tr['untraced_p50_ns']:.0f} ns p50)")
 EOF
 else
     # No python3: still require every expected section to be present.
-    for key in '"schema"' '"single"' '"batch1"' '"batch"' '"batch_speedup"' '"frames_per_sec"' '"overload"' '"goodput_ratio"'; do
+    for key in '"schema"' '"single"' '"batch1"' '"batch"' '"batch_speedup"' '"frames_per_sec"' '"overload"' '"goodput_ratio"' '"tracing"' '"overhead_pct"'; do
         grep -q "$key" "$out" || { echo "bench_smoke: $out lacks $key" >&2; exit 1; }
     done
     echo "bench_smoke: $out written (python3 unavailable, key check only)"

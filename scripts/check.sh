@@ -151,6 +151,28 @@ for i in 1 2 3 4; do grep -q "class:       CPU" "$tmp/overload_c$i.log"; done
 shed=$(sed -n 's/^serve_shed_total //p' "$tmp/overload_stats.log")
 echo "overload smoke OK ($shed connections shed, all four clients classified)"
 
+echo "== trace assembly smoke test =="
+# One end-to-end trace from a live serve session: the example runs a
+# traced client against a loopback server and prints the assembled
+# cross-process tree. Both processes must appear under one trace id,
+# the Verdict must echo it, and the server's stage spans must graft
+# below the client's classify span (depth > 0).
+cargo run --release --quiet --example trace_assembly > "$tmp/trace.log"
+grep -q "^trace=0x" "$tmp/trace.log" \
+    || { echo "traced client never printed its trace id"; exit 1; }
+grep -q "echo ok" "$tmp/trace.log" \
+    || { echo "Verdict did not echo the request's trace id"; exit 1; }
+grep -q '"process":"client"' "$tmp/trace.log" \
+    || { echo "assembled trace lacks client spans"; exit 1; }
+grep -q '"process":"server".*"name":"classify_frame"' "$tmp/trace.log" \
+    || { echo "assembled trace lacks server classify spans"; exit 1; }
+if grep '"process":"server"' "$tmp/trace.log" | grep -q '"depth":0'; then
+    echo "server spans failed to graft under the client span"
+    exit 1
+fi
+spans=$(grep -c '"process":' "$tmp/trace.log")
+echo "trace smoke OK ($spans spans assembled across both processes)"
+
 echo "== cluster scheduling smoke test =="
 # Class-aware placement across a 16-host fleet, driven entirely by
 # pipeline-observed compositions: it must not lose to the averaged

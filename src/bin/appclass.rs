@@ -128,11 +128,16 @@ commands:
   swap --addr HOST:PORT (--model FILE | --store DIR [--id HEX])
                                hot-swap the served model; established sessions
                                drain onto the new version without disconnecting
-  stats --addr HOST:PORT       dump a running server's metric exposition
-                               (note: the fetch occupies one session slot)
+  stats --addr HOST:PORT [--watch SECS [--count N]]
+                               dump a running server's metric exposition
+                               (note: the fetch occupies one session slot;
+                               --watch polls every SECS seconds over one held
+                               session, printing +delta columns for counters;
+                               --count stops after N polls)
   bench-classify [--seed N] [--frames N] [--batch N] [--out FILE]
                                measure single vs batched serving throughput over
-                               loopback and write the numbers as JSON
+                               loopback and write the numbers as JSON, including
+                               the traced+scraped vs untraced overhead row
                                (default --out BENCH_classify.json)
   sched-cluster [--hosts N] [--seed N] [--trials N] [--energy W] [--out FILE]
                                class-aware vs random vs oracle placement across a
@@ -561,7 +566,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         rec.pool.snapshots().iter().filter(|s| s.node == rec.node).cloned().collect();
 
     let chaos = (drop_rate > 0.0).then(|| FaultPlan::lossless(seed).with_drop_rate(drop_rate));
-    let client_config = ClientConfig { model_id, chaos };
+    let client_config = ClientConfig { model_id, chaos, tracer: None };
     // Any retry flag switches connect to the Busy-aware retry loop with
     // jittered exponential backoff behind a circuit breaker.
     let with_retry = retries.is_some() || backoff_ms.is_some() || deadline_ms.is_some();
@@ -693,17 +698,59 @@ fn cmd_swap(args: &[String]) -> Result<(), String> {
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     use appclass::serve::{ClientConfig, ServeClient};
-    validate_flags(args, &["--addr"])?;
+    validate_flags(args, &["--addr", "--watch", "--count"])?;
     let addr = opt(args, "--addr").ok_or("stats requires --addr HOST:PORT")?;
+    let watch = opt_parsed::<u64>(args, "--watch")?;
+    if flag_present(args, "--watch") && watch.is_none() {
+        return Err("--watch requires a polling interval in seconds".to_string());
+    }
+    let count = opt_parsed::<usize>(args, "--count")?;
+    if flag_present(args, "--count") && count.is_none() {
+        return Err("--count requires a value".to_string());
+    }
+    if count.is_some() && watch.is_none() {
+        return Err("--count bounds a watch; it needs --watch SECS".to_string());
+    }
     let mut client = ServeClient::connect(addr.as_str(), ClientConfig::default())
         .map_err(|e| format!("cannot reach {addr}: {e}"))?;
-    let text = client.stats().map_err(|e| e.to_string())?;
-    client.bye().map_err(|e| e.to_string())?;
-    if text.is_empty() {
-        out!("(the server exposes no metrics)");
-    } else {
-        out!("{}", text.trim_end());
+    let Some(secs) = watch else {
+        let text = client.stats().map_err(|e| e.to_string())?;
+        client.bye().map_err(|e| e.to_string())?;
+        if text.is_empty() {
+            out!("(the server exposes no metrics)");
+        } else {
+            out!("{}", text.trim_end());
+        }
+        return Ok(());
+    };
+    // Watch mode: hold one session open and poll the exposition. Counter
+    // lines (the `_total` convention) get a `+delta` column against the
+    // previous poll, so a glance shows what moved; gauges print as-is.
+    let mut prev: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let rounds = count.unwrap_or(usize::MAX);
+    for round in 0..rounds {
+        if round > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+        let text =
+            client.stats().map_err(|e| format!("server at {addr} went away mid-watch: {e}"))?;
+        out!("--- poll {n} ---", n = round + 1);
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            let (Some(name), Some(value)) = (it.next(), it.next()) else { continue };
+            let cur: f64 = value.parse().unwrap_or(f64::NAN);
+            match prev.get(name) {
+                Some(p) if cur.is_finite() && name.ends_with("_total") => {
+                    out!("{name} {value} (+{delta})", delta = (cur - p).max(0.0) as u64);
+                }
+                _ => out!("{name} {value}"),
+            }
+            if cur.is_finite() {
+                prev.insert(name.to_string(), cur);
+            }
+        }
     }
+    client.bye().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -765,6 +812,49 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
     let verdict_single = client.classify().map_err(|e| e.to_string())?;
     let single_elapsed = t0.elapsed();
     client.bye().map_err(|e| e.to_string())?;
+
+    // Tracing/tsdb overhead row: the identical single-frame pass, but
+    // with a client-side tracer stamping a trace extension on every
+    // frame (so the server adopts the trace and records spans) while
+    // the server's registry is scraped into a TsStore — the full
+    // observability tax on the hot path. Untraced and traced legs are
+    // interleaved over several repetitions so clock-speed and cache
+    // drift between passes cancels instead of masquerading as
+    // overhead; the row compares the pooled p50s.
+    let tracer = appclass::obs::Tracer::new(8192);
+    let mut store = appclass::obs::TsStore::new(256);
+    let server_obs = server.observability().clone();
+    let mut untraced_lat: Vec<u64> = Vec::with_capacity(3 * frames);
+    let mut traced_lat: Vec<u64> = Vec::with_capacity(3 * frames);
+    let mut scrape_t = 0u64;
+    let mut verdict_traced = verdict_single.clone();
+    for _rep in 0..3 {
+        let mut client =
+            ServeClient::connect(addr, ClientConfig::default()).map_err(|e| e.to_string())?;
+        for s in &snaps {
+            let t = Instant::now();
+            client.send_snapshot(s).map_err(|e| e.to_string())?;
+            untraced_lat.push(t.elapsed().as_nanos() as u64);
+        }
+        client.classify().map_err(|e| e.to_string())?;
+        client.bye().map_err(|e| e.to_string())?;
+
+        let cfg = ClientConfig { tracer: Some(tracer.clone()), ..ClientConfig::default() };
+        let mut client = ServeClient::connect(addr, cfg).map_err(|e| e.to_string())?;
+        for (i, s) in snaps.iter().enumerate() {
+            let t = Instant::now();
+            client.send_snapshot(s).map_err(|e| e.to_string())?;
+            traced_lat.push(t.elapsed().as_nanos() as u64);
+            if i % 64 == 0 {
+                scrape_t += 1_000_000;
+                store.scrape_at(&server_obs.registry, scrape_t);
+            }
+        }
+        verdict_traced = client.classify().map_err(|e| e.to_string())?;
+        client.bye().map_err(|e| e.to_string())?;
+    }
+    untraced_lat.sort_unstable();
+    traced_lat.sort_unstable();
 
     // Acknowledged passes, one per coalescing width. Latency pass: one
     // `SnapshotBatch` per call means a synchronous round trip through
@@ -878,7 +968,11 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
 
     // The measurement doubles as a correctness check: all sessions saw
     // the identical stream, so the verdicts must be bit-equal.
-    for (name, v) in [("single-frame batch", &verdict_one), ("batched", &verdict_batch)] {
+    for (name, v) in [
+        ("single-frame batch", &verdict_one),
+        ("batched", &verdict_batch),
+        ("traced", &verdict_traced),
+    ] {
         if verdict_single.class != v.class
             || verdict_single.confidence.to_bits() != v.confidence.to_bits()
         {
@@ -899,6 +993,15 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
     // batched saturation throughput. Below 0.5 the server is collapsing
     // under overload instead of shedding it.
     let ov_ratio = ov_goodput / batch_fps;
+    // Observability tax: traced+scraped vs untraced single-frame p50.
+    // CI asserts this stays under 5%.
+    let untraced_p50 = percentile_ns(&untraced_lat, 50);
+    let traced_p50 = percentile_ns(&traced_lat, 50);
+    let overhead_pct = if untraced_p50 == 0 {
+        0.0
+    } else {
+        (traced_p50 as f64 - untraced_p50 as f64) / untraced_p50 as f64 * 100.0
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -910,6 +1013,7 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
             "  \"batch1\": {{ \"frames_per_sec\": {ofps:.1}, \"p50_ns\": {op50}, \"p99_ns\": {op99} }},\n",
             "  \"batch\": {{ \"frames_per_sec\": {bfps:.1}, \"p50_ns\": {bp50}, \"p99_ns\": {bp99} }},\n",
             "  \"overload\": {{ \"workers\": {ovw}, \"sessions\": {ovs}, \"goodput_frames_per_sec\": {ovfps:.1}, \"goodput_ratio\": {ovr:.3}, \"p50_ns\": {ovp50}, \"p99_ns\": {ovp99}, \"busy_refusals\": {ovbusy} }},\n",
+            "  \"tracing\": {{ \"untraced_p50_ns\": {utp50}, \"traced_p50_ns\": {trp50}, \"overhead_pct\": {ovhd:.2} }},\n",
             "  \"batch_speedup\": {speedup:.2}\n",
             "}}\n"
         ),
@@ -932,6 +1036,9 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
         ovp50 = percentile_ns(&ov_lat, 50),
         ovp99 = percentile_ns(&ov_lat, 99),
         ovbusy = ov_busy,
+        utp50 = untraced_p50,
+        trp50 = traced_p50,
+        ovhd = overhead_pct,
         speedup = speedup,
     );
     std::fs::write(&out_path, &json).map_err(|e| e.to_string())?;
@@ -945,6 +1052,13 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
         ovfps = ov_goodput,
         ovr = ov_ratio,
         ovbusy = ov_busy,
+    );
+    out!(
+        "tracing: {utp50} ns untraced p50 vs {trp50} ns traced+scraped ({ovhd:+.2}%), {pts} tsdb points",
+        utp50 = untraced_p50,
+        trp50 = traced_p50,
+        ovhd = overhead_pct,
+        pts = store.series_count(),
     );
     out!("wrote {out_path}");
     Ok(())

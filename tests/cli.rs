@@ -536,3 +536,31 @@ fn serve_and_client_roundtrip() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn stats_validates_watch_flags() {
+    // --watch with a missing interval is an error, not a silent one-shot.
+    let out = bin().args(["stats", "--addr", "127.0.0.1:1", "--watch"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--watch requires"), "{err}");
+
+    // --count only makes sense as a bound on a watch.
+    let out = bin().args(["stats", "--addr", "127.0.0.1:1", "--count", "3"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--count") && err.contains("--watch"), "{err}");
+
+    // --count needs a value.
+    let out =
+        bin().args(["stats", "--addr", "127.0.0.1:1", "--watch", "1", "--count"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--count requires"));
+
+    // A typo'd watch flag fails loudly instead of being ignored.
+    let out = bin().args(["stats", "--addr", "127.0.0.1:1", "--wach", "2"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown flag `--wach`"), "{err}");
+    assert!(err.contains("usage"), "unknown flags must re-print usage:\n{err}");
+}

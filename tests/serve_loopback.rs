@@ -53,7 +53,8 @@ fn concurrent_sessions_classify_independently() {
         let chaos = lossy.then(|| FaultPlan::lossless(7 + slot as u64).with_drop_rate(0.10));
         handles.push(std::thread::spawn(move || {
             let mut client =
-                ServeClient::connect(addr, ClientConfig { model_id: 0, chaos }).unwrap();
+                ServeClient::connect(addr, ClientConfig { model_id: 0, chaos, tracer: None })
+                    .unwrap();
             client.stream_snapshots(&snaps).unwrap();
             let verdict = client.classify().unwrap();
             let health = client.health().unwrap();
@@ -166,7 +167,8 @@ fn degraded_session_leaves_a_flight_incident() {
     let mut plan = FaultPlan::lossless(99);
     plan.truncate_rate = 0.5; // wire-level: truncated datagrams fail to decode
     let chaos = Some(plan);
-    let mut client = ServeClient::connect(addr, ClientConfig { model_id: 0, chaos }).unwrap();
+    let mut client =
+        ServeClient::connect(addr, ClientConfig { model_id: 0, chaos, tracer: None }).unwrap();
     client.stream_snapshots(&snaps).unwrap();
     client.classify().unwrap();
     assert_eq!(client.bye().unwrap(), ByeReason::Normal);
@@ -296,7 +298,8 @@ fn lossy_batched_stream_reports_dispositions() {
     plan.truncate_rate = 0.2;
     plan.corrupt_rate = 0.1;
     let chaos = Some(plan);
-    let mut client = ServeClient::connect(addr, ClientConfig { model_id: 0, chaos }).unwrap();
+    let mut client =
+        ServeClient::connect(addr, ClientConfig { model_id: 0, chaos, tracer: None }).unwrap();
     let report = client.stream_batch(&snaps, 16).unwrap();
     let verdict = client.classify().unwrap();
     let health = client.health().unwrap();
@@ -589,4 +592,172 @@ fn frame_budget_ends_the_session_gracefully() {
     let stats = server.join().unwrap();
     assert_eq!(stats.sessions_finished, 1, "a budget cut is a clean end, not an error");
     assert!(stats.frames_in <= 11, "the server must stop counting at the budget cut");
+}
+
+/// The ISSUE 9 tentpole acceptance test: a traced client's spans and the
+/// server's spans share ONE trace id end to end — the client stamps a
+/// `TraceContext` on its frames, the server adopts it for classify and
+/// stage spans, the `Verdict` echoes it, and the `TraceAssembler` merges
+/// both processes' span dumps into a single tree. An untraced (old)
+/// client on the same stream classifies bit-identically, proving the
+/// extension changes nothing but observability.
+#[test]
+fn trace_propagates_end_to_end_and_old_clients_classify_identically() {
+    use appclass::obs::{SpanDump, TraceAssembler, Tracer};
+
+    let pipeline = Arc::new(common::trained_pipeline());
+    let config = ServerConfig { max_sessions: 2, ..ServerConfig::default() };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), config).unwrap();
+    let addr = server.local_addr();
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 95, 4242);
+
+    // Old client: no tracer, frames carry no extension.
+    let mut old = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+    assert_eq!(old.trace_id(), None);
+    old.stream_snapshots(&snaps).unwrap();
+    let v_old = old.classify().unwrap();
+    assert_eq!(v_old.trace, None, "an untraced request gets an untraced verdict");
+    assert_eq!(old.bye().unwrap(), ByeReason::Normal);
+
+    // Traced client replaying the exact same stream.
+    let tracer = Tracer::new(8192);
+    let traced_config = ClientConfig { model_id: 0, chaos: None, tracer: Some(tracer.clone()) };
+    let mut traced = ServeClient::connect(addr, traced_config).unwrap();
+    let trace_id = traced.trace_id().expect("a traced client mints a trace id");
+    traced.stream_snapshots(&snaps).unwrap();
+    let v_new = traced.classify().unwrap();
+    assert_eq!(v_new.trace, Some(trace_id), "the Verdict must echo the request's trace id");
+    assert_eq!(traced.bye().unwrap(), ByeReason::Normal);
+
+    // Old peer and traced peer classify bit-identically.
+    assert_eq!(v_old.class, v_new.class);
+    assert_eq!(v_old.confidence.to_bits(), v_new.confidence.to_bits());
+    for class in appclass::prelude::AppClass::ALL {
+        assert_eq!(
+            v_old.composition.fraction(class).to_bits(),
+            v_new.composition.fraction(class).to_bits(),
+            "tracing must not change classification"
+        );
+    }
+
+    let obs = server.observability().clone();
+    server.shutdown();
+    server.join().unwrap();
+
+    // Client-side spans carry the trace id.
+    let client_spans: Vec<_> =
+        tracer.recent(8192).into_iter().filter(|s| s.trace == Some(trace_id)).collect();
+    let has = |name: &str| client_spans.iter().any(|s| s.name == name);
+    assert!(has("client_send"), "client_send spans must join the trace");
+    assert!(has("client_classify"), "client_classify spans must join the trace");
+
+    // Server-side spans adopted the SAME trace id: the classify span and
+    // at least one classifier stage span.
+    let server_spans: Vec<_> =
+        obs.tracer.recent(8192).into_iter().filter(|s| s.trace == Some(trace_id)).collect();
+    assert!(
+        server_spans.iter().any(|s| s.name == "classify"),
+        "the server's classify span must adopt the propagated trace"
+    );
+    assert!(
+        server_spans.len() > 1,
+        "classifier stage spans must also ride the adopted trace, got {server_spans:?}"
+    );
+
+    // Assemble both processes into one tree: the server's classify span
+    // grafts under the client's classify span.
+    let client_classify = client_spans
+        .iter()
+        .find(|s| s.name == "client_classify")
+        .expect("client_classify span recorded");
+    let mut asm = TraceAssembler::new();
+    asm.add_dump(SpanDump::from_tracer("client", &tracer, trace_id, None, 8192));
+    asm.add_dump(SpanDump::from_tracer(
+        "server",
+        &obs.tracer,
+        trace_id,
+        Some(client_classify.id),
+        8192,
+    ));
+    let tree = asm.assemble();
+    assert!(tree.iter().any(|s| s.process == "client"), "assembled trace spans both processes");
+    let server_classify = tree
+        .iter()
+        .find(|s| s.process == "server" && s.name == "classify")
+        .expect("server classify span in the assembled tree");
+    assert!(server_classify.depth > 0, "the server span grafts under the client span");
+    let jsonl = asm.to_jsonl();
+    assert_eq!(jsonl.lines().count(), tree.len(), "one JSONL line per assembled span");
+}
+
+/// The ISSUE 9 SLO acceptance test: flooding a single-worker server past
+/// its per-frame deadline budget drives the shed-ratio SLO's burn rate
+/// over 1.0 in both windows within one evaluation, latches exactly one
+/// flight-recorder incident for the episode (no alert spam on repeated
+/// evaluations), and exports `slo_breach_total` through the live `Stats`
+/// exposition a client reads.
+#[test]
+fn deadline_flood_breaches_the_shed_slo_exactly_once() {
+    use appclass::obs::{Slo, SloConfig, SloMonitor, TsStore};
+    use std::time::Duration;
+
+    let pipeline = Arc::new(common::trained_pipeline());
+    let mut config = ServerConfig { max_sessions: 1, ..ServerConfig::default() };
+    // A 1 ns deadline budget: every snapshot is stale by the time its
+    // envelope is read, so the whole flood is shed.
+    config.session.deadline = Some(Duration::from_nanos(1));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&pipeline), config).unwrap();
+    let addr = server.local_addr();
+    let obs = server.observability().clone();
+
+    let mut monitor = SloMonitor::new(&obs, SloConfig::default()).with(Slo::shed_ratio(0.05));
+    let mut store = TsStore::new(64);
+
+    let specs = training_specs();
+    let snaps = snapshots_of(&specs[0], 96, 1234);
+    let mut client = ServeClient::connect(addr, ClientConfig::default()).unwrap();
+
+    // Baseline scrape before the flood (the session is admitted, so the
+    // serve counters exist), then flood, then scrape 30 s later in
+    // store time — inside both burn windows.
+    store.scrape_at(&obs.registry, 0);
+    client.stream_snapshots(&snaps).unwrap();
+    let _ = client.classify().unwrap();
+    assert!(client.busy_notices() > 0, "the deadline flood must shed (Busy notices)");
+    store.scrape_at(&obs.registry, 30_000_000_000);
+
+    let statuses = monitor.evaluate(&store, &obs);
+    let shed =
+        statuses.iter().find(|s| s.name.starts_with("shed_ratio")).expect("shed SLO evaluated");
+    assert!(shed.breached, "a fully shed flood must breach the 5% shed SLO: {shed:?}");
+    assert!(shed.newly_breached, "first evaluation opens the breach episode");
+    assert!(
+        shed.short_burn.unwrap_or(0.0) > 1.0 && shed.long_burn.unwrap_or(0.0) > 1.0,
+        "both windows must burn: {shed:?}"
+    );
+
+    // Re-evaluating the same episode must NOT file another incident.
+    store.scrape_at(&obs.registry, 60_000_000_000);
+    let again = monitor.evaluate(&store, &obs);
+    let shed_again = again.iter().find(|s| s.name.starts_with("shed_ratio")).unwrap();
+    assert!(shed_again.breached && !shed_again.newly_breached, "{shed_again:?}");
+
+    let slo_incidents =
+        obs.flight.incidents().iter().filter(|i| i.reason.contains("slo breach")).count();
+    assert_eq!(slo_incidents, 1, "one breach episode = exactly one flight incident");
+    assert_eq!(obs.registry.counter("slo_breach_total").get(), 1);
+
+    // The breach is visible to any client through the Stats frame.
+    let text = client.stats().unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("slo_breach_total"))
+        .expect("slo_breach_total must appear in the exposition");
+    assert_eq!(line, "slo_breach_total 1");
+
+    assert_eq!(client.bye().unwrap(), ByeReason::Normal);
+    server.shutdown();
+    server.join().unwrap();
 }
