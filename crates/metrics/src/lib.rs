@@ -73,4 +73,4 @@ pub use repair::{
 };
 pub use selfmon::SelfScraper;
 pub use snapshot::{DataPool, NodeId, Snapshot};
-pub use wire::{ByeReason, ControlFrame, FrameDisposition};
+pub use wire::{ByeReason, ControlFrame, ControlFrameRef, FrameDisposition};

@@ -786,6 +786,158 @@ fn decode_trace_ext(tail: &[u8]) -> Result<Option<TraceContext>> {
         .map_err(|reason| Error::MalformedWire { reason, offset: CONTROL_HEADER })
 }
 
+/// A control frame decoded without copying payload bytes out of the
+/// input buffer.
+///
+/// The two frame kinds that dominate a serving session's hot path —
+/// [`ControlFrame::Snapshot`] and [`ControlFrame::SnapshotBatch`] — carry
+/// raw snapshot datagrams that the session immediately re-parses with
+/// [`decode`]. The owning decoder copies every datagram into a fresh
+/// `Vec<u8>` first; at hundreds of thousands of frames per second those
+/// copies are pure overhead. This borrowed view keeps the datagrams as
+/// slices into the caller's read buffer instead. Every other kind is
+/// decoded into its owned [`ControlFrame`] form (control-plane frames are
+/// rare and tiny, so borrowing buys nothing there).
+///
+/// Validation is byte-for-byte identical to [`decode_control`]:
+/// `decode_control_borrowed(buf)` succeeds exactly when
+/// `decode_control(buf)` does, and
+/// [`to_owned_frame`](ControlFrameRef::to_owned_frame) of the result
+/// equals the owning decode (a property test in `tests/` pins this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlFrameRef<'a> {
+    /// Kind 2: one snapshot datagram, borrowed from the input buffer.
+    Snapshot {
+        /// Raw datagram bytes, valid for the life of the input buffer.
+        wire: &'a [u8],
+        /// Optional distributed-trace context.
+        ctx: Option<TraceContext>,
+    },
+    /// Kind 8: a batch of snapshot datagrams, each borrowed from the
+    /// input buffer.
+    SnapshotBatch {
+        /// Raw datagram byte slices, in arrival order.
+        wires: Vec<&'a [u8]>,
+        /// Optional distributed-trace context.
+        ctx: Option<TraceContext>,
+    },
+    /// Any other frame kind, decoded exactly as [`decode_control`] would.
+    Other(ControlFrame),
+}
+
+impl ControlFrameRef<'_> {
+    /// Converts the borrowed view into the owning [`ControlFrame`],
+    /// copying any borrowed datagram bytes.
+    pub fn to_owned_frame(&self) -> ControlFrame {
+        match self {
+            ControlFrameRef::Snapshot { wire, ctx } => {
+                ControlFrame::Snapshot { wire: wire.to_vec(), ctx: *ctx }
+            }
+            ControlFrameRef::SnapshotBatch { wires, ctx } => ControlFrame::SnapshotBatch {
+                wires: wires.iter().map(|w| w.to_vec()).collect(),
+                ctx: *ctx,
+            },
+            ControlFrameRef::Other(frame) => frame.clone(),
+        }
+    }
+}
+
+/// Zero-copy counterpart of [`decode_control`].
+///
+/// Snapshot payloads are returned as slices borrowing from `data`; all
+/// other kinds delegate to the owning decoder. Accepts and rejects
+/// exactly the same inputs as [`decode_control`].
+pub fn decode_control_borrowed(data: &[u8]) -> Result<ControlFrameRef<'_>> {
+    if data.len() < CONTROL_HEADER + CONTROL_TRAILER {
+        return Err(Error::MalformedWire { reason: "truncated control frame", offset: data.len() });
+    }
+    let (body, trailer) = data.split_at(data.len() - CONTROL_TRAILER);
+    let mut rest = body;
+    let magic = rest.get_u32();
+    if magic != CONTROL_MAGIC {
+        return Err(Error::MalformedWire { reason: "bad control magic", offset: 0 });
+    }
+    let version = rest.get_u16();
+    if version != CONTROL_VERSION {
+        return Err(Error::MalformedWire { reason: "unsupported control version", offset: 4 });
+    }
+    let mut check = trailer;
+    if check.get_u64() != fnv1a64(body) {
+        return Err(Error::MalformedWire {
+            reason: "control checksum mismatch",
+            offset: body.len(),
+        });
+    }
+    let kind = rest.get_u8();
+    match kind {
+        2 => {
+            if rest.len() < 2 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated snapshot payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let len = rest.get_u16() as usize;
+            if len > WIRE_SIZE {
+                return Err(Error::MalformedWire {
+                    reason: "oversized snapshot payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            if rest.len() < len {
+                return Err(Error::MalformedWire {
+                    reason: "truncated snapshot payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let (wire, tail) = rest.split_at(len);
+            Ok(ControlFrameRef::Snapshot { wire, ctx: decode_trace_ext(tail)? })
+        }
+        8 => {
+            if rest.len() < 2 {
+                return Err(Error::MalformedWire {
+                    reason: "truncated batch payload",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let count = rest.get_u16() as usize;
+            if count > MAX_SNAPSHOT_BATCH {
+                return Err(Error::MalformedWire {
+                    reason: "oversized snapshot batch",
+                    offset: CONTROL_HEADER,
+                });
+            }
+            let mut wires = Vec::with_capacity(count);
+            for _ in 0..count {
+                if rest.len() < 2 {
+                    return Err(Error::MalformedWire {
+                        reason: "truncated batch item",
+                        offset: CONTROL_HEADER,
+                    });
+                }
+                let len = rest.get_u16() as usize;
+                if len > WIRE_SIZE {
+                    return Err(Error::MalformedWire {
+                        reason: "oversized snapshot payload",
+                        offset: CONTROL_HEADER,
+                    });
+                }
+                if rest.len() < len {
+                    return Err(Error::MalformedWire {
+                        reason: "truncated batch item",
+                        offset: CONTROL_HEADER,
+                    });
+                }
+                let (item, tail) = rest.split_at(len);
+                wires.push(item);
+                rest = tail;
+            }
+            Ok(ControlFrameRef::SnapshotBatch { wires, ctx: decode_trace_ext(rest)? })
+        }
+        _ => decode_control(data).map(ControlFrameRef::Other),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -942,6 +1094,58 @@ mod tests {
             assert!(bytes.len() <= MAX_CONTROL_SIZE, "{} too big", frame.name());
             let back = decode_control(&bytes).unwrap_or_else(|e| panic!("{}: {e}", frame.name()));
             assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owning_decode_every_kind() {
+        for frame in control_samples() {
+            let bytes = encode_control(&frame);
+            let borrowed =
+                decode_control_borrowed(&bytes).unwrap_or_else(|e| panic!("{}: {e}", frame.name()));
+            assert_eq!(borrowed.to_owned_frame(), frame);
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_rejects_exactly_what_owning_decode_rejects() {
+        for frame in control_samples() {
+            let bytes = encode_control(&frame).to_vec();
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x40;
+                assert_eq!(
+                    decode_control(&bad).is_err(),
+                    decode_control_borrowed(&bad).is_err(),
+                    "{} flip at {i}: decoders must agree",
+                    frame.name()
+                );
+            }
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    decode_control(&bytes[..cut]).is_err(),
+                    decode_control_borrowed(&bytes[..cut]).is_err(),
+                    "{} cut at {cut}: decoders must agree",
+                    frame.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_snapshot_payload_points_into_input() {
+        let wire = encode(&snapshot());
+        let frame = ControlFrame::Snapshot { wire: wire.to_vec(), ctx: None };
+        let bytes = encode_control(&frame);
+        match decode_control_borrowed(&bytes).unwrap() {
+            ControlFrameRef::Snapshot { wire: borrowed, ctx: None } => {
+                assert_eq!(borrowed, &wire[..]);
+                // The slice must alias the input buffer, not a copy.
+                let input = bytes.as_ptr() as usize;
+                let got = borrowed.as_ptr() as usize;
+                assert!(got >= input && got < input + bytes.len());
+            }
+            other => panic!("unexpected decode: {other:?}"),
         }
     }
 

@@ -70,6 +70,16 @@ pub enum ServeError {
         /// Milliseconds left until the breaker half-opens for a probe.
         cooldown_ms: u64,
     },
+    /// The retry loop's wall-clock budget ran out before a connection
+    /// succeeded. Unlike a raw [`ServeError::Busy`], this is terminal:
+    /// the caller's deadline — not the server's hint — decided the
+    /// outcome, and retrying again without a fresh budget is pointless.
+    RetryBudgetExhausted {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The wall-clock budget that was exhausted, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -96,6 +106,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::CircuitOpen { cooldown_ms } => {
                 write!(f, "circuit breaker open: next probe in {cooldown_ms} ms")
+            }
+            ServeError::RetryBudgetExhausted { attempts, deadline_ms } => {
+                write!(f, "retry budget exhausted: {attempts} attempts within {deadline_ms} ms")
             }
         }
     }
@@ -154,6 +167,9 @@ mod tests {
             .contains("Hello"));
         assert!(ServeError::Busy { retry_after_ms: 75 }.to_string().contains("75"));
         assert!(ServeError::CircuitOpen { cooldown_ms: 320 }.to_string().contains("320"));
+        assert!(ServeError::RetryBudgetExhausted { attempts: 4, deadline_ms: 250 }
+            .to_string()
+            .contains("250"));
     }
 
     #[test]

@@ -45,10 +45,12 @@ pub mod error;
 pub mod feed;
 pub mod model;
 pub mod overload;
+pub mod poll;
 pub mod proto;
 pub mod retry;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod stats;
 
 pub use appclass_obs::{Observability, SpanDump, TraceAssembler, TraceContext, Tracer};
@@ -61,4 +63,5 @@ pub use overload::{OverloadMachine, OverloadState};
 pub use retry::{connect_with_retry, BreakerState, CircuitBreaker, RetryPolicy, RetryReport};
 pub use server::{Server, ServerConfig};
 pub use session::SessionConfig;
+pub use shard::ShardServer;
 pub use stats::{LatencyHistogram, ServerStats, SessionOutcome};

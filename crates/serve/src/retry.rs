@@ -269,14 +269,27 @@ pub fn connect_with_retry<A: ToSocketAddrs>(
                 if !retryable(&e) || attempt >= policy.max_retries {
                     return Err(e);
                 }
-                let mut delay = policy.backoff(attempt);
+                let backoff = policy.backoff(attempt);
+                let mut delay = backoff;
                 if let ServeError::Busy { retry_after_ms } = e {
                     delay = delay.max(Duration::from_millis(u64::from(retry_after_ms)));
                 }
                 if let Some(deadline) = policy.deadline {
-                    if started.elapsed() + delay > deadline {
-                        return Err(e);
+                    // The server's hint is advice; the caller's deadline is
+                    // a contract. If even the schedule's own pause no longer
+                    // fits, further attempts cannot land inside the budget —
+                    // fail promptly with the typed terminal error instead of
+                    // surfacing the last refusal. A hint larger than the
+                    // remaining budget is clamped, never obeyed past the
+                    // deadline.
+                    let remaining = deadline.saturating_sub(started.elapsed());
+                    if backoff >= remaining {
+                        return Err(ServeError::RetryBudgetExhausted {
+                            attempts: report.attempts,
+                            deadline_ms: deadline.as_millis() as u64,
+                        });
                     }
+                    delay = delay.min(remaining);
                 }
                 report.backoff_ms += delay.as_millis() as u64;
                 std::thread::sleep(delay);
@@ -421,5 +434,65 @@ mod tests {
             connect_with_retry(("127.0.0.1", port), &ClientConfig::default(), &policy, &mut b)
                 .expect_err("nobody is listening");
         assert!(matches!(err, ServeError::Io(_) | ServeError::ConnectionClosed), "{err}");
+    }
+
+    /// Regression: a server `Busy` hint far beyond the caller's
+    /// wall-clock budget must neither be slept out nor surface as a raw
+    /// `Busy` with most of the budget unused. The hint is clamped to the
+    /// remaining budget and the loop fails with the typed
+    /// `RetryBudgetExhausted` once the budget is spent. Pre-fix this
+    /// test failed on both counts: the first refusal returned
+    /// `ServeError::Busy` after ~1 attempt with ~0 ms of the 150 ms
+    /// budget consumed.
+    #[test]
+    fn busy_hint_is_clamped_to_the_remaining_budget() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let shedder = std::thread::spawn(move || {
+            // Every connection is soft-refused with a hint 200× the
+            // client's deadline.
+            while !stop_accept.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => crate::session::refuse_busy(stream, Duration::from_secs(30)),
+                    Err(_) => break,
+                }
+            }
+        });
+
+        let deadline = Duration::from_millis(150);
+        let policy = RetryPolicy {
+            max_retries: 1000,
+            base_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(16),
+            deadline: Some(deadline),
+            seed: 0xBEEF,
+        };
+        let mut b = CircuitBreaker::new(100, Duration::from_secs(60));
+        let started = Instant::now();
+        let err = connect_with_retry(addr, &ClientConfig::default(), &policy, &mut b)
+            .expect_err("server never stops shedding");
+        let elapsed = started.elapsed();
+
+        assert!(
+            matches!(err, ServeError::RetryBudgetExhausted { attempts, deadline_ms: 150 } if attempts >= 2),
+            "want typed budget exhaustion after ≥2 attempts, got {err}"
+        );
+        assert!(
+            elapsed >= Duration::from_millis(100),
+            "budget was abandoned early: only {elapsed:?} of {deadline:?} used"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "the 30 s hint was honored past the deadline: {elapsed:?}"
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        let _ = std::net::TcpStream::connect(addr); // unblock the acceptor
+        let _ = shedder.join();
     }
 }

@@ -54,6 +54,11 @@ pub struct ServerConfig {
     pub shed_high_watermark: usize,
     /// The `retry_after_ms` hint carried by `Busy` refusals.
     pub busy_retry_after: Duration,
+    /// Worker-group count for the sharded server
+    /// ([`crate::shard::ShardServer`]): the session table is split
+    /// across this many readiness-driven event loops. Ignored by the
+    /// thread-per-session [`Server`].
+    pub shards: usize,
     /// Per-session policy.
     pub session: SessionConfig,
 }
@@ -68,6 +73,7 @@ impl Default for ServerConfig {
             shed_low_watermark: 4,
             shed_high_watermark: 6,
             busy_retry_after: Duration::from_millis(100),
+            shards: 2,
             session: SessionConfig::default(),
         }
     }
@@ -78,8 +84,8 @@ struct Shared {
     slot: Arc<ModelSlot>,
     config: ServerConfig,
     shutdown: AtomicBool,
-    /// Set by the acceptor as it exits, so [`Server::shutdown`] can stop
-    /// poking a listener nobody is accepting on.
+    /// Set by the acceptor as it exits, so [`Server::shutdown`]'s
+    /// bounded wait can return as soon as admission has stopped.
     acceptor_done: AtomicBool,
     /// Connections admitted to the pool and not yet finished.
     in_flight: AtomicUsize,
@@ -98,22 +104,24 @@ struct Shared {
 
 /// Registry counters mirroring the session-lifecycle fields of
 /// [`ServerStats`], so the `Stats` exposition reflects them live.
-struct SessionCounters {
-    started: Counter,
-    finished: Counter,
-    rejected: Counter,
+/// Shared with the sharded server (`crate::shard`), which increments
+/// the same registry atomics from every shard — its lock-free merge.
+pub(crate) struct SessionCounters {
+    pub(crate) started: Counter,
+    pub(crate) finished: Counter,
+    pub(crate) rejected: Counter,
     /// Soft `Busy` refusals while shedding (`serve_shed_total`).
-    shed: Counter,
-    errors: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) errors: Counter,
     /// Pre-registered at bind (the session path registers the same
     /// names), so `model_swap_total` and its latency histogram appear in
     /// the `Stats` exposition even before the first swap.
-    swap_total: Counter,
-    swap_latency: Histogram,
+    pub(crate) swap_total: Counter,
+    pub(crate) swap_latency: Histogram,
 }
 
 impl SessionCounters {
-    fn new(obs: &Observability) -> Self {
+    pub(crate) fn new(obs: &Observability) -> Self {
         SessionCounters {
             started: obs.registry.counter("serve_sessions_started_total"),
             finished: obs.registry.counter("serve_sessions_finished_total"),
@@ -263,19 +271,18 @@ impl Server {
 
     /// Asks every thread to wind down: in-flight sessions drain with
     /// `Bye(Shutdown)`, queued connections are refused, the acceptor
-    /// stops. Returns immediately; [`Server::join`] observes the drain.
+    /// stops. Returns once the acceptor has acknowledged (bounded wait);
+    /// [`Server::join`] observes the full drain.
+    ///
+    /// The acceptor parks in `poll(2)` with a short timeout rather than
+    /// a blocking `accept`, so it observes the flag on its own within
+    /// one poll interval. No wake-up connection is made: a self-connect
+    /// poke would be indistinguishable from a real client, and when the
+    /// server is shedding it would land in the `sessions_busy`/refusal
+    /// accounting and skew the final stats.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // The acceptor may be parked in `accept`; a throwaway connection
-        // wakes it so it can observe the flag. One poke is not enough
-        // under load or kernel backlog pressure — the connect can time
-        // out while the acceptor stays parked — so retry until the
-        // acceptor reports it has exited.
-        for _ in 0..50 {
-            if self.shared.acceptor_done.load(Ordering::SeqCst) {
-                return;
-            }
-            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(100));
+        for _ in 0..100 {
             if self.shared.acceptor_done.load(Ordering::SeqCst) {
                 return;
             }
@@ -331,9 +338,19 @@ fn update_overload(shared: &Shared) -> OverloadState {
     state
 }
 
+/// How long the acceptor parks in `poll(2)` before re-checking the
+/// shutdown flag; the upper bound on shutdown latency for an idle
+/// listener.
+const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(25);
+
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<TcpStream>) {
     let capacity = shared.config.max_sessions.max(1) + shared.config.backlog;
     let mut admitted = 0u64;
+    // Readiness-driven accept: the listener is nonblocking, and the
+    // loop parks in poll(2) with a short timeout. Shutdown is observed
+    // within one interval without any wake-up connection, so the
+    // refusal accounting only ever sees real clients.
+    let _ = listener.set_nonblocking(true);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -343,11 +360,24 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &Sender<TcpStream>) 
         }
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
-            Err(_) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let _ = crate::poll::wait_readable(listener, ACCEPT_POLL_INTERVAL);
+                continue;
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. the peer aborted the
+                // handshake); don't let an unexpected hard error spin.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
         };
+        // Linux does not propagate the listener's nonblocking flag to
+        // accepted sockets, but other platforms disagree — pin the
+        // session socket back to blocking for the worker pool.
+        let _ = stream.set_nonblocking(false);
         if shared.shutdown.load(Ordering::SeqCst) {
-            // Either the shutdown wake-up connection or a client that
-            // lost the race; both get a clean refusal.
+            // A client that lost the race with shutdown gets a clean
+            // refusal.
             refuse(stream, ByeReason::Shutdown);
             break;
         }

@@ -606,12 +606,12 @@ pub fn refuse_busy(stream: TcpStream, retry_after: Duration) {
 
 /// Whether a frame that arrived at `arrival` has overrun the session's
 /// per-frame deadline budget.
-fn deadline_exceeded(config: &SessionConfig, arrival: Instant) -> bool {
+pub(crate) fn deadline_exceeded(config: &SessionConfig, arrival: Instant) -> bool {
     config.deadline.is_some_and(|d| arrival.elapsed() > d)
 }
 
 /// The `Busy` frame this session sends, with the configured retry hint.
-fn busy_frame(config: &SessionConfig) -> ControlFrame {
+pub(crate) fn busy_frame(config: &SessionConfig) -> ControlFrame {
     let retry_after_ms = config.busy_retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
     ControlFrame::Busy { retry_after_ms }
 }
@@ -663,7 +663,7 @@ fn handshake(
 /// verdict to its trace. Before the first usable snapshot the verdict is
 /// the honest "no idea": class `Idle`, confidence `0.0`, all-zero
 /// composition.
-fn verdict_frame(
+pub(crate) fn verdict_frame(
     classifier: &OnlineClassifier<'_>,
     model_id: u64,
     ctx: Option<TraceContext>,
@@ -689,7 +689,7 @@ fn verdict_frame(
 /// Publishes the classifier's running verdict to the serve→cluster feed
 /// (no-op before the first usable snapshot, so the controller never sees
 /// the all-zero "no idea" state as an observation).
-fn publish_feed(
+pub(crate) fn publish_feed(
     feed: Option<&CompositionFeed>,
     session_id: u32,
     classifier: &OnlineClassifier<'_>,
@@ -712,7 +712,7 @@ fn publish_feed(
 /// Folds the classifier's end-of-generation reports into the outcome.
 /// Merging (not replacing) is what lets a session's telemetry survive a
 /// hot swap: every generation contributes its counts.
-fn finish(outcome: &mut SessionOutcome, classifier: &OnlineClassifier<'_>) {
+pub(crate) fn finish(outcome: &mut SessionOutcome, classifier: &OnlineClassifier<'_>) {
     outcome.health.merge(classifier.telemetry());
     outcome.stage_metrics.merge(classifier.stage_metrics());
 }

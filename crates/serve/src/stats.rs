@@ -74,6 +74,26 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Folds another aggregate into this one — how the sharded server
+    /// combines per-shard stats (each owned lock-free by its shard
+    /// thread) into one report at join time.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.sessions_started += other.sessions_started;
+        self.sessions_finished += other.sessions_finished;
+        self.sessions_rejected += other.sessions_rejected;
+        self.sessions_busy += other.sessions_busy;
+        self.session_errors += other.session_errors;
+        self.frames_in += other.frames_in;
+        self.frames_repaired += other.frames_repaired;
+        self.frames_dropped += other.frames_dropped;
+        self.frames_malformed += other.frames_malformed;
+        self.frames_deadline_shed += other.frames_deadline_shed;
+        self.verdicts += other.verdicts;
+        self.health.merge(&other.health);
+        self.stage_metrics.merge(&other.stage_metrics);
+        self.classify_latency.merge(&other.classify_latency);
+    }
+
     /// Folds one finished session into the aggregate.
     pub fn absorb(&mut self, outcome: &SessionOutcome) {
         self.frames_in += outcome.frames_in;
@@ -217,6 +237,31 @@ mod tests {
         assert_eq!(stats.health.seen, 20);
         assert_eq!(stats.classify_latency.count(), 2);
         assert_eq!(stats.stage_metrics.get("knn").unwrap().samples, 20);
+    }
+
+    #[test]
+    fn merge_adds_every_counter_and_folds_histograms() {
+        let mut a = ServerStats {
+            sessions_started: 2,
+            sessions_finished: 1,
+            sessions_rejected: 3,
+            sessions_busy: 4,
+            session_errors: 1,
+            frames_in: 10,
+            verdicts: 5,
+            ..Default::default()
+        };
+        a.classify_latency.record(Duration::from_micros(2));
+        let mut b = ServerStats { sessions_started: 1, frames_in: 7, ..Default::default() };
+        b.health.seen = 7;
+        b.classify_latency.record(Duration::from_micros(9));
+        a.merge(&b);
+        assert_eq!(a.sessions_started, 3);
+        assert_eq!(a.sessions_rejected, 3);
+        assert_eq!(a.sessions_busy, 4);
+        assert_eq!(a.frames_in, 17);
+        assert_eq!(a.health.seen, 7);
+        assert_eq!(a.classify_latency.count(), 2);
     }
 
     #[test]

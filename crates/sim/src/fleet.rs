@@ -1,0 +1,224 @@
+//! Fleet arrival plans: when a day's worth of VMs comes online.
+//!
+//! The serving benchmarks need a realistic *arrival process*, not just a
+//! frame count: real monitoring fleets (and the IaaS simulators this
+//! module borrows its spirit from) see a diurnal base load with sharp
+//! bursts layered on top — a deploy wave, a batch window, a failover
+//! herd. [`FleetPlan::generate`] turns a seed into a deterministic
+//! schedule of VM arrivals over one simulated day: each arrival carries
+//! its start offset, a workload index, a per-VM seed and a stream
+//! length, so a harness can replay the same fleet against any server
+//! build and compare saturation throughput and shedding behaviour
+//! apples to apples.
+//!
+//! The plan is pure data — no sockets, no clocks. The serving side
+//! (`appclass::fleet`) compresses the simulated day onto the wall clock
+//! and drives real clients from it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Intensity-curve resolution: one bucket per simulated minute.
+const BUCKETS: usize = 1440;
+
+/// Shape of a simulated arrival day.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// VMs arriving over the day.
+    pub vms: usize,
+    /// Length of the simulated day in milliseconds.
+    pub day_ms: u64,
+    /// Burst windows layered on the diurnal base curve.
+    pub bursts: usize,
+    /// Additive intensity of each burst, in multiples of the diurnal
+    /// peak (6.0 means a burst minute is ~7× a normal peak minute).
+    pub burst_gain: f64,
+    /// Width of each burst as a fraction of the day.
+    pub burst_width: f64,
+    /// Distinct workload models to draw from (indices `0..workloads`).
+    pub workloads: usize,
+    /// Minimum snapshot-stream length per VM.
+    pub min_frames: usize,
+    /// Maximum snapshot-stream length per VM (inclusive).
+    pub max_frames: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            vms: 300,
+            day_ms: 86_400_000,
+            bursts: 3,
+            burst_gain: 6.0,
+            burst_width: 0.01,
+            workloads: 5,
+            min_frames: 24,
+            max_frames: 96,
+        }
+    }
+}
+
+/// One VM coming online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmArrival {
+    /// Arrival-ordered VM id.
+    pub vm: u32,
+    /// Offset from the start of the day, in simulated milliseconds.
+    pub start_ms: u64,
+    /// Index into the harness's workload table (`0..config.workloads`).
+    pub workload: usize,
+    /// Per-VM seed: drives the VM's own telemetry stream.
+    pub seed: u64,
+    /// Snapshot frames this VM will stream before asking for a verdict.
+    pub frames: usize,
+}
+
+/// A deterministic day of VM arrivals, sorted by start time.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// Arrivals in start order; `vm` ids follow that order.
+    pub arrivals: Vec<VmArrival>,
+    /// The simulated day length the offsets live in.
+    pub day_ms: u64,
+}
+
+/// The diurnal base curve: a sinusoid troughing at midnight and peaking
+/// midday, floored so the quietest minute still sees traffic.
+fn diurnal(frac_of_day: f64) -> f64 {
+    use std::f64::consts::PI;
+    0.1 + (1.0 + (2.0 * PI * frac_of_day - PI / 2.0).sin()) / 2.0
+}
+
+impl FleetPlan {
+    /// Builds the day's schedule. Same `config` + `seed` → identical
+    /// plan, on every platform (the workspace's vendored xoshiro RNG).
+    pub fn generate(config: &FleetConfig, seed: u64) -> FleetPlan {
+        assert!(config.vms > 0, "a fleet needs at least one VM");
+        assert!(config.workloads > 0, "a fleet needs at least one workload model");
+        assert!(
+            config.min_frames >= 1 && config.min_frames <= config.max_frames,
+            "frame range must be non-empty"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Per-minute intensity: diurnal base plus burst windows.
+        let mut intensity: Vec<f64> =
+            (0..BUCKETS).map(|b| diurnal((b as f64 + 0.5) / BUCKETS as f64)).collect();
+        let width = ((config.burst_width * BUCKETS as f64).round() as usize).max(1);
+        for _ in 0..config.bursts {
+            let center = rng.gen_range(0..BUCKETS);
+            for off in 0..width {
+                let b = (center + off) % BUCKETS;
+                intensity[b] += config.burst_gain;
+            }
+        }
+
+        // Inverse-CDF sampling of arrival minutes.
+        let mut cdf = Vec::with_capacity(BUCKETS);
+        let mut acc = 0.0;
+        for w in &intensity {
+            acc += w;
+            cdf.push(acc);
+        }
+        let total = acc;
+
+        let bucket_ms = config.day_ms as f64 / BUCKETS as f64;
+        let mut arrivals: Vec<VmArrival> = (0..config.vms)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>() * total;
+                let bucket = cdf.partition_point(|&c| c < u).min(BUCKETS - 1);
+                let within: f64 = rng.gen();
+                let start_ms = ((bucket as f64 + within) * bucket_ms) as u64;
+                VmArrival {
+                    vm: 0, // assigned after sorting
+                    start_ms: start_ms.min(config.day_ms.saturating_sub(1)),
+                    workload: rng.gen_range(0..config.workloads),
+                    seed: rng.gen::<u64>(),
+                    frames: rng.gen_range(config.min_frames..config.max_frames + 1),
+                }
+            })
+            .collect();
+        arrivals.sort_by_key(|a| a.start_ms);
+        for (i, a) in arrivals.iter_mut().enumerate() {
+            a.vm = i as u32;
+        }
+        FleetPlan { arrivals, day_ms: config.day_ms }
+    }
+
+    /// Arrivals per bucket over the day — the observed shape of the
+    /// process, for burstiness assertions and plotting.
+    pub fn histogram(&self, buckets: usize) -> Vec<usize> {
+        assert!(buckets > 0);
+        let mut hist = vec![0usize; buckets];
+        for a in &self.arrivals {
+            let b = (a.start_ms as u128 * buckets as u128 / self.day_ms as u128) as usize;
+            hist[b.min(buckets - 1)] += 1;
+        }
+        hist
+    }
+
+    /// Ratio of the busiest bucket to the mean bucket: >1 means the
+    /// process is bursty, ~1 would be uniform arrivals.
+    pub fn peak_to_mean(&self, buckets: usize) -> f64 {
+        let hist = self.histogram(buckets);
+        let peak = *hist.iter().max().unwrap() as f64;
+        let mean = self.arrivals.len() as f64 / buckets as f64;
+        peak / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let config = FleetConfig::default();
+        let a = FleetPlan::generate(&config, 42);
+        let b = FleetPlan::generate(&config, 42);
+        assert_eq!(a.arrivals, b.arrivals);
+        let c = FleetPlan::generate(&config, 43);
+        assert_ne!(a.arrivals, c.arrivals, "different seeds must differ");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_bounds() {
+        let config = FleetConfig { vms: 500, ..FleetConfig::default() };
+        let plan = FleetPlan::generate(&config, 7);
+        assert_eq!(plan.arrivals.len(), 500);
+        for (i, a) in plan.arrivals.iter().enumerate() {
+            assert_eq!(a.vm, i as u32);
+            assert!(a.start_ms < config.day_ms);
+            assert!(a.workload < config.workloads);
+            assert!((config.min_frames..=config.max_frames).contains(&a.frames));
+            if i > 0 {
+                assert!(plan.arrivals[i - 1].start_ms <= a.start_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_make_the_day_bursty() {
+        let base = FleetConfig { vms: 2000, bursts: 0, ..FleetConfig::default() };
+        let bursty = FleetConfig { vms: 2000, bursts: 3, ..FleetConfig::default() };
+        let calm = FleetPlan::generate(&base, 11).peak_to_mean(288);
+        let spiky = FleetPlan::generate(&bursty, 11).peak_to_mean(288);
+        assert!(
+            spiky > calm * 1.5,
+            "burst windows must concentrate arrivals: calm {calm:.2} vs bursty {spiky:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_midday() {
+        let config = FleetConfig { vms: 4000, bursts: 0, ..FleetConfig::default() };
+        let plan = FleetPlan::generate(&config, 3);
+        let hist = plan.histogram(24);
+        let night: usize = hist[0..3].iter().chain(&hist[21..24]).sum();
+        let midday: usize = hist[9..15].iter().sum();
+        assert!(
+            midday > night * 2,
+            "midday must out-arrive the night hours: midday {midday} vs night {night}"
+        );
+    }
+}

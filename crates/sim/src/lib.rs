@@ -34,9 +34,12 @@
 //!   stack, yielding the data pool + run statistics.
 //! * [`vmplant`] — the paper's §2 substrate: DAG-configured cloning and
 //!   instantiation of application-centric VMs (VMPlant).
+//! * [`fleet`] — deterministic diurnal + bursty VM arrival plans, the
+//!   load model behind the serving fleet harness.
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod host;
 pub mod noise;
 pub mod resources;

@@ -3,10 +3,11 @@
 //! Supports the subset the workspace's property tests use: the `proptest!`
 //! macro with an optional `#![proptest_config(..)]` header, `Strategy`
 //! with `prop_map`, range and `any::<T>()` strategies, tuple strategies,
-//! `prop::collection::vec`, and the `prop_assert!`/`prop_assert_eq!`
-//! macros. Cases are generated from a fixed seed (fully reproducible
-//! runs); there is no shrinking — a failing case reports its inputs via
-//! the assertion message instead.
+//! `prop::collection::vec` (fixed or ranged length), `prop_oneof!`
+//! unions, `prop::sample::Index`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros. Cases are generated from a
+//! fixed seed (fully reproducible runs); there is no shrinking — a
+//! failing case reports its inputs via the assertion message instead.
 
 /// Configuration and error types for generated test runners.
 pub mod test_runner {
@@ -158,6 +159,37 @@ pub mod strategy {
         }
     }
 
+    /// Equal-weight union of boxed strategies (see [`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union drawing uniformly among `options`.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    /// Boxes one `prop_oneof!` option so the expansion's vec element
+    /// type unifies without an explicit cast.
+    pub fn union_option<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[pick].generate(rng)
+        }
+    }
+
     macro_rules! tuple_strategy {
         ($(($($s:ident . $idx:tt),+)),+) => {$(
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -223,29 +255,89 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Strategy for fixed-length vectors of an element strategy.
+    /// An inclusive length range for [`vec`]; built from a `usize`
+    /// (exact length), a `Range<usize>`, or a `RangeInclusive<usize>`
+    /// like upstream's `SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange { lo: len, hi: len }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec length range");
+            SizeRange { lo: range.start, hi: range.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty vec length range");
+            SizeRange { lo: *range.start(), hi: *range.end() }
+        }
+    }
+
+    /// Strategy for vectors of an element strategy.
     pub struct VecStrategy<S> {
         element: S,
-        len: usize,
+        len: SizeRange,
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            (0..self.len).map(|_| self.element.generate(rng)).collect()
+            let span = (self.len.hi - self.len.lo + 1) as u64;
+            let n = self.len.lo + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
 
-    /// A vector of exactly `len` elements drawn from `element`.
-    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
-        VecStrategy { element, len }
+    /// A vector whose length is drawn from `len` (exact or ranged) and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy, L: Into<SizeRange>>(element: S, len: L) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+}
+
+/// Positional draws (`prop::sample::Index`).
+pub mod sample {
+    use crate::arbitrary::ArbitraryValue;
+    use crate::test_runner::TestRng;
+
+    /// An index drawn independently of any collection, projected onto a
+    /// concrete length at use time via [`Index::index`] — mirrors
+    /// upstream, where the draw stays valid whatever size the
+    /// collection under test ends up with.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects this draw uniformly onto `0..len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl ArbitraryValue for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
     }
 }
 
 /// Namespace mirror so `prop::collection::vec(..)` works like upstream.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::sample;
     pub use crate::strategy;
 }
 
@@ -255,7 +347,18 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Draws from one of the listed strategies with equal probability. All
+/// options must generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_option($strat)),+
+        ])
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ..) { .. }`

@@ -3,8 +3,11 @@
 # batched classification paths over loopback TCP and records the numbers
 # in BENCH_classify.json (frames/sec plus p50/p99 per-frame latency for
 # each path) so later PRs can regress against them. Also records the
-# observability tax (traced+scraped vs untraced single-frame p50) and
-# fails if it reaches 5%.
+# observability tax (traced+scraped vs untraced single-frame p50, fails
+# if it reaches 5%), the overload goodput ratio (fails below 0.5 — the
+# shedder must refuse at the door, not starve admitted sessions), and
+# the multi-session shard saturation row (fails below 4x the
+# single-frame single-socket throughput on the same host).
 #
 #   ./scripts/bench_smoke.sh [out.json]
 #
@@ -37,6 +40,8 @@ if command -v python3 > /dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
+if doc["schema"] != "bench_classify/v2":
+    sys.exit(f"bench_smoke: unexpected schema {doc['schema']}")
 for section in ("single", "batch1", "batch"):
     block = doc[section]
     for key in ("frames_per_sec", "p50_ns", "p99_ns"):
@@ -46,6 +51,10 @@ ov = doc["overload"]
 for key in ("workers", "sessions", "goodput_frames_per_sec", "goodput_ratio",
             "p50_ns", "p99_ns", "busy_refusals"):
     float(ov[key])
+sat = doc["saturation"]
+for key in ("sessions", "shards", "batch", "frames_per_sec", "p50_ns",
+            "p99_ns", "speedup_vs_single"):
+    float(sat[key])
 tr = doc["tracing"]
 for key in ("untraced_p50_ns", "traced_p50_ns", "overhead_pct"):
     float(tr[key])
@@ -57,20 +66,33 @@ if tr["overhead_pct"] >= 5.0:
              f"({tr['overhead_pct']}% >= 5%)")
 # The overload contract: at ~2x offered load the server sheds instead of
 # collapsing, so goodput stays at least half the single-session batched
-# saturation throughput.
+# saturation throughput. Shedding must degrade gracefully — a ratio
+# below this floor means admitted sessions are being starved, not that
+# excess sessions are being refused.
 if ov["goodput_ratio"] < 0.5:
     sys.exit(f"bench_smoke: overload goodput collapsed "
              f"(ratio {ov['goodput_ratio']} < 0.5)")
+# The shard-fabric contract: concurrent sessions across event-loop
+# shards must aggregate to at least 4x the single-socket single-frame
+# row (machine-relative, so the gate tracks this host's clock, not an
+# absolute figure measured on different hardware).
+if sat["frames_per_sec"] < 4.0 * doc["single"]["frames_per_sec"]:
+    sys.exit(f"bench_smoke: shard saturation regressed "
+             f"({sat['frames_per_sec']:.0f} f/s < 4x single "
+             f"{doc['single']['frames_per_sec']:.0f} f/s)")
 print(f"bench_smoke: batch {doc['batch_size']} speedup {doc['batch_speedup']}x "
       f"({doc['batch']['frames_per_sec']:.0f} vs {doc['batch1']['frames_per_sec']:.0f} frames/s)")
 print(f"bench_smoke: overload goodput ratio {ov['goodput_ratio']} "
       f"({ov['busy_refusals']:.0f} busy refusals, p99 {ov['p99_ns']:.0f} ns)")
+print(f"bench_smoke: saturation {sat['frames_per_sec']:.0f} frames/s "
+      f"({sat['sessions']:.0f} sessions x {sat['shards']:.0f} shards, "
+      f"{sat['speedup_vs_single']}x single, p99 {sat['p99_ns']:.0f} ns)")
 print(f"bench_smoke: tracing overhead {tr['overhead_pct']}% "
       f"({tr['traced_p50_ns']:.0f} vs {tr['untraced_p50_ns']:.0f} ns p50)")
 EOF
 else
     # No python3: still require every expected section to be present.
-    for key in '"schema"' '"single"' '"batch1"' '"batch"' '"batch_speedup"' '"frames_per_sec"' '"overload"' '"goodput_ratio"' '"tracing"' '"overhead_pct"'; do
+    for key in '"schema": "bench_classify/v2"' '"single"' '"batch1"' '"batch"' '"batch_speedup"' '"frames_per_sec"' '"overload"' '"goodput_ratio"' '"saturation"' '"speedup_vs_single"' '"tracing"' '"overhead_pct"'; do
         grep -q "$key" "$out" || { echo "bench_smoke: $out lacks $key" >&2; exit 1; }
     done
     echo "bench_smoke: $out written (python3 unavailable, key check only)"

@@ -173,6 +173,25 @@ fi
 spans=$(grep -c '"process":' "$tmp/trace.log")
 echo "trace smoke OK ($spans spans assembled across both processes)"
 
+echo "== sharded fleet smoke test =="
+# The sharded readiness-loop server fronting a compressed fleet replay:
+# 40 simulated VMs from a diurnal+bursty arrival plan, all of which must
+# be served (capacity is provisioned above the herd), with the server
+# draining cleanly after exactly that many sessions.
+./target/release/appclass serve --addr 127.0.0.1:0 --model "$tmp/pipeline.json" \
+    --shards 2 --max-sessions 64 --sessions 40 > "$tmp/fleet_serve.log" &
+fl_pid=$!
+addr=$(wait_addr "$tmp/fleet_serve.log") \
+    || { echo "sharded server never announced its address"; kill "$fl_pid"; exit 1; }
+./target/release/appclass fleet --addr "$addr" --vms 40 --seed 42 \
+    --compression 100000 > "$tmp/fleet.log"
+wait "$fl_pid"
+grep -q "fleet: 40 VMs -> 40 served, 0 busy, 0 rejected, 0 failed" "$tmp/fleet.log" \
+    || { echo "fleet replay did not serve every VM:"; cat "$tmp/fleet.log"; exit 1; }
+grep -q "(100.0% goodput ratio)" "$tmp/fleet.log"
+grep -q ", 0 errored" "$tmp/fleet_serve.log"
+echo "sharded fleet smoke OK (40 VMs served across 2 shards, clean drain)"
+
 echo "== cluster scheduling smoke test =="
 # Class-aware placement across a 16-host fleet, driven entirely by
 # pipeline-observed compositions: it must not lose to the averaged

@@ -69,6 +69,7 @@ fn main() -> ExitCode {
         "cost" => cmd_cost(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "client" => cmd_client(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "models" => cmd_models(&args[1..]),
         "swap" => cmd_swap(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -109,13 +110,15 @@ commands:
                                price recorded runs under a rate card
   serve --addr HOST:PORT (--model FILE | --store DIR) [--max-sessions N] [--sessions N]
         [--window W] [--backlog N] [--shed-high N] [--shed-low N]
-        [--retry-after-ms N] [--frame-deadline-ms N]
+        [--retry-after-ms N] [--frame-deadline-ms N] [--shards N]
                                serve the pipeline (or the store's HEAD version)
                                to concurrent TCP clients
                                (--sessions N exits after N sessions drain;
                                --shed-high/--shed-low set the queue watermarks
                                for Busy load shedding; --frame-deadline-ms sheds
-                               snapshot frames older than the budget)
+                               snapshot frames older than the budget; --shards N
+                               uses the sharded readiness-loop server with N
+                               event-loop shards instead of the thread pool)
   client --addr HOST:PORT --workload NAME [--seed N] [--drop-rate R] [--model-id H]
          [--batch N] [--retries N] [--backoff-ms N] [--deadline-ms N]
                                replay a workload's monitoring stream and classify
@@ -124,6 +127,12 @@ commands:
                                --retries enables Busy-aware reconnects with
                                jittered exponential backoff, --deadline-ms bounds
                                the whole retry budget)
+  fleet --addr HOST:PORT [--vms N] [--seed N] [--bursts N] [--compression X]
+        [--batch N]
+                               replay a diurnal+bursty arrival plan of simulated
+                               VMs against a running server and report goodput,
+                               shedding and session latency (--compression X
+                               divides the simulated day onto the wall clock)
   models --store DIR           list the store's model version chain, newest first
   swap --addr HOST:PORT (--model FILE | --store DIR [--id HEX])
                                hot-swap the served model; established sessions
@@ -421,7 +430,7 @@ fn cmd_table4(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use appclass::serve::{Server, ServerConfig};
+    use appclass::serve::{Server, ServerConfig, ShardServer};
     validate_flags(
         args,
         &[
@@ -436,6 +445,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--shed-low",
             "--retry-after-ms",
             "--frame-deadline-ms",
+            "--shards",
         ],
     )?;
     let addr = opt(args, "--addr").ok_or("serve requires --addr HOST:PORT")?;
@@ -479,6 +489,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         config.session.deadline = Some(std::time::Duration::from_millis(ms));
     }
+    let shards = opt_parsed::<usize>(args, "--shards")?;
+    if shards == Some(0) {
+        return Err("--shards must be at least 1".to_string());
+    }
 
     let (pipeline, origin) = match (opt(args, "--model"), opt(args, "--store")) {
         (Some(_), Some(_)) => {
@@ -500,18 +514,59 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
 
     let model_id = pipeline.model_id();
-    let server = Server::bind(addr.as_str(), std::sync::Arc::new(pipeline), config)
-        .map_err(|e| e.to_string())?;
-    out!("listening on {}", server.local_addr());
-    out!("serving model {model_id:#018x} from {origin}");
-    // Line buffering only flushes what printing appended; make the
-    // address visible to pollers even through unusual stdout plumbing.
-    {
+    let pipeline = std::sync::Arc::new(pipeline);
+    let announce = |local: std::net::SocketAddr| {
+        out!("listening on {local}");
+        out!("serving model {model_id:#018x} from {origin}");
+        // Line buffering only flushes what printing appended; make the
+        // address visible to pollers even through unusual stdout plumbing.
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
-    }
-    let stats = server.join().map_err(|e| e.to_string())?;
+    };
+    let stats = match shards {
+        Some(n) => {
+            config.shards = n;
+            let server =
+                ShardServer::bind(addr.as_str(), pipeline, config).map_err(|e| e.to_string())?;
+            announce(server.local_addr());
+            server.join().map_err(|e| e.to_string())?
+        }
+        None => {
+            let server =
+                Server::bind(addr.as_str(), pipeline, config).map_err(|e| e.to_string())?;
+            announce(server.local_addr());
+            server.join().map_err(|e| e.to_string())?
+        }
+    };
     out!("{stats}");
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    use appclass::fleet::{run_fleet, workload_streams};
+    use appclass::sim::fleet::{FleetConfig, FleetPlan};
+    use std::net::ToSocketAddrs;
+    validate_flags(args, &["--addr", "--vms", "--seed", "--bursts", "--compression", "--batch"])?;
+    let addr = opt(args, "--addr").ok_or("fleet requires --addr HOST:PORT")?;
+    let seed = opt_seed(args)?;
+    let vms = opt_parsed::<usize>(args, "--vms")?.unwrap_or(200).max(1);
+    let bursts = opt_parsed::<usize>(args, "--bursts")?.unwrap_or(3);
+    let compression = opt_parsed::<f64>(args, "--compression")?.unwrap_or(50_000.0);
+    if !compression.is_finite() || compression <= 0.0 {
+        return Err("--compression must be positive".to_string());
+    }
+    let batch = opt_parsed::<usize>(args, "--batch")?.unwrap_or(32).max(1);
+
+    let target = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to no address"))?;
+    let plan = FleetPlan::generate(&FleetConfig { vms, bursts, ..FleetConfig::default() }, seed);
+    let streams = workload_streams(seed);
+    out!("replaying {vms} VMs (seed {seed}, {bursts} bursts, day/{compression:.0}) against {addr}");
+    let report = run_fleet(target, &plan, &streams, compression, batch);
+    out!("{report}");
     Ok(())
 }
 
@@ -726,6 +781,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     // Watch mode: hold one session open and poll the exposition. Counter
     // lines (the `_total` convention) get a `+delta` column against the
     // previous poll, so a glance shows what moved; gauges print as-is.
+    // A counter below its previous sample means the server restarted
+    // (or swapped its registry) between polls — the delta would be
+    // negative, so print the absolute value flagged as a restart and
+    // re-baseline from there.
     let mut prev: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
     let rounds = count.unwrap_or(usize::MAX);
     for round in 0..rounds {
@@ -741,7 +800,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             let cur: f64 = value.parse().unwrap_or(f64::NAN);
             match prev.get(name) {
                 Some(p) if cur.is_finite() && name.ends_with("_total") => {
-                    out!("{name} {value} (+{delta})", delta = (cur - p).max(0.0) as u64);
+                    if cur < *p {
+                        out!("{name} {value} (restart)");
+                    } else {
+                        out!("{name} {value} (+{delta})", delta = (cur - p) as u64);
+                    }
                 }
                 _ => out!("{name} {value}"),
             }
@@ -782,7 +845,7 @@ fn percentile_ns(sorted: &[u64], p: usize) -> u64 {
 
 fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
     use appclass::serve::retry::{connect_with_retry, CircuitBreaker, RetryPolicy};
-    use appclass::serve::{ClientConfig, ServeClient, Server, ServerConfig};
+    use appclass::serve::{ClientConfig, ServeClient, Server, ServerConfig, ShardServer};
     use std::time::{Duration, Instant};
     validate_flags(args, &["--seed", "--frames", "--batch", "--out"])?;
     let seed = opt_seed(args)?;
@@ -966,6 +1029,59 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
     ov_lat.sort_unstable();
     let ov_goodput = (ov_sessions * frames) as f64 / ov_elapsed.as_secs_f64();
 
+    // Multi-session saturation row: the sharded readiness-loop server
+    // driven flat out by concurrent replay sessions at the protocol's
+    // maximum batch width. This is the fleet-facing ceiling — aggregate
+    // admitted frames per second across all shards — that the overload
+    // goodput and future PRs regress against. The stream is long enough
+    // that thread spawn and handshake cost amortize out of the figure.
+    let sat_sessions = 4usize;
+    let sat_shards = 2usize;
+    let sat_batch = appclass::metrics::wire::MAX_SNAPSHOT_BATCH;
+    let sat_stream = std::sync::Arc::new(bench_stream(frames.max(1024) * 4, seed ^ 0x5A7));
+    let sat_server = ShardServer::bind(
+        "127.0.0.1:0",
+        std::sync::Arc::clone(&pipeline),
+        ServerConfig { max_sessions: sat_sessions + 1, shards: sat_shards, ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    let sat_addr = sat_server.local_addr();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..sat_sessions)
+        .map(|i| {
+            let snaps = std::sync::Arc::clone(&sat_stream);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client = ServeClient::connect(sat_addr, ClientConfig::default())
+                    .map_err(|e| format!("saturation session {i}: {e}"))?;
+                let mut lat = Vec::with_capacity(snaps.len());
+                for chunk in snaps.chunks(sat_batch * 4) {
+                    let t = Instant::now();
+                    client.stream_batch(chunk, sat_batch).map_err(|e| e.to_string())?;
+                    let per_item = t.elapsed().as_nanos() as u64 / chunk.len() as u64;
+                    lat.extend(std::iter::repeat_n(per_item, chunk.len()));
+                }
+                client.classify().map_err(|e| e.to_string())?;
+                client.bye().map_err(|e| e.to_string())?;
+                Ok(lat)
+            })
+        })
+        .collect();
+    let mut sat_lat: Vec<u64> = Vec::with_capacity(sat_sessions * sat_stream.len());
+    for h in handles {
+        sat_lat.extend(h.join().map_err(|_| "saturation session thread panicked".to_string())??);
+    }
+    let sat_elapsed = t0.elapsed();
+    sat_server.shutdown();
+    let sat_stats = sat_server.join().map_err(|e| e.to_string())?;
+    if sat_stats.session_errors != 0 {
+        return Err(format!(
+            "saturation run had {} errored sessions — the figure would be meaningless",
+            sat_stats.session_errors
+        ));
+    }
+    sat_lat.sort_unstable();
+    let sat_fps = sat_lat.len() as f64 / sat_elapsed.as_secs_f64();
+
     // The measurement doubles as a correctness check: all sessions saw
     // the identical stream, so the verdicts must be bit-equal.
     for (name, v) in [
@@ -1005,7 +1121,7 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"bench_classify/v1\",\n",
+            "  \"schema\": \"bench_classify/v2\",\n",
             "  \"seed\": {seed},\n",
             "  \"frames\": {frames},\n",
             "  \"batch_size\": {batch},\n",
@@ -1013,6 +1129,7 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
             "  \"batch1\": {{ \"frames_per_sec\": {ofps:.1}, \"p50_ns\": {op50}, \"p99_ns\": {op99} }},\n",
             "  \"batch\": {{ \"frames_per_sec\": {bfps:.1}, \"p50_ns\": {bp50}, \"p99_ns\": {bp99} }},\n",
             "  \"overload\": {{ \"workers\": {ovw}, \"sessions\": {ovs}, \"goodput_frames_per_sec\": {ovfps:.1}, \"goodput_ratio\": {ovr:.3}, \"p50_ns\": {ovp50}, \"p99_ns\": {ovp99}, \"busy_refusals\": {ovbusy} }},\n",
+            "  \"saturation\": {{ \"sessions\": {sats}, \"shards\": {satsh}, \"batch\": {satb}, \"frames_per_sec\": {satfps:.1}, \"p50_ns\": {satp50}, \"p99_ns\": {satp99}, \"speedup_vs_single\": {satx:.2} }},\n",
             "  \"tracing\": {{ \"untraced_p50_ns\": {utp50}, \"traced_p50_ns\": {trp50}, \"overhead_pct\": {ovhd:.2} }},\n",
             "  \"batch_speedup\": {speedup:.2}\n",
             "}}\n"
@@ -1036,6 +1153,13 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
         ovp50 = percentile_ns(&ov_lat, 50),
         ovp99 = percentile_ns(&ov_lat, 99),
         ovbusy = ov_busy,
+        sats = sat_sessions,
+        satsh = sat_shards,
+        satb = sat_batch,
+        satfps = sat_fps,
+        satp50 = percentile_ns(&sat_lat, 50),
+        satp99 = percentile_ns(&sat_lat, 99),
+        satx = sat_fps / single_fps,
         utp50 = untraced_p50,
         trp50 = traced_p50,
         ovhd = overhead_pct,
@@ -1052,6 +1176,14 @@ fn cmd_bench_classify(args: &[String]) -> Result<(), String> {
         ovfps = ov_goodput,
         ovr = ov_ratio,
         ovbusy = ov_busy,
+    );
+    out!(
+        "saturation({sats} sessions x {satsh} shards, batch {satb}): {satfps:.0} f/s ({satx:.1}x single)",
+        sats = sat_sessions,
+        satsh = sat_shards,
+        satb = sat_batch,
+        satfps = sat_fps,
+        satx = sat_fps / single_fps,
     );
     out!(
         "tracing: {utp50} ns untraced p50 vs {trp50} ns traced+scraped ({ovhd:+.2}%), {pts} tsdb points",

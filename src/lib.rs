@@ -68,6 +68,7 @@ pub use appclass_sched as sched;
 pub use appclass_serve as serve;
 pub use appclass_sim as sim;
 
+pub mod fleet;
 pub mod plot;
 
 /// Maps a workload's expected behaviour (the simulator's Table 2 ground

@@ -564,3 +564,84 @@ fn stats_validates_watch_flags() {
     assert!(err.contains("unknown flag `--wach`"), "{err}");
     assert!(err.contains("usage"), "unknown flags must re-print usage:\n{err}");
 }
+
+/// A scripted control-protocol endpoint: answers the handshake, then
+/// serves one canned exposition per `Stats` poll, so watch-mode output
+/// is deterministic — including a counter reset between polls, which is
+/// what a server restart looks like to the client.
+fn scripted_stats_server(
+    replies: Vec<&'static str>,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    use appclass::metrics::wire::{decode_control, encode_control};
+    use appclass::metrics::{ByeReason, ControlFrame};
+    use std::io::{Read, Write};
+
+    fn send(stream: &mut std::net::TcpStream, frame: &ControlFrame) {
+        let body = encode_control(frame);
+        stream.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+        stream.write_all(&body).unwrap();
+    }
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut replies = replies.into_iter();
+        loop {
+            let mut len = [0u8; 4];
+            if stream.read_exact(&mut len).is_err() {
+                return;
+            }
+            let mut body = vec![0u8; u32::from_be_bytes(len) as usize];
+            stream.read_exact(&mut body).unwrap();
+            match decode_control(&body).unwrap() {
+                ControlFrame::Hello { model_id, .. } => {
+                    send(&mut stream, &ControlFrame::Hello { session: 7, model_id });
+                }
+                ControlFrame::Stats { .. } => {
+                    let text = replies.next().expect("more Stats polls than scripted replies");
+                    send(&mut stream, &ControlFrame::Stats { text: text.to_string() });
+                }
+                ControlFrame::Bye { .. } => {
+                    send(&mut stream, &ControlFrame::Bye { reason: ByeReason::Normal });
+                    return;
+                }
+                other => panic!("scripted server got unexpected frame {other:?}"),
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// Watch mode across a counter reset: a `_total` value dropping below
+/// its previous sample is a server restart, not a negative delta — the
+/// line must print the new absolute value flagged `(restart)` and the
+/// next poll must delta against the post-restart baseline.
+#[test]
+fn stats_watch_flags_counter_resets_as_restarts() {
+    let (addr, server) = scripted_stats_server(vec![
+        "serve_frames_in_total 100\nserve_overload_state 1",
+        "serve_frames_in_total 3\nserve_overload_state 0",
+        "serve_frames_in_total 10\nserve_overload_state 0",
+    ]);
+    let out = bin()
+        .args(["stats", "--addr", &addr.to_string(), "--watch", "1", "--count", "3"])
+        .output()
+        .unwrap();
+    server.join().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = stdout(&out);
+
+    // Poll 1 establishes the baseline: no delta column yet.
+    assert!(s.contains("--- poll 1 ---"), "{s}");
+    assert!(s.contains("serve_frames_in_total 100\n"), "first sample has no delta:\n{s}");
+    // Poll 2: 3 < 100 is a reset — absolute value, flagged, no bogus +0.
+    assert!(s.contains("serve_frames_in_total 3 (restart)"), "reset must be flagged:\n{s}");
+    assert!(!s.contains("(+0)"), "a reset must not masquerade as a zero delta:\n{s}");
+    // Poll 3 deltas against the post-restart baseline, not the old one.
+    assert!(s.contains("serve_frames_in_total 10 (+7)"), "re-baseline after restart:\n{s}");
+    // Gauges never grow delta or restart annotations.
+    assert!(s.contains("serve_overload_state 1\n"), "{s}");
+    assert!(s.contains("serve_overload_state 0\n"), "{s}");
+    assert!(!s.contains("serve_overload_state 0 ("), "gauges stay unannotated:\n{s}");
+}
